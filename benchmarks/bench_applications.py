@@ -1,0 +1,95 @@
+"""APP-DIST / APP-UCQREW: the Section 7 applications.
+
+Paper: Dist(G, CQ) is 2ExpTime-complete (Theorem 28, via Proposition 27's
+reduction to containment); UCQRew(G₂, CQ) is 2ExpTime-complete (Theorem 29,
+via the boundedness/infinity machinery).
+
+Measured: the Prop-27 procedure decides the connected / disconnected /
+redundant query trichotomy on guarded ontologies; the rewritability prober
+answers YES constructively (with the rewriting) on rewritable inputs and
+reports divergence evidence on the reachability family.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro import OMQ, parse_cq, parse_tgds
+from repro.applications import distributes_over_components, is_ucq_rewritable
+from repro.core.schema import Schema
+from repro.evaluation import cached_rewriting
+from repro.generators import guarded_acyclic, guarded_reachability
+
+SCHEMA = Schema.of(Link=2, Alert=1)
+SIGMA = parse_tgds("Link(x, y), Alert(x) -> Alert(y)")
+
+DIST_CASES = {
+    "connected": "q(x) :- Alert(x)",
+    "disconnected": "q() :- Alert(x), Link(y, z)",
+    "redundant": "q() :- Alert(x), Alert(y)",
+}
+
+
+@pytest.mark.parametrize("name", list(DIST_CASES))
+def test_distribution_timing(benchmark, name):
+    omq = OMQ(SCHEMA, SIGMA, parse_cq(DIST_CASES[name]), name=name)
+
+    def run():
+        cached_rewriting.cache_clear()
+        return distributes_over_components(omq)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.distributes is not None
+
+
+def test_distribution_trichotomy(benchmark):
+    def _shape_check():
+        rows = []
+        expected = {"connected": True, "disconnected": False, "redundant": True}
+        for name, query in DIST_CASES.items():
+            omq = OMQ(SCHEMA, SIGMA, parse_cq(query), name=name)
+            result = distributes_over_components(omq)
+            rows.append([name, result.distributes, expected[name]])
+            assert result.distributes is expected[name]
+        print_table(
+            "APP-DIST: distribution over components (Prop 27)",
+            ["query", "measured", "expected"],
+            rows,
+        )
+
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_rewritability_yes_timing(benchmark, depth):
+    omq = guarded_acyclic(depth)
+
+    def run():
+        cached_rewriting.cache_clear()
+        return is_ucq_rewritable(omq)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.rewritable is True
+
+
+def test_rewritability_verdicts(benchmark):
+    def _shape_check():
+        rows = []
+        yes = is_ucq_rewritable(guarded_acyclic(2))
+        rows.append(["guarded acyclic", yes.rewritable, "True"])
+        assert yes.rewritable is True and yes.rewriting is not None
+        no = is_ucq_rewritable(
+            guarded_reachability(), budgets=(100, 400, 1_600)
+        )
+        rows.append(["guarded reachability", no.rewritable, "None (diverges)"])
+        assert no.rewritable is None
+        print_table(
+            "APP-UCQREW: UCQ rewritability verdicts",
+            ["OMQ", "measured", "expected"],
+            rows,
+        )
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+

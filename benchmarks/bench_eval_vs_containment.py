@@ -1,0 +1,101 @@
+"""T1-EVAL: Table 1's small-font rows — containment vs evaluation.
+
+Paper: "containment is, in general, harder than evaluation" (the small
+fonts under each Table 1 cell).  The one exception called out: OMQs based
+on linear tgds over unbounded-arity schemas, where both are PSpace-c.
+
+Measured shape: on the same OMQ, a single evaluation (one database) is
+cheaper than a containment check (which explores the full witness space) —
+for every fragment family; the ratio grows with the fragment's witness
+bound (NR > sticky > linear).
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.containment import contains_via_small_witness
+from repro.evaluation import cached_rewriting, evaluate_omq
+from repro.generators import (
+    chain_database,
+    linear_chain,
+    non_recursive_doubling,
+    sticky_recursive_family,
+)
+
+
+FAMILIES = {
+    "linear": (linear_chain(6), chain_database("R_0", 4)),
+    "non-recursive": (
+        non_recursive_doubling(3),
+        None,  # database built below (leaf predicates)
+    ),
+    "sticky": (sticky_recursive_family(1), None),
+}
+
+
+def _database_for(name, omq):
+    if name == "linear":
+        return chain_database("R_0", 4)
+    from repro.generators import random_database
+
+    return random_database(omq.data_schema, n_constants=3, n_atoms=6, seed=3)
+
+
+@pytest.mark.parametrize("name", list(FAMILIES))
+def test_evaluation(benchmark, name):
+    omq, _ = FAMILIES[name]
+    db = _database_for(name, omq)
+
+    def run():
+        cached_rewriting.cache_clear()
+        return evaluate_omq(omq, db)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.exact
+
+
+@pytest.mark.parametrize("name", list(FAMILIES))
+def test_containment(benchmark, name):
+    omq, _ = FAMILIES[name]
+
+    def run():
+        cached_rewriting.cache_clear()
+        return contains_via_small_witness(omq, omq, rewriting_budget=20_000)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.is_contained
+
+
+def test_containment_explores_more_than_evaluation(benchmark):
+    def _shape_check():
+        """Qualitative check: containment work ⊇ evaluation work.
+
+        The containment check evaluates the RHS on every rewriting disjunct of
+        the LHS, so its database-evaluation count is ≥ 1 (= one evaluation).
+        """
+        import time
+
+        rows = []
+        for name, (omq, _) in FAMILIES.items():
+            db = _database_for(name, omq)
+            cached_rewriting.cache_clear()
+            t0 = time.perf_counter()
+            evaluate_omq(omq, db)
+            eval_time = time.perf_counter() - t0
+            cached_rewriting.cache_clear()
+            t0 = time.perf_counter()
+            contains_via_small_witness(omq, omq, rewriting_budget=20_000)
+            cont_time = time.perf_counter() - t0
+            rows.append(
+                [name, f"{eval_time*1e3:.1f}ms", f"{cont_time*1e3:.1f}ms",
+                 f"{cont_time/max(eval_time, 1e-9):.1f}x"]
+            )
+        print_table(
+            "T1-EVAL: evaluation vs containment cost",
+            ["fragment", "eval", "containment", "ratio"],
+            rows,
+        )
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+

@@ -1,0 +1,103 @@
+"""P12/14/17: the f_O disjunct-size bounds.
+
+Paper: Propositions 12, 14 and 17 bound the maximal disjunct of UCQ
+rewritings per fragment; these bounds drive the small-witness algorithm's
+complexity for each Table 1 row.
+
+Measured: for every family and parameter, the measured maximal disjunct of
+the actual XRewrite output respects the stated bound; the table printed
+records both, giving the paper-vs-measured trace for EXPERIMENTS.md.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.evaluation import cached_rewriting
+from repro.generators import (
+    linear_witness_family,
+    non_recursive_doubling,
+    sticky_arity_family,
+)
+from repro.rewriting import f_linear, f_non_recursive, f_sticky
+
+
+def _measure(omq, budget=50_000):
+    result = cached_rewriting(omq, budget)
+    assert result.complete
+    return result.rewriting.max_disjunct_size()
+
+
+def test_prop12_linear_bound(benchmark):
+    def _shape_check():
+        rows = []
+        for size in (1, 2, 3, 4):
+            omq = linear_witness_family(size)
+            measured, bound = _measure(omq), f_linear(omq)
+            rows.append([size, measured, bound, measured <= bound])
+            assert measured <= bound
+        print_table(
+            "P12: f_L(Q) ≤ |q|",
+            ["|q|", "measured", "bound", "ok"],
+            rows,
+        )
+
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+
+def test_prop14_non_recursive_bound(benchmark):
+    def _shape_check():
+        rows = []
+        for layers in (1, 2, 3):
+            omq = non_recursive_doubling(layers)
+            measured, bound = _measure(omq), f_non_recursive(omq)
+            rows.append([layers, measured, bound, measured <= bound])
+            assert measured <= bound
+        print_table(
+            "P14: f_NR(Q) ≤ |q|·(max body)^|sch(Σ)|",
+            ["layers", "measured", "bound", "ok"],
+            rows,
+        )
+
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+
+def test_prop17_sticky_bound(benchmark):
+    def _shape_check():
+        rows = []
+        for arity in (2, 3, 4):
+            omq = sticky_arity_family(arity)
+            measured, bound = _measure(omq), f_sticky(omq)
+            rows.append([arity, measured, bound, measured <= bound])
+            assert measured <= bound
+        print_table(
+            "P17: f_S(Q) ≤ |S|·(|T(q)|+|C(Σ)|+1)^ar(S)",
+            ["arity", "measured", "bound", "ok"],
+            rows,
+        )
+
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize(
+    "family, param",
+    [("linear", 3), ("nr", 3), ("sticky", 3)],
+)
+def test_rewriting_time(benchmark, family, param):
+    omq = {
+        "linear": linear_witness_family,
+        "nr": non_recursive_doubling,
+        "sticky": sticky_arity_family,
+    }[family](param)
+
+    def run():
+        cached_rewriting.cache_clear()
+        return cached_rewriting(omq, 50_000)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.complete

@@ -1,0 +1,104 @@
+"""T1-NR: Table 1, row Non-recursive.
+
+Paper: Cont((NR,CQ)) sits between PNEXP and ExpSpace; the applicability
+discussion highlights that the runtime is double-exponential not only in
+the arity but in the *number of predicates of the ontology* — witnessed by
+Proposition 14's bound ``|q| · (max body)^{|sch(Σ)|}`` and Proposition 15's
+exponential witness family.
+
+Measured shape:
+
+* the rewriting of the binary AND-tree family doubles per layer (syntactic
+  blowup driven by ontology structure);
+* the Prop-18/15 family's *minimal semantic witness* doubles with each
+  predicate added to sch(Σ) — the number-of-predicates exponent.
+"""
+
+import pytest
+
+from conftest import is_roughly_doubling, print_table
+from repro import contains
+from repro.containment import contains_via_small_witness
+from repro.evaluation import cached_rewriting
+from repro.generators import non_recursive_doubling
+from repro.reductions import (
+    expected_witness_size,
+    minimal_satisfying_database,
+    prop18_family,
+)
+from repro.rewriting import f_non_recursive
+
+LAYERS = [1, 2, 3, 4]
+
+
+@pytest.mark.parametrize("layers", LAYERS)
+def test_containment_by_layers(benchmark, layers):
+    omq = non_recursive_doubling(layers)
+
+    def run():
+        cached_rewriting.cache_clear()
+        return contains_via_small_witness(omq, omq)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.is_contained
+
+
+def test_rewriting_doubles_per_layer(benchmark):
+    def _shape_check():
+        sizes = []
+        rows = []
+        for layers in LAYERS:
+            omq = non_recursive_doubling(layers)
+            rewriting = cached_rewriting(omq, 50_000)
+            assert rewriting.complete
+            measured = rewriting.rewriting.max_disjunct_size()
+            bound = f_non_recursive(omq)
+            sizes.append(measured)
+            rows.append([layers, measured, 2**layers, bound])
+            assert measured <= bound
+        print_table(
+            "T1-NR: rewriting size vs layers (paper: exponential)",
+            ["layers", "max disjunct", "2^layers", "f_NR bound"],
+            rows,
+        )
+        assert sizes == [2**l for l in LAYERS]
+
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+
+def test_semantic_witness_exponential_in_predicates(benchmark):
+    def _shape_check():
+        """Prop 15 shape via the Prop 18 family (which lives in NR too)."""
+        sizes = []
+        rows = []
+        for n in (3, 4, 5):
+            omq = prop18_family(n)
+            witness = minimal_satisfying_database(omq)
+            sizes.append(len(witness))
+            rows.append([n, len(omq.ontology_schema()), len(witness),
+                         expected_witness_size(n)])
+            assert len(witness) == expected_witness_size(n)
+        print_table(
+            "T1-NR: minimal witness vs |sch(Σ)| (paper: ≥ 2^(n-1) shape)",
+            ["n", "|sch(Σ)|", "minimal witness", "2^(n-2)"],
+            rows,
+        )
+        assert is_roughly_doubling(sizes)
+
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_prop18_rewriting_time(benchmark, n):
+    omq = prop18_family(n)
+
+    def run():
+        cached_rewriting.cache_clear()
+        return minimal_satisfying_database(omq)
+
+    witness = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(witness) == expected_witness_size(n)

@@ -1,0 +1,99 @@
+"""T1-S: Table 1, row Sticky.
+
+Paper: Cont((S,CQ)) is coNExpTime-complete, Π2p-complete for fixed arity;
+the applicability discussion stresses that the runtime is
+double-exponential *only in the maximum arity of the data schema*
+(Proposition 17's bound ``|S| · (|T(q)| + |C(Σ)| + 1)^{ar(S)}``).
+
+Measured shape: the f_S witness-space bound grows exponentially in the
+arity sweep while staying polynomial in the ontology-size sweep; actual
+containment checks on the arity family remain decidable and exact.
+"""
+
+import pytest
+
+from conftest import is_roughly_doubling, is_roughly_flat, print_table
+from repro import contains
+from repro.containment import contains_via_small_witness
+from repro.evaluation import cached_rewriting
+from repro.generators import sticky_arity_family
+from repro.core.parser import parse_cq, parse_tgds
+from repro.core.omq import OMQ
+from repro.core.schema import Schema
+from repro.rewriting import f_sticky
+
+ARITIES = [2, 3, 4, 5]
+
+
+@pytest.mark.parametrize("arity", ARITIES)
+def test_containment_by_arity(benchmark, arity):
+    omq = sticky_arity_family(arity)
+
+    def run():
+        cached_rewriting.cache_clear()
+        return contains_via_small_witness(omq, omq)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.is_contained
+
+
+def _sticky_ontology_size_family(n_rules: int) -> OMQ:
+    """Sticky family where the *ontology* grows but the arity is fixed."""
+    lines = ["R(x, y) -> S_0(x, y, w)"]
+    for i in range(n_rules):
+        lines.append(f"S_{i}(x, y, z) -> S_{i+1}(x, y, z)")
+    sigma = parse_tgds("\n".join(lines))
+    query = parse_cq(f"q() :- S_{n_rules}(x, y, z)")
+    return OMQ(Schema.of(R=2), sigma, query, f"sticky_rules_{n_rules}")
+
+
+def test_bound_exponential_in_arity_only(benchmark):
+    def _shape_check():
+        """Prop 17 shape: f_S doubles per arity step, flat per ontology step."""
+        arity_bounds = []
+        rows = []
+        for arity in ARITIES:
+            omq = sticky_arity_family(arity)
+            bound = f_sticky(omq)
+            measured = cached_rewriting(omq, 20_000).rewriting.max_disjunct_size()
+            arity_bounds.append(bound)
+            rows.append([f"ar={arity}", measured, bound])
+            assert measured <= bound
+        print_table(
+            "T1-S: witness bound vs data arity (paper: double-exp in ar(S) only)",
+            ["sweep", "max disjunct", "f_S bound"],
+            rows,
+        )
+        assert is_roughly_doubling(arity_bounds)
+
+        size_bounds = []
+        rows = []
+        for n_rules in (1, 2, 4, 8):
+            omq = _sticky_ontology_size_family(n_rules)
+            bound = f_sticky(omq)
+            measured = cached_rewriting(omq, 20_000).rewriting.max_disjunct_size()
+            size_bounds.append(bound)
+            rows.append([f"rules={n_rules}", measured, bound])
+            assert measured <= bound
+        print_table(
+            "T1-S: witness bound vs ontology size (paper: polynomial)",
+            ["sweep", "max disjunct", "f_S bound"],
+            rows,
+        )
+        assert is_roughly_flat(size_bounds)
+
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+
+def test_sticky_containment_is_exact(benchmark):
+    def _shape_check():
+        """Sanity: the small-witness procedure decides the sticky family."""
+        left = sticky_arity_family(3)
+        result = contains(left, left)
+        assert result.decided and result.is_contained
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+

@@ -1,0 +1,83 @@
+"""P15/18: the exponential witness lower bounds.
+
+Paper: Propositions 15 and 18 exhibit OMQ families whose non-containment
+witnesses need exponentially many facts — the reason the sticky and
+non-recursive rows of Table 1 sit above NP.
+
+Measured: the minimal database on which Q^n is non-empty has exactly
+``2^(n-2)`` facts, doubling per arity step, and every witness is the full
+Boolean cube ending in (0, 1).
+"""
+
+import pytest
+
+from conftest import is_roughly_doubling, print_table
+from repro import Verdict, contains
+from repro.core.omq import OMQ
+from repro.core.queries import CQ
+from repro.core.atoms import Atom
+from repro.core.terms import Variable
+from repro.evaluation import cached_rewriting
+from repro.reductions import (
+    expected_witness_size,
+    minimal_satisfying_database,
+    prop18_family,
+)
+
+NS = [2, 3, 4, 5]
+
+
+def test_witness_sizes_double(benchmark):
+    def _shape_check():
+        sizes = []
+        rows = []
+        for n in NS:
+            witness = minimal_satisfying_database(prop18_family(n))
+            sizes.append(len(witness))
+            rows.append([n, len(witness), expected_witness_size(n)])
+            assert len(witness) == expected_witness_size(n)
+        print_table(
+            "P18: minimal witness sizes (paper: ≥ 2^(n-2))",
+            ["n", "measured", "2^(n-2)"],
+            rows,
+        )
+        assert is_roughly_doubling(sizes, factor=1.9)
+
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+
+def test_non_containment_witness_is_exponential(benchmark):
+    def _shape_check():
+        """Prop 18's statement: for any Q with Q^n ⊄ Q, the witness is huge."""
+        n = 4
+        family = prop18_family(n)
+        # Q: an unsatisfiable right-hand side, so Q^n ⊄ Q with the minimal
+        # possible witness — which must still be the full cube.
+        x = Variable("x")
+        never = OMQ(
+            family.data_schema,
+            (),
+            CQ((), (Atom("Nope", (x,)),), "never"),
+            "Q_unsat",
+        )
+        result = contains(family, never)
+        assert result.verdict is Verdict.NOT_CONTAINED
+        assert len(result.witness.database) >= expected_witness_size(n)
+
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("n", NS)
+def test_witness_computation_time(benchmark, n):
+    omq = prop18_family(n)
+
+    def run():
+        cached_rewriting.cache_clear()
+        return minimal_satisfying_database(omq)
+
+    witness = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(witness) == expected_witness_size(n)

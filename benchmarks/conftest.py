@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one row-set of the paper's Table 1 (or one
+proposition) — see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+the paper-vs-measured record.  Timings come from pytest-benchmark; the
+*shape* claims (who wins, what grows exponentially in what) are asserted,
+so a bench run doubles as a reproduction check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def growth_ratios(series: Sequence[float]) -> List[float]:
+    """Successive ratios of a measured series (for shape assertions)."""
+    return [
+        b / a if a else float("inf") for a, b in zip(series, series[1:])
+    ]
+
+
+def is_roughly_doubling(series: Sequence[float], factor: float = 1.8) -> bool:
+    """True iff every step grows by at least *factor* (exponential shape)."""
+    return all(r >= factor for r in growth_ratios(series))
+
+
+def is_roughly_flat(series: Sequence[float], slack: float = 1.5) -> bool:
+    """True iff the series never grows by more than *slack* per step."""
+    return all(r <= slack for r in growth_ratios(series))
+
+
+def print_table(title: str, headers: Sequence[str], rows) -> None:
+    """Print a small aligned table (visible with pytest -s)."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""OBDA query optimization via OMQ containment.
+
+The classical application from the introduction: a mediator exposes a
+university ontology over heterogeneous sources; the user's query arrives as
+a union of alternatives, and the optimizer uses *containment under the
+ontology* to drop redundant disjuncts and to recognize when an expensive
+query can be answered by a cheaper, already-cached one.
+
+Run:  python examples/query_optimization.py
+"""
+
+from repro import (
+    OMQ,
+    Schema,
+    Verdict,
+    contains,
+    evaluate_omq,
+    parse_cq,
+    parse_database,
+    parse_tgds,
+)
+from repro.fragments import best_class
+
+# A small university ontology (linear tgds = inclusion dependencies).
+sigma = parse_tgds(
+    """
+    % Every professor and every lecturer is teaching staff.
+    Professor(x) -> Staff(x)
+    Lecturer(x)  -> Staff(x)
+    % Teaching staff teach something.
+    Staff(x) -> Teaches(x, w)
+    % Whoever teaches something is employed by some department.
+    Teaches(x, y) -> WorksFor(x, w)
+    % Course assignments record the course too.
+    Assigned(x, c) -> Teaches(x, c)
+    """
+)
+schema = Schema.of(Professor=1, Lecturer=1, Assigned=2)
+print("ontology class:", best_class(sigma))
+
+def omq(text, name):
+    return OMQ(schema, sigma, parse_cq(text), name=name)
+
+# The user asks: "who works for some department?"  Several formulations
+# arrive from different client tools.
+candidates = [
+    omq("q(x) :- WorksFor(x, d)", "q_direct"),
+    omq("q(x) :- Teaches(x, c), WorksFor(x, d)", "q_joined"),
+    omq("q(x) :- Professor(x), WorksFor(x, d)", "q_prof_only"),
+]
+
+# Optimization 1: drop candidates subsumed by a kept one (they can never
+# return more answers, so evaluating them is wasted work).
+kept = []
+for candidate in candidates:
+    subsumed_by = None
+    for other in kept:
+        if contains(candidate, other).verdict is Verdict.CONTAINED:
+            subsumed_by = other
+            break
+    if subsumed_by is None:
+        kept = [
+            k for k in kept
+            if contains(k, candidate).verdict is not Verdict.CONTAINED
+        ]
+        kept.append(candidate)
+    else:
+        print(f"dropping {candidate.name}: contained in {subsumed_by.name}")
+print("kept queries:", [q.name for q in kept])
+
+# Optimization 2: the ontology makes the join redundant —
+# q_joined ≡ q_direct because Teaches is implied by WorksFor's provenance.
+direct, joined = candidates[0], candidates[1]
+fwd = contains(joined, direct)
+bwd = contains(direct, joined)
+print(f"\n{joined.name} ⊆ {direct.name}: {fwd.verdict}")
+print(f"{direct.name} ⊆ {joined.name}: {bwd.verdict}")
+
+# Evaluate the surviving query over a concrete source.
+database = parse_database(
+    """
+    Professor(turing)
+    Lecturer(hopper)
+    Assigned(wilkes, edsac101)
+    """
+)
+answers = evaluate_omq(direct, database)
+print(f"\nanswers to {direct.name} (via {answers.method}):")
+for tup in sorted(answers.answers, key=str):
+    print("  ", tup[0].name)
+assert len(answers.answers) == 3  # everyone works for some department
+
+# Optimization 3: containment-powered atom pruning inside one query.
+from repro import minimize_query
+
+bloated = omq(
+    "q(x) :- WorksFor(x, d), Teaches(x, c), Staff(x)", "q_bloated"
+)
+minimized, report = minimize_query(bloated)
+print(f"\nminimizing {bloated.name}: {report}")
+print("  before:", bloated.query)
+print("  after: ", minimized.query)
+
+# And explain a certain answer end to end (terminating-chase ontology).
+from repro import explain_answer, format_explanation
+from repro.core.terms import Constant
+
+explanation = explain_answer(direct, database, (Constant("wilkes"),))
+print("\nwhy is wilkes an answer?")
+print(format_explanation(explanation))

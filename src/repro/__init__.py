@@ -1,0 +1,169 @@
+"""omqlib — Containment for Rule-Based Ontology-Mediated Queries.
+
+A reproduction of Barceló, Berger & Pieris, *Containment for Rule-Based
+Ontology-Mediated Queries* (PODS 2018).  The library provides:
+
+* a relational core: terms, atoms, schemas, instances, (U)CQs, tgds, OMQs,
+  and a text parser for all of them;
+* the chase (restricted and oblivious, with budgets) and the guarded chase
+  forest;
+* classifiers for the decidable tgd fragments: linear, guarded,
+  non-recursive, sticky, full, weakly-acyclic;
+* XRewrite UCQ rewriting with the paper's f_O disjunct-size bounds;
+* OMQ evaluation (``Eval(C, Q)``) and containment (``Cont(O1, O2)``) with
+  exact procedures for UCQ-rewritable left-hand sides and a layered bounded
+  procedure for guarded ones;
+* the applications of Section 7: distribution over components and UCQ
+  rewritability;
+* the appendix constructions: evaluation⇄containment reductions, the
+  UCQ→CQ Or-gadget, tiling reductions, and the exponential witness
+  families.
+
+Quickstart::
+
+    from repro import parse_tgds, parse_cq, Schema, OMQ, contains
+
+    sigma = parse_tgds('''
+        P(x) -> R(x, y)
+        R(x, y) -> P(y)
+        T(x) -> P(x)
+    ''')
+    schema = Schema.of(P=1, T=1)
+    q1 = OMQ(schema, sigma, parse_cq("q(x) :- R(x, y), P(y)"))
+    q2 = OMQ(schema, sigma, parse_cq("q(x) :- P(x)"))
+    print(contains(q1, q2))   # contained via small-witness
+"""
+
+from .chase import (
+    ChaseBudgetExceeded,
+    ChaseResult,
+    GuardedChaseForest,
+    chase,
+    chase_terminates,
+)
+from .containment import (
+    ContainmentResult,
+    Verdict,
+    Witness,
+    contains,
+    contains_guarded,
+    contains_via_small_witness,
+    cq_contained_in,
+    cq_core,
+    cq_equivalent,
+    critical_database,
+    equivalent,
+    is_contained,
+    is_satisfiable,
+    ucq_contained_in,
+)
+from .core import (
+    CQ,
+    OMQ,
+    TGD,
+    UCQ,
+    Atom,
+    Constant,
+    Database,
+    Instance,
+    Null,
+    Schema,
+    TGDClass,
+    Variable,
+    atom,
+    fact,
+    parse_atom,
+    parse_cq,
+    parse_database,
+    parse_tgd,
+    parse_tgds,
+    parse_ucq,
+    tgd,
+)
+from .evaluation import EvaluationResult, certain_answer, evaluate_omq
+from .explain import Derivation, Explanation, explain_answer, format_explanation
+from .fragments import (
+    best_class,
+    classify,
+    is_full,
+    is_guarded,
+    is_linear,
+    is_non_recursive,
+    is_sticky,
+    is_weakly_acyclic,
+    marked_variables,
+)
+from .optimize import MinimizationReport, minimize_query
+from .rewriting import (
+    RewritingBudgetExceeded,
+    RewritingResult,
+    witness_size_bound,
+    xrewrite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "CQ",
+    "ChaseBudgetExceeded",
+    "ChaseResult",
+    "Constant",
+    "ContainmentResult",
+    "Database",
+    "Derivation",
+    "EvaluationResult",
+    "Explanation",
+    "GuardedChaseForest",
+    "Instance",
+    "MinimizationReport",
+    "Null",
+    "OMQ",
+    "RewritingBudgetExceeded",
+    "RewritingResult",
+    "Schema",
+    "TGD",
+    "TGDClass",
+    "UCQ",
+    "Variable",
+    "Verdict",
+    "Witness",
+    "atom",
+    "best_class",
+    "certain_answer",
+    "chase",
+    "chase_terminates",
+    "classify",
+    "contains",
+    "contains_guarded",
+    "contains_via_small_witness",
+    "cq_contained_in",
+    "cq_core",
+    "cq_equivalent",
+    "critical_database",
+    "equivalent",
+    "evaluate_omq",
+    "explain_answer",
+    "format_explanation",
+    "fact",
+    "is_contained",
+    "is_full",
+    "is_guarded",
+    "is_linear",
+    "is_non_recursive",
+    "is_satisfiable",
+    "is_sticky",
+    "is_weakly_acyclic",
+    "marked_variables",
+    "minimize_query",
+    "parse_atom",
+    "parse_cq",
+    "parse_database",
+    "parse_tgd",
+    "parse_tgds",
+    "parse_ucq",
+    "tgd",
+    "ucq_contained_in",
+    "witness_size_bound",
+    "xrewrite",
+]

@@ -1,0 +1,16 @@
+"""Applications of OMQ containment (Section 7)."""
+
+from .distribution import (
+    DistributionResult,
+    distributes_over_components,
+    evaluate_distributed,
+)
+from .ucq_rewritability import RewritabilityResult, is_ucq_rewritable
+
+__all__ = [
+    "DistributionResult",
+    "RewritabilityResult",
+    "distributes_over_components",
+    "evaluate_distributed",
+    "is_ucq_rewritable",
+]

@@ -1,0 +1,103 @@
+"""Distribution over components (Section 7.1, Proposition 27, Theorem 28).
+
+An OMQ ``Q = (S, Σ, q)`` *distributes over components* if
+``Q(D) = Q(D₁) ∪ ... ∪ Q(Dₙ)`` for the maximally connected components
+``Dᵢ`` of every S-database ``D`` — i.e., Q can be evaluated in a
+distributed, coordination-free manner.
+
+Proposition 27 characterizes distribution for (G, CQ):
+
+    Q distributes over components  ⟺  Q is unsatisfiable, or some
+    connected component q̂ of q satisfies (S, Σ, q̂) ⊆ Q.
+
+Deciding it therefore reduces to satisfiability plus one containment check
+per query component, which is how :func:`distributes_over_components`
+proceeds — Theorem 28's 2ExpTime bound comes from the guarded containment
+procedure behind those checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..containment.dispatch import contains
+from ..containment.guarded import is_satisfiable
+from ..containment.result import ContainmentResult, Verdict
+from ..core.instance import Instance
+from ..core.omq import OMQ
+from ..evaluation import evaluate_omq
+
+
+@dataclass(frozen=True)
+class DistributionResult:
+    """Verdict for the Dist(C, CQ) problem."""
+
+    distributes: Optional[bool]  # None = undecided by the bounded layers
+    reason: str
+    witness_component: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        if self.distributes is None:
+            raise ValueError(f"distribution undecided: {self.reason}")
+        return self.distributes
+
+
+def evaluate_distributed(omq: OMQ, database: Instance, **eval_kwargs):
+    """``Q(D₁) ∪ ... ∪ Q(Dₙ)``: evaluate per component and union.
+
+    The coordination-free evaluation strategy; agrees with ``Q(D)`` exactly
+    when the OMQ distributes over components.
+    """
+    answers = set()
+    for component in database.components():
+        answers |= evaluate_omq(omq, component, **eval_kwargs).answers
+    return answers
+
+
+def distributes_over_components(omq: OMQ, **containment_kwargs) -> DistributionResult:
+    """Decide Dist for a CQ-based OMQ via Proposition 27."""
+    query = omq.as_cq()
+    if any(a.arity == 0 for a in query.body):
+        raise ValueError(
+            "distribution over components is defined for queries without "
+            "0-ary atoms (footnote 5 of the paper)"
+        )
+    satisfiable = is_satisfiable(omq)
+    if satisfiable is False:
+        return DistributionResult(True, "Q is unsatisfiable")
+    components = query.components()
+    if len(components) <= 1:
+        # A connected query trivially satisfies condition 2 with q̂ = q.
+        return DistributionResult(
+            True, "q is connected (q̂ = q works)", witness_component=str(query)
+        )
+    undecided: List[str] = []
+    for component in components:
+        # Containment requires matching arities: (S, Σ, q̂) ⊆ Q only makes
+        # sense when q̂ keeps the full head; components with fewer head
+        # variables cannot witness distribution for non-Boolean queries.
+        if component.arity != query.arity:
+            continue
+        candidate = OMQ(
+            omq.data_schema, omq.sigma, component, name=f"{omq.name}_comp"
+        )
+        result = contains(candidate, omq, **containment_kwargs)
+        if result.verdict is Verdict.CONTAINED:
+            return DistributionResult(
+                True,
+                "a component of q is contained in Q (Prop. 27(2))",
+                witness_component=str(component),
+            )
+        if result.verdict is Verdict.UNKNOWN:
+            undecided.append(str(component))
+    if undecided:
+        return DistributionResult(
+            None,
+            f"containment undecided for component(s): {', '.join(undecided)}",
+        )
+    if satisfiable is None:
+        return DistributionResult(None, "satisfiability undecided")
+    return DistributionResult(
+        False, "no component of q is contained in Q and Q is satisfiable"
+    )

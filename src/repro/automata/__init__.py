@@ -1,0 +1,44 @@
+"""Two-way alternating parity automata and the paper's constructions."""
+
+from .consistency import consistency_automaton
+from .emptiness import (
+    count_accepted_trees,
+    enumerate_trees,
+    find_accepted_tree,
+    is_empty_bounded,
+)
+from .query_automaton import UnsupportedQueryError, query_automaton
+from .twapa import (
+    TWAPA,
+    And,
+    Bottom,
+    Formula,
+    Move,
+    Or,
+    Top,
+    box,
+    conj,
+    diamond,
+    disj,
+)
+
+__all__ = [
+    "And",
+    "Bottom",
+    "Formula",
+    "Move",
+    "Or",
+    "TWAPA",
+    "Top",
+    "UnsupportedQueryError",
+    "box",
+    "conj",
+    "consistency_automaton",
+    "count_accepted_trees",
+    "diamond",
+    "disj",
+    "enumerate_trees",
+    "find_accepted_tree",
+    "is_empty_bounded",
+    "query_automaton",
+]

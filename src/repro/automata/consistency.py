@@ -1,0 +1,109 @@
+"""The consistency automaton C_{S,l} (Lemma 23).
+
+A 2WAPA that accepts a Γ_{S,l}-labeled tree iff it is *consistent* (the
+five conditions before Lemma 41).  Conditions (1)–(3) are local to a node,
+(4) relates a node to its parent, and (5) is the interesting one: every
+non-root node's name set must be guarded by an atom at some node reachable
+through a path along which all those names stay present — implemented as a
+reachability sub-automaton whose states carry the sought name set, exactly
+the "exponentially many states in ar(S)" the paper's proof sketch
+describes (here: one state per name subset actually encountered).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set, Tuple
+
+from ..trees.ctree import Alphabet, TreeLabel
+from .twapa import (
+    TWAPA,
+    Bottom,
+    Formula,
+    Top,
+    box,
+    conj,
+    diamond,
+    disj,
+)
+
+_CHECK_ROOT = ("consistency", "root")
+_CHECK_NODE = ("consistency", "node")
+
+
+def _guard_state(names: FrozenSet[str]):
+    return ("guard", names)
+
+
+def _core_persist_state(name: str):
+    return ("core-up", name)
+
+
+def _local_ok(label: TreeLabel, alphabet: Alphabet, is_root: bool) -> bool:
+    """Conditions (1)–(3), which need no tree moves."""
+    core = set(alphabet.core_names)
+    limit = alphabet.core_size if is_root else alphabet.schema.max_arity
+    if len(label.names) > limit:
+        return False
+    if is_root and not label.names <= core:
+        return False
+    if not label.names <= set(alphabet.all_names):
+        return False
+    for p, args in label.atoms:
+        if p not in alphabet.schema:
+            return False
+        if alphabet.schema.arity(p) != len(args):
+            return False
+        if not set(args) <= label.names:
+            return False
+    if (label.names & core) != label.core_names:
+        return False
+    if not label.core_names <= label.names:
+        return False
+    return True
+
+
+def consistency_automaton(alphabet: Alphabet) -> TWAPA:
+    """Build C_{S,l}: accepts exactly the consistent Γ_{S,l}-labeled trees."""
+
+    def delta(state, label) -> Formula:
+        if not isinstance(label, TreeLabel):
+            return Bottom()
+        if state == _CHECK_ROOT:
+            if not _local_ok(label, alphabet, is_root=True):
+                return Bottom()
+            return box("*", _CHECK_NODE)
+        if state == _CHECK_NODE:
+            if not _local_ok(label, alphabet, is_root=False):
+                return Bottom()
+            parts = [box("*", _CHECK_NODE)]
+            # (4): every core flag here must persist at the parent.
+            for name in sorted(label.core_names):
+                parts.append(diamond(-1, _core_persist_state(name)))
+            # (5): the full name set must find a connected guard.
+            if label.names:
+                parts.append(diamond(0, _guard_state(frozenset(label.names))))
+            return conj(parts)
+        if isinstance(state, tuple) and state[0] == "core-up":
+            name = state[1]
+            return Top() if name in label.core_names else Bottom()
+        if isinstance(state, tuple) and state[0] == "guard":
+            names = state[1]
+            if not names <= label.names:
+                return Bottom()  # the path lost a sought name
+            if any(names <= set(args) for _, args in label.atoms):
+                return Top()
+            return disj(
+                [diamond(-1, state), diamond("*", state)]
+            )
+        raise ValueError(f"unknown state {state!r}")  # pragma: no cover
+
+    # The state universe (for bookkeeping; delta is the source of truth).
+    states: Set = {_CHECK_ROOT, _CHECK_NODE}
+    for name in alphabet.core_names:
+        states.add(_core_persist_state(name))
+    # Guard states are created on demand per name set; we register the
+    # full-name-set family size symbolically via a marker state.
+    states.add(("guard", frozenset()))
+    return TWAPA(
+        frozenset(states), delta, _CHECK_ROOT, {}, name=f"C_{{S,{alphabet.core_size}}}"
+    )

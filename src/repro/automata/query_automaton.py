@@ -1,0 +1,127 @@
+"""The CQ automaton A_{q,l} (Lemma 48) — implemented for its tractable slice.
+
+Lemma 48 builds a 2WAPA accepting the consistent Γ_{S,l}-labeled trees t
+with ``⟦t⟧ ⊨ q``, with exponentially many states in ``|var≥2(q)|`` and
+polynomially many in ``|var=1(q)|``.  We implement the slice
+``var≥2(q) = ∅`` *exactly* (every variable occurs in one atom, so the query
+is a conjunction of variable-disjoint atoms and the automaton is the
+polynomial two-pass machine of the lemma with an empty first pass): the
+automaton branches universally into one search per atom, each of which
+wanders the tree looking for a node whose label satisfies the atom
+existentially.  Constants in the query are matched against *core names*,
+whose decoded identity is global along the root path (consistency (4)),
+namely the names listed in the supplied assignment.
+
+For queries with join variables the construction needs the
+squid-decomposition bookkeeping the paper sketches; per DESIGN.md that part
+is substituted by direct decoding + homomorphism search
+(:func:`repro.trees.ctree.decode_tree`), against which this automaton is
+cross-validated on its shared domain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.queries import CQ
+from ..core.terms import Constant, Variable
+from ..trees.ctree import Alphabet, TreeLabel
+from .twapa import TWAPA, Bottom, Formula, Top, box, conj, diamond, disj
+
+
+class UnsupportedQueryError(ValueError):
+    """The query falls outside the implemented slice of Lemma 48."""
+
+
+def _atom_matches(
+    atom_spec: Tuple[str, Tuple[object, ...]], label: TreeLabel
+) -> bool:
+    """Does some atom flag of *label* match the (pred, pattern) spec?
+
+    Pattern entries are either fixed name strings (from constants / core
+    bindings) or ``None`` for an existential position; repeated variables
+    within the atom must agree, encoded as integer markers.
+    """
+    predicate, pattern = atom_spec
+    for p, args in label.atoms:
+        if p != predicate or len(args) != len(pattern):
+            continue
+        binding: Dict[int, str] = {}
+        ok = True
+        for slot, name in zip(pattern, args):
+            if slot is None:
+                continue
+            if isinstance(slot, int):  # repeated-variable marker
+                if binding.setdefault(slot, name) != name:
+                    ok = False
+                    break
+            elif slot != name:
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def query_automaton(
+    query: CQ,
+    alphabet: Alphabet,
+    constant_names: Optional[Mapping[Constant, str]] = None,
+) -> TWAPA:
+    """Build A_{q,l} for a Boolean CQ with ``var≥2(q) = ∅``.
+
+    ``constant_names`` maps the query's constants to the core names that
+    denote them in the encoded trees (constants must live in the core,
+    which is the paper's constant-free simplification made explicit).
+    Raises :class:`UnsupportedQueryError` outside the slice.
+    """
+    if not query.is_boolean():
+        raise UnsupportedQueryError("A_{q,l} is built for Boolean CQs")
+    if query.variables_in_multiple_atoms():
+        raise UnsupportedQueryError(
+            "join variables (var≥2) need the full squid construction; "
+            "use decode_tree + evaluate instead"
+        )
+    constant_names = dict(constant_names or {})
+    for c in query.constants():
+        if c not in constant_names:
+            raise UnsupportedQueryError(
+                f"constant {c} needs a core-name binding"
+            )
+
+    specs = []
+    for a in sorted(query.body, key=str):
+        var_marker: Dict[Variable, int] = {}
+        pattern = []
+        for t in a.args:
+            if isinstance(t, Constant):
+                pattern.append(constant_names[t])
+            else:
+                # Repeated variable within the atom → same marker.
+                var_marker.setdefault(t, len(var_marker))
+                if sum(1 for u in a.args if u == t) > 1:
+                    pattern.append(var_marker[t])
+                else:
+                    pattern.append(None)
+        specs.append((a.predicate, tuple(pattern)))
+
+    START = ("q", "start")
+
+    def seek(spec) -> Tuple:
+        return ("q", "seek", spec)
+
+    def delta(state, label) -> Formula:
+        if not isinstance(label, TreeLabel):
+            return Bottom()
+        if state == START:
+            return conj([diamond(0, seek(s)) for s in specs]) if specs else Top()
+        if isinstance(state, tuple) and state[:2] == ("q", "seek"):
+            spec = state[2]
+            if _atom_matches(spec, label):
+                return Top()
+            return disj([diamond(-1, state), diamond("*", state)])
+        raise ValueError(f"unknown state {state!r}")  # pragma: no cover
+
+    states = frozenset({START} | {seek(s) for s in specs})
+    return TWAPA(states, delta, START, {}, name=f"A_{{{query.name},{alphabet.core_size}}}")

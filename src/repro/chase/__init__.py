@@ -1,0 +1,22 @@
+"""The chase procedure and the guarded chase forest."""
+
+from .engine import (
+    ChaseBudgetExceeded,
+    ChaseResult,
+    ChaseStep,
+    certain_answers_via_chase,
+    chase,
+    chase_terminates,
+)
+from .forest import ForestNode, GuardedChaseForest
+
+__all__ = [
+    "ChaseBudgetExceeded",
+    "ChaseResult",
+    "ChaseStep",
+    "ForestNode",
+    "GuardedChaseForest",
+    "certain_answers_via_chase",
+    "chase",
+    "chase_terminates",
+]

@@ -1,0 +1,240 @@
+"""The chase procedure (Section 2).
+
+Given an instance ``I`` and a set ``Σ`` of tgds, the chase exhaustively
+applies *chase steps*: whenever a tgd ``φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄)`` has a
+trigger — a homomorphism mapping its body into the current instance — the
+head is added with fresh nulls for z̄.  The result ``chase(I, Σ)`` is a
+universal model: it embeds homomorphically into every model of ``I ∪ Σ``,
+so certain answers satisfy ``cert(q, D, Σ) = q(chase(D, Σ))``.
+
+Two flavours are provided:
+
+* **restricted** (default) — a trigger fires only if its head is not already
+  satisfied with the same frontier assignment; this is the standard chase
+  whose termination for non-recursive/full sets the paper relies on.
+* **oblivious** — every trigger fires exactly once regardless of
+  satisfaction; simpler to reason about, never terminates earlier than the
+  restricted chase.
+
+The chase may not terminate (e.g. for linear or sticky tgds), so the engine
+takes explicit budgets: ``max_steps`` bounds chase-step applications, and
+``max_depth`` bounds the *level* of created nulls (the guarded-chase depth:
+facts have level 0 and a null created from a trigger whose image has level
+``k`` gets level ``k+1``).  Exceeding ``max_steps`` raises
+:class:`ChaseBudgetExceeded` unless ``partial=True``; reaching ``max_depth``
+silently truncates (the standard device for sound bounded evaluation of
+guarded OMQs, cf. Section 5's discussion of the infinite guarded chase).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.homomorphism import find_homomorphism, homomorphisms
+from ..core.instance import Instance
+from ..core.terms import Null, NullFactory, Term, Variable
+from ..core.tgd import TGD
+
+
+class ChaseBudgetExceeded(RuntimeError):
+    """The chase exhausted its step budget before reaching a fixpoint.
+
+    Carries the partial result so callers can still use it as a sound
+    under-approximation.
+    """
+
+    def __init__(self, partial: "ChaseResult") -> None:
+        super().__init__(
+            f"chase did not terminate within {partial.steps} steps"
+        )
+        self.partial = partial
+
+
+@dataclass(frozen=True)
+class ChaseStep:
+    """One application ``I --τ,(ā,b̄)--> J`` recorded for provenance."""
+
+    tgd_index: int
+    trigger: Tuple[Tuple[Variable, Term], ...]
+    added: Tuple[Atom, ...]
+
+
+@dataclass
+class ChaseResult:
+    """The outcome of a chase run."""
+
+    instance: Instance
+    steps: int
+    terminated: bool
+    levels: Dict[Term, int] = field(default_factory=dict)
+    log: List[ChaseStep] = field(default_factory=list)
+
+    def level_of_atom(self, a: Atom) -> int:
+        """The level of an atom: the max level of its arguments (0 if ground)."""
+        return max((self.levels.get(t, 0) for t in a.args), default=0)
+
+
+def _trigger_key(
+    tgd_index: int, assignment: Dict[Term, Term], frontier: Sequence[Variable]
+) -> Tuple:
+    return (tgd_index, tuple(assignment[v] for v in frontier))
+
+
+def _satisfies_head(
+    instance: Instance, rule: TGD, assignment: Dict[Term, Term]
+) -> bool:
+    """Is the head already satisfied with this frontier assignment?
+
+    Existential variables may be re-witnessed by any term, so we search for
+    an extension of the frontier part of the assignment into the instance.
+    """
+    frontier_fixed = {
+        v: assignment[v] for v in rule.frontier() if v in assignment
+    }
+    return find_homomorphism(rule.head, instance, frontier_fixed) is not None
+
+
+def chase(
+    instance: Instance,
+    sigma: Sequence[TGD],
+    *,
+    policy: str = "restricted",
+    max_steps: int = 100_000,
+    max_depth: Optional[int] = None,
+    partial: bool = False,
+    null_factory: Optional[NullFactory] = None,
+) -> ChaseResult:
+    """Run the chase of *instance* under *sigma*.
+
+    Parameters
+    ----------
+    policy:
+        ``"restricted"`` or ``"oblivious"``.
+    max_steps:
+        Budget on chase-step applications; exceeding it raises
+        :class:`ChaseBudgetExceeded` (or returns a partial result when
+        ``partial=True``).
+    max_depth:
+        If given, triggers whose image already sits at this level do not
+        fire; the result is then the chase truncated at that null depth —
+        sound but possibly incomplete for certain-answer computation.
+    partial:
+        Return a non-terminated :class:`ChaseResult` instead of raising when
+        the step budget runs out.
+    """
+    if policy not in ("restricted", "oblivious"):
+        raise ValueError(f"unknown chase policy: {policy}")
+    nulls = null_factory or NullFactory()
+    atoms: Set[Atom] = set(instance.atoms)
+    levels: Dict[Term, int] = {t: 0 for t in instance.domain()}
+    fired: Set[Tuple] = set()
+    log: List[ChaseStep] = []
+    steps = 0
+    rules = [(i, r) for i, r in enumerate(sigma)]
+    frontiers = {
+        i: tuple(sorted(r.frontier(), key=lambda v: v.name)) for i, r in rules
+    }
+
+    def make_result(terminated: bool) -> ChaseResult:
+        return ChaseResult(Instance(frozenset(atoms)), steps, terminated, levels, log)
+
+    changed = True
+    while changed:
+        changed = False
+        current = Instance(frozenset(atoms))
+        for i, rule in rules:
+            # Enumerate triggers over the *round-start* snapshot; new atoms
+            # become visible next round, which keeps the run fair (FIFO by
+            # rounds) and deterministic.
+            for h in sorted(
+                homomorphisms(rule.body, current),
+                key=lambda h: sorted((str(k), str(v)) for k, v in h.items()),
+            ):
+                key = _trigger_key(i, h, frontiers[i])
+                if key in fired:
+                    continue
+                trigger_level = max(
+                    (levels.get(h[v], 0) for v in rule.body_variables()),
+                    default=0,
+                )
+                if max_depth is not None and trigger_level >= max_depth:
+                    continue
+                live = Instance(frozenset(atoms))
+                if policy == "restricted" and _satisfies_head(live, rule, h):
+                    fired.add(key)
+                    continue
+                if steps >= max_steps:
+                    result = make_result(False)
+                    if partial:
+                        return result
+                    raise ChaseBudgetExceeded(result)
+                assignment = dict(h)
+                for z in sorted(
+                    rule.existential_variables(), key=lambda v: v.name
+                ):
+                    fresh = nulls.fresh()
+                    assignment[z] = fresh
+                    levels[fresh] = trigger_level + 1
+                added: List[Atom] = []
+                for head_atom in rule.head:
+                    new_atom = head_atom.substitute(assignment)
+                    for t in new_atom.args:
+                        levels.setdefault(t, 0)
+                    if new_atom not in atoms:
+                        atoms.add(new_atom)
+                        added.append(new_atom)
+                fired.add(key)
+                steps += 1
+                changed = True
+                log.append(
+                    ChaseStep(
+                        i,
+                        tuple(sorted(h.items(), key=lambda kv: str(kv[0]))),
+                        tuple(added),
+                    )
+                )
+    return make_result(True)
+
+
+def chase_terminates(
+    instance: Instance,
+    sigma: Sequence[TGD],
+    *,
+    max_steps: int = 100_000,
+    policy: str = "restricted",
+) -> bool:
+    """True iff the chase reaches a fixpoint within the step budget."""
+    try:
+        result = chase(
+            instance, sigma, policy=policy, max_steps=max_steps, partial=False
+        )
+    except ChaseBudgetExceeded:
+        return False
+    return result.terminated
+
+
+def certain_answers_via_chase(
+    query,
+    database: Instance,
+    sigma: Sequence[TGD],
+    *,
+    max_steps: int = 100_000,
+    max_depth: Optional[int] = None,
+    partial: bool = False,
+):
+    """``cert(q, D, Σ) = q(chase(D, Σ))`` for a CQ or UCQ *query*.
+
+    Exact when the chase terminates; a sound under-approximation when
+    truncated by ``max_depth`` or ``partial``.
+    """
+    result = chase(
+        database,
+        sigma,
+        max_steps=max_steps,
+        max_depth=max_depth,
+        partial=partial,
+    )
+    return query.evaluate(result.instance)

@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands operate on *OMQ files* (see :func:`repro.core.parser.parse_omq`)::
+
+    schema: P/1, T/1
+    rules:
+        P(x) -> R(x, w)
+        R(x, y) -> P(y)
+    query: q(x) :- R(x, y), P(y)
+
+and on database files of facts (``R(a, b). P(b).``).
+
+Commands:
+
+* ``classify ONTOLOGY``          — fragment membership of a tgd file
+* ``rewrite OMQ``                — UCQ rewriting (XRewrite)
+* ``evaluate OMQ DATABASE``      — certain answers
+* ``contains OMQ1 OMQ2``         — containment verdict (+ witness)
+* ``distributes OMQ``            — distribution over components
+* ``rewritable OMQ``             — UCQ rewritability verdict
+* ``minimize OMQ``               — containment-powered query minimization
+* ``explain OMQ DATABASE ANSWER``— derivation forest for a certain answer
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .applications import distributes_over_components, is_ucq_rewritable
+from .containment import Verdict, contains
+from .core.parser import parse_database, parse_omq, parse_tgds
+from .core.serialize import omq_to_document
+from .core.terms import Constant
+from .evaluation import evaluate_omq
+from .explain import explain_answer, format_explanation
+from .fragments import best_class, classify
+from .optimize import minimize_query
+from .rewriting import RewritingBudgetExceeded, xrewrite
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text(encoding="utf-8")
+
+
+def _cmd_classify(args) -> int:
+    sigma = parse_tgds(_read(args.ontology))
+    classes = classify(sigma)
+    print("classes:", ", ".join(sorted(str(c) for c in classes)))
+    print("preferred:", best_class(sigma))
+    return 0
+
+
+def _cmd_rewrite(args) -> int:
+    omq = parse_omq(_read(args.omq))
+    try:
+        result = xrewrite(omq, max_queries=args.budget)
+    except RewritingBudgetExceeded as exc:
+        print(
+            f"rewriting exceeded the budget after "
+            f"{exc.partial.stats.queries_generated} queries "
+            "(the OMQ may not be UCQ-rewritable)",
+            file=sys.stderr,
+        )
+        return 2
+    for disjunct in result.rewriting.disjuncts:
+        print(disjunct)
+    print(
+        f"% {len(result.rewriting)} disjuncts, "
+        f"max size {result.rewriting.max_disjunct_size()}, "
+        f"{result.stats.rewriting_steps} rewriting steps",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    omq = parse_omq(_read(args.omq))
+    database = parse_database(_read(args.database))
+    result = evaluate_omq(omq, database)
+    for answer in sorted(result.answers, key=str):
+        print("(" + ", ".join(t.name for t in answer) + ")")
+    print(
+        f"% {len(result.answers)} answers via {result.method}"
+        + ("" if result.exact else " (bounded: sound, possibly incomplete)"),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_contains(args) -> int:
+    q1 = parse_omq(_read(args.omq1), name="Q1")
+    q2 = parse_omq(_read(args.omq2), name="Q2")
+    result = contains(q1, q2, rewriting_budget=args.budget)
+    print(result)
+    if result.verdict is Verdict.NOT_CONTAINED:
+        print("witness database:")
+        for atom in sorted(result.witness.database, key=str):
+            print("  ", atom)
+        return 1
+    if result.verdict is Verdict.UNKNOWN:
+        return 2
+    return 0
+
+
+def _cmd_distributes(args) -> int:
+    omq = parse_omq(_read(args.omq))
+    result = distributes_over_components(omq)
+    print(f"distributes: {result.distributes}")
+    print(f"reason: {result.reason}")
+    if result.witness_component:
+        print(f"witness component: {result.witness_component}")
+    return 0 if result.distributes else (1 if result.distributes is False else 2)
+
+
+def _cmd_rewritable(args) -> int:
+    omq = parse_omq(_read(args.omq))
+    result = is_ucq_rewritable(omq)
+    print(f"UCQ rewritable: {result.rewritable}")
+    print(f"reason: {result.reason}")
+    if result.rewriting is not None and args.show:
+        for disjunct in result.rewriting.disjuncts:
+            print(" ", disjunct)
+    return 0 if result.rewritable else (1 if result.rewritable is False else 2)
+
+
+def _cmd_minimize(args) -> int:
+    omq = parse_omq(_read(args.omq))
+    minimized, report = minimize_query(omq)
+    print(omq_to_document(minimized), end="")
+    print(f"% {report}", file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from .chase import ChaseBudgetExceeded
+
+    omq = parse_omq(_read(args.omq))
+    database = parse_database(_read(args.database))
+    answer = tuple(Constant(c) for c in args.answer)
+    try:
+        explanation = explain_answer(
+            omq, database, answer, max_steps=args.budget
+        )
+    except ChaseBudgetExceeded:
+        print(
+            "the chase of this ontology does not terminate; explanations "
+            "are only available for terminating-chase ontologies",
+            file=sys.stderr,
+        )
+        return 2
+    if explanation is None:
+        print("not a certain answer", file=sys.stderr)
+        return 1
+    print(format_explanation(explanation))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Containment for rule-based ontology-mediated queries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="fragment membership of a tgd file")
+    p.add_argument("ontology")
+    p.set_defaults(func=_cmd_classify)
+
+    p = sub.add_parser("rewrite", help="UCQ-rewrite an OMQ file")
+    p.add_argument("omq")
+    p.add_argument("--budget", type=int, default=20_000)
+    p.set_defaults(func=_cmd_rewrite)
+
+    p = sub.add_parser("evaluate", help="certain answers over a database")
+    p.add_argument("omq")
+    p.add_argument("database")
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("contains", help="decide Q1 ⊆ Q2")
+    p.add_argument("omq1")
+    p.add_argument("omq2")
+    p.add_argument("--budget", type=int, default=None)
+    p.set_defaults(func=_cmd_contains)
+
+    p = sub.add_parser("distributes", help="distribution over components")
+    p.add_argument("omq")
+    p.set_defaults(func=_cmd_distributes)
+
+    p = sub.add_parser("rewritable", help="UCQ rewritability of an OMQ")
+    p.add_argument("omq")
+    p.add_argument("--show", action="store_true", help="print the rewriting")
+    p.set_defaults(func=_cmd_rewritable)
+
+    p = sub.add_parser("minimize", help="containment-powered minimization")
+    p.add_argument("omq")
+    p.set_defaults(func=_cmd_minimize)
+
+    p = sub.add_parser("explain", help="derivation forest for an answer")
+    p.add_argument("omq")
+    p.add_argument("database")
+    p.add_argument("answer", nargs="*", help="answer constants, in order")
+    p.add_argument("--budget", type=int, default=10_000)
+    p.set_defaults(func=_cmd_explain)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""OMQ containment: exact procedures for UCQ-rewritable LHS, layered guarded."""
+
+from .cq import (
+    cq_contained_in,
+    cq_contained_in_ucq,
+    cq_core,
+    cq_equivalent,
+    ucq_contained_in,
+)
+from .dispatch import contains, equivalent, is_contained
+from .guarded import (
+    contains_guarded,
+    critical_database,
+    enumerate_databases,
+    is_satisfiable,
+)
+from .result import (
+    ContainmentResult,
+    Verdict,
+    Witness,
+    contained,
+    not_contained,
+    unknown,
+)
+from .small_witness import (
+    contains_via_small_witness,
+    refute_via_partial_rewriting,
+)
+
+__all__ = [
+    "ContainmentResult",
+    "Verdict",
+    "Witness",
+    "contained",
+    "contains",
+    "contains_guarded",
+    "contains_via_small_witness",
+    "cq_contained_in",
+    "cq_contained_in_ucq",
+    "cq_core",
+    "cq_equivalent",
+    "critical_database",
+    "enumerate_databases",
+    "equivalent",
+    "is_contained",
+    "is_satisfiable",
+    "not_contained",
+    "refute_via_partial_rewriting",
+    "ucq_contained_in",
+    "unknown",
+]

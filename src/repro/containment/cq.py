@@ -1,0 +1,47 @@
+"""Containment of plain (U)CQs — the Chandra–Merlin / Sagiv–Yannakakis base.
+
+``q1 ⊆ q2`` iff the canonical answer of q1 is an answer of q2 over the
+frozen canonical database of q1 [29]; for unions, ``⋁ q_i ⊆ Q`` iff every
+``q_i ⊆ Q``, and a CQ is contained in a union iff the union answers on the
+CQ's canonical database [54].  These checks also power CQ minimization
+(cores), used by UCQ deduplication.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..core.queries import CQ, UCQ
+
+
+def cq_contained_in(q1: CQ, q2: CQ) -> bool:
+    """Chandra–Merlin: q1 ⊆ q2 via the canonical database of q1."""
+    if q1.arity != q2.arity:
+        raise ValueError("containment requires equal arities")
+    db, canonical = q1.canonical_database()
+    return q2.holds_in(db, canonical)
+
+
+def cq_contained_in_ucq(q1: CQ, q2: UCQ) -> bool:
+    """Sagiv–Yannakakis: q1 ⊆ ⋁ q2_i iff some disjunct answers on D_{q1}."""
+    if q1.arity != q2.arity:
+        raise ValueError("containment requires equal arities")
+    db, canonical = q1.canonical_database()
+    return q2.holds_in(db, canonical)
+
+
+def ucq_contained_in(q1: Union[CQ, UCQ], q2: Union[CQ, UCQ]) -> bool:
+    """(U)CQ containment: every disjunct of q1 is contained in q2."""
+    left = q1 if isinstance(q1, UCQ) else UCQ.from_cq(q1)
+    right = q2 if isinstance(q2, UCQ) else UCQ.from_cq(q2)
+    return all(cq_contained_in_ucq(d, right) for d in left.disjuncts)
+
+
+def cq_equivalent(q1: Union[CQ, UCQ], q2: Union[CQ, UCQ]) -> bool:
+    """Mutual containment."""
+    return ucq_contained_in(q1, q2) and ucq_contained_in(q2, q1)
+
+
+def cq_core(q: CQ) -> CQ:
+    """A core of the CQ (delegates to :meth:`repro.core.queries.CQ.core`)."""
+    return q.core()

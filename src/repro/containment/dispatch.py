@@ -1,0 +1,107 @@
+"""The front door: ``contains(Q1, Q2)`` with automatic procedure selection.
+
+Following the paper's plan of attack (Section 3.3 and Section 6):
+
+* LHS in a UCQ-rewritable language (∅, L, NR, FNR, S) — the small-witness
+  algorithm (Theorem 11), *exact* for any RHS whose evaluation is exact.
+* LHS guarded — the layered guarded procedure (Section 5 substitution).
+* LHS full / arbitrary — containment is undecidable in general
+  (Proposition 8), so we attempt the same layered procedure, which answers
+  when a complete rewriting or a counterexample happens to exist and
+  honestly reports UNKNOWN otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.omq import OMQ, TGDClass, UCQ_REWRITABLE_CLASSES
+from ..fragments.classify import best_class
+from .guarded import contains_guarded
+from .cq import ucq_contained_in
+from .propositional import contains_propositional, is_propositional
+from .result import ContainmentResult, Verdict, contained
+from .small_witness import check_same_data_schema, contains_via_small_witness
+
+
+def cq_subsumption(q1: OMQ, q2: OMQ) -> Optional[ContainmentResult]:
+    """A cheap sound shortcut: Σ1 ⊆ Σ2 and q1 ⊆ q2 as plain (U)CQs.
+
+    Soundness: ``c̄ ∈ Q1(D) = q1(chase(D, Σ1)) ⊆ q2(chase(D, Σ1))`` and,
+    because chase(D, Σ1) maps homomorphically into the model chase(D, Σ2)
+    whenever Σ1 ⊆ Σ2, also ``c̄ ∈ q2(chase(D, Σ2)) = Q2(D)``.  Returns None
+    when the shortcut does not apply (which proves nothing).
+    """
+    check_same_data_schema(q1, q2)
+    if not set(q1.sigma) <= set(q2.sigma):
+        return None
+    if ucq_contained_in(q1.as_ucq(), q2.as_ucq()):
+        return contained(
+            "cq-subsumption", "q1 ⊆ q2 as plain queries and Σ1 ⊆ Σ2"
+        )
+    return None
+
+
+def contains(
+    q1: OMQ,
+    q2: OMQ,
+    *,
+    rewriting_budget: int | None = None,
+    chase_max_steps: int = 200_000,
+    **guarded_kwargs,
+) -> ContainmentResult:
+    """Decide ``Q1 ⊆ Q2`` (both over the same data schema).
+
+    ``rewriting_budget`` defaults per procedure: a generous budget for the
+    exact small-witness path (whose rewriting is guaranteed finite), a
+    small speculative one for the guarded layers.  Keyword arguments beyond
+    the budgets are forwarded to the guarded layered procedure when it is
+    selected.
+    """
+    subsumption = cq_subsumption(q1, q2)
+    if subsumption is not None:
+        return subsumption
+    if is_propositional(q1) and len(q1.data_schema) <= 16:
+        result = contains_propositional(
+            q1, q2, chase_max_steps=chase_max_steps
+        )
+        if result.decided:
+            return result
+    cls1 = best_class(q1.sigma)
+    if cls1 in UCQ_REWRITABLE_CLASSES:
+        return contains_via_small_witness(
+            q1,
+            q2,
+            rewriting_budget=rewriting_budget or 20_000,
+            chase_max_steps=chase_max_steps,
+        )
+    return contains_guarded(
+        q1,
+        q2,
+        rewriting_budget=rewriting_budget or 2_000,
+        chase_max_steps=chase_max_steps,
+        **guarded_kwargs,
+    )
+
+
+def is_contained(q1: OMQ, q2: OMQ, **kwargs) -> bool:
+    """Boolean convenience; raises ValueError if the check is undecided."""
+    return contains(q1, q2, **kwargs).is_contained
+
+
+def equivalent(q1: OMQ, q2: OMQ, **kwargs) -> ContainmentResult:
+    """Check ``Q1 ≡ Q2`` (mutual containment).
+
+    Returns the first non-CONTAINED direction's result (so the witness shows
+    which side fails), or a CONTAINED result when both directions hold.
+    """
+    forward = contains(q1, q2, **kwargs)
+    if forward.verdict is not Verdict.CONTAINED:
+        return forward
+    backward = contains(q2, q1, **kwargs)
+    if backward.verdict is not Verdict.CONTAINED:
+        return backward
+    return ContainmentResult(
+        Verdict.CONTAINED, f"{forward.method}+{backward.method}", None,
+        "both directions contained",
+    )

@@ -1,0 +1,154 @@
+"""Containment for guarded OMQs (Section 5) — the layered procedure.
+
+The paper decides ``Cont((G,CQ))`` in 2ExpTime through two-way alternating
+parity automata over encodings of C-tree databases (Propositions 21–25).
+Per the substitution documented in DESIGN.md, this module layers practical
+procedures that agree with the paper's characterization:
+
+1. **Exact small-witness** — if XRewrite happens to converge on the LHS
+   (guarded OMQs are not UCQ-rewritable in general, but many concrete ones
+   are), Theorem 11's algorithm decides containment exactly.
+2. **Partial-rewriting refutation** — disjuncts of a partial rewriting are
+   sound consequences of Q1; a canonical database on which Q2 exactly fails
+   refutes containment.
+3. **Bounded witness search** — enumerate small S-databases (the paper's
+   Prop 21 says a counterexample can be found among C-tree databases with a
+   small core; every database our enumerator emits is checked directly), in
+   increasing size.  Sound refutations; UNKNOWN past the bound.
+
+Satisfiability is decided through the *critical database* (all S-facts over
+a single constant): because OMQs are closed under homomorphisms, an OMQ is
+satisfiable iff its all-star tuple is an answer over the critical database.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.instance import Instance
+from ..core.omq import OMQ
+from ..core.terms import Constant, Term
+from ..evaluation import evaluate_omq
+from .result import ContainmentResult, Verdict, not_contained, unknown
+from .small_witness import (
+    check_same_data_schema,
+    contains_via_small_witness,
+    refute_via_partial_rewriting,
+)
+
+
+def critical_database(omq: OMQ, star: str = "*") -> Instance:
+    """The critical database: every S-fact over {*} ∪ constants(Σ, q).
+
+    OMQs are closed under homomorphisms *fixing constants*, so any
+    satisfying database maps into this one (non-constants go to *) — which
+    makes it the universal satisfiability probe.
+    """
+    domain = {Constant(star)}
+    for rule in omq.sigma:
+        domain.update(rule.constants())
+    for d in omq.as_ucq().disjuncts:
+        domain.update(d.constants())
+    ordered = sorted(domain, key=str)
+    atoms = [
+        Atom(p, combo)
+        for p in omq.data_schema.predicates()
+        for combo in itertools.product(ordered, repeat=omq.data_schema.arity(p))
+    ]
+    return Instance.of(atoms)
+
+
+def is_satisfiable(omq: OMQ, **eval_kwargs) -> Optional[bool]:
+    """Is there an S-database with a non-empty answer?
+
+    Returns True / False when conclusive, None when the (bounded) evaluation
+    could not decide.  Exactness argument: any satisfying database D with
+    answer c̄ maps into the critical database D* by a constant-fixing
+    homomorphism, and the image of c̄ is an answer over D*; conversely D*
+    itself witnesses satisfiability.  So Q is satisfiable iff Q(D*) ≠ ∅.
+    """
+    db = critical_database(omq)
+    evaluation = evaluate_omq(omq, db, **eval_kwargs)
+    if evaluation.answers:
+        return True
+    if evaluation.exact:
+        return False
+    return None
+
+
+def enumerate_databases(
+    omq: OMQ, max_constants: int, max_atoms: int
+) -> Iterator[Instance]:
+    """All S-databases over ≤ *max_constants* constants with ≤ *max_atoms* atoms.
+
+    Enumerated in increasing atom count so the first counterexample found is
+    minimal in size.  Deterministic order.
+    """
+    constants = [Constant(f"w{i}") for i in range(max_constants)]
+    possible: List[Atom] = []
+    for p in omq.data_schema.predicates():
+        arity = omq.data_schema.arity(p)
+        for combo in itertools.product(constants, repeat=arity):
+            possible.append(Atom(p, combo))
+    possible.sort(key=str)
+    for size in range(1, max_atoms + 1):
+        for subset in itertools.combinations(possible, size):
+            yield Instance.of(subset)
+
+
+def contains_guarded(
+    q1: OMQ,
+    q2: OMQ,
+    *,
+    rewriting_budget: int = 2_000,
+    refutation_budget: int = 500,
+    search_max_constants: int = 2,
+    search_max_atoms: int = 3,
+    search_max_databases: int = 5_000,
+    chase_max_steps: int = 100_000,
+) -> ContainmentResult:
+    """Decide (or boundedly attempt) ``Q1 ⊆ Q2`` for guarded/arbitrary OMQs."""
+    check_same_data_schema(q1, q2)
+    # Layer 1: exact small-witness if the LHS happens to be rewritable.
+    attempt = contains_via_small_witness(
+        q1, q2, rewriting_budget=rewriting_budget, chase_max_steps=chase_max_steps
+    )
+    if attempt.decided:
+        return attempt
+    # Layer 2: sound refutation from the partial rewriting.
+    refutation = refute_via_partial_rewriting(
+        q1, q2, rewriting_budget=refutation_budget, chase_max_steps=chase_max_steps
+    )
+    if refutation is not None:
+        return refutation
+    # Layer 3: bounded enumeration of small witness databases.
+    tried = 0
+    inexact_seen = False
+    for db in enumerate_databases(q1, search_max_constants, search_max_atoms):
+        tried += 1
+        if tried > search_max_databases:
+            break
+        left = evaluate_omq(q1, db, chase_max_steps=chase_max_steps)
+        if not left.answers:
+            continue
+        right = evaluate_omq(q2, db, chase_max_steps=chase_max_steps)
+        missing = left.answers - right.answers
+        if missing:
+            if right.exact:
+                answer = sorted(missing, key=str)[0]
+                return not_contained(
+                    "bounded-witness-search",
+                    db,
+                    answer,
+                    f"found after {tried} candidate databases",
+                )
+            inexact_seen = True
+    detail = (
+        f"no counterexample among {min(tried, search_max_databases)} databases "
+        f"(≤{search_max_constants} constants, ≤{search_max_atoms} atoms)"
+    )
+    if inexact_seen:
+        detail += "; some RHS evaluations were inexact"
+    return unknown("guarded-layered", detail)

@@ -1,0 +1,63 @@
+"""Exact containment over propositional data schemas.
+
+When every data predicate is 0-ary there are only ``2^|S|`` S-databases, so
+``Q1 ⊆ Q2`` can be decided by exhaustive evaluation — exact whenever both
+evaluations are exact (e.g. the non-recursive tiling OMQs of Theorem 16,
+whose data schema is exactly such a set of propositions ``C_i^j``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..core.atoms import Atom
+from ..core.instance import Instance
+from ..core.omq import OMQ
+from ..evaluation import evaluate_omq
+from .result import ContainmentResult, contained, not_contained, unknown
+from .small_witness import check_same_data_schema
+
+#: Enumerating beyond this many propositions is left to other procedures.
+MAX_PROPOSITIONS = 16
+
+
+def is_propositional(omq: OMQ) -> bool:
+    """True iff every data predicate is 0-ary."""
+    return omq.data_schema.max_arity == 0 and len(omq.data_schema) > 0
+
+
+def contains_propositional(
+    q1: OMQ,
+    q2: OMQ,
+    *,
+    chase_max_steps: int = 200_000,
+) -> ContainmentResult:
+    """Decide containment by enumerating all propositional S-databases."""
+    check_same_data_schema(q1, q2)
+    predicates = q1.data_schema.predicates()
+    if len(predicates) > MAX_PROPOSITIONS:
+        return unknown(
+            "propositional",
+            f"{len(predicates)} propositions exceed the enumeration cap",
+        )
+    method = "propositional-enumeration"
+    inexact = 0
+    for bits in itertools.product((False, True), repeat=len(predicates)):
+        db = Instance.of(
+            Atom(p, ()) for p, keep in zip(predicates, bits) if keep
+        )
+        left = evaluate_omq(q1, db, chase_max_steps=chase_max_steps)
+        if not left.answers:
+            continue
+        right = evaluate_omq(q2, db, chase_max_steps=chase_max_steps)
+        missing = left.answers - right.answers
+        if missing:
+            if right.exact:
+                return not_contained(
+                    method, db, sorted(missing, key=str)[0]
+                )
+            inexact += 1
+    if inexact:
+        return unknown(method, f"{inexact} databases had inexact RHS evaluation")
+    return contained(method, f"all {2 ** len(predicates)} databases pass")

@@ -1,0 +1,90 @@
+"""Verdicts for containment checks.
+
+Exact procedures answer CONTAINED / NOT_CONTAINED; the bounded guarded
+procedure may answer UNKNOWN (the honest encoding of the 2WAPA machinery's
+substitution, see DESIGN.md).  NOT_CONTAINED verdicts always carry a
+machine-checkable witness: an S-database ``D`` and a tuple ``c̄`` with
+``c̄ ∈ Q1(D) \\ Q2(D)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+from ..core.instance import Instance
+from ..core.terms import Term
+
+
+class Verdict(Enum):
+    """Outcome of a containment check."""
+
+    CONTAINED = "contained"
+    NOT_CONTAINED = "not-contained"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A counterexample to containment: ``c̄ ∈ Q1(D)`` but ``c̄ ∉ Q2(D)``."""
+
+    database: Instance
+    answer: Tuple[Term, ...]
+
+    def __str__(self) -> str:
+        tup = ", ".join(str(t) for t in self.answer)
+        return f"witness D = {self.database}, c̄ = ({tup})"
+
+
+@dataclass(frozen=True)
+class ContainmentResult:
+    """The result of a containment check, with provenance."""
+
+    verdict: Verdict
+    method: str
+    witness: Optional[Witness] = None
+    detail: str = ""
+
+    @property
+    def is_contained(self) -> bool:
+        """True/False for decided checks; raises on UNKNOWN."""
+        if self.verdict is Verdict.UNKNOWN:
+            raise ValueError(
+                f"containment undecided by {self.method}: {self.detail}"
+            )
+        return self.verdict is Verdict.CONTAINED
+
+    @property
+    def decided(self) -> bool:
+        return self.verdict is not Verdict.UNKNOWN
+
+    def __bool__(self) -> bool:
+        return self.is_contained
+
+    def __str__(self) -> str:
+        suffix = f" ({self.witness})" if self.witness else ""
+        info = f" [{self.detail}]" if self.detail else ""
+        return f"{self.verdict} via {self.method}{suffix}{info}"
+
+
+def contained(method: str, detail: str = "") -> ContainmentResult:
+    """A CONTAINED result."""
+    return ContainmentResult(Verdict.CONTAINED, method, None, detail)
+
+
+def not_contained(
+    method: str, database: Instance, answer: Tuple[Term, ...], detail: str = ""
+) -> ContainmentResult:
+    """A NOT_CONTAINED result with its witness."""
+    return ContainmentResult(
+        Verdict.NOT_CONTAINED, method, Witness(database, answer), detail
+    )
+
+
+def unknown(method: str, detail: str = "") -> ContainmentResult:
+    """An UNKNOWN result (bounded procedures only)."""
+    return ContainmentResult(Verdict.UNKNOWN, method, None, detail)

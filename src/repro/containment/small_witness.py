@@ -1,0 +1,131 @@
+"""The small-witness containment algorithm (Proposition 10 / Theorem 11).
+
+For a UCQ-rewritable left-hand side ``Q1``, non-containment is witnessed by
+a database of size at most ``f_O(Q1)`` — in fact, by the proof of
+Proposition 10, by the *canonical database of some disjunct* of a UCQ
+rewriting of Q1.  This yields the decision procedure:
+
+    Q1 ⊆ Q2  ⟺  for every disjunct q_i of XRewrite(Q1):
+                 c(x̄) ∈ Q2(D_{q_i})
+
+where D_{q_i} freezes the disjunct's variables into constants and c(x̄) is
+the frozen head.  (⇐ is Lemma 33 plus the homomorphism extension argument;
+⇒ is immediate because c(x̄) ∈ Q1(D_{q_i}).)
+
+The procedure is exact whenever the rewriting of Q1 is complete (always for
+linear/non-recursive/sticky ontologies) and the evaluation of Q2 on each
+canonical database is exact.  Inexact right-hand evaluations degrade the
+verdict to UNKNOWN rather than producing unsound answers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.omq import OMQ
+from ..core.queries import UCQ
+from ..evaluation import cached_rewriting, evaluate_omq
+from .result import ContainmentResult, contained, not_contained, unknown
+
+
+def check_same_data_schema(q1: OMQ, q2: OMQ) -> None:
+    """Containment is only defined for OMQs over the same data schema."""
+    if q1.data_schema != q2.data_schema:
+        raise ValueError(
+            f"OMQs have different data schemas: {q1.data_schema} vs "
+            f"{q2.data_schema}"
+        )
+    if q1.arity != q2.arity:
+        raise ValueError(
+            f"OMQs have different arities: {q1.arity} vs {q2.arity}"
+        )
+
+
+def contains_via_small_witness(
+    q1: OMQ,
+    q2: OMQ,
+    *,
+    rewriting_budget: int = 20_000,
+    precomputed_rewriting: Optional[UCQ] = None,
+    chase_max_steps: int = 200_000,
+    chase_max_depth: Optional[int] = None,
+) -> ContainmentResult:
+    """Decide ``Q1 ⊆ Q2`` through the small-witness property.
+
+    ``precomputed_rewriting`` lets callers reuse an XRewrite result (the
+    benchmarks do, to time the phases separately); it must be a *complete*
+    rewriting of Q1 over the shared data schema.
+    """
+    check_same_data_schema(q1, q2)
+    method = "small-witness"
+    if precomputed_rewriting is not None:
+        rewriting = precomputed_rewriting
+    else:
+        result = cached_rewriting(q1, rewriting_budget)
+        if not result.complete:
+            return unknown(
+                method,
+                f"LHS rewriting exceeded budget "
+                f"({result.stats.queries_generated} queries); "
+                "the LHS ontology may not be UCQ-rewritable",
+            )
+        rewriting = result.rewriting
+
+    if rewriting.is_empty():
+        return contained(method, "Q1 is unsatisfiable")
+
+    inconclusive = 0
+    for disjunct in rewriting.disjuncts:
+        db, canonical = disjunct.canonical_database()
+        evaluation = evaluate_omq(
+            q2,
+            db,
+            chase_max_steps=chase_max_steps,
+            chase_max_depth=chase_max_depth,
+        )
+        if canonical in evaluation.answers:
+            continue
+        if evaluation.exact:
+            return not_contained(
+                method,
+                db,
+                canonical,
+                f"canonical database of disjunct {disjunct}",
+            )
+        inconclusive += 1
+    if inconclusive:
+        return unknown(
+            method,
+            f"{inconclusive} disjunct(s) had inexact negative RHS evaluation",
+        )
+    return contained(method, f"all {len(rewriting)} disjuncts pass")
+
+
+def refute_via_partial_rewriting(
+    q1: OMQ,
+    q2: OMQ,
+    *,
+    rewriting_budget: int = 2_000,
+    chase_max_steps: int = 200_000,
+) -> Optional[ContainmentResult]:
+    """Try to *refute* containment from a partial rewriting of Q1.
+
+    Every disjunct of a partial XRewrite run is sound (it is entailed by
+    Q1), so a canonical database on which Q2 exactly fails is a genuine
+    counterexample even when the full rewriting does not exist.  Returns a
+    NOT_CONTAINED result, or None if no refutation was found (which proves
+    nothing).
+    """
+    check_same_data_schema(q1, q2)
+    rewriting = cached_rewriting(q1, rewriting_budget).rewriting
+    for disjunct in rewriting.disjuncts:
+        db, canonical = disjunct.canonical_database()
+        evaluation = evaluate_omq(q2, db, chase_max_steps=chase_max_steps)
+        if canonical not in evaluation.answers and evaluation.exact:
+            return not_contained(
+                "partial-rewriting-refutation",
+                db,
+                canonical,
+                f"canonical database of sound disjunct {disjunct}",
+            )
+    return None

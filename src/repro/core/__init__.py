@@ -1,0 +1,82 @@
+"""Core data model: terms, atoms, schemas, instances, queries, tgds, OMQs."""
+
+from .atoms import Atom, atom, fact
+from .homomorphism import (
+    find_homomorphism,
+    has_homomorphism,
+    homomorphisms,
+    instance_homomorphism,
+    is_hom_equivalent,
+)
+from .instance import Database, Instance, freeze_atoms
+from .omq import OMQ, OMQError, TGDClass, UCQ_REWRITABLE_CLASSES
+from .parser import (
+    ParseError,
+    parse_atom,
+    parse_cq,
+    parse_database,
+    parse_tgd,
+    parse_tgds,
+    parse_ucq,
+)
+from .queries import CQ, UCQ, QueryError, boolean_cq
+from .schema import Schema, SchemaError
+from .terms import Constant, Null, NullFactory, Term, Variable
+from .tgd import (
+    TGD,
+    TGDError,
+    constants_of_tgds,
+    max_body_size,
+    normalize_single_head,
+    predicate_graph,
+    rename_set_apart,
+    sch,
+    tgd,
+    total_size,
+)
+
+__all__ = [
+    "Atom",
+    "CQ",
+    "Constant",
+    "Database",
+    "Instance",
+    "Null",
+    "NullFactory",
+    "OMQ",
+    "OMQError",
+    "ParseError",
+    "QueryError",
+    "Schema",
+    "SchemaError",
+    "TGD",
+    "TGDClass",
+    "TGDError",
+    "Term",
+    "UCQ",
+    "UCQ_REWRITABLE_CLASSES",
+    "Variable",
+    "atom",
+    "boolean_cq",
+    "constants_of_tgds",
+    "fact",
+    "find_homomorphism",
+    "freeze_atoms",
+    "has_homomorphism",
+    "homomorphisms",
+    "instance_homomorphism",
+    "is_hom_equivalent",
+    "max_body_size",
+    "normalize_single_head",
+    "parse_atom",
+    "parse_cq",
+    "parse_database",
+    "parse_tgd",
+    "parse_tgds",
+    "parse_ucq",
+    "predicate_graph",
+    "rename_set_apart",
+    "sch",
+    "tgd",
+    "total_size",
+]

@@ -1,0 +1,102 @@
+"""Relational atoms and facts.
+
+An atom over a schema ``S`` is an expression ``R(v1, ..., vn)`` where ``R`` is
+an n-ary predicate of ``S`` and each ``vi`` is a term.  A *fact* is an atom
+whose arguments are all constants (Section 2 of the paper).  Zero-ary atoms
+(``R()``) are supported because the tiling reductions in the appendix use
+propositional predicates such as ``Goal`` and ``Existence``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Tuple
+
+from .terms import Constant, Null, Term, Variable
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """An atom ``predicate(args)``.
+
+    Atoms are immutable; substitution returns a new atom.
+    """
+
+    predicate: str
+    args: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def arity(self) -> int:
+        """The number of argument positions."""
+        return len(self.args)
+
+    @property
+    def terms(self) -> Tuple[Term, ...]:
+        """Alias for :attr:`args`."""
+        return self.args
+
+    def variables(self) -> set:
+        """The set of variables occurring in this atom."""
+        return {t for t in self.args if isinstance(t, Variable)}
+
+    def constants(self) -> set:
+        """The set of constants occurring in this atom."""
+        return {t for t in self.args if isinstance(t, Constant)}
+
+    def nulls(self) -> set:
+        """The set of labeled nulls occurring in this atom."""
+        return {t for t in self.args if isinstance(t, Null)}
+
+    def is_fact(self) -> bool:
+        """True iff every argument is a constant."""
+        return all(isinstance(t, Constant) for t in self.args)
+
+    def is_ground(self) -> bool:
+        """True iff no argument is a variable (constants and nulls only)."""
+        return not any(isinstance(t, Variable) for t in self.args)
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "Atom":
+        """Apply *mapping* to every argument, leaving unmapped terms alone."""
+        return Atom(self.predicate, tuple(mapping.get(t, t) for t in self.args))
+
+    def positions_of(self, term: Term) -> Tuple[int, ...]:
+        """The 0-based positions at which *term* occurs in this atom."""
+        return tuple(i for i, t in enumerate(self.args) if t == term)
+
+    def __str__(self) -> str:
+        if not self.args:
+            return f"{self.predicate}()"
+        return f"{self.predicate}({', '.join(str(t) for t in self.args)})"
+
+    def __repr__(self) -> str:
+        return f"Atom({self.predicate!r}, {self.args!r})"
+
+
+def atom(predicate: str, *args: Term) -> Atom:
+    """Convenience constructor: ``atom('R', x, y)`` instead of ``Atom('R', (x, y))``."""
+    return Atom(predicate, tuple(args))
+
+
+def fact(predicate: str, *names: str) -> Atom:
+    """Build a fact from constant names: ``fact('R', 'a', 'b')``."""
+    return Atom(predicate, tuple(Constant(n) for n in names))
+
+
+def terms_of(atoms: Iterable[Atom]) -> set:
+    """All terms occurring in a collection of atoms."""
+    out: set = set()
+    for a in atoms:
+        out.update(a.args)
+    return out
+
+
+def variables_of_atoms(atoms: Iterable[Atom]) -> set:
+    """All variables occurring in a collection of atoms."""
+    out: set = set()
+    for a in atoms:
+        out.update(a.variables())
+    return out

@@ -1,0 +1,139 @@
+"""Homomorphism search.
+
+Homomorphisms are the single semantic primitive of the paper: CQ evaluation,
+CQ containment (Chandra–Merlin), chase applicability, and the universality of
+the chase are all phrased through them.  A homomorphism from a set of atoms
+``A`` into an instance ``I`` maps variables and nulls of ``A`` to terms of
+``I`` and is the identity on constants, such that the image of every atom of
+``A`` is an atom of ``I``.
+
+The search is a standard backtracking join: atoms are processed in an order
+that greedily maximizes the number of already-bound terms (so joins filter
+early), candidate target atoms come from a predicate index, and the whole
+thing is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .atoms import Atom
+from .instance import Instance
+from .terms import Constant, Null, Term, Variable
+
+
+def _is_mappable(term: Term) -> bool:
+    """Variables and nulls are mapped; constants are fixed."""
+    return isinstance(term, (Variable, Null))
+
+
+def _order_atoms(atoms: Sequence[Atom], bound: Iterable[Term]) -> List[Atom]:
+    """Greedy join order: repeatedly pick the atom with fewest unbound terms.
+
+    Ties are broken deterministically by the atom's string form.
+    """
+    remaining = sorted(atoms, key=str)
+    bound_terms = set(bound)
+    ordered: List[Atom] = []
+    while remaining:
+        best = min(
+            remaining,
+            key=lambda a: (
+                sum(1 for t in set(a.args) if _is_mappable(t) and t not in bound_terms),
+                str(a),
+            ),
+        )
+        remaining.remove(best)
+        ordered.append(best)
+        bound_terms.update(t for t in best.args if _is_mappable(t))
+    return ordered
+
+
+def _match_atom(
+    source: Atom, target: Atom, assignment: Dict[Term, Term]
+) -> Optional[Dict[Term, Term]]:
+    """Try to extend *assignment* so that source maps onto target.
+
+    Returns the extension (a new dict) or None if the atoms clash.
+    """
+    if source.predicate != target.predicate or source.arity != target.arity:
+        return None
+    extension = dict(assignment)
+    for s, t in zip(source.args, target.args):
+        if _is_mappable(s):
+            current = extension.get(s)
+            if current is None:
+                extension[s] = t
+            elif current != t:
+                return None
+        elif s != t:
+            return None
+    return extension
+
+
+def homomorphisms(
+    source: Sequence[Atom],
+    target: Instance,
+    fixed: Optional[Mapping[Term, Term]] = None,
+) -> Iterator[Dict[Term, Term]]:
+    """Yield every homomorphism from *source* into *target*.
+
+    *fixed* pre-binds some source terms (used to check a specific answer
+    tuple, or to hold a trigger fixed during the chase).  Yielded dicts map
+    every mappable term of *source*; constants are implicitly identity.
+    """
+    initial: Dict[Term, Term] = dict(fixed) if fixed else {}
+    index = target.by_predicate()
+    ordered = _order_atoms(list(source), initial.keys())
+
+    def extend(i: int, assignment: Dict[Term, Term]) -> Iterator[Dict[Term, Term]]:
+        if i == len(ordered):
+            yield dict(assignment)
+            return
+        src = ordered[i]
+        for candidate in index.get(src.predicate, ()):
+            extension = _match_atom(src, candidate, assignment)
+            if extension is not None:
+                yield from extend(i + 1, extension)
+
+    yield from extend(0, initial)
+
+
+def find_homomorphism(
+    source: Sequence[Atom],
+    target: Instance,
+    fixed: Optional[Mapping[Term, Term]] = None,
+) -> Optional[Dict[Term, Term]]:
+    """The first homomorphism from *source* into *target*, or None."""
+    return next(homomorphisms(source, target, fixed), None)
+
+
+def has_homomorphism(
+    source: Sequence[Atom],
+    target: Instance,
+    fixed: Optional[Mapping[Term, Term]] = None,
+) -> bool:
+    """True iff some homomorphism from *source* into *target* exists."""
+    return find_homomorphism(source, target, fixed) is not None
+
+
+def instance_homomorphism(
+    source: Instance, target: Instance
+) -> Optional[Dict[Term, Term]]:
+    """A homomorphism between instances (nulls mapped, constants fixed)."""
+    return find_homomorphism(tuple(source), target)
+
+
+def is_hom_equivalent(left: Instance, right: Instance) -> bool:
+    """True iff the two instances are homomorphically equivalent."""
+    return (
+        instance_homomorphism(left, right) is not None
+        and instance_homomorphism(right, left) is not None
+    )
+
+
+def apply_assignment(
+    atoms: Iterable[Atom], assignment: Mapping[Term, Term]
+) -> Tuple[Atom, ...]:
+    """Apply an assignment to a collection of atoms."""
+    return tuple(a.substitute(assignment) for a in atoms)

@@ -1,0 +1,131 @@
+"""Ontology-mediated queries.
+
+An OMQ (Section 2) is a triple ``Q = (S, Σ, q)`` where ``S`` is the data
+schema, ``Σ`` a finite set of tgds, and ``q`` a (U)CQ over ``S ∪ sch(Σ)``.
+The OMQ is evaluated over S-databases; its semantics are the certain
+answers, i.e., ``Q(D) = q(chase(D, Σ))``.
+
+The :class:`OMQLanguage` enum names the languages ``(C, Q)`` of the paper;
+fragment membership itself is decided by :mod:`repro.fragments`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Set, Tuple, Union
+
+from .queries import CQ, UCQ
+from .schema import Schema, SchemaError
+from .tgd import TGD, sch, total_size
+
+
+class TGDClass(Enum):
+    """The classes of tgds studied in the paper."""
+
+    EMPTY = "∅"          # no tgds at all (the language O_∅ of Section 3.1)
+    LINEAR = "L"
+    GUARDED = "G"
+    NON_RECURSIVE = "NR"
+    STICKY = "S"
+    FULL = "F"
+    FULL_NON_RECURSIVE = "FNR"
+    ARBITRARY = "TGD"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: The UCQ-rewritable classes of Section 4.
+UCQ_REWRITABLE_CLASSES = frozenset(
+    {TGDClass.EMPTY, TGDClass.LINEAR, TGDClass.NON_RECURSIVE,
+     TGDClass.STICKY, TGDClass.FULL_NON_RECURSIVE}
+)
+
+
+class OMQError(ValueError):
+    """Raised on ill-formed OMQs."""
+
+
+@dataclass(frozen=True)
+class OMQ:
+    """An ontology-mediated query ``(S, Σ, q)``.
+
+    ``query`` may be a CQ or a UCQ; :meth:`as_ucq` gives a uniform view.
+    """
+
+    data_schema: Schema
+    sigma: Tuple[TGD, ...]
+    query: Union[CQ, UCQ]
+    name: str = "Q"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sigma", tuple(self.sigma))
+        # The query must range over S ∪ sch(Σ) ∪ (extra predicates are allowed
+        # by the paper's definition "and possibly other predicates" — but any
+        # extra predicate can never be satisfied, so we accept them).
+        try:
+            self.full_schema()
+        except SchemaError as exc:
+            raise OMQError(f"inconsistent arities in OMQ: {exc}") from exc
+
+    # -- structure ----------------------------------------------------------
+
+    def as_ucq(self) -> UCQ:
+        """The query as a UCQ (a singleton union for a CQ)."""
+        if isinstance(self.query, UCQ):
+            return self.query
+        return UCQ.from_cq(self.query)
+
+    def as_cq(self) -> CQ:
+        """The query as a CQ; raises if it is a proper union."""
+        if isinstance(self.query, CQ):
+            return self.query
+        if len(self.query.disjuncts) == 1:
+            return self.query.disjuncts[0]
+        raise OMQError("query is a proper UCQ; use Proposition 9 to convert")
+
+    @property
+    def arity(self) -> int:
+        """The output arity of the query."""
+        return self.as_ucq().arity if isinstance(self.query, UCQ) else self.query.arity
+
+    def is_boolean(self) -> bool:
+        return self.arity == 0
+
+    def ontology_schema(self) -> Schema:
+        """``sch(Σ)``."""
+        return sch(self.sigma)
+
+    def full_schema(self) -> Schema:
+        """``S ∪ sch(Σ)`` ∪ the query's predicates."""
+        return self.data_schema | self.ontology_schema() | self.as_ucq().schema()
+
+    def size(self) -> int:
+        """``||Q||``: symbols in Σ plus atoms of the query."""
+        query_size = sum(
+            1 + a.arity for d in self.as_ucq().disjuncts for a in d.body
+        )
+        return total_size(self.sigma) + query_size
+
+    def data_predicates(self) -> Set[str]:
+        return set(self.data_schema.predicates())
+
+    def validate_database(self, db) -> None:
+        """Check that a database is over the data schema S."""
+        from .schema import SchemaError
+
+        for a in db:
+            if a.predicate not in self.data_schema:
+                raise OMQError(
+                    f"database atom {a} uses predicate outside data schema "
+                    f"{self.data_schema}"
+                )
+            try:
+                self.data_schema.validate_atom(a)
+            except SchemaError as exc:
+                raise OMQError(str(exc)) from exc
+
+    def __str__(self) -> str:
+        rules = "; ".join(str(t) for t in self.sigma)
+        return f"{self.name} = ({self.data_schema}, [{rules}], {self.query})"

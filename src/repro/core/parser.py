@@ -1,0 +1,286 @@
+"""A small text syntax for tgds, queries, and databases.
+
+The syntax mirrors how the paper writes things:
+
+* **Atoms** — ``R(x, y)``; predicates are identifiers starting with an
+  uppercase letter, variables start lowercase, constants are integers or
+  quoted strings (``'a'`` / ``"a"``).  0-ary atoms are written ``Goal()``
+  or just ``Goal``.
+* **Tgds** — ``R(x,y), P(y,z) -> T(x,y,w)``; variables appearing only in
+  the head (here ``w``) are existentially quantified, matching the paper's
+  convention.  Fact tgds use an empty or ``true`` body:
+  ``true -> Bit(0)``.
+* **CQs** — ``q(x) :- R(x,y), P(y)``; Boolean queries use ``q() :- ...``.
+* **UCQs** — disjuncts separated by `` | `` or given on separate lines.
+* **Databases** — ``R(a, b). P(b).``; in database context *all* bare
+  identifiers are constants.
+
+Lines starting with ``%`` or ``#`` are comments; statements are separated
+by newlines or periods.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .atoms import Atom
+from .instance import Instance
+from .queries import CQ, UCQ
+from .terms import Constant, Term, Variable
+from .tgd import TGD
+
+
+class ParseError(ValueError):
+    """Raised on malformed input text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>[%#][^\n]*)
+  | (?P<arrow>->|→)
+  | (?P<entails>:-)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<comma>,)
+  | (?P<pipe>\||∨)
+  | (?P<period>\.)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_'@\#]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = m.lastgroup
+        value = m.group()
+        pos = m.end()
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append((kind, value))
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: Sequence[Tuple[str, str]]) -> None:
+        self._tokens = list(tokens)
+        self._i = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self._i < len(self._tokens):
+            return self._tokens[self._i]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self._i += 1
+        return tok
+
+    def expect(self, kind: str) -> str:
+        tok = self.next()
+        if tok[0] != kind:
+            raise ParseError(f"expected {kind}, got {tok[1]!r}")
+        return tok[1]
+
+    def accept(self, kind: str) -> Optional[str]:
+        tok = self.peek()
+        if tok is not None and tok[0] == kind:
+            self._i += 1
+            return tok[1]
+        return None
+
+    def at_end(self) -> bool:
+        return self._i >= len(self._tokens)
+
+
+def _parse_term(stream: _TokenStream, constants_mode: bool) -> Term:
+    kind, value = stream.next()
+    if kind == "number":
+        return Constant(value)
+    if kind == "string":
+        return Constant(value[1:-1])
+    if kind == "ident":
+        if constants_mode or value[0].isupper():
+            return Constant(value)
+        return Variable(value)
+    raise ParseError(f"expected a term, got {value!r}")
+
+
+def _parse_atom(stream: _TokenStream, constants_mode: bool) -> Atom:
+    name = stream.expect("ident")
+    args: List[Term] = []
+    if stream.accept("lpar"):
+        if not stream.accept("rpar"):
+            args.append(_parse_term(stream, constants_mode))
+            while stream.accept("comma"):
+                args.append(_parse_term(stream, constants_mode))
+            stream.expect("rpar")
+    return Atom(name, tuple(args))
+
+
+def _parse_atom_list(stream: _TokenStream, constants_mode: bool) -> List[Atom]:
+    atoms = [_parse_atom(stream, constants_mode)]
+    while stream.accept("comma"):
+        atoms.append(_parse_atom(stream, constants_mode))
+    return atoms
+
+
+def _statements(text: str) -> Iterator[str]:
+    """Split text into statements on newlines and periods (outside quotes)."""
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith(("%", "#")):
+            continue
+        for stmt in re.split(r"\.(?=\s|$)", line):
+            stmt = stmt.strip().rstrip(".")
+            if stmt:
+                yield stmt
+
+
+def parse_atom(text: str, constants_mode: bool = False) -> Atom:
+    """Parse a single atom."""
+    stream = _TokenStream(_tokenize(text))
+    a = _parse_atom(stream, constants_mode)
+    if not stream.at_end():
+        raise ParseError(f"trailing input after atom: {text!r}")
+    return a
+
+
+def parse_tgd(text: str, name: str = "") -> TGD:
+    """Parse a single tgd ``body -> head`` (``true ->`` for fact tgds)."""
+    stream = _TokenStream(_tokenize(text))
+    body: List[Atom] = []
+    tok = stream.peek()
+    if tok is not None and tok[0] == "ident" and tok[1] in ("true", "top"):
+        stream.next()
+    elif tok is not None and tok[0] != "arrow":
+        body = _parse_atom_list(stream, constants_mode=False)
+    stream.expect("arrow")
+    head = _parse_atom_list(stream, constants_mode=False)
+    if not stream.at_end():
+        raise ParseError(f"trailing input after tgd: {text!r}")
+    return TGD(tuple(body), tuple(head), name)
+
+
+def parse_tgds(text: str) -> List[TGD]:
+    """Parse a program of tgds, one per line (or period-separated)."""
+    return [
+        parse_tgd(stmt, name=f"r{i}") for i, stmt in enumerate(_statements(text))
+    ]
+
+
+def parse_cq(text: str, name: Optional[str] = None) -> CQ:
+    """Parse ``q(x, y) :- R(x,z), P(z,y)`` (or a bare body for Boolean CQs)."""
+    stream = _TokenStream(_tokenize(text))
+    tokens_copy = _tokenize(text)
+    has_head = any(kind == "entails" for kind, _ in tokens_copy)
+    if has_head:
+        head_atom = _parse_atom(stream, constants_mode=False)
+        stream.expect("entails")
+        body = _parse_atom_list(stream, constants_mode=False)
+        if not stream.at_end():
+            raise ParseError(f"trailing input after CQ: {text!r}")
+        return CQ(head_atom.args, tuple(body), name or head_atom.predicate)
+    body = _parse_atom_list(stream, constants_mode=False)
+    if not stream.at_end():
+        raise ParseError(f"trailing input after CQ body: {text!r}")
+    return CQ((), tuple(body), name or "q")
+
+
+def parse_ucq(text: str, name: Optional[str] = None) -> UCQ:
+    """Parse a UCQ: disjuncts separated by `` | `` or on separate lines."""
+    pieces: List[str] = []
+    for stmt in _statements(text):
+        pieces.extend(p.strip() for p in re.split(r"\||∨", stmt) if p.strip())
+    disjuncts = [parse_cq(p) for p in pieces]
+    if not disjuncts:
+        raise ParseError("empty UCQ")
+    return UCQ(tuple(disjuncts), name or disjuncts[0].name)
+
+
+def parse_omq(text: str, name: str = "Q"):
+    """Parse a sectioned OMQ document into an :class:`repro.core.omq.OMQ`.
+
+    Format (sections may appear in any order; ``rules`` is optional)::
+
+        schema: P/1, T/1
+        rules:
+            P(x) -> R(x, w)
+            R(x, y) -> P(y)
+        query: q(x) :- R(x, y), P(y)
+
+    A UCQ query uses `` | ``-separated disjuncts or several ``query:``
+    lines.
+    """
+    from .omq import OMQ
+    from .schema import Schema
+
+    schema_decl: Optional[str] = None
+    rule_lines: List[str] = []
+    query_lines: List[str] = []
+    section: Optional[str] = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(("%", "#")):
+            continue
+        lowered = line.lower()
+        if lowered.startswith("schema:"):
+            schema_decl = line.split(":", 1)[1].strip()
+            section = None
+            continue
+        if lowered.startswith("rules:"):
+            rest = line.split(":", 1)[1].strip()
+            if rest:
+                rule_lines.append(rest)
+            section = "rules"
+            continue
+        if lowered.startswith("query:"):
+            query_lines.append(line.split(":", 1)[1].strip())
+            section = "query"
+            continue
+        if section == "rules":
+            rule_lines.append(line)
+        elif section == "query":
+            query_lines.append(line)
+        else:
+            raise ParseError(f"line outside any section: {line!r}")
+    if schema_decl is None:
+        raise ParseError("missing 'schema:' section")
+    if not query_lines:
+        raise ParseError("missing 'query:' section")
+    relations = {}
+    for piece in schema_decl.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        if "/" not in piece:
+            raise ParseError(f"schema entries look like Name/arity: {piece!r}")
+        pred, _, arity = piece.partition("/")
+        relations[pred.strip()] = int(arity)
+    sigma = parse_tgds("\n".join(rule_lines))
+    query_text = "\n".join(query_lines)
+    ucq = parse_ucq(query_text)
+    query = ucq.disjuncts[0] if len(ucq.disjuncts) == 1 else ucq
+    return OMQ(Schema(relations), tuple(sigma), query, name)
+
+
+def parse_database(text: str) -> Instance:
+    """Parse a database; every bare identifier is a constant."""
+    atoms: List[Atom] = []
+    for stmt in _statements(text):
+        stream = _TokenStream(_tokenize(stmt))
+        atoms.extend(_parse_atom_list(stream, constants_mode=True))
+        if not stream.at_end():
+            raise ParseError(f"trailing input in database statement: {stmt!r}")
+    return Instance.of(atoms)

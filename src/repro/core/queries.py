@@ -1,0 +1,489 @@
+"""Conjunctive queries and unions of conjunctive queries.
+
+A CQ (Section 2, eq. (1)) is ``q(x̄) :- ∃ȳ (R1(v̄1) ∧ ... ∧ Rm(v̄m))``; its
+evaluation over an instance is defined through homomorphisms.  A UCQ is a
+finite disjunction of CQs of the same arity.  This module provides:
+
+* evaluation (all answers / membership of a specific tuple),
+* canonical ("frozen") databases — the Chandra–Merlin device,
+* variable hygiene (renaming apart), isomorphism and equivalence tests,
+* the connected components ``co(q)`` of a CQ (used by Section 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .atoms import Atom, variables_of_atoms
+from .homomorphism import homomorphisms, find_homomorphism
+from .instance import Instance, freeze_atoms
+from .schema import Schema
+from .terms import Constant, Term, Variable
+
+
+class QueryError(ValueError):
+    """Raised on malformed queries (unsafe head, arity mismatches, ...)."""
+
+
+@dataclass(frozen=True)
+class CQ:
+    """A conjunctive query with head ``head`` and body ``body``.
+
+    ``head`` is the tuple of output terms x̄ (variables, or constants for
+    partially instantiated queries); all other body variables are implicitly
+    existentially quantified.  ``name`` is cosmetic.
+    """
+
+    head: Tuple[Term, ...]
+    body: Tuple[Atom, ...]
+    name: str = "q"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "head", tuple(self.head))
+        object.__setattr__(self, "body", tuple(self.body))
+        body_vars = variables_of_atoms(self.body)
+        for t in self.head:
+            if isinstance(t, Variable) and t not in body_vars:
+                raise QueryError(f"unsafe head variable {t} in {self.name}")
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        """The number of output positions."""
+        return len(self.head)
+
+    def is_boolean(self) -> bool:
+        """True iff the query has no output positions."""
+        return not self.head
+
+    def variables(self) -> Set[Variable]:
+        """All variables occurring in the query."""
+        out = variables_of_atoms(self.body)
+        out.update(t for t in self.head if isinstance(t, Variable))
+        return out
+
+    def free_variables(self) -> Tuple[Variable, ...]:
+        """The head variables, in head order, without duplicates."""
+        seen: List[Variable] = []
+        for t in self.head:
+            if isinstance(t, Variable) and t not in seen:
+                seen.append(t)
+        return tuple(seen)
+
+    def existential_variables(self) -> Set[Variable]:
+        """Body variables that are not free."""
+        return self.variables() - set(self.free_variables())
+
+    def constants(self) -> Set[Constant]:
+        """All constants occurring in head or body."""
+        out: Set[Constant] = {t for t in self.head if isinstance(t, Constant)}
+        for a in self.body:
+            out.update(a.constants())
+        return out
+
+    def predicates(self) -> Set[str]:
+        """Predicate names used in the body."""
+        return {a.predicate for a in self.body}
+
+    def schema(self) -> Schema:
+        """Schema inferred from the body atoms."""
+        return Schema.from_atoms(self.body)
+
+    def size(self) -> int:
+        """``|q|``: the number of body atoms (the paper's measure)."""
+        return len(self.body)
+
+    def shared_variables(self) -> Set[Variable]:
+        """Variables that are free or occur in more than one body atom.
+
+        This is the paper's notion of *shared* variable used in the
+        applicability condition of XRewrite (appendix, Definition 6): shared
+        means free in ``q`` or occurring more than once in ``q`` (counting
+        multiple occurrences inside one atom).
+        """
+        counts: Dict[Variable, int] = {}
+        for a in self.body:
+            for t in a.args:
+                if isinstance(t, Variable):
+                    counts[t] = counts.get(t, 0) + 1
+        shared = {v for v, c in counts.items() if c > 1}
+        shared.update(self.free_variables())
+        return shared
+
+    def variables_in_multiple_atoms(self) -> Set[Variable]:
+        """``var≥2(q)``: variables appearing in more than one body atom."""
+        seen: Dict[Variable, int] = {}
+        for a in self.body:
+            for v in a.variables():
+                seen[v] = seen.get(v, 0) + 1
+        return {v for v, c in seen.items() if c > 1}
+
+    # -- semantics -------------------------------------------------------
+
+    def evaluate(
+        self, instance: Instance, constants_only: bool = True
+    ) -> Set[Tuple[Term, ...]]:
+        """``q(I)``: the set of answer tuples.
+
+        With ``constants_only`` (the paper's definition) only tuples made
+        entirely of constants are reported; set it to False to also see
+        answers containing nulls (useful when inspecting chase internals).
+        """
+        answers: Set[Tuple[Term, ...]] = set()
+        for h in homomorphisms(self.body, instance):
+            tup = tuple(h.get(t, t) for t in self.head)
+            if constants_only and not all(isinstance(t, Constant) for t in tup):
+                continue
+            answers.add(tup)
+        return answers
+
+    def holds_in(self, instance: Instance, answer: Sequence[Term] = ()) -> bool:
+        """True iff *answer* ∈ q(I) (for Boolean queries: q(I) ≠ ∅)."""
+        answer = tuple(answer)
+        if len(answer) != self.arity:
+            raise QueryError(
+                f"answer arity {len(answer)} != query arity {self.arity}"
+            )
+        fixed: Dict[Term, Term] = {}
+        for t, value in zip(self.head, answer):
+            if isinstance(t, Variable):
+                if fixed.get(t, value) != value:
+                    return False
+                fixed[t] = value
+            elif t != value:
+                return False
+        return find_homomorphism(self.body, instance, fixed) is not None
+
+    # -- canonical database ----------------------------------------------
+
+    def canonical_database(
+        self, prefix: str = "c_"
+    ) -> Tuple[Instance, Tuple[Term, ...]]:
+        """Freeze the body into a database D_q and the canonical answer c(x̄).
+
+        Every variable becomes a fresh constant; the returned tuple is the
+        image of the head under the freezing.
+        """
+        db, mapping = freeze_atoms(self.body, prefix)
+        canonical = tuple(
+            mapping.get(t, t) if isinstance(t, Variable) else t for t in self.head
+        )
+        return db, canonical
+
+    # -- hygiene ----------------------------------------------------------
+
+    def rename(self, mapping: Mapping[Variable, Term]) -> "CQ":
+        """Apply a variable substitution to head and body."""
+        head = tuple(
+            mapping.get(t, t) if isinstance(t, Variable) else t for t in self.head
+        )
+        body = tuple(a.substitute(mapping) for a in self.body)
+        return CQ(head, body, self.name)
+
+    def rename_apart(self, taken: Iterable[Variable], suffix: str = "_r") -> "CQ":
+        """Rename this query's variables away from *taken*."""
+        taken_names = {v.name for v in taken}
+        mapping: Dict[Variable, Variable] = {}
+        for v in sorted(self.variables(), key=lambda v: v.name):
+            if v.name in taken_names:
+                fresh_name = v.name + suffix
+                k = 0
+                while fresh_name in taken_names:
+                    k += 1
+                    fresh_name = f"{v.name}{suffix}{k}"
+                mapping[v] = Variable(fresh_name)
+                taken_names.add(fresh_name)
+        return self.rename(mapping) if mapping else self
+
+    def standardize(self, prefix: str = "v") -> "CQ":
+        """Rename variables to a canonical v0, v1, ... order.
+
+        The order is: head variables first (head order), then remaining body
+        variables in deterministic atom order.  Two isomorphic queries need
+        *not* standardize identically (atom order may differ), so this is a
+        normalization, not a canonical form.
+        """
+        order: List[Variable] = []
+        for t in self.head:
+            if isinstance(t, Variable) and t not in order:
+                order.append(t)
+        for a in sorted(self.body, key=str):
+            for t in a.args:
+                if isinstance(t, Variable) and t not in order:
+                    order.append(t)
+        mapping = {v: Variable(f"{prefix}{i}") for i, v in enumerate(order)}
+        return self.rename(mapping)
+
+    # -- components (Section 7.1) -----------------------------------------
+
+    def components(self) -> List["CQ"]:
+        """``co(q)``: the connected components of the body.
+
+        Each component keeps the head terms it mentions; following the
+        paper's Proposition 27 usage, a component query retains the full
+        head restricted to its own variables.  Atoms of arity 0 are rejected
+        (footnote 5 of the paper).
+        """
+        if any(a.arity == 0 for a in self.body):
+            raise QueryError("components undefined for queries with 0-ary atoms")
+        if not self.body:
+            return [self]
+        adjacency: Dict[Variable, Set[Variable]] = {}
+        for a in self.body:
+            for v in a.variables():
+                adjacency.setdefault(v, set()).update(a.variables() - {v})
+        seen: Set[Variable] = set()
+        groups: List[Set[Variable]] = []
+        for v in sorted(adjacency, key=lambda v: v.name):
+            if v in seen:
+                continue
+            stack, members = [v], set()
+            while stack:
+                node = stack.pop()
+                if node in members:
+                    continue
+                members.add(node)
+                stack.extend(adjacency[node] - members)
+            seen.update(members)
+            groups.append(members)
+        out: List[CQ] = []
+        used_atoms: Set[Atom] = set()
+        for i, group in enumerate(groups):
+            atoms = tuple(
+                a for a in self.body if a.variables() and a.variables() <= group
+            )
+            used_atoms.update(atoms)
+            head = tuple(t for t in self.head if t in group)
+            out.append(CQ(head, atoms, f"{self.name}_c{i}"))
+        # Variable-free (ground) atoms each form their own trivial component.
+        for a in self.body:
+            if a not in used_atoms and not a.variables():
+                out.append(CQ((), (a,), f"{self.name}_ground"))
+        return out
+
+    def core(self) -> "CQ":
+        """A core of the CQ: a minimal equivalent subquery.
+
+        Greedily drops body atoms while the remaining query still entails
+        the dropped ones (checked Chandra–Merlin-style on the canonical
+        database).  The result is the classical core, unique up to
+        isomorphism, and equivalent to the original query.
+        """
+        body = list(dict.fromkeys(self.body))
+        changed = True
+        while changed:
+            changed = False
+            for a in sorted(body, key=str):
+                candidate_body = [b for b in body if b != a]
+                if not candidate_body and self.free_variables():
+                    continue
+                try:
+                    candidate = CQ(self.head, tuple(candidate_body), self.name)
+                except QueryError:
+                    continue  # dropping `a` would make the head unsafe
+                db, canonical = candidate.canonical_database()
+                if self.holds_in(db, canonical):
+                    body = candidate_body
+                    changed = True
+                    break
+        return CQ(self.head, tuple(sorted(body, key=str)), self.name)
+
+    # -- comparison -------------------------------------------------------
+
+    def signature(self) -> Tuple:
+        """A cheap isomorphism-invariant fingerprint.
+
+        Isomorphic queries always share a signature (variables are
+        abstracted to occurrence counts and head membership), so
+        isomorphism only needs checking within signature groups.
+        """
+        counts: Dict[Term, int] = {}
+        for a in self.body:
+            for t in a.args:
+                if isinstance(t, Variable):
+                    counts[t] = counts.get(t, 0) + 1
+        head_vars = set(self.free_variables())
+
+        def slot(t: Term) -> Tuple:
+            if isinstance(t, Variable):
+                return ("v", counts.get(t, 0), t in head_vars)
+            return ("c", str(t))
+
+        body_sig = tuple(
+            sorted(
+                (a.predicate, tuple(slot(t) for t in a.args))
+                for a in self.body
+            )
+        )
+        return (tuple(slot(t) for t in self.head), body_sig)
+
+    def is_isomorphic_to(self, other: "CQ") -> bool:
+        """True iff the queries are equal up to bijective variable renaming.
+
+        This is the ``≃`` relation that XRewrite uses for deduplication.
+        """
+        if self.arity != other.arity or len(self.body) != len(other.body):
+            return False
+        return (
+            _injective_match(self, other) is not None
+            and _injective_match(other, self) is not None
+        )
+
+    def __str__(self) -> str:
+        head = ", ".join(str(t) for t in self.head)
+        body = ", ".join(str(a) for a in sorted(self.body, key=str))
+        return f"{self.name}({head}) :- {body or 'true'}"
+
+    def __repr__(self) -> str:
+        return f"CQ(head={self.head!r}, body={self.body!r})"
+
+
+def _injective_match(left: CQ, right: CQ) -> Optional[Dict[Term, Term]]:
+    """An injective body hom left→right respecting head positions, or None."""
+    fixed: Dict[Term, Term] = {}
+    for s, t in zip(left.head, right.head):
+        if isinstance(s, Variable):
+            if fixed.get(s, t) != t:
+                return None
+            fixed[s] = t
+        elif s != t:
+            return None
+    target = Instance.of(
+        a.substitute({v: _VarToken(v) for v in right.variables()})
+        for a in right.body
+    )
+    wrapped_fixed = {
+        s: (_VarToken(t) if isinstance(t, Variable) else t)
+        for s, t in fixed.items()
+    }
+    for h in homomorphisms(left.body, target, wrapped_fixed):
+        values = [v for v in h.values()]
+        if len(set(values)) == len(values):
+            return {k: _unwrap(v) for k, v in h.items()}
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class _VarToken:
+    """Wraps a variable as an opaque ground token for isomorphism search."""
+
+    var: Variable
+
+
+def _unwrap(t: Term) -> Term:
+    return t.var if isinstance(t, _VarToken) else t
+
+
+@dataclass(frozen=True)
+class UCQ:
+    """A union of conjunctive queries of equal arity."""
+
+    disjuncts: Tuple[CQ, ...]
+    name: str = "q"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "disjuncts", tuple(self.disjuncts))
+        arities = {d.arity for d in self.disjuncts}
+        if len(arities) > 1:
+            raise QueryError(f"mixed arities in UCQ: {sorted(arities)}")
+
+    @classmethod
+    def of(cls, *disjuncts: CQ, name: str = "q") -> "UCQ":
+        return cls(tuple(disjuncts), name)
+
+    @classmethod
+    def from_cq(cls, q: CQ) -> "UCQ":
+        return cls((q,), q.name)
+
+    @property
+    def arity(self) -> int:
+        return self.disjuncts[0].arity if self.disjuncts else 0
+
+    def is_boolean(self) -> bool:
+        return self.arity == 0
+
+    def is_empty(self) -> bool:
+        """True iff the union has no disjuncts (the unsatisfiable query)."""
+        return not self.disjuncts
+
+    def predicates(self) -> Set[str]:
+        out: Set[str] = set()
+        for d in self.disjuncts:
+            out.update(d.predicates())
+        return out
+
+    def schema(self) -> Schema:
+        schema = Schema()
+        for d in self.disjuncts:
+            schema = schema | d.schema()
+        return schema
+
+    def evaluate(
+        self, instance: Instance, constants_only: bool = True
+    ) -> Set[Tuple[Term, ...]]:
+        """``q(I) = ⋃ qi(I)``."""
+        answers: Set[Tuple[Term, ...]] = set()
+        for d in self.disjuncts:
+            answers |= d.evaluate(instance, constants_only)
+        return answers
+
+    def holds_in(self, instance: Instance, answer: Sequence[Term] = ()) -> bool:
+        """True iff some disjunct has *answer* among its answers."""
+        return any(d.holds_in(instance, answer) for d in self.disjuncts)
+
+    def max_disjunct_size(self) -> int:
+        """max_i |q_i| — the quantity bounded by the f_O functions."""
+        return max((d.size() for d in self.disjuncts), default=0)
+
+    def deduplicate(self) -> "UCQ":
+        """Drop disjuncts isomorphic to an earlier one (signature-bucketed)."""
+        kept: List[CQ] = []
+        buckets: Dict[Tuple, List[CQ]] = {}
+        for d in self.disjuncts:
+            bucket = buckets.setdefault(d.signature(), [])
+            if not any(d.is_isomorphic_to(k) for k in bucket):
+                bucket.append(d)
+                kept.append(d)
+        return UCQ(tuple(kept), self.name)
+
+    def minimize(self) -> "UCQ":
+        """Drop disjuncts contained in another disjunct (as plain CQs).
+
+        Keeps a ⊆-minimal cover; the result is equivalent as a UCQ.
+        """
+        from ..containment.cq import cq_contained_in  # local to avoid cycle
+
+        kept: List[CQ] = []
+        for d in self.disjuncts:
+            if any(cq_contained_in(d, k) for k in kept):
+                continue
+            kept = [k for k in kept if not cq_contained_in(k, d)]
+            kept.append(d)
+        return UCQ(tuple(kept), self.name)
+
+    def __iter__(self) -> Iterator[CQ]:
+        return iter(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __str__(self) -> str:
+        return " ∨ ".join(str(d) for d in self.disjuncts) or "⊥"
+
+
+def boolean_cq(body: Iterable[Atom], name: str = "q") -> CQ:
+    """Build a Boolean CQ from body atoms."""
+    return CQ((), tuple(body), name)

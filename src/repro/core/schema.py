@@ -1,0 +1,118 @@
+"""Relational schemas.
+
+A schema is a finite set of relation symbols with associated arities
+(written ``R/n`` in the paper).  Schemas validate atoms, compute the maximum
+arity ``ar(S)`` used throughout the complexity bounds, and support the
+set-algebraic operations (union, restriction) the paper performs on
+``S ∪ sch(Σ)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from .atoms import Atom
+
+
+class SchemaError(ValueError):
+    """Raised on arity clashes or atoms over unknown predicates."""
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An immutable map from predicate names to arities."""
+
+    relations: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "relations", dict(self.relations))
+        for name, arity in self.relations.items():
+            if arity < 0:
+                raise SchemaError(f"negative arity for {name}: {arity}")
+
+    @classmethod
+    def of(cls, **relations: int) -> "Schema":
+        """``Schema.of(R=2, P=1)`` builds ``{R/2, P/1}``."""
+        return cls(relations)
+
+    @classmethod
+    def from_atoms(cls, atoms: Iterable[Atom]) -> "Schema":
+        """Infer a schema from atoms, rejecting inconsistent arities."""
+        relations: Dict[str, int] = {}
+        for a in atoms:
+            seen = relations.get(a.predicate)
+            if seen is None:
+                relations[a.predicate] = a.arity
+            elif seen != a.arity:
+                raise SchemaError(
+                    f"predicate {a.predicate} used with arities {seen} and {a.arity}"
+                )
+        return cls(relations)
+
+    def arity(self, predicate: str) -> int:
+        """The arity of *predicate*; raises :class:`SchemaError` if unknown."""
+        try:
+            return self.relations[predicate]
+        except KeyError:
+            raise SchemaError(f"unknown predicate: {predicate}") from None
+
+    @property
+    def max_arity(self) -> int:
+        """``ar(S)``: the maximum arity over all predicates (0 if empty)."""
+        return max(self.relations.values(), default=0)
+
+    def predicates(self) -> Tuple[str, ...]:
+        """Predicate names in sorted order (deterministic iteration)."""
+        return tuple(sorted(self.relations))
+
+    def validate_atom(self, a: Atom) -> None:
+        """Raise :class:`SchemaError` unless *a* is well-typed over this schema."""
+        if self.arity(a.predicate) != a.arity:
+            raise SchemaError(
+                f"atom {a} has arity {a.arity}, schema says "
+                f"{self.relations[a.predicate]}"
+            )
+
+    def union(self, other: "Schema") -> "Schema":
+        """``S1 ∪ S2``; arity clashes raise :class:`SchemaError`."""
+        merged = dict(self.relations)
+        for name, arity in other.relations.items():
+            if merged.get(name, arity) != arity:
+                raise SchemaError(
+                    f"arity clash on {name}: {merged[name]} vs {arity}"
+                )
+            merged[name] = arity
+        return Schema(merged)
+
+    def restrict(self, predicates: Iterable[str]) -> "Schema":
+        """The sub-schema on the given predicate names."""
+        keep = set(predicates)
+        return Schema({n: a for n, a in self.relations.items() if n in keep})
+
+    def __contains__(self, predicate: str) -> bool:
+        return predicate in self.relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.predicates())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def __or__(self, other: "Schema") -> "Schema":
+        return self.union(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return dict(self.relations) == dict(other.relations)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.relations.items()))
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{n}/{a}" for n, a in sorted(self.relations.items()))
+        return "{" + inner + "}"
+
+    def __repr__(self) -> str:
+        return f"Schema({dict(sorted(self.relations.items()))!r})"

@@ -1,0 +1,134 @@
+"""Text emitters that round-trip through :mod:`repro.core.parser`.
+
+The parser's conventions (lowercase identifiers are variables in rule/query
+context, bare identifiers are constants in database context, quoted strings
+are always constants) mean emission must be context-aware:
+
+* variables are renamed to a canonical ``v0, v1, ...`` scheme when their
+  names contain characters the tokenizer would reject (internal fresh
+  variables carry ``#``/``@``/``~`` markers), so round-trips are exact up
+  to variable renaming (isomorphism);
+* constants are emitted quoted unless they are numerals (which parse as
+  constants anywhere).
+
+``omq_to_document`` emits the sectioned OMQ file format consumed by
+``parse_omq`` and the CLI.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List
+
+from .atoms import Atom
+from .instance import Instance
+from .omq import OMQ
+from .queries import CQ, UCQ
+from .terms import Constant, Term, Variable
+from .tgd import TGD
+
+_SAFE_VARIABLE = re.compile(r"[a-z][A-Za-z0-9_]*$")
+_NUMERAL = re.compile(r"[0-9]+$")
+
+
+def term_to_text(t: Term, renaming: Dict[Variable, str]) -> str:
+    if isinstance(t, Constant):
+        if _NUMERAL.match(t.name):
+            return t.name
+        return f"'{t.name}'"
+    if isinstance(t, Variable):
+        return renaming.get(t, t.name)
+    raise ValueError(f"cannot serialize nulls into rule/query text: {t}")
+
+
+def _renaming_for(variables: Iterable[Variable]) -> Dict[Variable, str]:
+    """Keep safe names, canonicalize unsafe ones to fresh v<i>."""
+    ordered = sorted(set(variables), key=lambda v: v.name)
+    taken = {
+        v.name for v in ordered if _SAFE_VARIABLE.match(v.name)
+    }
+    renaming: Dict[Variable, str] = {}
+    counter = 0
+    for v in ordered:
+        if _SAFE_VARIABLE.match(v.name):
+            renaming[v] = v.name
+            continue
+        fresh = f"v{counter}"
+        while fresh in taken:
+            counter += 1
+            fresh = f"v{counter}"
+        counter += 1
+        taken.add(fresh)
+        renaming[v] = fresh
+    return renaming
+
+
+def atom_to_text(a: Atom, renaming: Dict[Variable, str]) -> str:
+    if not a.args:
+        return f"{a.predicate}()"
+    inner = ", ".join(term_to_text(t, renaming) for t in a.args)
+    return f"{a.predicate}({inner})"
+
+
+def tgd_to_text(rule: TGD) -> str:
+    """``body -> head`` text that re-parses to a variable-renamed copy."""
+    renaming = _renaming_for(rule.variables())
+    body = ", ".join(atom_to_text(a, renaming) for a in rule.body)
+    head = ", ".join(atom_to_text(a, renaming) for a in rule.head)
+    return f"{body or 'true'} -> {head}"
+
+
+def tgds_to_text(sigma: Iterable[TGD]) -> str:
+    return "\n".join(tgd_to_text(t) for t in sigma)
+
+
+def cq_to_text(q: CQ, name: str = None) -> str:
+    """``q(x) :- body`` text re-parsing to an isomorphic query."""
+    if not q.body:
+        raise ValueError(
+            "the text syntax has no form for empty-body (tautological) CQs"
+        )
+    renaming = _renaming_for(q.variables())
+    head_terms = ", ".join(term_to_text(t, renaming) for t in q.head)
+    body = ", ".join(atom_to_text(a, renaming) for a in sorted(q.body, key=str))
+    head_name = name or (q.name if re.match(r"[A-Za-z_]\w*$", q.name) else "q")
+    return f"{head_name}({head_terms}) :- {body}"
+
+
+def ucq_to_text(q: UCQ) -> str:
+    return "\n".join(cq_to_text(d, name="q") for d in q.disjuncts)
+
+
+def database_to_text(db: Instance) -> str:
+    """Fact-per-line text for :func:`repro.core.parser.parse_database`.
+
+    Database context treats bare identifiers as constants, so names are
+    emitted unquoted when they are plain identifiers.
+    """
+    lines: List[str] = []
+    for a in db:
+        args = []
+        for t in a.args:
+            if not isinstance(t, Constant):
+                raise ValueError(f"cannot serialize non-database atom {a}")
+            if re.match(r"[A-Za-z0-9_*][A-Za-z0-9_]*$", t.name):
+                args.append(t.name)
+            else:
+                args.append(f"'{t.name}'")
+        lines.append(f"{a.predicate}({', '.join(args)})" if args else f"{a.predicate}()")
+    return "\n".join(lines)
+
+
+def omq_to_document(omq: OMQ) -> str:
+    """The sectioned OMQ file format (``parse_omq`` inverse)."""
+    schema = ", ".join(
+        f"{p}/{omq.data_schema.arity(p)}" for p in omq.data_schema.predicates()
+    )
+    parts = [f"schema: {schema}"]
+    if omq.sigma:
+        parts.append("rules:")
+        for rule in omq.sigma:
+            parts.append(f"    {tgd_to_text(rule)}")
+    for d in omq.as_ucq().disjuncts:
+        parts.append(f"query: {cq_to_text(d, name='q')}")
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,103 @@
+"""Terms: constants, labeled nulls, and variables.
+
+The paper (Section 2) fixes three disjoint countably infinite sets: constants
+``C``, labeled nulls ``N``, and regular variables ``V``.  Constants are the
+values stored in databases; nulls are the fresh witnesses invented by the
+chase; variables occur in queries and dependencies.
+
+All three term kinds are immutable and hashable so they can live in sets,
+dict keys, and frozen atoms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A database constant (an element of the set ``C``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Constant({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A query/dependency variable (an element of the set ``V``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Null:
+    """A labeled null (an element of the set ``N``).
+
+    Nulls are created by the chase as fresh witnesses for existential
+    variables.  They are identified by an integer id; use :class:`NullFactory`
+    to mint fresh ones deterministically.
+    """
+
+    ident: int
+
+    def __str__(self) -> str:
+        return f"_:n{self.ident}"
+
+    def __repr__(self) -> str:
+        return f"Null({self.ident})"
+
+
+Term = Union[Constant, Variable, Null]
+
+
+class NullFactory:
+    """Deterministic supplier of fresh labeled nulls.
+
+    Each chase run owns its own factory so that independent runs produce
+    identical null ids, keeping chase output reproducible bit-for-bit.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+
+    def fresh(self) -> Null:
+        """Return a null that has not been handed out by this factory."""
+        return Null(next(self._counter))
+
+
+def is_constant(term: Term) -> bool:
+    """Return True iff *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def is_variable(term: Term) -> bool:
+    """Return True iff *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_null(term: Term) -> bool:
+    """Return True iff *term* is a :class:`Null`."""
+    return isinstance(term, Null)
+
+
+def variables_of(terms) -> set:
+    """Collect the :class:`Variable` terms occurring in an iterable."""
+    return {t for t in terms if isinstance(t, Variable)}
+
+
+def constants_of(terms) -> set:
+    """Collect the :class:`Constant` terms occurring in an iterable."""
+    return {t for t in terms if isinstance(t, Constant)}

@@ -1,0 +1,255 @@
+"""Tuple-generating dependencies (tgds), a.k.a. existential rules.
+
+A tgd (Section 2, eq. (2)) is a sentence
+``∀x̄∀ȳ (φ(x̄, ȳ) → ∃z̄ ψ(x̄, z̄))`` with φ, ψ conjunctions of atoms.  The
+body may be empty (*fact tgd*, written ``⊤ → ∃z̄ ψ``).  Frontier variables x̄
+are those shared between body and head; z̄ are the existential variables.
+
+The module also provides:
+
+* normalization to single-head-atom form (splitting a multi-atom head
+  through an auxiliary predicate, the standard transformation cited around
+  Section 5 of the paper),
+* the predicate graph of a set of tgds (used by non-recursiveness),
+* structural measures (``sch(Σ)``, ``||Σ||``, max body size) used by the
+  complexity bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from .atoms import Atom, variables_of_atoms
+from .schema import Schema
+from .terms import Constant, Term, Variable
+
+
+class TGDError(ValueError):
+    """Raised on malformed tgds (e.g., variables out of thin air)."""
+
+
+@dataclass(frozen=True)
+class TGD:
+    """An immutable tgd ``body → ∃(existential vars) head``."""
+
+    body: Tuple[Atom, ...]
+    head: Tuple[Atom, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        object.__setattr__(self, "head", tuple(self.head))
+        if not self.head:
+            raise TGDError("tgd must have a non-empty head")
+
+    # -- variable structure ------------------------------------------------
+
+    def body_variables(self) -> Set[Variable]:
+        """Variables occurring in the body."""
+        return variables_of_atoms(self.body)
+
+    def head_variables(self) -> Set[Variable]:
+        """Variables occurring in the head."""
+        return variables_of_atoms(self.head)
+
+    def frontier(self) -> Set[Variable]:
+        """x̄: variables shared between body and head."""
+        return self.body_variables() & self.head_variables()
+
+    def existential_variables(self) -> Set[Variable]:
+        """z̄: head variables that do not occur in the body."""
+        return self.head_variables() - self.body_variables()
+
+    def variables(self) -> Set[Variable]:
+        """All variables of the tgd."""
+        return self.body_variables() | self.head_variables()
+
+    def constants(self) -> Set[Constant]:
+        """All constants of the tgd."""
+        out: Set[Constant] = set()
+        for a in self.body + self.head:
+            out.update(a.constants())
+        return out
+
+    # -- classification helpers --------------------------------------------
+
+    def is_fact_tgd(self) -> bool:
+        """True iff the body is empty (``⊤ → ...``)."""
+        return not self.body
+
+    def is_full(self) -> bool:
+        """True iff there are no existential variables."""
+        return not self.existential_variables()
+
+    def is_lossless(self) -> bool:
+        """True iff every body variable also occurs in the head.
+
+        Lossless tgds are trivially sticky (used by Proposition 35).
+        """
+        return self.body_variables() <= self.head_variables()
+
+    def guard_candidates(self) -> Tuple[Atom, ...]:
+        """Body atoms containing *all* body variables (possible guards)."""
+        body_vars = self.body_variables()
+        return tuple(a for a in self.body if body_vars <= a.variables())
+
+    # -- measures ------------------------------------------------------------
+
+    def predicates(self) -> Set[str]:
+        """Predicates occurring anywhere in the tgd."""
+        return {a.predicate for a in self.body + self.head}
+
+    def body_predicates(self) -> Set[str]:
+        return {a.predicate for a in self.body}
+
+    def head_predicates(self) -> Set[str]:
+        return {a.predicate for a in self.head}
+
+    def size(self) -> int:
+        """``||τ||``: number of symbols (predicates + argument slots)."""
+        return sum(1 + a.arity for a in self.body + self.head)
+
+    # -- hygiene ----------------------------------------------------------
+
+    def rename(self, mapping: Mapping[Variable, Term]) -> "TGD":
+        """Apply a variable substitution to body and head."""
+        return TGD(
+            tuple(a.substitute(mapping) for a in self.body),
+            tuple(a.substitute(mapping) for a in self.head),
+            self.name,
+        )
+
+    def rename_apart(self, taken: Iterable[Variable], suffix: str = "_t") -> "TGD":
+        """Rename this tgd's variables away from *taken*."""
+        taken_names = {v.name for v in taken}
+        mapping: Dict[Variable, Variable] = {}
+        for v in sorted(self.variables(), key=lambda v: v.name):
+            if v.name in taken_names:
+                fresh = v.name + suffix
+                k = 0
+                while fresh in taken_names:
+                    k += 1
+                    fresh = f"{v.name}{suffix}{k}"
+                mapping[v] = Variable(fresh)
+                taken_names.add(fresh)
+        return self.rename(mapping) if mapping else self
+
+    def with_indexed_variables(self, index: int) -> "TGD":
+        """σ^i of the appendix: every variable x becomes x^i (fresh copy)."""
+        mapping = {
+            v: Variable(f"{v.name}#{index}")
+            for v in self.variables()
+        }
+        return self.rename(mapping)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self.body) if self.body else "⊤"
+        head = ", ".join(str(a) for a in self.head)
+        ex = self.existential_variables()
+        prefix = (
+            "∃" + ",".join(sorted(v.name for v in ex)) + " " if ex else ""
+        )
+        return f"{body} → {prefix}{head}"
+
+    def __repr__(self) -> str:
+        return f"TGD(body={self.body!r}, head={self.head!r})"
+
+
+def tgd(body: Sequence[Atom], head: Sequence[Atom], name: str = "") -> TGD:
+    """Convenience constructor."""
+    return TGD(tuple(body), tuple(head), name)
+
+
+# ---------------------------------------------------------------------------
+# Sets of tgds
+# ---------------------------------------------------------------------------
+
+
+def sch(sigma: Iterable[TGD]) -> Schema:
+    """``sch(Σ)``: the schema of all predicates occurring in Σ."""
+    atoms: List[Atom] = []
+    for t in sigma:
+        atoms.extend(t.body)
+        atoms.extend(t.head)
+    return Schema.from_atoms(atoms)
+
+
+def total_size(sigma: Iterable[TGD]) -> int:
+    """``||Σ||``: the number of symbols occurring in Σ."""
+    return sum(t.size() for t in sigma)
+
+
+def max_body_size(sigma: Iterable[TGD]) -> int:
+    """``max_τ |body(τ)|`` over Σ (0 for an empty set)."""
+    return max((len(t.body) for t in sigma), default=0)
+
+
+def constants_of_tgds(sigma: Iterable[TGD]) -> Set[Constant]:
+    """``C(Σ)``: the constants occurring in Σ."""
+    out: Set[Constant] = set()
+    for t in sigma:
+        out.update(t.constants())
+    return out
+
+
+def predicate_graph(sigma: Sequence[TGD]) -> Dict[str, Set[str]]:
+    """The predicate graph of Σ.
+
+    There is an edge R → P iff some tgd has R in its body and P in its head
+    (this is the graph whose acyclicity defines non-recursiveness).  Fact
+    tgds contribute no edges.
+    """
+    edges: Dict[str, Set[str]] = {p: set() for t in sigma for p in t.predicates()}
+    for t in sigma:
+        for r in t.body_predicates():
+            edges[r].update(t.head_predicates())
+    return edges
+
+
+def normalize_single_head(
+    sigma: Sequence[TGD], aux_prefix: str = "AuxH"
+) -> List[TGD]:
+    """Rewrite Σ so every tgd has exactly one head atom.
+
+    A tgd ``φ → ∃z̄ (α1 ∧ ... ∧ αk)`` with k ≥ 2 becomes::
+
+        φ → ∃z̄ Aux(w̄)          where w̄ lists frontier ∪ z̄
+        Aux(w̄) → αi             for each i
+
+    The transformation preserves certain answers over the original schema
+    (the auxiliary predicate is fresh) and preserves guardedness and
+    linearity of the *relevant* fragments: the first rule's head is a single
+    atom, and each continuation rule is linear with the Aux atom as guard.
+    """
+    out: List[TGD] = []
+    counter = 0
+    for t in sigma:
+        if len(t.head) == 1:
+            out.append(t)
+            continue
+        shared = sorted(t.frontier() | t.existential_variables(), key=lambda v: v.name)
+        constants = sorted(
+            {c for a in t.head for c in a.constants()}, key=lambda c: c.name
+        )
+        aux_args: Tuple[Term, ...] = tuple(shared) + tuple(constants)
+        aux_name = f"{aux_prefix}{counter}"
+        counter += 1
+        aux = Atom(aux_name, aux_args)
+        out.append(TGD(t.body, (aux,), f"{t.name}:split"))
+        for i, head_atom in enumerate(t.head):
+            out.append(TGD((aux,), (head_atom,), f"{t.name}:head{i}"))
+    return out
+
+
+def rename_set_apart(sigma: Sequence[TGD]) -> List[TGD]:
+    """Give every tgd in Σ pairwise-disjoint variables.
+
+    The sticky marking procedure (appendix, Definition 4) assumes tgds do
+    not share variables; this normalization enforces that.
+    """
+    out: List[TGD] = []
+    for i, t in enumerate(sigma):
+        mapping = {v: Variable(f"{v.name}@{i}") for v in t.variables()}
+        out.append(t.rename(mapping))
+    return out

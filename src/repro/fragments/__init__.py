@@ -1,0 +1,65 @@
+"""Syntactic classifiers for the decidable tgd fragments of the paper."""
+
+from .classify import best_class, classify, classify_omq, is_in_language
+from .full import is_full, is_full_non_recursive
+from .guarded import (
+    guard_of,
+    is_guarded,
+    is_guarded_tgd,
+    is_linear,
+    is_linear_tgd,
+    unguarded_tgds,
+    uses_only_low_arity,
+)
+from .nonrecursive import (
+    find_predicate_cycle,
+    is_non_recursive,
+    predicate_depth,
+    predicate_levels,
+    stratification,
+)
+from .sticky import (
+    is_lossless,
+    is_sticky,
+    marked_variables,
+    sticky_violations,
+)
+from .weak import (
+    affected_positions,
+    dependency_graph,
+    infinite_rank_positions,
+    is_weakly_acyclic,
+    is_weakly_guarded,
+    is_weakly_sticky,
+)
+
+__all__ = [
+    "best_class",
+    "classify",
+    "classify_omq",
+    "dependency_graph",
+    "find_predicate_cycle",
+    "guard_of",
+    "is_full",
+    "is_full_non_recursive",
+    "is_guarded",
+    "is_guarded_tgd",
+    "is_in_language",
+    "is_linear",
+    "is_linear_tgd",
+    "is_lossless",
+    "is_non_recursive",
+    "is_sticky",
+    "affected_positions",
+    "infinite_rank_positions",
+    "is_weakly_acyclic",
+    "is_weakly_guarded",
+    "is_weakly_sticky",
+    "marked_variables",
+    "predicate_depth",
+    "predicate_levels",
+    "stratification",
+    "sticky_violations",
+    "unguarded_tgds",
+    "uses_only_low_arity",
+]

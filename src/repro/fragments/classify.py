@@ -1,0 +1,72 @@
+"""Automatic fragment classification of tgd sets and OMQs.
+
+``classify`` reports *every* class of Table 1 a set of tgds belongs to;
+``best_class`` picks the most favourable one for containment purposes, in
+the order the paper's procedures prefer them: empty < linear <
+non-recursive < sticky < guarded < full < arbitrary (UCQ-rewritable classes
+first, since their containment procedures are exact).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from ..core.omq import OMQ, TGDClass
+from ..core.tgd import TGD
+from .full import is_full, is_full_non_recursive
+from .guarded import is_guarded, is_linear
+from .nonrecursive import is_non_recursive
+from .sticky import is_sticky
+
+
+def classify(sigma: Sequence[TGD]) -> Set[TGDClass]:
+    """All classes of the paper that Σ belongs to."""
+    classes: Set[TGDClass] = {TGDClass.ARBITRARY}
+    if not sigma:
+        classes.add(TGDClass.EMPTY)
+    if is_linear(sigma):
+        classes.add(TGDClass.LINEAR)
+    if is_guarded(sigma):
+        classes.add(TGDClass.GUARDED)
+    if is_non_recursive(sigma):
+        classes.add(TGDClass.NON_RECURSIVE)
+    if is_sticky(sigma):
+        classes.add(TGDClass.STICKY)
+    if is_full(sigma):
+        classes.add(TGDClass.FULL)
+    if is_full_non_recursive(sigma):
+        classes.add(TGDClass.FULL_NON_RECURSIVE)
+    return classes
+
+
+#: Preference order for choosing a decision procedure: exact (UCQ-rewritable)
+#: classes first, cheapest witness bounds first.
+_PREFERENCE = (
+    TGDClass.EMPTY,
+    TGDClass.LINEAR,
+    TGDClass.FULL_NON_RECURSIVE,
+    TGDClass.NON_RECURSIVE,
+    TGDClass.STICKY,
+    TGDClass.GUARDED,
+    TGDClass.FULL,
+    TGDClass.ARBITRARY,
+)
+
+
+def best_class(sigma: Sequence[TGD]) -> TGDClass:
+    """The most favourable class of Σ for containment checking."""
+    classes = classify(sigma)
+    for candidate in _PREFERENCE:
+        if candidate in classes:
+            return candidate
+    return TGDClass.ARBITRARY  # pragma: no cover - ARBITRARY always present
+
+
+def classify_omq(q: OMQ) -> Set[TGDClass]:
+    """All classes the OMQ's ontology belongs to."""
+    return classify(q.sigma)
+
+
+def is_in_language(q: OMQ, cls: TGDClass) -> bool:
+    """Does the OMQ fall in the language (cls, (U)CQ)?"""
+    return cls in classify(q.sigma)

@@ -1,0 +1,24 @@
+"""Full tgds (the class F) and full non-recursive tgds (FNR).
+
+Full tgds have no existential variables; they are exactly Datalog rules.
+The paper uses F for the undecidability boundary (Proposition 8: containment
+of Datalog is undecidable) and FNR inside the coNExpTime-hardness proof of
+Theorem 19 (via Theorem 34).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.tgd import TGD
+from .nonrecursive import is_non_recursive
+
+
+def is_full(sigma: Iterable[TGD]) -> bool:
+    """True iff no tgd has existential variables (the class F / Datalog)."""
+    return all(t.is_full() for t in sigma)
+
+
+def is_full_non_recursive(sigma: Sequence[TGD]) -> bool:
+    """True iff Σ is full and non-recursive (the class FNR)."""
+    return is_full(sigma) and is_non_recursive(sigma)

@@ -1,0 +1,63 @@
+"""Guardedness and linearity (Section 2).
+
+A tgd is *guarded* if its body contains an atom — the guard — mentioning all
+body variables; it is *linear* if the body is a single atom (so linear ⊆
+guarded).  Fact tgds (empty body) are vacuously guarded and linear, matching
+the paper's assumption that every reasonable class is closed under fact-tgd
+extension (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..core.atoms import Atom
+from ..core.tgd import TGD
+
+
+def guard_of(rule: TGD) -> Optional[Atom]:
+    """The (deterministically chosen) guard of a tgd, or None.
+
+    Among all body atoms containing every body variable we return the
+    lexicographically least, so repeated calls agree.
+    """
+    candidates = rule.guard_candidates()
+    if not candidates:
+        return None
+    return min(candidates, key=str)
+
+
+def is_guarded_tgd(rule: TGD) -> bool:
+    """True iff the tgd has a guard (fact tgds are vacuously guarded)."""
+    return not rule.body or guard_of(rule) is not None
+
+
+def is_guarded(sigma: Iterable[TGD]) -> bool:
+    """True iff every tgd in Σ is guarded (the class G)."""
+    return all(is_guarded_tgd(t) for t in sigma)
+
+
+def is_linear_tgd(rule: TGD) -> bool:
+    """True iff the body consists of at most one atom."""
+    return len(rule.body) <= 1
+
+
+def is_linear(sigma: Iterable[TGD]) -> bool:
+    """True iff every tgd in Σ is linear (the class L ⊆ G)."""
+    return all(is_linear_tgd(t) for t in sigma)
+
+
+def unguarded_tgds(sigma: Sequence[TGD]) -> list:
+    """The tgds of Σ without a guard (diagnostics for error messages)."""
+    return [t for t in sigma if not is_guarded_tgd(t)]
+
+
+def uses_only_low_arity(sigma: Sequence[TGD], max_arity: int = 2) -> bool:
+    """True iff all predicates of Σ have arity ≤ *max_arity*.
+
+    The class G₂ of Section 7.2 is guarded tgds over unary and binary
+    relations; this predicate checks the arity side of that definition.
+    """
+    return all(
+        a.arity <= max_arity for t in sigma for a in t.body + t.head
+    )

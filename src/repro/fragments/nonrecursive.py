@@ -1,0 +1,146 @@
+"""Non-recursive (acyclic) sets of tgds (Section 2 and appendix Lemma 32).
+
+A set Σ is *non-recursive* iff its predicate graph — the directed graph with
+an edge R → P whenever some tgd has R in its body and P in its head — is
+acyclic.  Equivalently (Lemma 32, for single-head tgds) Σ admits a
+*stratification*: a partition Σ1, ..., Σn with a level function
+µ : sch(Σ) → {0, ..., n} such that all tgds with head predicate R live in
+Σ_{µ(R)} and µ(body predicate) < µ(head predicate) for every tgd.
+
+Non-recursiveness guarantees chase termination and therefore decidability of
+evaluation (Proposition 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.tgd import TGD, predicate_graph
+
+
+def is_non_recursive(sigma: Sequence[TGD]) -> bool:
+    """True iff the predicate graph of Σ is acyclic (the class NR)."""
+    return find_predicate_cycle(sigma) is None
+
+
+def find_predicate_cycle(sigma: Sequence[TGD]) -> Optional[List[str]]:
+    """A cycle in the predicate graph as a list of predicates, or None."""
+    graph = predicate_graph(sigma)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    colour: Dict[str, int] = {p: WHITE for p in graph}
+    stack_path: List[str] = []
+
+    def visit(node: str) -> Optional[List[str]]:
+        colour[node] = GRAY
+        stack_path.append(node)
+        for succ in sorted(graph[node]):
+            if colour[succ] == GRAY:
+                i = stack_path.index(succ)
+                return stack_path[i:] + [succ]
+            if colour[succ] == WHITE:
+                found = visit(succ)
+                if found is not None:
+                    return found
+        colour[node] = BLACK
+        stack_path.pop()
+        return None
+
+    for start in sorted(graph):
+        if colour[start] == WHITE:
+            found = visit(start)
+            if found is not None:
+                return found
+    return None
+
+
+def predicate_levels(sigma: Sequence[TGD]) -> Dict[str, int]:
+    """The canonical stratification function µ (longest-path levels).
+
+    µ(P) is 0 if nothing derives P, else 1 + max µ over body predicates of
+    tgds deriving P.  Head predicates sharing a tgd are merged onto the same
+    level (needed for multi-head tgds to honour Definition 3's condition 1).
+    Raises ValueError if Σ is recursive.
+    """
+    if not is_non_recursive(sigma):
+        raise ValueError("predicate levels undefined: Σ is recursive")
+    predicates: Set[str] = set()
+    for t in sigma:
+        predicates.update(t.predicates())
+    # Merge head predicates of the same tgd (union-find).
+    parent: Dict[str, str] = {p: p for p in predicates}
+
+    def find(p: str) -> str:
+        while parent[p] != p:
+            parent[p] = parent[parent[p]]
+            p = parent[p]
+        return p
+
+    def union(p: str, q: str) -> None:
+        rp, rq = find(p), find(q)
+        if rp != rq:
+            parent[max(rp, rq)] = min(rp, rq)
+
+    for t in sigma:
+        heads = sorted(t.head_predicates())
+        for h in heads[1:]:
+            union(heads[0], h)
+
+    # Quotient graph on representatives.
+    edges: Dict[str, Set[str]] = {find(p): set() for p in predicates}
+    for t in sigma:
+        for b in t.body_predicates():
+            for h in t.head_predicates():
+                edges[find(b)].add(find(h))
+
+    levels: Dict[str, int] = {}
+
+    def level(rep: str, trail: Tuple[str, ...] = ()) -> int:
+        if rep in levels:
+            return levels[rep]
+        if rep in trail:
+            raise ValueError(
+                "head-merged predicate graph is cyclic; Σ is not stratifiable"
+            )
+        incoming = [
+            r for r, succs in edges.items() if rep in succs and r != rep
+        ]
+        if rep in edges.get(rep, ()):  # self-loop
+            raise ValueError("self-recursive predicate; Σ is not stratifiable")
+        value = (
+            0
+            if not incoming
+            else 1 + max(level(r, trail + (rep,)) for r in incoming)
+        )
+        levels[rep] = value
+        return value
+
+    for rep in sorted(edges):
+        level(rep)
+    return {p: levels[find(p)] for p in predicates}
+
+
+def stratification(sigma: Sequence[TGD]) -> List[List[TGD]]:
+    """A stratification Σ1, ..., Σn of Σ (Definition 3 / Lemma 32).
+
+    Stratum i contains the tgds whose head predicates sit at level i of µ.
+    Fact tgds (no body) land at the level of their head predicate.
+    """
+    mu = predicate_levels(sigma)
+    max_level = max(mu.values(), default=0)
+    strata: List[List[TGD]] = [[] for _ in range(max_level + 1)]
+    for t in sigma:
+        head_levels = {mu[p] for p in t.head_predicates()}
+        if len(head_levels) != 1:  # pragma: no cover - prevented by merging
+            raise ValueError(f"tgd heads span several strata: {t}")
+        strata[head_levels.pop()].append(t)
+    return [s for s in strata if s]
+
+
+def predicate_depth(sigma: Sequence[TGD]) -> int:
+    """The depth of the predicate graph (longest derivation chain).
+
+    This is the ``n ≤ |sch(Σ)|`` that exponentiates in the f_NR bound of
+    Proposition 14.
+    """
+    mu = predicate_levels(sigma)
+    return max(mu.values(), default=0)

@@ -1,0 +1,130 @@
+"""Sticky sets of tgds: the marking procedure (appendix, Definitions 4–5).
+
+Stickiness captures joins that guarded tgds cannot express, without forcing
+chase termination.  The definition marks body variables that may violate the
+semantic "stick to every inferred atom" property:
+
+* **Base step** — a body variable of τ is marked if some head atom of τ
+  omits it.
+* **Inductive step** — marking propagates from head to body: if a head atom
+  α of τ contains x, and some tgd τ' has a body atom β over the same
+  predicate whose variables at the positions ``pos(α, x)`` are all marked,
+  then x is marked.
+
+Σ is *sticky* iff no tgd contains two occurrences of a marked variable in
+its body.  Figure 1 of the paper illustrates the procedure; the test suite
+reproduces it literally.
+
+The definition assumes tgds do not share variables; we rename apart
+internally, so callers may pass any set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..core.terms import Variable
+from ..core.tgd import TGD, rename_set_apart
+
+
+#: A marked occurrence: (index of the tgd in Σ, the body variable).
+MarkedVariable = Tuple[int, Variable]
+
+
+def marked_variables(sigma: Sequence[TGD]) -> Set[MarkedVariable]:
+    """Run the marking fixpoint and return the marked (tgd, variable) pairs.
+
+    Indices refer to positions in *sigma* as given.
+    """
+    renamed = rename_set_apart(sigma)
+    marked: Set[Tuple[int, Variable]] = set()
+
+    # Base step: variable in body of τ missing from some head atom of τ.
+    for i, rule in enumerate(renamed):
+        for x in rule.body_variables():
+            if any(x not in a.variables() for a in rule.head):
+                marked.add((i, x))
+
+    # Inductive step, to fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for i, rule in enumerate(renamed):
+            for x in rule.body_variables():
+                if (i, x) in marked:
+                    continue
+                if _propagates(renamed, i, x, marked):
+                    marked.add((i, x))
+                    changed = True
+    return marked
+
+
+def _propagates(
+    sigma: Sequence[TGD],
+    i: int,
+    x: Variable,
+    marked: Set[Tuple[int, Variable]],
+) -> bool:
+    """Does Definition 4's inductive condition mark x (a body var of σ_i)?
+
+    Convention on constants: a constant occurring in β at a position of
+    ``pos(α, x)`` *blocks* the propagation through β.  This is the reading
+    required for Proposition 35 ("lossless sets of tgds are sticky") to
+    hold — lossless rules never drop a value, so nothing may end up
+    marked; the vacuous reading would mark join variables through
+    constant-padded atoms and falsely reject lossless sets.
+    """
+    rule = sigma[i]
+    for alpha in rule.head:
+        positions = alpha.positions_of(x)
+        if not positions:
+            continue
+        for j, other in enumerate(sigma):
+            for beta in other.body:
+                if beta.predicate != alpha.predicate:
+                    continue
+                if beta.arity != alpha.arity:
+                    continue
+                if all(
+                    isinstance(beta.args[p], Variable)
+                    and (j, beta.args[p]) in marked
+                    for p in positions
+                ):
+                    return True
+    return False
+
+
+def sticky_violations(sigma: Sequence[TGD]) -> List[Tuple[int, Variable]]:
+    """The (tgd index, variable) pairs witnessing non-stickiness.
+
+    A violation is a *marked* body variable occurring more than once in the
+    body of its tgd (Definition 5).  Variables are reported under their
+    renamed-apart identity's original name where possible.
+    """
+    renamed = rename_set_apart(sigma)
+    marked = marked_variables(sigma)
+    violations: List[Tuple[int, Variable]] = []
+    for i, rule in enumerate(renamed):
+        counts: Dict[Variable, int] = {}
+        for a in rule.body:
+            for t in a.args:
+                if isinstance(t, Variable):
+                    counts[t] = counts.get(t, 0) + 1
+        for x, c in counts.items():
+            if c > 1 and (i, x) in marked:
+                violations.append((i, x))
+    return violations
+
+
+def is_sticky(sigma: Sequence[TGD]) -> bool:
+    """True iff Σ is sticky (the class S)."""
+    return not sticky_violations(sigma)
+
+
+def is_lossless(sigma: Sequence[TGD]) -> bool:
+    """True iff every tgd is lossless (all body variables occur in the head).
+
+    The appendix (proof of Theorem 19, step 2) uses that sets of lossless
+    tgds are sticky; Proposition 35 produces exactly such sets.
+    """
+    return all(t.is_lossless() for t in sigma)

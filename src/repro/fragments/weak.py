@@ -1,0 +1,224 @@
+"""Weakly acyclic sets of tgds (Fagin et al. [35]).
+
+The paper mentions the *weak* relaxations (weakly guarded, weakly acyclic,
+weakly sticky) only to rule their containment problems out via Proposition 8
+— they all extend full tgds.  We still implement weak acyclicity because it
+is the standard chase-termination guarantee and lets the library decide,
+ahead of time, whether an arbitrary ontology admits a terminating chase.
+
+The dependency graph has a node for every *position* ``R[i]`` of ``sch(Σ)``.
+For every tgd and every frontier variable x occurring at body position p:
+
+* a **regular edge** p → q for every head position q where x occurs,
+* a **special edge** p ⇒ q for every head position q holding an
+  existential variable of the same tgd's head atom.
+
+Σ is weakly acyclic iff no cycle goes through a special edge; the chase then
+terminates on every database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..core.terms import Variable
+from ..core.tgd import TGD
+
+Position = Tuple[str, int]
+
+
+def dependency_graph(
+    sigma: Sequence[TGD],
+) -> Tuple[Set[Tuple[Position, Position]], Set[Tuple[Position, Position]]]:
+    """The (regular, special) edge sets of the dependency graph of Σ."""
+    regular: Set[Tuple[Position, Position]] = set()
+    special: Set[Tuple[Position, Position]] = set()
+    for rule in sigma:
+        existentials = rule.existential_variables()
+        body_positions: Dict[Variable, List[Position]] = {}
+        for a in rule.body:
+            for i, t in enumerate(a.args):
+                if isinstance(t, Variable):
+                    body_positions.setdefault(t, []).append((a.predicate, i))
+        for x, sources in body_positions.items():
+            if x not in rule.head_variables():
+                continue
+            for a in rule.head:
+                for i, t in enumerate(a.args):
+                    target = (a.predicate, i)
+                    if t == x:
+                        for p in sources:
+                            regular.add((p, target))
+                    elif isinstance(t, Variable) and t in existentials:
+                        if x in a.variables() or any(
+                            x in h.variables() for h in rule.head
+                        ):
+                            for p in sources:
+                                special.add((p, target))
+    return regular, special
+
+
+def affected_positions(sigma: Sequence[TGD]) -> Set[Position]:
+    """The *affected* positions of Σ (Calì–Gottlob–Kifer [24]).
+
+    A position may host labeled nulls during the chase iff it is affected:
+    either an existential variable occurs there in some head, or a frontier
+    variable occurs there in some head while *all* of its body occurrences
+    sit at affected positions.  Computed as a least fixpoint.
+    """
+    affected: Set[Position] = set()
+    for rule in sigma:
+        existentials = rule.existential_variables()
+        for a in rule.head:
+            for i, t in enumerate(a.args):
+                if isinstance(t, Variable) and t in existentials:
+                    affected.add((a.predicate, i))
+    changed = True
+    while changed:
+        changed = False
+        for rule in sigma:
+            body_positions: Dict[Variable, List[Position]] = {}
+            for a in rule.body:
+                for i, t in enumerate(a.args):
+                    if isinstance(t, Variable):
+                        body_positions.setdefault(t, []).append(
+                            (a.predicate, i)
+                        )
+            for a in rule.head:
+                for i, t in enumerate(a.args):
+                    if not isinstance(t, Variable):
+                        continue
+                    target = (a.predicate, i)
+                    if target in affected:
+                        continue
+                    occurrences = body_positions.get(t)
+                    if occurrences and all(
+                        p in affected for p in occurrences
+                    ):
+                        affected.add(target)
+                        changed = True
+    return affected
+
+
+def is_weakly_guarded(sigma: Sequence[TGD]) -> bool:
+    """Weak guardedness [24]: guard only the *harmful* body variables.
+
+    A body variable is harmful if all of its body occurrences are at
+    affected positions (so it may be bound to a null); a tgd is weakly
+    guarded if some body atom contains all its harmful variables.  Every
+    guarded set is weakly guarded; weakly guarded sets extend full tgds,
+    which is why their containment problem is undecidable (Prop 8).
+    """
+    affected = affected_positions(sigma)
+    for rule in sigma:
+        if not rule.body:
+            continue
+        harmful: Set[Variable] = set()
+        positions_of: Dict[Variable, List[Position]] = {}
+        for a in rule.body:
+            for i, t in enumerate(a.args):
+                if isinstance(t, Variable):
+                    positions_of.setdefault(t, []).append((a.predicate, i))
+        for v, occurrences in positions_of.items():
+            if all(p in affected for p in occurrences):
+                harmful.add(v)
+        if not harmful:
+            continue
+        if not any(harmful <= a.variables() for a in rule.body):
+            return False
+    return True
+
+
+def infinite_rank_positions(sigma: Sequence[TGD]) -> Set[Position]:
+    """Positions of infinite rank in the dependency graph.
+
+    A position has infinite rank iff it is reachable from a cycle that
+    traverses a special edge — the positions where unboundedly many nulls
+    may accumulate.  Weak acyclicity ⟺ no such position exists.
+    """
+    regular, special = dependency_graph(sigma)
+    edges = regular | special
+    nodes: Set[Position] = set()
+    adjacency: Dict[Position, Set[Position]] = {}
+    for p, q in edges:
+        nodes.update((p, q))
+        adjacency.setdefault(p, set()).add(q)
+
+    def reachable_from(start: Position) -> Set[Position]:
+        seen: Set[Position] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency.get(node, ()))
+        return seen
+
+    infinite: Set[Position] = set()
+    for p, q in special:
+        # The special edge p ⇒ q lies on a cycle iff q reaches p; then
+        # everything reachable from q has infinite rank.
+        descendants = reachable_from(q)
+        if p in descendants:
+            infinite.update(descendants)
+    return infinite
+
+
+def is_weakly_sticky(sigma: Sequence[TGD]) -> bool:
+    """Weak stickiness [27]: marked repeated variables need a finite-rank spot.
+
+    Σ is weakly sticky if for every tgd and every variable occurring more
+    than once in its body, the variable is non-marked, or at least one of
+    its occurrences is at a position of finite rank.  Extends both sticky
+    and weakly acyclic sets (and full tgds — hence undecidable containment,
+    Prop 8).
+    """
+    from .sticky import marked_variables
+
+    infinite = infinite_rank_positions(sigma)
+    from ..core.tgd import rename_set_apart
+
+    renamed = rename_set_apart(sigma)
+    marked = marked_variables(sigma)
+    for i, rule in enumerate(renamed):
+        positions_of: Dict[Variable, List[Position]] = {}
+        counts: Dict[Variable, int] = {}
+        for a in rule.body:
+            for j, t in enumerate(a.args):
+                if isinstance(t, Variable):
+                    counts[t] = counts.get(t, 0) + 1
+                    positions_of.setdefault(t, []).append((a.predicate, j))
+        for v, c in counts.items():
+            if c <= 1 or (i, v) not in marked:
+                continue
+            if all(p in infinite for p in positions_of[v]):
+                return False
+    return True
+
+
+def is_weakly_acyclic(sigma: Sequence[TGD]) -> bool:
+    """True iff no cycle of the dependency graph uses a special edge."""
+    regular, special = dependency_graph(sigma)
+    nodes: Set[Position] = set()
+    for p, q in regular | special:
+        nodes.update((p, q))
+    adjacency: Dict[Position, Set[Position]] = {n: set() for n in nodes}
+    for p, q in regular | special:
+        adjacency[p].add(q)
+
+    # A special edge p ⇒ q lies on a cycle iff q can reach p.
+    def reaches(src: Position, dst: Position) -> bool:
+        seen: Set[Position] = set()
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency.get(node, ()))
+        return False
+
+    return not any(reaches(q, p) for p, q in special)

@@ -1,0 +1,31 @@
+"""Synthetic workload generators for the benchmark harness."""
+
+from .databases import (
+    chain_database,
+    disjoint_union,
+    random_database,
+    star_database,
+)
+from .ontologies import (
+    guarded_acyclic,
+    guarded_reachability,
+    linear_chain,
+    linear_witness_family,
+    non_recursive_doubling,
+    sticky_arity_family,
+    sticky_recursive_family,
+)
+
+__all__ = [
+    "chain_database",
+    "disjoint_union",
+    "guarded_acyclic",
+    "guarded_reachability",
+    "linear_chain",
+    "linear_witness_family",
+    "non_recursive_doubling",
+    "random_database",
+    "sticky_arity_family",
+    "sticky_recursive_family",
+    "star_database",
+]

@@ -1,0 +1,60 @@
+"""Synthetic database generators (seeded, deterministic)."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..core.atoms import Atom
+from ..core.instance import Instance
+from ..core.schema import Schema
+from ..core.terms import Constant
+
+
+def random_database(
+    schema: Schema,
+    n_constants: int,
+    n_atoms: int,
+    seed: int = 0,
+) -> Instance:
+    """A random database over *schema* with the given sizes."""
+    rng = random.Random(seed)
+    constants = [Constant(f"c{i}") for i in range(n_constants)]
+    predicates = schema.predicates()
+    atoms: List[Atom] = []
+    guard = 0
+    while len(set(atoms)) < n_atoms and guard < 50 * n_atoms:
+        guard += 1
+        p = rng.choice(predicates)
+        args = tuple(rng.choice(constants) for _ in range(schema.arity(p)))
+        atoms.append(Atom(p, args))
+    return Instance.of(atoms)
+
+
+def chain_database(predicate: str, length: int, prefix: str = "n") -> Instance:
+    """A path ``R(n0,n1), R(n1,n2), ...`` of the given length."""
+    return Instance.of(
+        Atom(predicate, (Constant(f"{prefix}{i}"), Constant(f"{prefix}{i+1}")))
+        for i in range(length)
+    )
+
+
+def star_database(
+    predicate: str, spokes: int, center: str = "hub"
+) -> Instance:
+    """A star ``R(hub, s_i)`` with the given number of spokes."""
+    c = Constant(center)
+    return Instance.of(
+        Atom(predicate, (c, Constant(f"s{i}"))) for i in range(spokes)
+    )
+
+
+def disjoint_union(parts: Sequence[Instance], prefix: str = "p") -> Instance:
+    """A database with one renamed-apart copy of each part (components)."""
+    atoms: List[Atom] = []
+    for i, part in enumerate(parts):
+        mapping = {
+            c: Constant(f"{prefix}{i}_{c.name}") for c in part.constants()
+        }
+        atoms.extend(part.rename(mapping).atoms)
+    return Instance.of(atoms)

@@ -1,0 +1,178 @@
+"""Parameterized ontology families for the benchmark harness.
+
+Each generator produces a family indexed by a size parameter, designed so
+that the parameter drives exactly the complexity source Table 1 attributes
+to that fragment:
+
+* linear — inclusion-dependency chains (witnesses stay polynomial);
+* non-recursive — layered AND-ontologies whose rewriting doubles per layer
+  (exponential in the number of predicates, Proposition 14);
+* sticky — arity-parameterized propagation rules (exponential only in
+  arity, Proposition 17);
+* guarded — reachability-style rules (not UCQ-rewritable at all).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.atoms import Atom
+from ..core.omq import OMQ
+from ..core.queries import CQ
+from ..core.schema import Schema
+from ..core.terms import Variable
+from ..core.tgd import TGD
+
+
+def _v(name: str) -> Variable:
+    return Variable(name)
+
+
+def linear_chain(length: int) -> OMQ:
+    """Inclusion chain ``R_0 ⊑ R_1 ⊑ ... ⊑ R_length`` with query R_length.
+
+    The data schema is {R_0/2}; each hop is a linear tgd that also rotates
+    the pair, so rewritings stay single-atom but the chain must be walked.
+    """
+    x, y = _v("x"), _v("y")
+    rules: List[TGD] = []
+    for i in range(length):
+        rules.append(
+            TGD(
+                (Atom(f"R_{i}", (x, y)),),
+                (Atom(f"R_{i+1}", (y, x)),),
+                f"hop_{i}",
+            )
+        )
+    query = CQ((x,), (Atom(f"R_{length}", (x, y)),), "q")
+    return OMQ(Schema.of(R_0=2), tuple(rules), query, f"linear_chain_{length}")
+
+
+def linear_witness_family(query_size: int) -> OMQ:
+    """Linear OMQ whose rewriting disjuncts track the query size (Prop 12).
+
+    Query: a path of ``query_size`` P-atoms; ontology: P is derivable from
+    the data relation E in one linear hop.
+    """
+    rules = [
+        TGD((Atom("E", (_v("x"), _v("y"))),), (Atom("P", (_v("x"), _v("y"))),), "load")
+    ]
+    vars_ = [_v(f"v{i}") for i in range(query_size + 1)]
+    body = tuple(
+        Atom("P", (vars_[i], vars_[i + 1])) for i in range(query_size)
+    )
+    query = CQ((), body, "q")
+    return OMQ(Schema.of(E=2), tuple(rules), query, f"linear_path_{query_size}")
+
+
+def non_recursive_doubling(layers: int) -> OMQ:
+    """A complete binary AND-tree of non-recursive rules.
+
+    Every internal node predicate is derived from two *distinct* children
+    (``N(x) ← N0(x) ∧ N1(x)``), with 2^layers distinct data-predicate
+    leaves, so the UCQ rewriting of the root has an irreducible disjunct of
+    size ``2^layers`` — rewriting size doubles per layer (Proposition 14's
+    exponential behaviour; the family whose *semantic* witness is
+    exponential in |sch(Σ)| is :func:`repro.reductions.prop18_family`).
+    """
+    x = _v("x")
+    rules: List[TGD] = []
+    leaves = []
+    for depth in range(layers):
+        for code in range(2**depth):
+            node = f"N_{depth}_{code}"
+            left = f"N_{depth+1}_{2*code}"
+            right = f"N_{depth+1}_{2*code+1}"
+            rules.append(
+                TGD(
+                    (Atom(left, (x,)), Atom(right, (x,))),
+                    (Atom(node, (x,)),),
+                    f"and_{depth}_{code}",
+                )
+            )
+    leaves = [f"N_{layers}_{code}" for code in range(2**layers)]
+    query = CQ((x,), (Atom("N_0_0", (x,)),), "q")
+    return OMQ(
+        Schema({leaf: 1 for leaf in leaves}),
+        tuple(rules),
+        query,
+        f"nr_doubling_{layers}",
+    )
+
+
+def sticky_arity_family(arity: int) -> OMQ:
+    """Sticky ontology whose data arity drives the witness bound (Prop 17).
+
+    A lossless join rule over two arity-``arity`` data relations.
+    """
+    xs = [_v(f"x{i}") for i in range(arity)]
+    ys = [_v(f"y{i}") for i in range(arity - 1)]
+    rules = [
+        TGD(
+            (
+                Atom("R", tuple(xs)),
+                Atom("P", (xs[-1],) + tuple(ys)),
+            ),
+            (Atom("J", tuple(xs) + tuple(ys)),),
+            "join",
+        )
+    ]
+    query = CQ((), (Atom("J", tuple(xs) + tuple(ys)),), "q")
+    return OMQ(
+        Schema.of(R=arity, P=arity), tuple(rules), query, f"sticky_ar{arity}"
+    )
+
+
+def sticky_recursive_family(width: int = 1) -> OMQ:
+    """A *recursive* sticky family (not linear, guarded, or non-recursive).
+
+    ``A(x,y) ∧ B_i(y,z) → C_i(x,y,z)`` and ``C_i(x,y,z) → A(y,x)``: the
+    join variable y propagates to every inferred atom (sticky), the A/C
+    recursion defeats non-recursiveness, and no body atom guards both
+    rules.  XRewrite still terminates on it thanks to query elimination.
+    """
+    x, y, z = _v("x"), _v("y"), _v("z")
+    rules: List[TGD] = []
+    schema = {"A": 2}
+    for i in range(width):
+        schema[f"B_{i}"] = 2
+        rules.append(
+            TGD(
+                (Atom("A", (x, y)), Atom(f"B_{i}", (y, z))),
+                (Atom(f"C_{i}", (x, y, z)),),
+                f"join_{i}",
+            )
+        )
+        rules.append(
+            TGD((Atom(f"C_{i}", (x, y, z)),), (Atom("A", (y, x)),), f"flip_{i}")
+        )
+    query = CQ((x,), (Atom("A", (x, y)),), "q")
+    return OMQ(Schema(schema), tuple(rules), query, f"sticky_rec_{width}")
+
+
+def guarded_reachability(marked: int = 1) -> OMQ:
+    """Guarded reachability: ``E(x,y) ∧ S(x) → S(y)`` (not UCQ rewritable)."""
+    x, y = _v("x"), _v("y")
+    rules = [
+        TGD((Atom("E", (x, y)), Atom("S", (x,))), (Atom("S", (y,)),), "reach")
+    ]
+    query = CQ((x,), (Atom("S", (x,)),), "q")
+    return OMQ(Schema.of(E=2, S=1), tuple(rules), query, "guarded_reach")
+
+
+def guarded_acyclic(depth: int) -> OMQ:
+    """A guarded but acyclic family (rewritable; exercises the exact path)."""
+    x, y = _v("x"), _v("y")
+    rules: List[TGD] = []
+    for i in range(depth):
+        rules.append(
+            TGD(
+                (Atom(f"E_{i}", (x, y)), Atom(f"M_{i}", (x,))),
+                (Atom(f"M_{i+1}", (y,)),),
+                f"step_{i}",
+            )
+        )
+    schema = {f"E_{i}": 2 for i in range(depth)}
+    schema["M_0"] = 1
+    query = CQ((x,), (Atom(f"M_{depth}", (x,)),), "q")
+    return OMQ(Schema(schema), tuple(rules), query, f"guarded_acyclic_{depth}")

@@ -1,0 +1,136 @@
+"""OMQ minimization — the query-optimization application of containment.
+
+The classical use of containment (the introduction's motivation): shrink a
+query without changing its certain answers.
+
+* :func:`minimize_query` cores each disjunct and drops disjuncts that are
+  contained, *under the shared ontology*, in another kept disjunct;
+* containment checks go through :func:`repro.containment.contains`, so the
+  procedure is exact for UCQ-rewritable ontologies and conservative (keeps
+  the disjunct) whenever a check comes back UNKNOWN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .containment.dispatch import contains
+from .containment.result import Verdict
+from .core.omq import OMQ
+from .core.queries import CQ, UCQ
+
+
+@dataclass
+class MinimizationReport:
+    """What the minimizer did, disjunct by disjunct."""
+
+    cored_atoms_removed: int = 0
+    disjuncts_dropped: Tuple[str, ...] = ()
+    checks_unknown: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"removed {self.cored_atoms_removed} redundant atoms, dropped "
+            f"{len(self.disjuncts_dropped)} subsumed disjunct(s)"
+            + (
+                f", {self.checks_unknown} check(s) undecided (kept)"
+                if self.checks_unknown
+                else ""
+            )
+        )
+
+
+def _prune_atoms_under_ontology(
+    omq: OMQ, disjunct: CQ, report: MinimizationReport, **containment_kwargs
+) -> CQ:
+    """Drop body atoms the ontology makes redundant.
+
+    Dropping an atom weakens the query (d ⊆ d' always), so d' is equivalent
+    to d under Σ iff ``(S, Σ, d') ⊆ (S, Σ, d)`` — one containment check per
+    candidate atom, pruned greedily.  E.g. with ``A(x) → B(x)`` the query
+    ``B(x) ∧ A(x)`` minimizes to ``A(x)``.
+    """
+    current = disjunct
+    changed = True
+    while changed and current.size() > 1:
+        changed = False
+        for a in sorted(current.body, key=str):
+            remaining = tuple(b for b in current.body if b != a)
+            try:
+                candidate = CQ(current.head, remaining, current.name)
+            except Exception:
+                continue  # head would become unsafe
+            verdict = contains(
+                OMQ(omq.data_schema, omq.sigma, candidate, "pruned"),
+                OMQ(omq.data_schema, omq.sigma, current, "orig"),
+                **containment_kwargs,
+            )
+            if verdict.verdict is Verdict.CONTAINED:
+                current = candidate
+                report.cored_atoms_removed += 1
+                changed = True
+                break
+            if verdict.verdict is Verdict.UNKNOWN:
+                report.checks_unknown += 1
+    return current
+
+
+def minimize_query(
+    omq: OMQ, *, ontology_aware: bool = True, **containment_kwargs
+) -> Tuple[OMQ, MinimizationReport]:
+    """An equivalent OMQ with a minimized query.
+
+    Sound for any ontology: atoms and disjuncts are only dropped on a
+    CONTAINED verdict, and coring preserves per-disjunct equivalence.
+    With ``ontology_aware`` (default) body atoms entailed by the rest of
+    the disjunct *under Σ* are pruned too.
+    """
+    report = MinimizationReport()
+    cored: List[CQ] = []
+    for d in omq.as_ucq().disjuncts:
+        c = d.core()
+        report.cored_atoms_removed += d.size() - c.size()
+        if ontology_aware and omq.sigma:
+            c = _prune_atoms_under_ontology(
+                omq, c, report, **containment_kwargs
+            )
+        cored.append(c)
+
+    kept: List[CQ] = []
+    dropped: List[str] = []
+    for candidate in cored:
+        candidate_omq = OMQ(omq.data_schema, omq.sigma, candidate, "cand")
+        subsumed = False
+        for other in kept:
+            other_omq = OMQ(omq.data_schema, omq.sigma, other, "other")
+            verdict = contains(candidate_omq, other_omq, **containment_kwargs)
+            if verdict.verdict is Verdict.CONTAINED:
+                subsumed = True
+                dropped.append(str(candidate))
+                break
+            if verdict.verdict is Verdict.UNKNOWN:
+                report.checks_unknown += 1
+        if subsumed:
+            continue
+        survivors: List[CQ] = []
+        for other in kept:
+            other_omq = OMQ(omq.data_schema, omq.sigma, other, "other")
+            verdict = contains(other_omq, candidate_omq, **containment_kwargs)
+            if verdict.verdict is Verdict.CONTAINED:
+                dropped.append(str(other))
+                continue
+            if verdict.verdict is Verdict.UNKNOWN:
+                report.checks_unknown += 1
+            survivors.append(other)
+        kept = survivors + [candidate]
+    report.disjuncts_dropped = tuple(dropped)
+
+    if len(kept) == 1 and isinstance(omq.query, CQ):
+        new_query: object = kept[0]
+    else:
+        new_query = UCQ(tuple(kept), omq.as_ucq().name)
+    return (
+        OMQ(omq.data_schema, omq.sigma, new_query, omq.name + "_min"),
+        report,
+    )

@@ -1,0 +1,47 @@
+"""The appendix constructions: reductions, gadgets, and lower-bound families."""
+
+from .eval_containment import (
+    canonical_query_of_database,
+    eval_to_containment,
+    eval_to_non_containment,
+)
+from .full_to_sticky import full_to_sticky
+from .lower_bounds import (
+    expected_witness_size,
+    minimal_satisfying_database,
+    prop18_family,
+)
+from .tiling import (
+    ETPInstance,
+    TilingInstance,
+    all_pairs,
+    equal_pairs,
+    has_solution,
+    solve_etp,
+    solve_tiling,
+)
+from .tiling_nr import etp_to_containment
+from .tiling_sticky import build_q_t, build_q_t_prime, tiling_to_containment
+from .ucq_to_cq import ucq_omq_to_cq_omq
+
+__all__ = [
+    "ETPInstance",
+    "TilingInstance",
+    "all_pairs",
+    "build_q_t",
+    "build_q_t_prime",
+    "canonical_query_of_database",
+    "equal_pairs",
+    "etp_to_containment",
+    "eval_to_containment",
+    "eval_to_non_containment",
+    "expected_witness_size",
+    "full_to_sticky",
+    "has_solution",
+    "minimal_satisfying_database",
+    "prop18_family",
+    "solve_etp",
+    "solve_tiling",
+    "tiling_to_containment",
+    "ucq_omq_to_cq_omq",
+]

@@ -1,0 +1,108 @@
+"""The evaluation ⇄ containment reductions (Propositions 5 and 6).
+
+Proposition 5: ``c̄ ∈ Q(D)`` iff ``(sch(Σ), ∅, q_{D,c̄}) ⊆ (sch(Σ), Σ, q)``
+where ``q_{D,c̄}`` turns the database into a canonical CQ (constants become
+variables, the answer tuple becomes the head).
+
+Proposition 6: ``c̄ ∈ Q(D)`` iff ``(S, Σ*_D, q*_c̄) ⊄ (S, ∅, ∃x P(x))``
+where Σ*_D renames Σ's predicates to starred copies and adds one fact tgd
+per database atom, and P is fresh — the right-hand query is unsatisfiable
+over S, so the containment fails exactly when the left-hand query is
+satisfiable, i.e., when the answer holds.
+
+Both reductions are used by the test-suite as *cross-validation oracles*:
+evaluation answers computed directly must agree with the containment
+verdicts of the reduced instances, tying the two engines together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.instance import Instance
+from ..core.omq import OMQ
+from ..core.queries import CQ
+from ..core.schema import Schema
+from ..core.terms import Constant, Term, Variable
+from ..core.tgd import TGD, sch
+
+
+def canonical_query_of_database(
+    database: Instance, answer: Sequence[Term] = (), name: str = "qD"
+) -> CQ:
+    """``q_{D,c̄}``: the database as a CQ, with c̄'s variables as the head."""
+    mapping: Dict[Term, Variable] = {}
+    for t in sorted(database.domain(), key=str):
+        if isinstance(t, Constant):
+            mapping[t] = Variable(f"x_{t.name}")
+    body = tuple(
+        a.substitute(mapping) for a in sorted(database.atoms, key=str)
+    )
+    head = tuple(mapping[t] for t in answer)
+    return CQ(head, body, name)
+
+
+def eval_to_containment(
+    omq: OMQ, database: Instance, answer: Sequence[Term] = ()
+) -> Tuple[OMQ, OMQ]:
+    """Proposition 5: build (Q1, Q2) with ``c̄ ∈ Q(D) ⟺ Q1 ⊆ Q2``."""
+    data_schema = omq.data_schema | omq.ontology_schema() | database.schema()
+    q1 = OMQ(
+        data_schema,
+        (),
+        canonical_query_of_database(database, answer),
+        name="Q1_prop5",
+    )
+    q2 = OMQ(data_schema, omq.sigma, omq.query, name="Q2_prop5")
+    return q1, q2
+
+
+def _star(predicate: str) -> str:
+    return predicate + "_star"
+
+
+def eval_to_non_containment(
+    omq: OMQ, database: Instance, answer: Sequence[Term] = ()
+) -> Tuple[OMQ, OMQ]:
+    """Proposition 6: build (Q1, Q2) with ``c̄ ∈ Q(D) ⟺ Q1 ⊄ Q2``."""
+    query = omq.as_cq()
+    answer = tuple(answer)
+    if len(answer) != query.arity:
+        raise ValueError("answer arity mismatch")
+    # Σ*_D: starred copy of Σ plus one fact tgd per database atom.
+    star_sigma = []
+    for rule in omq.sigma:
+        star_sigma.append(
+            TGD(
+                tuple(Atom(_star(a.predicate), a.args) for a in rule.body),
+                tuple(Atom(_star(a.predicate), a.args) for a in rule.head),
+                rule.name + "_star",
+            )
+        )
+    for a in sorted(database.atoms, key=str):
+        star_sigma.append(TGD((), (Atom(_star(a.predicate), a.args),), "fact"))
+    # q*_c̄: q with the head instantiated by c̄ and predicates starred.
+    binding: Dict[Term, Term] = {}
+    for head_term, value in zip(query.head, answer):
+        if isinstance(head_term, Variable):
+            binding[head_term] = value
+        elif head_term != value:
+            raise ValueError(f"head constant {head_term} incompatible with {value}")
+    starred_body = tuple(
+        Atom(_star(a.predicate), a.substitute(binding).args)
+        for a in query.body
+    )
+    q_star = CQ((), starred_body, query.name + "_star")
+    q1 = OMQ(omq.data_schema, tuple(star_sigma), q_star, name="Q1_prop6")
+    fresh = "P_fresh"
+    if fresh in omq.data_schema:  # pragma: no cover - defensive
+        fresh = fresh + "_0"
+    x = Variable("x")
+    q2 = OMQ(
+        omq.data_schema,
+        (),
+        CQ((), (Atom(fresh, (x,)),), "q_unsat"),
+        name="Q2_prop6",
+    )
+    return q1, q2

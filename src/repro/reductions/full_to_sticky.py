@@ -1,0 +1,115 @@
+"""Proposition 35: rewriting full 0-1 OMQs into sticky (lossless) OMQs.
+
+A *0-1 query* satisfies ``Q(D) = Q(D01)`` where ``D01`` keeps only facts
+over the binary domain {0, 1} (the tiling queries of Theorem 34 are 0-1 by
+construction: every rule guards its variables with ``Bit``).  For such a
+query ``Q = (S, Σ, q)`` with full Σ, the transformation pads every
+predicate with n = max-body-variables extra positions and keeps *all* body
+variables in rule heads — making every tgd lossless, hence sticky — and
+adds finalization rules that flip the 1-padding back to the canonical
+all-0 padding the query asks for.
+
+Together with Theorem 34 this lifts the coNExpTime-hardness of
+``Cont((FNR,CQ), (L,UCQ))`` to ``Cont((S,CQ), (L,UCQ))`` (step 2 of the
+proof of Theorem 19).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.atoms import Atom
+from ..core.omq import OMQ
+from ..core.queries import CQ
+from ..core.terms import Constant, Term, Variable
+from ..core.tgd import TGD
+
+ZERO = Constant("0")
+ONE = Constant("1")
+
+
+def _primed(predicate: str) -> str:
+    return predicate + "_pr"
+
+
+def full_to_sticky(omq: OMQ) -> OMQ:
+    """Proposition 35: an equivalent sticky OMQ for a full 0-1 OMQ.
+
+    Raises ValueError if Σ is not full.  Equivalence holds on 0-1
+    databases, which by the 0-1 property is all that matters.
+    """
+    query = omq.as_cq()
+    if any(not rule.is_full() for rule in omq.sigma):
+        raise ValueError("Proposition 35 applies to full tgds only")
+    n = max(
+        (len(rule.body_variables()) for rule in omq.sigma if rule.body),
+        default=1,
+    )
+    n = max(n, 1)
+    rules: List[TGD] = [
+        TGD((), (Atom("BitAux", (ZERO,)),), "bit0"),
+        TGD((), (Atom("BitAux", (ONE,)),), "bit1"),
+    ]
+    # Initialization: copy 0-1 data atoms into primed, 0-padded atoms.
+    for p in omq.data_schema.predicates():
+        arity = omq.data_schema.arity(p)
+        args = tuple(Variable(f"u{i}") for i in range(arity))
+        body = (Atom(p, args),) + tuple(Atom("BitAux", (a,)) for a in args)
+        rules.append(
+            TGD(
+                body,
+                (Atom(_primed(p), args + (ZERO,) * n),),
+                f"init_{p}",
+            )
+        )
+    # Transformation: pad every rule, exporting all body variables.
+    padded_predicates = {p for p in omq.data_schema.predicates()}
+    for rule in omq.sigma:
+        body_atoms = []
+        for a in rule.body:
+            body_atoms.append(Atom(_primed(a.predicate), a.args + (ZERO,) * n))
+            padded_predicates.add(a.predicate)
+        body_vars = sorted(rule.body_variables(), key=lambda v: v.name)
+        if rule.body:
+            padding: List[Term] = list(body_vars)
+            filler = body_vars[0] if body_vars else ZERO
+            while len(padding) < n:
+                padding.append(filler)
+            padding = padding[:n]
+        else:
+            padding = [ZERO] * n
+        for a in rule.head:
+            padded_predicates.add(a.predicate)
+            rules.append(
+                TGD(
+                    tuple(body_atoms),
+                    (Atom(_primed(a.predicate), a.args + tuple(padding)),),
+                    rule.name + "_pr",
+                )
+            )
+    # Finalization: flip 1-padding down to the canonical all-0 padding.
+    head_preds = {a.predicate for rule in omq.sigma for a in rule.head}
+    for p in sorted(head_preds):
+        arity = None
+        for rule in omq.sigma:
+            for a in rule.head:
+                if a.predicate == p:
+                    arity = a.arity
+        assert arity is not None
+        args = tuple(Variable(f"u{i}") for i in range(arity))
+        pad = tuple(Variable(f"p{i}") for i in range(n))
+        for i in range(n):
+            before = pad[:i] + (ONE,) + pad[i + 1:]
+            after = pad[:i] + (ZERO,) + pad[i + 1:]
+            rules.append(
+                TGD(
+                    (Atom(_primed(p), args + before),),
+                    (Atom(_primed(p), args + after),),
+                    f"final_{p}_{i}",
+                )
+            )
+    body = tuple(
+        Atom(_primed(a.predicate), a.args + (ZERO,) * n) for a in query.body
+    )
+    q_prime = CQ(query.head, body, query.name + "_pr")
+    return OMQ(omq.data_schema, tuple(rules), q_prime, omq.name + "_sticky")

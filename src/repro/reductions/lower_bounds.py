@@ -1,0 +1,98 @@
+"""Exponential witness-size lower-bound families (Propositions 15 and 18).
+
+Proposition 18's family ``{Q^n}`` (implemented here): a sticky — in fact
+lossless, and also non-recursive, so it doubles as the Proposition-15-style
+family — ontology over a single n-ary data predicate ``S`` such that any
+database on which ``Q^n`` is non-empty must contain all ``2^(n-2)`` facts
+``S(b̄, 0, 1)`` for ``b̄ ∈ {0,1}^(n-2)``:
+
+    S(x̄)                                     → P_{n-2}(x̄)
+    P_i(x₁..x_{i-1}, z, x_{i+1}.., z, o),
+    P_i(x₁..x_{i-1}, o, x_{i+1}.., z, o)      → P_{i-1}(x₁.., z, x.., z, o)
+    P_0(z, ..., z, o)                         → Ans(z, o)
+
+with query ``Ans(0, 1)``.  Deriving ``P_{i-1}`` with a z at position i
+needs *both* the z- and the o-variant of ``P_i`` at that position, so
+unfolding down to ``S`` enumerates the full Boolean cube on the n-2 data
+positions.  (The paper indexes the P-chain up to n; we index up to n-2,
+which is the count that type-checks against the stated ``2^(n-2)``
+witness bound — see DESIGN.md.)
+
+Consequently, for *any* right-hand OMQ Q over {S}: if ``Q^n ⊄ Q`` then the
+witness database has at least ``2^(n-2)`` atoms — measured in the bench by
+the minimal disjunct size of the UCQ rewriting.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.atoms import Atom
+from ..core.omq import OMQ
+from ..core.queries import CQ
+from ..core.schema import Schema
+from ..core.terms import Constant, Variable
+from ..core.tgd import TGD
+
+ZERO = Constant("0")
+ONE = Constant("1")
+
+
+def prop18_family(n: int) -> OMQ:
+    """The OMQ ``Q^n = ({S/n}, Σ^n, Ans(0,1))`` of Proposition 18 (n ≥ 2)."""
+    if n < 2:
+        raise ValueError("the family is defined for n ≥ 2")
+    data = n - 2  # number of cube positions
+    xs = [Variable(f"x{i}") for i in range(1, data + 1)]
+    z, o = Variable("z"), Variable("o")
+    rules: List[TGD] = [
+        TGD(
+            (Atom("S", tuple(xs) + (z, o)),),
+            (Atom(f"P_{data}", tuple(xs) + (z, o)),),
+            "load",
+        )
+    ]
+    for i in range(data, 0, -1):
+        pre = xs[: i - 1]
+        post = xs[i:]
+        body = (
+            Atom(f"P_{i}", tuple(pre) + (z,) + tuple(post) + (z, o)),
+            Atom(f"P_{i}", tuple(pre) + (o,) + tuple(post) + (z, o)),
+        )
+        head = (Atom(f"P_{i-1}", tuple(pre) + (z,) + tuple(post) + (z, o)),)
+        rules.append(TGD(body, head, f"fold_{i}"))
+    rules.append(
+        TGD(
+            (Atom("P_0", (z,) * (data + 1) + (o,)),),
+            (Atom("Ans", (z, o)),),
+            "answer",
+        )
+    )
+    query = CQ((), (Atom("Ans", (ZERO, ONE)),), "q18")
+    return OMQ(Schema.of(S=n), tuple(rules), query, f"Q18_{n}")
+
+
+def expected_witness_size(n: int) -> int:
+    """``2^(n-2)``: the stated minimal witness size for Q^n."""
+    return 2 ** (n - 2)
+
+
+def minimal_satisfying_database(omq: OMQ):
+    """The smallest canonical database on which the OMQ is non-empty.
+
+    Computed from the UCQ rewriting: the minimal disjunct's frozen body.
+    Exact for UCQ-rewritable OMQs (each disjunct's canonical database
+    satisfies the OMQ; any satisfying database contains a homomorphic image
+    of some disjunct).
+    """
+    from ..evaluation import cached_rewriting
+
+    result = cached_rewriting(omq, 100_000)
+    if not result.complete:
+        raise RuntimeError("rewriting did not converge; cannot measure")
+    best = None
+    for d in result.rewriting.disjuncts:
+        db, _ = d.canonical_database()
+        if best is None or len(db) < len(best):
+            best = db
+    return best

@@ -1,0 +1,259 @@
+"""Theorem 16: reducing the Extended Tiling Problem to Cont((NR, CQ)).
+
+Given an ETP instance ``(k, n, m, H1, V1, H2, V2)`` the construction emits
+two non-recursive OMQs ``Q1, Q2`` over the propositional data schema
+``S = {C_i^j | i < k, j ≤ m}`` (atom ``C_i^j`` says "the i-th initial tile
+is j") such that the ETP answer is YES iff ``Q1 ⊆ Q2``:
+
+* ``Q1`` derives Goal iff the database declares at least one tile per
+  initial position (*existence*) and ``T1 = (n, m, H1, V1, s)`` has a
+  solution compatible with the declared tiles;
+* ``Q2`` derives Goal iff some position declares two tiles (*uniqueness*
+  violation — such databases are never proper initial conditions) or
+  ``T2`` has a compatible solution.
+
+The tiling machinery builds ``2^i × 2^i`` tilings inductively from nine
+overlapping quadrants (Figure 2) and extracts the first k top-row tiles
+through the ``Top`` ladder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.atoms import Atom
+from ..core.omq import OMQ
+from ..core.queries import CQ
+from ..core.schema import Schema
+from ..core.terms import Variable
+from ..core.tgd import TGD
+from .tiling import ETPInstance
+
+
+def initial_predicate(position: int, tile: int) -> str:
+    """The data predicate ``C_i^j`` (0-ary)."""
+    return f"C_{position}_{tile}"
+
+
+def etp_data_schema(instance: ETPInstance) -> Schema:
+    return Schema(
+        {
+            initial_predicate(i, j): 0
+            for i in range(instance.k)
+            for j in range(1, instance.m + 1)
+        }
+    )
+
+
+def _v(name: str) -> Variable:
+    return Variable(name)
+
+
+def _tiling_rules(
+    instance: ETPInstance,
+    horizontal,
+    vertical,
+) -> List[TGD]:
+    """The shared tiling machinery for one (H, V) pair."""
+    k, n, m = instance.k, instance.n, instance.m
+    rules: List[TGD] = []
+
+    # Generate the m tiles (one fact tgd with m existentials).
+    tiles = [_v(f"t{j}") for j in range(1, m + 1)]
+    rules.append(
+        TGD((), tuple(Atom(f"Tile_{j}", (tiles[j - 1],)) for j in range(1, m + 1)),
+            "tiles")
+    )
+    # Compatibility relations.
+    x, y = _v("x"), _v("y")
+    for (i, j) in sorted(horizontal):
+        rules.append(
+            TGD(
+                (Atom(f"Tile_{i}", (x,)), Atom(f"Tile_{j}", (y,))),
+                (Atom("H", (x, y)),),
+                f"h_{i}_{j}",
+            )
+        )
+    for (i, j) in sorted(vertical):
+        rules.append(
+            TGD(
+                (Atom(f"Tile_{i}", (x,)), Atom(f"Tile_{j}", (y,))),
+                (Atom("V", (x, y)),),
+                f"v_{i}_{j}",
+            )
+        )
+    # Base: 2×2 tilings.  Quadrant order: (top-left, top-right,
+    # bottom-left, bottom-right); the "top" row is row 0 where the initial
+    # condition lives.
+    x1, x2, x3, x4 = (_v(f"x{i}") for i in range(1, 5))
+    t = _v("t")
+    rules.append(
+        TGD(
+            (
+                Atom("H", (x1, x2)),
+                Atom("H", (x3, x4)),
+                Atom("V", (x1, x3)),
+                Atom("V", (x2, x4)),
+            ),
+            (Atom("T_1", (t, x1, x2, x3, x4)),),
+            "t1",
+        )
+    )
+    # Induction: a 2^i tiling from nine overlapping 2^(i-1) blocks over a
+    # 4×4 grid of 2^(i-2) pieces (Figure 2).
+    for i in range(2, n + 1):
+        grid = {(r, c): _v(f"g{r}{c}") for r in range(1, 5) for c in range(1, 5)}
+        blocks = []
+        names = []
+        for br in range(3):
+            for bc in range(3):
+                name = _v(f"b{br}{bc}")
+                names.append((br, bc, name))
+                blocks.append(
+                    Atom(
+                        f"T_{i-1}",
+                        (
+                            name,
+                            grid[(br + 1, bc + 1)],
+                            grid[(br + 1, bc + 2)],
+                            grid[(br + 2, bc + 1)],
+                            grid[(br + 2, bc + 2)],
+                        ),
+                    )
+                )
+        corner = {
+            (br, bc): nm for br, bc, nm in names if br in (0, 2) and bc in (0, 2)
+        }
+        rules.append(
+            TGD(
+                tuple(blocks),
+                (
+                    Atom(
+                        f"T_{i}",
+                        (t, corner[(0, 0)], corner[(0, 2)],
+                         corner[(2, 0)], corner[(2, 2)]),
+                    ),
+                ),
+                f"t{i}",
+            )
+        )
+    # Top-row extraction: Top_i_p(x, y) = "in the 2^i tiling x, the tile at
+    # position (p, 0) is y", for the p < min(k, 2^i) positions we need.
+    rules.append(
+        TGD(
+            (Atom("T_1", (t, x1, x2, x3, x4)),),
+            tuple(
+                Atom(f"Top_1_{p}", (t, (x1, x2)[p]))
+                for p in range(min(k, 2))
+            ),
+            "top1",
+        )
+    )
+    for i in range(2, n + 1):
+        half = 2 ** (i - 1)
+        q1v, q2v, q3v, q4v = (_v(f"q{j}") for j in range(1, 5))
+        t_atom = Atom(f"T_{i}", (t, q1v, q2v, q3v, q4v))
+        # Positions 0 .. min(k, half)-1 from the top-left quadrant.
+        p_left = min(k, half)
+        ys = [_v(f"y{p}") for p in range(p_left)]
+        rules.append(
+            TGD(
+                (t_atom,)
+                + tuple(
+                    Atom(f"Top_{i-1}_{p}", (q1v, ys[p])) for p in range(p_left)
+                ),
+                tuple(Atom(f"Top_{i}_{p}", (t, ys[p])) for p in range(p_left)),
+                f"top{i}_left",
+            )
+        )
+        # Positions half .. min(k, 2^i)-1 from the top-right quadrant.
+        if k > half:
+            p_right = min(k, 2**i) - half
+            ys2 = [_v(f"z{p}") for p in range(p_right)]
+            rules.append(
+                TGD(
+                    (t_atom,)
+                    + tuple(
+                        Atom(f"Top_{i-1}_{p}", (q2v, ys2[p]))
+                        for p in range(p_right)
+                    ),
+                    tuple(
+                        Atom(f"Top_{i}_{half + p}", (t, ys2[p]))
+                        for p in range(p_right)
+                    ),
+                    f"top{i}_right",
+                )
+            )
+    # Initial-condition compatibility and the Tiling flag.
+    for i in range(k):
+        for j in range(1, m + 1):
+            rules.append(
+                TGD(
+                    (Atom(initial_predicate(i, j), ()), Atom(f"Tile_{j}", (x,))),
+                    (Atom(f"Initial_{i}", (x,)),),
+                    f"init_{i}_{j}",
+                )
+            )
+    body: List[Atom] = []
+    for i in range(k):
+        yi = _v(f"w{i}")
+        body.append(Atom(f"Top_{n}_{i}", (t, yi)))
+        body.append(Atom(f"Initial_{i}", (yi,)))
+    rules.append(TGD(tuple(body), (Atom("Tiling", ()),), "tiling"))
+    return rules
+
+
+def etp_to_containment(instance: ETPInstance) -> Tuple[OMQ, OMQ]:
+    """Theorem 16: build (Q1, Q2) ∈ (NR, CQ)² with ETP-YES ⟺ Q1 ⊆ Q2."""
+    schema = etp_data_schema(instance)
+    k, m = instance.k, instance.m
+
+    # --- Q1: existence + T1-solvability ---------------------------------
+    sigma1: List[TGD] = []
+    for i in range(k):
+        for j in range(1, m + 1):
+            sigma1.append(
+                TGD(
+                    (Atom(initial_predicate(i, j), ()),),
+                    (Atom(f"C_{i}", ()),),
+                    f"c_{i}_{j}",
+                )
+            )
+    sigma1.append(
+        TGD(
+            tuple(Atom(f"C_{i}", ()) for i in range(k)),
+            (Atom("Existence", ()),),
+            "existence",
+        )
+    )
+    sigma1.extend(_tiling_rules(instance, instance.h1, instance.v1))
+    sigma1.append(
+        TGD(
+            (Atom("Existence", ()), Atom("Tiling", ())),
+            (Atom("Goal", ()),),
+            "goal",
+        )
+    )
+    q1 = OMQ(schema, tuple(sigma1), CQ((), (Atom("Goal", ()),), "goal"), "Q1_etp")
+
+    # --- Q2: uniqueness violation ∨ T2-solvability -----------------------
+    sigma2: List[TGD] = []
+    for i in range(k):
+        for j in range(1, m + 1):
+            for l in range(j + 1, m + 1):
+                sigma2.append(
+                    TGD(
+                        (
+                            Atom(initial_predicate(i, j), ()),
+                            Atom(initial_predicate(i, l), ()),
+                        ),
+                        (Atom("Goal", ()),),
+                        f"uniq_{i}_{j}_{l}",
+                    )
+                )
+    sigma2.extend(_tiling_rules(instance, instance.h2, instance.v2))
+    sigma2.append(
+        TGD((Atom("Tiling", ()),), (Atom("Goal", ()),), "goal2")
+    )
+    q2 = OMQ(schema, tuple(sigma2), CQ((), (Atom("Goal", ()),), "goal"), "Q2_etp")
+    return q1, q2

@@ -1,0 +1,281 @@
+"""Theorem 34: the Exponential Tiling Problem → Cont((FNR, CQ), (L, UCQ)).
+
+Given a tiling instance ``T = (n, m, H, V, s)``, the construction produces
+
+* ``Q_T`` — a *full non-recursive* 0-1 OMQ over the data schema
+  ``{TiledBy_i / 2n}`` (cell coordinates are n-bit binary numbers) whose
+  Goal fires iff the database tiles the *entire* ``2ⁿ×2ⁿ`` grid, ignoring
+  compatibility: the ``TiledAboveCol``/``TiledAboveRow`` ladders perform a
+  divide-and-conquer totality check;
+* ``Q'_T`` — a *linear* OMQ with a UCQ of violation patterns (two tiles on
+  one cell, incompatible horizontal/vertical neighbours via the ``Succ``
+  bit-incrementer ladder, or a wrong initial tile),
+
+such that ``T`` has a solution iff ``Q_T ⊄ Q'_T``.  (The paper's sketch
+writes ``TiledBy_i`` twice in the compatibility violations; the second
+occurrence is the j-indexed one, fixed here.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.atoms import Atom
+from ..core.omq import OMQ
+from ..core.queries import CQ, UCQ
+from ..core.schema import Schema
+from ..core.terms import Constant, Term, Variable
+from ..core.tgd import TGD
+from .tiling import TilingInstance
+
+ZERO = Constant("0")
+ONE = Constant("1")
+
+
+def _v(name: str, index: int) -> Variable:
+    return Variable(f"{name}{index}")
+
+
+def tiling_data_schema(instance: TilingInstance) -> Schema:
+    return Schema(
+        {f"TiledBy_{i}": 2 * instance.n for i in range(1, instance.m + 1)}
+    )
+
+
+def build_q_t(instance: TilingInstance) -> OMQ:
+    """``Q_T``: the full non-recursive totality checker."""
+    n, m = instance.n, instance.m
+    rules: List[TGD] = [
+        TGD((), (Atom("Bit", (ZERO,)),), "bit0"),
+        TGD((), (Atom("Bit", (ONE,)),), "bit1"),
+    ]
+    xs = [_v("x", i) for i in range(1, n)]  # x1..x(n-1)
+    ys = [_v("y", i) for i in range(1, n + 1)]
+    w = Variable("w")
+    # Column base: both column extensions of x1..x(n-1) are tiled in row ȳ.
+    for j in range(1, m + 1):
+        for k in range(1, m + 1):
+            body = [
+                Atom(f"TiledBy_{j}", tuple(xs) + (ONE,) + tuple(ys)),
+                Atom(f"TiledBy_{k}", tuple(xs) + (ZERO,) + tuple(ys)),
+            ]
+            body += [Atom("Bit", (x,)) for x in xs]
+            body += [Atom("Bit", (y,)) for y in ys]
+            body.append(Atom("Bit", (w,)))
+            rules.append(
+                TGD(
+                    tuple(body),
+                    (Atom(f"TiledAboveCol_{n}", tuple(xs) + (w,) + tuple(ys)),),
+                    f"col_base_{j}_{k}",
+                )
+            )
+    # Column induction downwards.
+    for i in range(n, 1, -1):
+        prefix = [_v("x", p) for p in range(1, i - 1 + 1)][: i - 1]
+        suffix_a = [_v("a", p) for p in range(i + 1, n + 1)]
+        suffix_b = [_v("b", p) for p in range(i + 1, n + 1)]
+        ws = [_v("w", p) for p in range(i, n + 1)]
+        body = [
+            Atom(
+                f"TiledAboveCol_{i}",
+                tuple(prefix) + (ONE,) + tuple(suffix_a) + tuple(ys),
+            ),
+            Atom(
+                f"TiledAboveCol_{i}",
+                tuple(prefix) + (ZERO,) + tuple(suffix_b) + tuple(ys),
+            ),
+        ]
+        body += [Atom("Bit", (wv,)) for wv in ws]
+        rules.append(
+            TGD(
+                tuple(body),
+                (
+                    Atom(
+                        f"TiledAboveCol_{i-1}",
+                        tuple(prefix) + tuple(ws) + tuple(ys),
+                    ),
+                ),
+                f"col_ind_{i}",
+            )
+        )
+    # A fully tiled row.
+    all_x = [_v("x", i) for i in range(1, n + 1)]
+    rules.append(
+        TGD(
+            (Atom("TiledAboveCol_1", tuple(all_x) + tuple(ys)),),
+            (Atom("RowTiled", tuple(ys)),),
+            "row_tiled",
+        )
+    )
+    # Row base and induction.
+    y_prefix = [_v("y", i) for i in range(1, n)]
+    rules.append(
+        TGD(
+            (
+                Atom("RowTiled", tuple(y_prefix) + (ONE,)),
+                Atom("RowTiled", tuple(y_prefix) + (ZERO,)),
+                Atom("Bit", (w,)),
+            ),
+            (Atom(f"TiledAboveRow_{n}", tuple(y_prefix) + (w,)),),
+            "row_base",
+        )
+    )
+    for i in range(n, 1, -1):
+        prefix = [_v("y", p) for p in range(1, i)]
+        suffix_a = [_v("c", p) for p in range(i + 1, n + 1)]
+        suffix_b = [_v("d", p) for p in range(i + 1, n + 1)]
+        ws = [_v("w", p) for p in range(i, n + 1)]
+        body = [
+            Atom(
+                f"TiledAboveRow_{i}",
+                tuple(prefix) + (ONE,) + tuple(suffix_a),
+            ),
+            Atom(
+                f"TiledAboveRow_{i}",
+                tuple(prefix) + (ZERO,) + tuple(suffix_b),
+            ),
+        ]
+        body += [Atom("Bit", (wv,)) for wv in ws]
+        rules.append(
+            TGD(
+                tuple(body),
+                (Atom(f"TiledAboveRow_{i-1}", tuple(prefix) + tuple(ws)),),
+                f"row_ind_{i}",
+            )
+        )
+    rules.append(
+        TGD(
+            (Atom("TiledAboveRow_1", tuple(all_x)),),
+            (Atom("AllTiled", ()),),
+            "all_tiled",
+        )
+    )
+    rules.append(TGD((Atom("AllTiled", ()),), (Atom("Goal", ()),), "goal"))
+    return OMQ(
+        tiling_data_schema(instance),
+        tuple(rules),
+        CQ((), (Atom("Goal", ()),), "goal"),
+        "Q_T",
+    )
+
+
+def build_q_t_prime(instance: TilingInstance) -> OMQ:
+    """``Q'_T``: the linear violation detector with its UCQ of patterns."""
+    n, m = instance.n, instance.m
+    rules: List[TGD] = [
+        TGD((), (Atom("Bit", (ZERO,)),), "bit0"),
+        TGD((), (Atom("Bit", (ONE,)),), "bit1"),
+        TGD((), (Atom("Succ_1", (ZERO, ONE)),), "succ1"),
+        TGD((), (Atom("LastFirst_1", (ONE, ZERO)),), "lastfirst1"),
+    ]
+    for i in range(1, n):
+        xs = [_v("x", p) for p in range(1, i + 1)]
+        ys = [_v("y", p) for p in range(1, i + 1)]
+        succ = Atom(f"Succ_{i}", tuple(xs) + tuple(ys))
+        last = Atom(f"LastFirst_{i}", tuple(xs) + tuple(ys))
+        rules.append(
+            TGD((succ,),
+                (Atom(f"Succ_{i+1}", (ZERO,) + tuple(xs) + (ZERO,) + tuple(ys)),),
+                f"succ0_{i}")
+        )
+        rules.append(
+            TGD((succ,),
+                (Atom(f"Succ_{i+1}", (ONE,) + tuple(xs) + (ONE,) + tuple(ys)),),
+                f"succ1_{i}")
+        )
+        rules.append(
+            TGD((last,),
+                (Atom(f"Succ_{i+1}", (ZERO,) + tuple(xs) + (ONE,) + tuple(ys)),),
+                f"succ_carry_{i}")
+        )
+        rules.append(
+            TGD((last,),
+                (Atom(f"LastFirst_{i+1}", (ONE,) + tuple(xs) + (ZERO,) + tuple(ys)),),
+                f"lastfirst_{i}")
+        )
+
+    disjuncts: List[CQ] = []
+    xs = [_v("x", p) for p in range(1, n + 1)]
+    ys = [_v("y", p) for p in range(1, n + 1)]
+    ws = [_v("w", p) for p in range(1, n + 1)]
+    bits_xy = [Atom("Bit", (v,)) for v in xs + ys]
+    # (a) two tiles on one cell.
+    for i in range(1, m + 1):
+        for j in range(1, m + 1):
+            if i == j:
+                continue
+            disjuncts.append(
+                CQ(
+                    (),
+                    (
+                        Atom(f"TiledBy_{i}", tuple(xs) + tuple(ys)),
+                        Atom(f"TiledBy_{j}", tuple(xs) + tuple(ys)),
+                    )
+                    + tuple(bits_xy),
+                    f"consistency_{i}_{j}",
+                )
+            )
+    bits_w = [Atom("Bit", (v,)) for v in ws]
+    # (b) vertical incompatibility: rows ȳ = x̄+1 in column w̄.
+    for i in range(1, m + 1):
+        for j in range(1, m + 1):
+            if (i, j) in instance.vertical:
+                continue
+            disjuncts.append(
+                CQ(
+                    (),
+                    (
+                        Atom(f"Succ_{n}", tuple(xs) + tuple(ys)),
+                        Atom(f"TiledBy_{i}", tuple(ws) + tuple(xs)),
+                        Atom(f"TiledBy_{j}", tuple(ws) + tuple(ys)),
+                    )
+                    + tuple(bits_w),
+                    f"vertical_{i}_{j}",
+                )
+            )
+    # (c) horizontal incompatibility: columns ȳ = x̄+1 in row w̄.
+    for i in range(1, m + 1):
+        for j in range(1, m + 1):
+            if (i, j) in instance.horizontal:
+                continue
+            disjuncts.append(
+                CQ(
+                    (),
+                    (
+                        Atom(f"Succ_{n}", tuple(xs) + tuple(ys)),
+                        Atom(f"TiledBy_{i}", tuple(xs) + tuple(ws)),
+                        Atom(f"TiledBy_{j}", tuple(ys) + tuple(ws)),
+                    )
+                    + tuple(bits_w),
+                    f"horizontal_{i}_{j}",
+                )
+            )
+    # (d) wrong initial tile at position p of the first row.
+    z, o = Variable("z"), Variable("o")
+    for p, required in enumerate(instance.initial):
+        bits = [(p >> (n - 1 - b)) & 1 for b in range(n)]
+        coords: Tuple[Term, ...] = tuple(o if b else z for b in bits)
+        for wrong in range(1, m + 1):
+            if wrong == required:
+                continue
+            disjuncts.append(
+                CQ(
+                    (),
+                    (
+                        Atom(f"TiledBy_{wrong}", coords + (z,) * n),
+                        Atom("Succ_1", (z, o)),
+                    ),
+                    f"initial_{p}_{wrong}",
+                )
+            )
+    return OMQ(
+        tiling_data_schema(instance),
+        tuple(rules),
+        UCQ(tuple(disjuncts), "violations"),
+        "Q_T_prime",
+    )
+
+
+def tiling_to_containment(instance: TilingInstance) -> Tuple[OMQ, OMQ]:
+    """Theorem 34: (Q_T, Q'_T) with ``T solvable ⟺ Q_T ⊄ Q'_T``."""
+    return build_q_t(instance), build_q_t_prime(instance)

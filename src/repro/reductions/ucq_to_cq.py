@@ -1,0 +1,174 @@
+"""From UCQs to CQs: the Or-gadget translation (Proposition 9).
+
+Given a Boolean OMQ ``Q = (S, Σ, q1 ∨ ... ∨ qn) ∈ (C, UCQ)`` with
+C ∈ {G, L, NR, S}, the translation builds ``Q' = (S, Σ', q') ∈ (C, CQ)``
+with ``Q ≡ Q'`` by encoding disjunction through a truth-table relation:
+
+* every S-fact is copied into an annotated predicate ``R'`` carrying the
+  truth constant 1, and ``True(1)`` is derived;
+* one fact-style tgd spawns an all-false "phantom copy" of the atoms of q
+  annotated by a null f, together with the truth table of ``Or`` and the
+  constant ``False(f)``;
+* each original tgd is replicated on the annotated predicates, threading
+  the truth annotation through;
+* the CQ q' matches every disjunct (phantom matches always exist) and
+  chains their annotations through ``Or``, requiring the final accumulator
+  to be 1 — so some disjunct must be matched by *really true* atoms.
+
+Scope note (documented in DESIGN.md): the phantom copy fixes one witness
+for the query's variables, so the translation is implemented for *Boolean*
+UCQs — which is exactly the case the paper's complexity arguments use it
+for (Section 5 reduces to BCQs first).  ``False(f)`` is included in the
+phantom tgd's head; the paper's sketch omits it but q' references it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.atoms import Atom
+from ..core.omq import OMQ
+from ..core.queries import CQ, UCQ
+from ..core.schema import Schema
+from ..core.terms import Constant, Term, Variable
+from ..core.tgd import TGD
+
+TRUE = Constant("1")
+
+
+def _annotated(predicate: str) -> str:
+    return predicate + "_ann"
+
+
+def _copy_pred(predicate: str) -> str:
+    return predicate + "_cp"
+
+
+def ucq_omq_to_cq_omq(omq: OMQ) -> OMQ:
+    """Proposition 9: an equivalent CQ-based OMQ for a Boolean UCQ-based one."""
+    query = omq.as_ucq()
+    if not query.is_boolean():
+        raise ValueError(
+            "the Or-gadget translation is implemented for Boolean UCQs "
+            "(the paper's containment analysis reduces to BCQs first)"
+        )
+    if not query.disjuncts:
+        raise ValueError("empty UCQ has no CQ equivalent")
+
+    data_predicates = list(omq.data_schema.predicates())
+    # Step 0: make sure S-predicates never appear in rule heads by copying
+    # every data predicate into a _cp twin used by Σ and q (copying
+    # unconditionally keeps the construction uniform).
+    rename: Dict[str, str] = {p: _copy_pred(p) for p in data_predicates}
+    copy_rules: List[TGD] = []
+    for p in data_predicates:
+        arity = omq.data_schema.arity(p)
+        args = tuple(Variable(f"u{i}") for i in range(arity))
+        copy_rules.append(
+            TGD((Atom(p, args),), (Atom(rename[p], args),), f"copy_{p}")
+        )
+
+    def renamed(a: Atom) -> Atom:
+        return Atom(rename.get(a.predicate, a.predicate), a.args)
+
+    sigma = [
+        TGD(
+            tuple(renamed(a) for a in rule.body),
+            tuple(renamed(a) for a in rule.head),
+            rule.name,
+        )
+        for rule in omq.sigma
+    ]
+    disjuncts = [
+        CQ((), tuple(renamed(a) for a in d.body), d.name) for d in query.disjuncts
+    ]
+
+    new_sigma: List[TGD] = list(copy_rules)
+    # Step 1: annotate copied data atoms with the truth constant 1.
+    annotated_preds: Dict[str, int] = {}
+    for rule in sigma:
+        for a in rule.body + rule.head:
+            annotated_preds[a.predicate] = a.arity
+    for d in disjuncts:
+        for a in d.body:
+            annotated_preds[a.predicate] = a.arity
+    for p in sorted(set(rename.values())):
+        arity = annotated_preds.get(p)
+        if arity is None:
+            continue
+        args = tuple(Variable(f"u{i}") for i in range(arity))
+        new_sigma.append(
+            TGD(
+                (Atom(p, args),),
+                (Atom(_annotated(p), args + (TRUE,)), Atom("True", (TRUE,))),
+                f"annotate_{p}",
+            )
+        )
+
+    # Step 2: the phantom copy of all query atoms, annotated by a null f,
+    # plus the Or truth table and False(f).
+    t = Variable("t")
+    f = Variable("f")
+    phantom_atoms: List[Atom] = []
+    used_vars: Dict[Variable, Variable] = {}
+    for i, d in enumerate(disjuncts):
+        for a in d.body:
+            fresh_args: List[Term] = []
+            for term in a.args:
+                if isinstance(term, Variable):
+                    key = Variable(f"{term.name}~ph")
+                    used_vars[term] = key
+                    fresh_args.append(key)
+                else:
+                    fresh_args.append(term)
+            phantom_atoms.append(
+                Atom(_annotated(a.predicate), tuple(fresh_args) + (f,))
+            )
+    truth_table = [
+        Atom("Or", (t, t, t)),
+        Atom("Or", (t, f, t)),
+        Atom("Or", (f, t, t)),
+        Atom("Or", (f, f, f)),
+        Atom("False", (f,)),
+    ]
+    new_sigma.append(
+        TGD(
+            (Atom("True", (t,)),),
+            tuple(phantom_atoms) + tuple(truth_table),
+            "phantom",
+        )
+    )
+
+    # Step 3: annotated replicas of the original tgds, threading w.
+    w = Variable("w_ann")
+    for rule in sigma:
+        body = tuple(
+            Atom(_annotated(a.predicate), a.args + (w,)) for a in rule.body
+        )
+        head = tuple(
+            Atom(_annotated(a.predicate), a.args + (w,)) for a in rule.head
+        )
+        if not body:
+            # Fact tgds are unconditionally true: annotate with 1.
+            body = ()
+            head = tuple(
+                Atom(_annotated(a.predicate), a.args + (TRUE,))
+                for a in rule.head
+            ) + (Atom("True", (TRUE,)),)
+        new_sigma.append(TGD(body, head, rule.name + "_ann"))
+
+    # The CQ q': chain the disjunct annotations through Or.
+    n = len(disjuncts)
+    xs = [Variable(f"or_x{i}") for i in range(n)]
+    ys = [Variable(f"or_y{i}") for i in range(n + 1)]
+    body: List[Atom] = [Atom("False", (ys[0],))]
+    for i, d in enumerate(disjuncts):
+        renamed_d = d.rename_apart(
+            {v for dd in disjuncts[:i] for v in dd.variables()}, suffix=f"_d{i}"
+        )
+        for a in renamed_d.body:
+            body.append(Atom(_annotated(a.predicate), a.args + (xs[i],)))
+        body.append(Atom("Or", (ys[i], xs[i], ys[i + 1])))
+    body.append(Atom("True", (ys[n],)))
+    q_prime = CQ((), tuple(body), query.name + "_cq")
+    return OMQ(omq.data_schema, tuple(new_sigma), q_prime, omq.name + "_cq")

@@ -1,0 +1,26 @@
+"""UCQ rewriting: MGUs, XRewrite, and the f_O size bounds."""
+
+from .bounds import f_linear, f_non_recursive, f_sticky, witness_size_bound
+from .unification import apply_substitution, mgu, unifies
+from .xrewrite import (
+    RewritingBudgetExceeded,
+    RewritingResult,
+    RewritingStats,
+    xrewrite,
+    xrewrite_cq,
+)
+
+__all__ = [
+    "RewritingBudgetExceeded",
+    "RewritingResult",
+    "RewritingStats",
+    "apply_substitution",
+    "f_linear",
+    "f_non_recursive",
+    "f_sticky",
+    "mgu",
+    "unifies",
+    "witness_size_bound",
+    "xrewrite",
+    "xrewrite_cq",
+]

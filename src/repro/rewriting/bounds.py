@@ -1,0 +1,64 @@
+"""The f_O disjunct-size bounds (Propositions 12, 14, 17).
+
+For a UCQ-rewritable OMQ language O there is a computable ``f_O`` bounding
+the number of atoms of any disjunct in a UCQ rewriting.  These bounds drive
+the small-witness containment algorithm (Proposition 10 / Theorem 11) and
+are the quantities whose growth the paper's complexity discussion tracks:
+
+* linear (Prop 12):       ``f_L(Q) ≤ |q|`` — polynomial;
+* non-recursive (Prop 14): ``f_NR(Q) ≤ |q| · (max body size)^{|sch(Σ)|}`` —
+  exponential in the number of predicates;
+* sticky (Prop 17):       ``f_S(Q) ≤ |S| · (|T(q)| + |C(Σ)| + 1)^{ar(S)}`` —
+  exponential in the arity of the data schema only.
+"""
+
+from __future__ import annotations
+
+from ..core.omq import OMQ, TGDClass
+from ..core.tgd import constants_of_tgds, max_body_size
+
+
+def f_linear(omq: OMQ) -> int:
+    """Proposition 12: disjuncts never exceed the input query's size."""
+    return max(d.size() for d in omq.as_ucq().disjuncts)
+
+
+def f_non_recursive(omq: OMQ) -> int:
+    """Proposition 14: |q| · (max_τ |body(τ)|)^{|sch(Σ)|}."""
+    q_size = max(d.size() for d in omq.as_ucq().disjuncts)
+    base = max(max_body_size(omq.sigma), 1)
+    exponent = len(omq.ontology_schema())
+    return q_size * base**exponent
+
+
+def f_sticky(omq: OMQ) -> int:
+    """Proposition 17: |S| · (|T(q)| + |C(Σ)| + 1)^{ar(S)}.
+
+    ``T(q)`` is the set of terms of the query, ``C(Σ)`` the constants of the
+    ontology, and both |S| and ar(S) refer to the *data* schema.
+    """
+    query = omq.as_ucq()
+    terms = set()
+    for d in query.disjuncts:
+        terms.update(d.variables())
+        terms.update(d.constants())
+    n_constants = len(constants_of_tgds(omq.sigma))
+    base = len(terms) + n_constants + 1
+    return len(omq.data_schema) * base ** omq.data_schema.max_arity
+
+
+def witness_size_bound(omq: OMQ, cls: TGDClass) -> int:
+    """``f_O(Q)`` for the UCQ-rewritable language the OMQ lives in.
+
+    This bounds the size of a smallest non-containment witness database
+    (Proposition 10).  Raises ValueError for non-UCQ-rewritable classes.
+    """
+    if cls in (TGDClass.EMPTY,):
+        return max(d.size() for d in omq.as_ucq().disjuncts)
+    if cls is TGDClass.LINEAR:
+        return f_linear(omq)
+    if cls in (TGDClass.NON_RECURSIVE, TGDClass.FULL_NON_RECURSIVE):
+        return f_non_recursive(omq)
+    if cls is TGDClass.STICKY:
+        return f_sticky(omq)
+    raise ValueError(f"{cls} is not a UCQ-rewritable class")

@@ -1,0 +1,102 @@
+"""Most general unifiers for sets of atoms (appendix, "The Algorithm XRewrite").
+
+A set of atoms unifies if a substitution maps them all to one atom; the MGU
+is the least-committed such substitution, computed here by union-find over
+argument positions.  Constants are rigid: two distinct constants in the same
+class fail unification.
+
+Representative choice matters for readability of rewritings (and for the
+paper's convention that the MGU is the identity on tgd-body-only variables):
+classes pick a constant if present, otherwise the highest-priority variable
+according to a caller-supplied ranking (XRewrite ranks the query's free
+variables first, then other query variables, then tgd variables).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.terms import Constant, Term, Variable
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[Term, Term] = {}
+
+    def find(self, t: Term) -> Term:
+        self._parent.setdefault(t, t)
+        root = t
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[t] != root:
+            self._parent[t], t = root, self._parent[t]
+        return root
+
+    def union(self, a: Term, b: Term) -> bool:
+        """Merge the classes of a and b; False iff two constants clash."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return True
+        if isinstance(ra, Constant) and isinstance(rb, Constant):
+            return False
+        if isinstance(rb, Constant):
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        return True
+
+    def classes(self) -> Dict[Term, List[Term]]:
+        grouped: Dict[Term, List[Term]] = {}
+        for t in self._parent:
+            grouped.setdefault(self.find(t), []).append(t)
+        return grouped
+
+
+def mgu(
+    atoms: Sequence[Atom],
+    rank: Optional[Callable[[Term], Tuple]] = None,
+) -> Optional[Dict[Term, Term]]:
+    """The most general unifier of *atoms*, or None if they do not unify.
+
+    *rank* orders candidate representatives (smaller rank preferred);
+    constants always win.  The returned substitution maps every variable in
+    the atoms to its class representative (identity entries included, so
+    substitution application is a plain dict lookup with default).
+    """
+    if not atoms:
+        return {}
+    first = atoms[0]
+    if any(
+        a.predicate != first.predicate or a.arity != first.arity for a in atoms
+    ):
+        return None
+    uf = _UnionFind()
+    for a in atoms:
+        for s, t in zip(first.args, a.args):
+            if not uf.union(s, t):
+                return None
+    if rank is None:
+        rank = lambda t: (str(t),)
+    substitution: Dict[Term, Term] = {}
+    for root, members in uf.classes().items():
+        constants = [m for m in members if isinstance(m, Constant)]
+        if len(set(constants)) > 1:
+            return None
+        if constants:
+            representative: Term = constants[0]
+        else:
+            representative = min(members, key=lambda m: (rank(m), str(m)))
+        for m in members:
+            if isinstance(m, Variable):
+                substitution[m] = representative
+    return substitution
+
+
+def unifies(atoms: Sequence[Atom]) -> bool:
+    """True iff the atoms admit a unifier."""
+    return mgu(atoms) is not None
+
+
+def apply_substitution(atoms: Iterable[Atom], sub: Dict[Term, Term]) -> Tuple[Atom, ...]:
+    """Apply a substitution to a collection of atoms."""
+    return tuple(a.substitute(sub) for a in atoms)

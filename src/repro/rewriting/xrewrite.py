@@ -1,0 +1,406 @@
+"""XRewrite: UCQ rewriting of OMQs (appendix Algorithm 1, after [40]).
+
+Given an OMQ ``Q = (S, Σ, q)``, XRewrite exhaustively applies two steps,
+starting from ``q``:
+
+* **Rewriting step** — resolve a subset ``S ⊆ body(q)`` with a tgd whose
+  head unifies with ``S`` (subject to the *applicability* condition of
+  Definition 6, which protects constants and shared variables from landing
+  on existential positions), replacing ``S`` by the tgd's body.
+* **Factorization step** — unify atoms of the query that must have been
+  produced by the same chase step (Definition 7), turning shared variables
+  into non-shared ones so that further rewriting steps become applicable.
+
+The final rewriting keeps the queries labeled ``r`` (the factorization
+outputs are auxiliary) that mention only data-schema predicates.  For OMQs
+based on linear, non-recursive or sticky tgds the procedure terminates and
+the result ``q'`` satisfies ``Q(D) = q'(D)`` for every S-database D
+(Definition 1: UCQ rewritability).
+
+Deviations from the paper, both documented in DESIGN.md:
+
+* tgds with several head atoms are first split through an auxiliary
+  predicate (:func:`repro.core.tgd.normalize_single_head`);
+* tgds may have several existential variables / occurrences — Definition 6
+  is applied position-wise to the set of existential positions, which is
+  the natural generalization and agrees with the paper on normal-form tgds.
+
+Because XRewrite need not terminate for arbitrary tgds (Proposition 8's
+boundary), the engine takes a query budget and raises
+:class:`RewritingBudgetExceeded`, carrying the partial rewriting, when the
+budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.omq import OMQ
+from ..core.queries import CQ, UCQ
+from ..core.terms import Constant, Term, Variable
+from ..core.tgd import TGD, normalize_single_head
+from .unification import mgu
+
+
+class RewritingBudgetExceeded(RuntimeError):
+    """XRewrite exceeded its query budget (the ontology may not be UCQ-rewritable)."""
+
+    def __init__(self, partial: "RewritingResult") -> None:
+        super().__init__(
+            f"XRewrite generated more than {partial.stats.budget} queries"
+        )
+        self.partial = partial
+
+
+@dataclass
+class RewritingStats:
+    """Counters describing an XRewrite run."""
+
+    budget: int
+    atom_budget: int = 0
+    total_atoms: int = 0
+    rewriting_steps: int = 0
+    factorization_steps: int = 0
+    queries_generated: int = 1  # the input query
+    queries_final: int = 0
+
+
+@dataclass
+class RewritingResult:
+    """The outcome of XRewrite: the rewriting plus run statistics."""
+
+    rewriting: UCQ
+    stats: RewritingStats
+    complete: bool = True
+
+    def max_disjunct_size(self) -> int:
+        """max_i |q_i| — compared against the f_O bounds in the benches."""
+        return self.rewriting.max_disjunct_size()
+
+
+@dataclass
+class _Entry:
+    query: CQ
+    label: str  # "r" or "f"
+    explored: bool = False
+
+
+class _SeenIndex:
+    """Signature-bucketed isomorphism dedup for generated queries."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[Tuple, List[_Entry]] = {}
+
+    def add(self, entry: _Entry) -> None:
+        self._buckets.setdefault(entry.query.signature(), []).append(entry)
+
+    def seen(self, candidate: CQ, labels: Tuple[str, ...]) -> bool:
+        bucket = self._buckets.get(candidate.signature(), ())
+        return any(
+            e.label in labels and candidate.is_isomorphic_to(e.query)
+            for e in bucket
+        )
+
+
+def _existential_positions(rule: TGD) -> Tuple[int, ...]:
+    """Positions of the (single) head atom holding existential variables."""
+    head = rule.head[0]
+    existentials = rule.existential_variables()
+    return tuple(
+        i for i, t in enumerate(head.args)
+        if isinstance(t, Variable) and t in existentials
+    )
+
+
+def _applicable(
+    query: CQ, subset: Sequence[Atom], rule: TGD
+) -> Optional[Dict[Term, Term]]:
+    """Definition 6 (generalized): the MGU if the rule applies to *subset*.
+
+    For each existential variable z of the rule (occurring at head
+    positions Π_z), the query terms sitting at Π_z across *subset* would be
+    identified with the fresh null z invented by the chase.  That is sound
+    iff every such term is a variable that is (i) not free, (ii) absent
+    from the rest of the query, (iii) absent from non-Π_z slots within the
+    subset, and (iv) not also claimed by a different existential variable.
+    (The paper's Definition 6 is the normal-form special case — one
+    occurrence of one existential — where this reduces to "not a constant,
+    not shared"; the refinement matters for heads like ∃e R(e, e), which
+    must resolve the query atom R(x, x).)
+    """
+    head = rule.head[0]
+    ex_positions = _existential_positions(rule)
+    existential_of: Dict[int, Variable] = {
+        p: head.args[p] for p in ex_positions  # type: ignore[misc]
+    }
+    free = set(query.free_variables())
+
+    # Occurrences of each variable: total in the query body, and within the
+    # subset at each existential variable's positions.
+    total_occurrences: Dict[Variable, int] = {}
+    for a in query.body:
+        for t in a.args:
+            if isinstance(t, Variable):
+                total_occurrences[t] = total_occurrences.get(t, 0) + 1
+    claimed_by: Dict[Variable, Variable] = {}  # query var -> existential
+    z_occurrences: Dict[Variable, int] = {}
+    for a in subset:
+        for pos, z in existential_of.items():
+            t = a.args[pos]
+            if isinstance(t, Constant):
+                return None
+            if isinstance(t, Variable):
+                if t in free:
+                    return None
+                if claimed_by.setdefault(t, z) != z:
+                    return None  # claimed by two distinct existentials
+                z_occurrences[t] = z_occurrences.get(t, 0) + 1
+    # Multiplicity within the (multi)set of subset atoms: the same atom
+    # object can only appear once in `subset` (sets of atoms), so per-atom
+    # counting above is exact; the variable must occur nowhere else.
+    for t, z_count in z_occurrences.items():
+        if total_occurrences.get(t, 0) != z_count:
+            return None
+    query_vars = query.variables()
+
+    def rank(t: Term) -> Tuple:
+        if isinstance(t, Variable):
+            if t in free:
+                return (0,)
+            if t in query_vars:
+                return (1,)
+            return (2,)
+        return (3,)
+
+    return mgu(list(subset) + [head], rank=rank)
+
+
+def _factorizable(
+    query: CQ, subset: Sequence[Atom], rule: TGD
+) -> Optional[Dict[Term, Term]]:
+    """Definition 7: the MGU of *subset* if factorizable w.r.t. *rule*."""
+    if len(subset) < 2:
+        return None
+    ex_positions = set(_existential_positions(rule))
+    if not ex_positions:
+        return None
+    head = rule.head[0]
+    if any(a.predicate != head.predicate or a.arity != head.arity for a in subset):
+        return None
+    rest_vars: Set[Variable] = set()
+    subset_set = set(subset)
+    for a in query.body:
+        if a not in subset_set:
+            rest_vars.update(a.variables())
+    candidates: Set[Variable] = set.intersection(
+        *(a.variables() for a in subset)
+    ) - rest_vars
+    witness = None
+    for x in sorted(candidates, key=lambda v: v.name):
+        if all(
+            set(a.positions_of(x)) <= ex_positions and a.positions_of(x)
+            for a in subset
+        ):
+            witness = x
+            break
+    if witness is None:
+        return None
+    free = set(query.free_variables())
+
+    def rank(t: Term) -> Tuple:
+        if isinstance(t, Variable) and t in free:
+            return (0,)
+        return (1,)
+
+    return mgu(list(subset), rank=rank)
+
+
+#: Candidate queries larger than this skip core minimization (the hom
+#: checks would dominate); they are still deduplicated by isomorphism.
+_CORE_SIZE_LIMIT = 24
+
+
+def _apply_to_query(
+    query: CQ,
+    sub: Dict[Term, Term],
+    new_body: Sequence[Atom],
+    name: str,
+    minimize: bool = True,
+) -> CQ:
+    head = tuple(
+        sub.get(t, t) if isinstance(t, Variable) else t for t in query.head
+    )
+    body = tuple(sorted({a.substitute(sub) for a in new_body}, key=str))
+    candidate = CQ(head, body, name)
+    # Core-minimize generated queries — [40]'s "query elimination"
+    # optimization.  Without it, recursive sticky sets accumulate
+    # homomorphically redundant atoms (fresh once-occurring variables) and
+    # the exhaustive rewriting diverges even though the minimized rewriting
+    # is finite.  Replacing a disjunct by its core preserves equivalence.
+    if minimize and len(body) <= _CORE_SIZE_LIMIT:
+        candidate = candidate.core()
+    return candidate
+
+
+def _predicate_subsets(query: CQ, predicate: str, arity: int, max_size: int):
+    """Non-empty subsets of body atoms over *predicate* (deterministic order)."""
+    atoms = sorted(
+        (a for a in set(query.body) if a.predicate == predicate and a.arity == arity),
+        key=str,
+    )
+    for size in range(1, min(len(atoms), max_size) + 1):
+        yield from itertools.combinations(atoms, size)
+
+
+def xrewrite_cq(
+    data_schema,
+    sigma: Sequence[TGD],
+    query: CQ,
+    *,
+    max_queries: int = 20_000,
+    max_total_atoms: int = 400_000,
+    max_subset_size: Optional[int] = None,
+    partial: bool = False,
+    minimize: bool = True,
+) -> RewritingResult:
+    """Run XRewrite on a single CQ; see :func:`xrewrite` for the OMQ wrapper.
+
+    ``minimize=False`` disables the query-elimination optimization (used by
+    the ablation bench to demonstrate why it matters).
+
+    Two budgets guard divergence: ``max_queries`` caps how many distinct
+    queries are generated and ``max_total_atoms`` caps the *work* (sum of
+    generated query sizes) — ontologies whose rewritings grow unboundedly
+    (e.g. recursive Datalog) hit the atom budget quickly instead of
+    thrashing on ever-longer queries.
+    """
+    rules = normalize_single_head(list(sigma))
+    stats = RewritingStats(budget=max_queries, atom_budget=max_total_atoms)
+    stats.total_atoms = len(query.body)
+    start = query
+    entries: List[_Entry] = [_Entry(start, "r")]
+    counter = itertools.count(1)
+    index = _SeenIndex()
+    index.add(entries[0])
+    seen = index.seen
+
+    frontier = deque([entries[0]])
+    while frontier:
+        entry = frontier.popleft()
+        if entry.explored:
+            continue
+        entry.explored = True
+        q = entry.query
+        for rule in rules:
+            fresh = rule.with_indexed_variables(next(counter)).rename_apart(
+                q.variables()
+            )
+            max_size = max_subset_size or len(q.body)
+            head = fresh.head[0]
+            # Rewriting step.
+            for subset in _predicate_subsets(q, head.predicate, head.arity, max_size):
+                sub = _applicable(q, subset, fresh)
+                if sub is None:
+                    continue
+                remaining = [a for a in set(q.body) if a not in set(subset)]
+                candidate = _apply_to_query(
+                    q, sub, remaining + list(fresh.body), f"{query.name}_r",
+                    minimize,
+                )
+                if seen(candidate, ("r",)):
+                    continue
+                if (
+                    stats.queries_generated >= max_queries
+                    or stats.total_atoms + len(candidate.body)
+                    > max_total_atoms
+                ):
+                    result = _finalize(data_schema, entries, stats, complete=False)
+                    if partial:
+                        return result
+                    raise RewritingBudgetExceeded(result)
+                stats.rewriting_steps += 1
+                stats.queries_generated += 1
+                stats.total_atoms += len(candidate.body)
+                new_entry = _Entry(candidate, "r")
+                entries.append(new_entry)
+                index.add(new_entry)
+                frontier.append(new_entry)
+            # Factorization step.
+            for subset in _predicate_subsets(q, head.predicate, head.arity, max_size):
+                sub = _factorizable(q, subset, fresh)
+                if sub is None:
+                    continue
+                candidate = _apply_to_query(
+                    q, sub, q.body, f"{query.name}_f", minimize
+                )
+                if seen(candidate, ("r", "f")):
+                    continue
+                if (
+                    stats.queries_generated >= max_queries
+                    or stats.total_atoms + len(candidate.body)
+                    > max_total_atoms
+                ):
+                    result = _finalize(data_schema, entries, stats, complete=False)
+                    if partial:
+                        return result
+                    raise RewritingBudgetExceeded(result)
+                stats.factorization_steps += 1
+                stats.queries_generated += 1
+                stats.total_atoms += len(candidate.body)
+                new_entry = _Entry(candidate, "f")
+                entries.append(new_entry)
+                index.add(new_entry)
+                frontier.append(new_entry)
+    return _finalize(data_schema, entries, stats, complete=True)
+
+
+def _finalize(
+    data_schema, entries: Sequence[_Entry], stats: RewritingStats, complete: bool
+) -> RewritingResult:
+    final: List[CQ] = []
+    for e in entries:
+        if e.label != "r":
+            continue
+        if all(p in data_schema for p in e.query.predicates()):
+            final.append(e.query)
+    stats.queries_final = len(final)
+    ucq = UCQ(tuple(final)).deduplicate()
+    return RewritingResult(ucq, stats, complete)
+
+
+def xrewrite(
+    omq: OMQ,
+    *,
+    max_queries: int = 20_000,
+    max_total_atoms: int = 400_000,
+    partial: bool = False,
+) -> RewritingResult:
+    """UCQ-rewrite an OMQ (CQ- or UCQ-based).
+
+    For a UCQ-based OMQ the disjuncts are rewritten independently and the
+    results unioned — sound because rewriting distributes over union.
+    """
+    stats_total = RewritingStats(budget=max_queries)
+    disjuncts: List[CQ] = []
+    complete = True
+    for d in omq.as_ucq().disjuncts:
+        result = xrewrite_cq(
+            omq.data_schema,
+            omq.sigma,
+            d,
+            max_queries=max_queries,
+            max_total_atoms=max_total_atoms,
+            partial=partial,
+        )
+        disjuncts.extend(result.rewriting.disjuncts)
+        stats_total.rewriting_steps += result.stats.rewriting_steps
+        stats_total.factorization_steps += result.stats.factorization_steps
+        stats_total.queries_generated += result.stats.queries_generated
+        complete = complete and result.complete
+    ucq = UCQ(tuple(disjuncts), omq.as_ucq().name + "_rw").deduplicate()
+    stats_total.queries_final = len(ucq.disjuncts)
+    return RewritingResult(ucq, stats_total, complete)

@@ -1,0 +1,36 @@
+"""Labeled trees, tree decompositions, C-trees and their encodings."""
+
+from .ctree import (
+    Alphabet,
+    TreeLabel,
+    consistency_violations,
+    decode_tree,
+    encode_ctree,
+    is_consistent,
+    is_ctree,
+    try_build_ctree_decomposition,
+)
+from .decomposition import (
+    TreeDecomposition,
+    decomposition_from_bags,
+    star_decomposition,
+    trivial_decomposition,
+)
+from .labeled_tree import LabeledTree, Node
+
+__all__ = [
+    "Alphabet",
+    "LabeledTree",
+    "Node",
+    "TreeDecomposition",
+    "TreeLabel",
+    "consistency_violations",
+    "decode_tree",
+    "decomposition_from_bags",
+    "encode_ctree",
+    "is_consistent",
+    "is_ctree",
+    "star_decomposition",
+    "trivial_decomposition",
+    "try_build_ctree_decomposition",
+]

@@ -1,0 +1,123 @@
+"""Tree decompositions and guarded tree decompositions (Section 5.1).
+
+A tree decomposition of a database ``D`` is a labeled rooted tree whose bags
+cover every atom and whose occurrences of each term form a connected
+subtree.  It is ``[U]-guarded`` if every bag outside ``U`` is contained in
+the argument set of some atom of ``D``.  These notions define C-trees
+(Definition 2), the witness class for guarded OMQ containment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.instance import Instance
+from ..core.terms import Term
+from .labeled_tree import LabeledTree, Node
+
+
+@dataclass(frozen=True)
+class TreeDecomposition:
+    """A rooted tree decomposition: a labeled tree whose labels are bags.
+
+    Bags are frozensets of terms of the decomposed instance.
+    """
+
+    tree: LabeledTree
+
+    def bag(self, node: Node) -> FrozenSet[Term]:
+        return self.tree.label(node)  # type: ignore[return-value]
+
+    def width(self) -> int:
+        """max |bag| - 1 (the classical width)."""
+        return max((len(self.bag(n)) for n in self.tree), default=1) - 1
+
+    def nodes_containing(self, term: Term) -> List[Node]:
+        return [n for n in self.tree if term in self.bag(n)]
+
+    # -- validity ----------------------------------------------------------
+
+    def covers(self, instance: Instance) -> bool:
+        """Condition (i): every atom's arguments fit into some bag."""
+        bags = [self.bag(n) for n in self.tree]
+        return all(
+            any(set(a.args) <= bag for bag in bags) for a in instance.atoms
+        )
+
+    def is_connected_for(self, term: Term) -> bool:
+        """Condition (ii): the nodes holding *term* induce a connected subtree."""
+        holding = set(self.nodes_containing(term))
+        if not holding:
+            return True
+        anchor = min(holding, key=lambda n: (len(n), n))
+        reached = {anchor}
+        frontier = [anchor]
+        while frontier:
+            node = frontier.pop()
+            neighbours = list(self.tree.children(node))
+            parent = self.tree.parent(node)
+            if parent is not None:
+                neighbours.append(parent)
+            for nb in neighbours:
+                if nb in holding and nb not in reached:
+                    reached.add(nb)
+                    frontier.append(nb)
+        return reached == holding
+
+    def is_valid_for(self, instance: Instance) -> bool:
+        """Both tree-decomposition conditions for *instance*."""
+        if not self.covers(instance):
+            return False
+        return all(self.is_connected_for(t) for t in instance.domain())
+
+    def is_guarded_except(
+        self, instance: Instance, exempt: Iterable[Node] = ()
+    ) -> bool:
+        """[U]-guardedness: every non-exempt bag sits inside some atom."""
+        exempt_set = set(exempt)
+        for node in self.tree:
+            if node in exempt_set:
+                continue
+            bag = self.bag(node)
+            if not any(bag <= set(a.args) for a in instance.atoms):
+                return False
+        return True
+
+    def induced_instance(self, instance: Instance, node: Node) -> Instance:
+        """``D_T(v)``: the sub-instance induced by the bag of *node*."""
+        return instance.induced_by(self.bag(node))
+
+
+def decomposition_from_bags(
+    bags: Mapping[Node, Iterable[Term]]
+) -> TreeDecomposition:
+    """Build a decomposition from a node→bag mapping."""
+    return TreeDecomposition(
+        LabeledTree({n: frozenset(b) for n, b in bags.items()})
+    )
+
+
+def trivial_decomposition(instance: Instance) -> TreeDecomposition:
+    """The one-bag decomposition holding the whole domain (always valid)."""
+    return decomposition_from_bags({(): instance.domain()})
+
+
+def star_decomposition(instance: Instance) -> Optional[TreeDecomposition]:
+    """A root-plus-leaves decomposition with one leaf bag per atom.
+
+    The root bag is empty and each atom contributes a leaf bag of its own
+    arguments.  Valid iff distinct atoms share no terms; returns None
+    otherwise.  Used by tests as a simple guarded decomposition source.
+    """
+    atoms = sorted(instance.atoms, key=str)
+    seen: Set[Term] = set()
+    for a in atoms:
+        if seen & set(a.args):
+            return None
+        seen.update(a.args)
+    bags: Dict[Node, FrozenSet[Term]] = {(): frozenset()}
+    for i, a in enumerate(atoms, start=1):
+        bags[(i,)] = frozenset(a.args)
+    return TreeDecomposition(LabeledTree(bags))

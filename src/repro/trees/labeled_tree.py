@@ -1,0 +1,122 @@
+"""Finite Γ-labeled trees (Section 5.2).
+
+A Γ-labeled tree is a pair ``(T, λ)`` where ``T ⊆ (ℕ∖{0})*`` is a
+prefix-closed set of finite sequences of positive integers (the nodes) and
+``λ : T → Γ`` labels each node.  Nodes are represented as tuples of ints;
+the root is the empty tuple.
+
+These trees are the common substrate of the C-tree encoding
+(:mod:`repro.trees.ctree`) and the 2WAPA automata (:mod:`repro.automata`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple, TypeVar
+
+Node = Tuple[int, ...]
+L = TypeVar("L")
+
+
+@dataclass(frozen=True)
+class LabeledTree:
+    """An immutable finite labeled tree."""
+
+    labels: Mapping[Node, object]
+
+    def __post_init__(self) -> None:
+        labels = dict(self.labels)
+        object.__setattr__(self, "labels", labels)
+        for node in labels:
+            if node and node[:-1] not in labels:
+                raise ValueError(f"node {node} has no parent in the tree")
+            if any(i < 1 for i in node):
+                raise ValueError(f"node {node} uses non-positive indices")
+        if labels and () not in labels:
+            raise ValueError("non-empty tree must contain the root ()")
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def root(self) -> Node:
+        return ()
+
+    def nodes(self) -> List[Node]:
+        """All nodes in deterministic (BFS-ish lexicographic) order."""
+        return sorted(self.labels, key=lambda n: (len(n), n))
+
+    def label(self, node: Node) -> object:
+        return self.labels[node]
+
+    def children(self, node: Node) -> List[Node]:
+        """Direct children, in index order."""
+        out = [n for n in self.labels if len(n) == len(node) + 1 and n[: len(node)] == node]
+        return sorted(out)
+
+    def parent(self, node: Node) -> Optional[Node]:
+        return node[:-1] if node else None
+
+    def is_leaf(self, node: Node) -> bool:
+        return not self.children(node)
+
+    def leaves(self) -> List[Node]:
+        return [n for n in self.nodes() if self.is_leaf(n)]
+
+    def depth(self) -> int:
+        """The length of the longest branch (0 for a root-only tree)."""
+        return max((len(n) for n in self.labels), default=0)
+
+    def branching_degree(self) -> int:
+        """The maximum number of children over all nodes."""
+        return max((len(self.children(n)) for n in self.labels), default=0)
+
+    def subtree(self, node: Node) -> "LabeledTree":
+        """The subtree rooted at *node*, re-rooted at ()."""
+        k = len(node)
+        return LabeledTree(
+            {
+                n[k:]: lab
+                for n, lab in self.labels.items()
+                if n[:k] == node
+            }
+        )
+
+    def path_between(self, a: Node, b: Node) -> List[Node]:
+        """The unique shortest path between two nodes (inclusive)."""
+        k = 0
+        while k < min(len(a), len(b)) and a[k] == b[k]:
+            k += 1
+        lca = a[:k]
+        up = [a[:i] for i in range(len(a), k, -1)]
+        down = [b[:i] for i in range(k, len(b) + 1)]
+        return up + down
+
+    def relabel(self, f: Callable[[Node, object], object]) -> "LabeledTree":
+        """A structurally identical tree with labels mapped by *f*."""
+        return LabeledTree({n: f(n, lab) for n, lab in self.labels.items()})
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def single(cls, label: object) -> "LabeledTree":
+        """A one-node tree."""
+        return cls({(): label})
+
+    def attach(self, node: Node, subtree: "LabeledTree") -> "LabeledTree":
+        """Attach *subtree* as a fresh child of *node*."""
+        if node not in self.labels:
+            raise ValueError(f"no such node: {node}")
+        index = len(self.children(node)) + 1
+        labels = dict(self.labels)
+        for n, lab in subtree.labels.items():
+            labels[node + (index,) + n] = lab
+        return LabeledTree(labels)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes())
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self.labels

@@ -1,0 +1,59 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OMQ, Schema, parse_cq, parse_database, parse_tgds
+
+
+@pytest.fixture
+def example1():
+    """Example 1 of the paper: linear tgds over S = {P, T}."""
+    sigma = parse_tgds(
+        """
+        P(x) -> R(x, y)
+        R(x, y) -> P(y)
+        T(x) -> P(x)
+        """
+    )
+    schema = Schema.of(P=1, T=1)
+    query = parse_cq("q(x) :- R(x, y), P(y)")
+    return OMQ(schema, sigma, query, name="Q_ex1")
+
+
+@pytest.fixture
+def figure1_sticky():
+    """The sticky tgd set of Figure 1.
+
+    The join variable y of the second tgd propagates through T into S, so
+    the chase always keeps ("sticks") the join value — this set satisfies
+    the marking criterion.
+    """
+    return parse_tgds(
+        """
+        T(x, y, z) -> S(y, w)
+        R(x, y), P(y, z) -> T(x, y, w)
+        """
+    )
+
+
+@pytest.fixture
+def figure1_non_sticky():
+    """The non-sticky tgd set of Figure 1.
+
+    Here S keeps x instead of the join variable y: chasing R(a,b), P(b,c)
+    infers T(a,b,⊥) and then S(a,⊥'), losing the join value b — the marking
+    procedure marks y in the second tgd, where it occurs twice.
+    """
+    return parse_tgds(
+        """
+        T(x, y, z) -> S(x, w)
+        R(x, y), P(y, z) -> T(x, y, w)
+        """
+    )
+
+
+def db(text: str):
+    """Parse a database literal in tests."""
+    return parse_database(text)

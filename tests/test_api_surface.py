@@ -1,0 +1,134 @@
+"""Coverage sweep for smaller public-API surfaces.
+
+Each test exercises behaviour not covered elsewhere: result-object
+conveniences, chase levels, the tree-enumeration counter, forest fallbacks,
+and string renderings (which the CLI and examples rely on).
+"""
+
+import pytest
+
+from repro import OMQ, Schema, parse_cq, parse_database, parse_tgds
+from repro.automata import TWAPA, Top, count_accepted_trees, diamond, disj
+from repro.chase import GuardedChaseForest, chase
+from repro.core.atoms import atom, fact
+from repro.core.instance import Instance
+from repro.core.terms import Constant, Variable
+from repro.evaluation import EvaluationResult, evaluate_omq
+from repro.trees import LabeledTree
+
+
+class TestEvaluationResult:
+    def test_contains_and_is_empty(self):
+        q = OMQ(Schema.of(A=1), (), parse_cq("q(x) :- A(x)"))
+        result = evaluate_omq(q, parse_database("A(a)"))
+        assert (Constant("a"),) in result
+        assert (Constant("b"),) not in result
+        assert not result.is_empty()
+        empty = evaluate_omq(q, Instance.empty())
+        assert empty.is_empty()
+
+
+class TestChaseLevels:
+    def test_level_of_atom(self):
+        sigma = parse_tgds("P(x) -> R(x, w)\nR(x, y) -> S(y, w)")
+        result = chase(parse_database("P(a)"), sigma)
+        base = fact("P", "a")
+        assert result.level_of_atom(base) == 0
+        derived = [a for a in result.instance if a.predicate == "S"]
+        assert result.level_of_atom(derived[0]) == 2
+
+    def test_log_records_rule_indices(self):
+        sigma = parse_tgds("P(x) -> Q(x)")
+        result = chase(parse_database("P(a)"), sigma)
+        assert [s.tgd_index for s in result.log] == [0]
+        assert result.log[0].added == (fact("Q", "a"),)
+
+
+class TestForestFallback:
+    def test_unguarded_rule_uses_first_body_atom(self):
+        # The forest is documented to fall back to the first body atom for
+        # non-guarded rules (provenance DAG, not paper-exact).
+        sigma = parse_tgds("A(x), B(y) -> C(x, y)")
+        db = parse_database("A(a). B(b)")
+        forest = GuardedChaseForest.build(db, sigma)
+        derived = fact("C", "a", "b")
+        assert forest.depth_of(derived) == 1
+
+
+class TestTreeEnumeration:
+    def test_count_accepted_trees(self):
+        def delta(state, label):
+            if label == "hit":
+                return Top()
+            return disj([diamond("*", "seek")])
+
+        auto = TWAPA(frozenset({"seek"}), delta, "seek", {})
+        # Depth ≤ 1, branching ≤ 1, labels {hit, miss}: trees are a single
+        # node (2 labelings) or a 2-chain (4 labelings).  Accepted: root hit
+        # (3 of them: hit, hit-hit, hit-miss... root=hit accepts regardless
+        # of child: 1 + 2 = 3) plus miss-hit (1) = 4.
+        n = count_accepted_trees(
+            auto, ["hit", "miss"], max_depth=1, max_branching=1
+        )
+        assert n == 4
+
+
+class TestStringRenderings:
+    def test_tgd_str_shows_existentials(self):
+        rule = parse_tgds("P(x) -> R(x, w)")[0]
+        text = str(rule)
+        assert "∃" in text and "R(" in text
+
+    def test_fact_tgd_str(self):
+        rule = parse_tgds("-> Bit(0)")[0]
+        assert str(rule).startswith("⊤")
+
+    def test_omq_str(self):
+        q = OMQ(Schema.of(A=1), parse_tgds("A(x) -> B(x)"), parse_cq("q(x) :- B(x)"))
+        text = str(q)
+        assert "A/1" in text and "B(" in text
+
+    def test_instance_str_sorted(self):
+        inst = parse_database("B(b). A(a)")
+        assert str(inst) == "{A(a), B(b)}"
+
+    def test_containment_result_str(self):
+        from repro import contains
+
+        q1 = OMQ(Schema.of(A=1), (), parse_cq("q(x) :- A(x)"))
+        q2 = OMQ(Schema.of(A=1), (), parse_cq("q(x) :- A(x), Z(x)"))
+        text = str(contains(q2, q1))
+        assert "contained" in text
+
+    def test_ucq_str_empty(self):
+        from repro.core.queries import UCQ
+
+        assert str(UCQ(())) == "⊥"
+
+
+class TestSchemaDunder:
+    def test_iteration_and_len(self):
+        s = Schema.of(B=1, A=2)
+        assert list(s) == ["A", "B"]
+        assert len(s) == 2
+
+    def test_or_operator(self):
+        s = Schema.of(A=1) | Schema.of(B=2)
+        assert len(s) == 2
+
+
+class TestInstanceAlgebraEdges:
+    def test_le_operator(self):
+        small = parse_database("A(a)")
+        big = parse_database("A(a). B(b)")
+        assert small <= big
+        assert not (big <= small)
+
+    def test_contains_operator(self):
+        db = parse_database("A(a)")
+        assert fact("A", "a") in db
+        assert fact("A", "b") not in db
+
+    def test_restrict_empty(self):
+        db = parse_database("A(a). B(b)")
+        assert len(db.restrict_to_predicates([])) == 0

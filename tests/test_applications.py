@@ -1,0 +1,132 @@
+"""Tests for Section 7: distribution over components and UCQ rewritability."""
+
+import pytest
+
+from repro import OMQ, Schema, parse_cq, parse_database, parse_tgds
+from repro.applications import (
+    distributes_over_components,
+    evaluate_distributed,
+    is_ucq_rewritable,
+)
+from repro.evaluation import evaluate_omq
+
+
+def omq(schema, rules, query):
+    return OMQ(Schema(schema), parse_tgds(rules), parse_cq(query))
+
+
+class TestDistribution:
+    def test_connected_query_distributes(self):
+        q = omq({"R": 2}, "R(x, y) -> P(y)", "q(x) :- R(x, y), P(y)")
+        result = distributes_over_components(q)
+        assert result.distributes is True
+
+    def test_unsatisfiable_query_distributes(self):
+        q = omq({"A": 1}, "", "q() :- Never(x)")
+        result = distributes_over_components(q)
+        assert result.distributes is True
+        assert "unsatisfiable" in result.reason
+
+    def test_cartesian_product_does_not_distribute(self):
+        # q() :- A(x), B(y) needs both components at once.
+        q = omq({"A": 1, "B": 1}, "", "q() :- A(x), B(y)")
+        result = distributes_over_components(q)
+        assert result.distributes is False
+
+    def test_redundant_disconnected_query_distributes(self):
+        # q() :- A(x), A(y): the component A(x) is equivalent to q.
+        q = omq({"A": 1}, "", "q() :- A(x), A(y)")
+        result = distributes_over_components(q)
+        assert result.distributes is True
+        assert result.witness_component is not None
+
+    def test_ontology_can_make_component_sufficient(self):
+        # A(x) forces B(w') to exist, so the A-component alone entails q.
+        q = omq(
+            {"A": 1, "B": 1},
+            "A(x) -> B(w)",
+            "q() :- A(x), B(y)",
+        )
+        result = distributes_over_components(q)
+        assert result.distributes is True
+
+    def test_distributed_evaluation_agrees_when_distributing(self):
+        q = omq({"A": 1}, "", "q() :- A(x), A(y)")
+        db = parse_database("A(a). A(b)")
+        assert evaluate_distributed(q, db) == evaluate_omq(q, db).answers
+
+    def test_distributed_evaluation_differs_when_not(self):
+        q = omq({"A": 1, "B": 1}, "", "q() :- A(x), B(y)")
+        db = parse_database("A(a). B(b)")
+        central = evaluate_omq(q, db).answers
+        distributed = evaluate_distributed(q, db)
+        assert central == {()}
+        assert distributed == set()
+
+    def test_zero_ary_atoms_rejected(self):
+        q = omq({"Flag": 0, "A": 1}, "", "q() :- Flag(), A(x)")
+        with pytest.raises(ValueError):
+            distributes_over_components(q)
+
+    def test_non_boolean_distribution(self):
+        q = omq({"A": 1, "B": 1}, "", "q(x) :- A(x), B(y)")
+        result = distributes_over_components(q)
+        assert result.distributes is False
+
+
+class TestUCQRewritability:
+    def test_linear_always_rewritable(self):
+        q = omq(
+            {"P": 1, "T": 1},
+            "P(x) -> R(x, w)\nR(x, y) -> P(y)\nT(x) -> P(x)",
+            "q(x) :- P(x)",
+        )
+        result = is_ucq_rewritable(q)
+        assert result.rewritable is True
+        assert result.rewriting is not None
+
+    def test_sticky_always_rewritable(self):
+        q = omq(
+            {"R": 2, "P": 2},
+            "R(x, y), P(y, z) -> S(x, y, z)",
+            "q() :- S(x, y, z)",
+        )
+        assert is_ucq_rewritable(q).rewritable is True
+
+    def test_guarded_rewritable_instance(self):
+        # A guarded but acyclic ontology: XRewrite converges.
+        q = omq(
+            {"R": 2, "P": 1},
+            "R(x, y), P(x) -> Q(y)",
+            "q(y) :- Q(y)",
+        )
+        result = is_ucq_rewritable(q)
+        assert result.rewritable is True
+
+    def test_guarded_non_rewritable_instance_reports_divergence(self):
+        # Reachability-style guarded recursion is not UCQ rewritable.
+        q = omq(
+            {"E": 2, "S": 1},
+            "E(x, y), S(x) -> S(y)",
+            "q(x) :- S(x)",
+        )
+        result = is_ucq_rewritable(q, budgets=(100, 400, 1_600))
+        assert result.rewritable is None
+        assert result.max_disjunct_sizes
+        with pytest.raises(ValueError):
+            bool(result)
+
+    def test_full_recursive_divergence(self):
+        q = omq(
+            {"E": 2},
+            "E(x, y), E(y, z) -> T(x, z)\nT(x, y), T(y, z) -> T(x, z)",
+            "q() :- T(x, y)",
+        )
+        result = is_ucq_rewritable(q, budgets=(50, 200, 800))
+        assert result.rewritable is None
+
+    def test_rewriting_returned_is_correct(self):
+        q = omq({"A": 1}, "A(x) -> B(x)", "q(x) :- B(x)")
+        result = is_ucq_rewritable(q)
+        db = parse_database("A(a)")
+        assert result.rewriting.evaluate(db) == evaluate_omq(q, db).answers

@@ -1,0 +1,111 @@
+"""Unit tests for atoms and schemas."""
+
+import pytest
+
+from repro.core.atoms import Atom, atom, fact, terms_of, variables_of_atoms
+from repro.core.schema import Schema, SchemaError
+from repro.core.terms import Constant, Null, Variable
+
+x, y = Variable("x"), Variable("y")
+a, b = Constant("a"), Constant("b")
+
+
+class TestAtom:
+    def test_construction_and_accessors(self):
+        at = atom("R", x, a)
+        assert at.predicate == "R"
+        assert at.arity == 2
+        assert at.variables() == {x}
+        assert at.constants() == {a}
+
+    def test_zero_ary_atom(self):
+        at = atom("Goal")
+        assert at.arity == 0
+        assert at.is_fact()
+
+    def test_fact_detection(self):
+        assert fact("R", "a", "b").is_fact()
+        assert not atom("R", x, a).is_fact()
+        assert atom("R", Null(0), a).is_ground()
+        assert not atom("R", Null(0), a).is_fact()
+
+    def test_substitute(self):
+        at = atom("R", x, y).substitute({x: a})
+        assert at == atom("R", a, y)
+
+    def test_substitute_leaves_original(self):
+        original = atom("R", x, y)
+        original.substitute({x: a})
+        assert original == atom("R", x, y)
+
+    def test_positions_of(self):
+        at = atom("R", x, y, x)
+        assert at.positions_of(x) == (0, 2)
+        assert at.positions_of(y) == (1,)
+        assert at.positions_of(a) == ()
+
+    def test_atoms_hashable_and_equal_structurally(self):
+        assert atom("R", x, y) == atom("R", x, y)
+        assert len({atom("R", x, y), atom("R", x, y)}) == 1
+
+    def test_str(self):
+        assert str(atom("R", x, a)) == "R(?x, a)"
+        assert str(atom("P")) == "P()"
+
+    def test_collectors(self):
+        atoms = [atom("R", x, a), atom("P", y)]
+        assert terms_of(atoms) == {x, y, a}
+        assert variables_of_atoms(atoms) == {x, y}
+
+
+class TestSchema:
+    def test_of_constructor(self):
+        s = Schema.of(R=2, P=1)
+        assert s.arity("R") == 2
+        assert s.arity("P") == 1
+        assert "R" in s and "Q" not in s
+
+    def test_from_atoms(self):
+        s = Schema.from_atoms([atom("R", x, y), atom("P", x)])
+        assert s == Schema.of(R=2, P=1)
+
+    def test_from_atoms_arity_clash(self):
+        with pytest.raises(SchemaError):
+            Schema.from_atoms([atom("R", x), atom("R", x, y)])
+
+    def test_unknown_predicate(self):
+        with pytest.raises(SchemaError):
+            Schema.of(R=2).arity("P")
+
+    def test_max_arity(self):
+        assert Schema.of(R=2, P=5, Q=1).max_arity == 5
+        assert Schema().max_arity == 0
+
+    def test_union(self):
+        s = Schema.of(R=2) | Schema.of(P=1)
+        assert s == Schema.of(R=2, P=1)
+
+    def test_union_clash(self):
+        with pytest.raises(SchemaError):
+            Schema.of(R=2) | Schema.of(R=3)
+
+    def test_restrict(self):
+        s = Schema.of(R=2, P=1, Q=3).restrict(["R", "Q"])
+        assert s == Schema.of(R=2, Q=3)
+
+    def test_validate_atom(self):
+        s = Schema.of(R=2)
+        s.validate_atom(atom("R", x, y))
+        with pytest.raises(SchemaError):
+            s.validate_atom(atom("R", x))
+
+    def test_predicates_sorted(self):
+        assert Schema.of(Z=1, A=1, M=1).predicates() == ("A", "M", "Z")
+
+    def test_hash_and_eq(self):
+        assert hash(Schema.of(R=1)) == hash(Schema.of(R=1))
+        assert Schema.of(R=1) != Schema.of(R=2)
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(R=-1)

@@ -1,0 +1,234 @@
+"""Tests for the 2WAPA machinery, C_{S,l}, and the query automaton."""
+
+import pytest
+
+from repro.automata import (
+    TWAPA,
+    Bottom,
+    Top,
+    box,
+    conj,
+    consistency_automaton,
+    diamond,
+    disj,
+    enumerate_trees,
+    find_accepted_tree,
+    is_empty_bounded,
+    query_automaton,
+    UnsupportedQueryError,
+)
+from repro.core.parser import parse_cq, parse_database
+from repro.core.terms import Constant
+from repro.trees import LabeledTree, decode_tree, encode_ctree, is_consistent
+from repro.trees.ctree import Alphabet, TreeLabel
+
+
+def simple_automaton(target_label: str) -> TWAPA:
+    """Accepts trees containing *target_label* somewhere."""
+
+    def delta(state, label):
+        if label == target_label:
+            return Top()
+        return disj([diamond("*", "seek")])
+
+    return TWAPA(frozenset({"seek"}), delta, "seek", {}, name=f"find[{target_label}]")
+
+
+def all_labels_automaton(required: str) -> TWAPA:
+    """Accepts trees in which *every* node bears *required*."""
+
+    def delta(state, label):
+        if label != required:
+            return Bottom()
+        return box("*", "all")
+
+    return TWAPA(frozenset({"all"}), delta, "all", {}, name=f"all[{required}]")
+
+
+class TestTWAPABasics:
+    def test_existential_search(self):
+        auto = simple_automaton("hit")
+        assert auto.accepts(LabeledTree({(): "hit"}))
+        assert auto.accepts(LabeledTree({(): "x", (1,): "hit"}))
+        assert auto.accepts(LabeledTree({(): "x", (1,): "y", (1, 1): "hit"}))
+        assert not auto.accepts(LabeledTree({(): "x", (1,): "y"}))
+
+    def test_universal_check(self):
+        auto = all_labels_automaton("ok")
+        assert auto.accepts(LabeledTree({(): "ok", (1,): "ok"}))
+        assert not auto.accepts(LabeledTree({(): "ok", (1,): "bad"}))
+
+    def test_infinite_wander_rejected(self):
+        # A state that only moves without accepting must reject (Ω ≡ 1).
+        def delta(state, label):
+            return disj([diamond("*", "loop"), diamond(-1, "loop")])
+
+        auto = TWAPA(frozenset({"loop"}), delta, "loop", {})
+        assert not auto.accepts(LabeledTree({(): "a", (1,): "b"}))
+
+    def test_parent_move(self):
+        # Go down to a child, then check the parent's label from below.
+        def delta(state, label):
+            if state == "start":
+                return diamond("*", "up")
+            if state == "up":
+                return diamond(-1, "check")
+            return Top() if label == "root" else Bottom()
+
+        auto = TWAPA(frozenset({"start", "up", "check"}), delta, "start", {})
+        assert auto.accepts(LabeledTree({(): "root", (1,): "c"}))
+        assert not auto.accepts(LabeledTree({(): "other", (1,): "c"}))
+
+    def test_parent_at_root_fails_existentially(self):
+        def delta(state, label):
+            return diamond(-1, state)
+
+        auto = TWAPA(frozenset({"s"}), delta, "s", {})
+        assert not auto.accepts(LabeledTree({(): "a"}))
+
+    def test_box_vacuous_on_leaf(self):
+        def delta(state, label):
+            return box("*", state)
+
+        auto = TWAPA(frozenset({"s"}), delta, "s", {})
+        # Infinite descent impossible on a finite tree: box succeeds at
+        # the leaves, so the single-node tree is accepted vacuously.
+        assert auto.accepts(LabeledTree({(): "x"}))
+
+    def test_empty_tree_rejected(self):
+        auto = simple_automaton("hit")
+        assert not auto.accepts(LabeledTree({}))
+
+
+class TestBooleanOperations:
+    def test_intersection(self):
+        both = simple_automaton("a").intersect(simple_automaton("b"))
+        assert both.accepts(LabeledTree({(): "a", (1,): "b"}))
+        assert not both.accepts(LabeledTree({(): "a", (1,): "a"}))
+
+    def test_complement(self):
+        never_hit = simple_automaton("hit").complement()
+        assert never_hit.accepts(LabeledTree({(): "x"}))
+        assert not never_hit.accepts(LabeledTree({(): "hit"}))
+
+    def test_complement_of_complement(self):
+        auto = simple_automaton("hit").complement().complement()
+        assert auto.accepts(LabeledTree({(): "hit"}))
+        assert not auto.accepts(LabeledTree({(): "x"}))
+
+    def test_intersection_with_complement_is_difference(self):
+        diff = simple_automaton("a").intersect(simple_automaton("b").complement())
+        assert diff.accepts(LabeledTree({(): "a"}))
+        assert not diff.accepts(LabeledTree({(): "a", (1,): "b"}))
+
+
+class TestBoundedEmptiness:
+    def test_enumerate_trees_counts(self):
+        trees = list(enumerate_trees(["a"], max_depth=1, max_branching=2))
+        # Shapes: single node, one child, two children.
+        assert len(trees) == 3
+
+    def test_enumeration_grows_with_labels(self):
+        trees = list(enumerate_trees(["a", "b"], max_depth=1, max_branching=1))
+        # Shapes: 1 node (2 labelings) + 2 nodes (4 labelings).
+        assert len(trees) == 6
+
+    def test_find_accepted_tree(self):
+        auto = simple_automaton("hit")
+        tree = find_accepted_tree(auto, ["x", "hit"], max_depth=1, max_branching=1)
+        assert tree is not None
+        assert any(lab == "hit" for lab in tree.labels.values())
+
+    def test_bounded_emptiness(self):
+        auto = simple_automaton("hit")
+        assert is_empty_bounded(auto, ["x", "y"], max_depth=2, max_branching=2)
+        assert not is_empty_bounded(auto, ["x", "hit"], max_depth=1, max_branching=1)
+
+
+class TestConsistencyAutomaton:
+    def _encoded(self, db_text, core_names):
+        db = parse_database(db_text)
+        core = db.induced_by({Constant(n) for n in core_names})
+        return encode_ctree(db, core)
+
+    def test_accepts_real_encodings(self):
+        tree, alphabet = self._encoded("R(a, b). R(b, c). R(c, d)", {"a", "b"})
+        auto = consistency_automaton(alphabet)
+        assert auto.accepts(tree)
+
+    def test_rejects_tampered_encoding(self):
+        tree, alphabet = self._encoded("R(a, b). R(b, c)", {"a", "b"})
+        auto = consistency_automaton(alphabet)
+
+        def strip_core(node, label):
+            return TreeLabel(label.names, frozenset(), label.atoms)
+
+        tampered = tree.relabel(strip_core)
+        assert not auto.accepts(tampered)
+
+    def test_rejects_unguarded_node(self):
+        tree, alphabet = self._encoded("R(a, b). R(b, c)", {"a", "b"})
+        auto = consistency_automaton(alphabet)
+
+        def drop_atoms(node, label):
+            if node == ():
+                return label
+            return TreeLabel(label.names, label.core_names, frozenset())
+
+        tampered = tree.relabel(drop_atoms)
+        assert not auto.accepts(tampered)
+
+    def test_agrees_with_direct_checker(self):
+        tree, alphabet = self._encoded(
+            "R(a, b). R(b, c). R(b, d). P(d)", {"a", "b"}
+        )
+        auto = consistency_automaton(alphabet)
+        assert auto.accepts(tree) == is_consistent(tree, alphabet)
+
+
+class TestQueryAutomaton:
+    def _encoded(self, db_text, core_names):
+        db = parse_database(db_text)
+        core = db.induced_by({Constant(n) for n in core_names})
+        return encode_ctree(db, core)
+
+    @pytest.mark.parametrize(
+        "query_text, db_text, expected",
+        [
+            ("q() :- R(x, y)", "R(a, b). R(b, c)", True),
+            ("q() :- P(x)", "R(a, b). R(b, c)", False),
+            ("q() :- R(x, x)", "R(a, b). R(b, c)", False),
+            ("q() :- R(x, y), P(z)", "R(a, b). R(b, c). P(d). R(b, d)", True),
+            ("q() :- R(x, y), P(z)", "R(a, b). R(b, c)", False),
+        ],
+    )
+    def test_matches_direct_evaluation(self, query_text, db_text, expected):
+        query = parse_cq(query_text)
+        tree, alphabet = self._encoded(db_text, {"a", "b"})
+        auto = query_automaton(query, alphabet)
+        assert auto.accepts(tree) is expected
+        # Cross-validate against decoding + direct evaluation.
+        decoded, _ = decode_tree(tree, alphabet)
+        assert bool(query.evaluate(decoded)) is expected
+
+    def test_join_variables_rejected(self):
+        query = parse_cq("q() :- R(x, y), P(y)")
+        _, alphabet = self._encoded("R(a, b)", {"a", "b"})
+        with pytest.raises(UnsupportedQueryError):
+            query_automaton(query, alphabet)
+
+    def test_non_boolean_rejected(self):
+        query = parse_cq("q(x) :- R(x, y)")
+        _, alphabet = self._encoded("R(a, b)", {"a", "b"})
+        with pytest.raises(UnsupportedQueryError):
+            query_automaton(query, alphabet)
+
+    def test_intersection_with_consistency(self):
+        # The Proposition-25 shape: C ∩ A_{q} accepts consistent trees
+        # whose decoding satisfies q.
+        query = parse_cq("q() :- R(x, y)")
+        tree, alphabet = self._encoded("R(a, b). R(b, c)", {"a", "b"})
+        product = consistency_automaton(alphabet).intersect(
+            query_automaton(query, alphabet)
+        )
+        assert product.accepts(tree)

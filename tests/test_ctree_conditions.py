@@ -1,0 +1,142 @@
+"""Per-condition tests for the Γ_{S,l} consistency checker (Lemma 41).
+
+Each test violates exactly one of the five conditions and asserts that
+both the direct checker and the consistency automaton flag it.
+"""
+
+import pytest
+
+from repro.automata import consistency_automaton
+from repro.core.parser import parse_database
+from repro.core.terms import Constant
+from repro.trees import (
+    LabeledTree,
+    consistency_violations,
+    encode_ctree,
+    is_consistent,
+)
+from repro.trees.ctree import Alphabet, TreeLabel
+
+
+@pytest.fixture
+def encoded():
+    db = parse_database("R(a, b). R(b, c). R(b, d). P(d)")
+    core = db.induced_by({Constant("a"), Constant("b")})
+    return encode_ctree(db, core)
+
+
+def _violates(tree, alphabet, condition: str) -> bool:
+    violations = consistency_violations(tree, alphabet)
+    return any(v.startswith(condition) for v in violations)
+
+
+class TestConditions:
+    def test_baseline_consistent(self, encoded):
+        tree, alphabet = encoded
+        assert is_consistent(tree, alphabet)
+        assert consistency_automaton(alphabet).accepts(tree)
+
+    def test_condition1_name_budget(self, encoded):
+        tree, alphabet = encoded
+        # Flood a non-root node with every name: exceeds ar(S) = 2.
+        all_names = frozenset(alphabet.all_names)
+
+        def flood(node, label):
+            if node == (1,):
+                return TreeLabel(
+                    all_names,
+                    frozenset(alphabet.core_names),
+                    label.atoms,
+                )
+            return label
+
+        tampered = tree.relabel(flood)
+        assert _violates(tampered, alphabet, "(1)")
+        assert not consistency_automaton(alphabet).accepts(tampered)
+
+    def test_condition1_root_uses_core_names_only(self, encoded):
+        tree, alphabet = encoded
+        transient = alphabet.transient_names[0]
+
+        def pollute_root(node, label):
+            if node == ():
+                return TreeLabel(
+                    label.names | {transient}, label.core_names, label.atoms
+                )
+            return label
+
+        tampered = tree.relabel(pollute_root)
+        assert _violates(tampered, alphabet, "(1)")
+        assert not consistency_automaton(alphabet).accepts(tampered)
+
+    def test_condition2_atom_over_absent_name(self, encoded):
+        tree, alphabet = encoded
+        ghost = alphabet.transient_names[-1]
+
+        def ghost_atom(node, label):
+            if node != () and label.names:
+                name = sorted(label.names)[0]
+                return TreeLabel(
+                    label.names,
+                    label.core_names,
+                    label.atoms | {("R", (name, ghost))},
+                )
+            return label
+
+        tampered = tree.relabel(ghost_atom)
+        assert _violates(tampered, alphabet, "(2)")
+        assert not consistency_automaton(alphabet).accepts(tampered)
+
+    def test_condition3_core_flag_mismatch(self, encoded):
+        tree, alphabet = encoded
+
+        def strip_flags(node, label):
+            return TreeLabel(label.names, frozenset(), label.atoms)
+
+        tampered = tree.relabel(strip_flags)
+        assert _violates(tampered, alphabet, "(3)")
+        assert not consistency_automaton(alphabet).accepts(tampered)
+
+    def test_condition4_core_name_gap_on_root_path(self, encoded):
+        tree, alphabet = encoded
+        # Inject a deep node carrying a core name whose parent lacks it.
+        core_name = alphabet.core_names[0]
+        deep = max(tree.nodes(), key=len)
+        labels = dict(tree.labels)
+        old = labels[deep]
+        parent_label = labels[deep[:-1]]
+        if core_name in parent_label.names:
+            pytest.skip("pick a different gap node")
+        labels[deep] = TreeLabel(
+            old.names | {core_name},
+            old.core_names | {core_name},
+            old.atoms,
+        )
+        tampered = LabeledTree(labels)
+        assert _violates(tampered, alphabet, "(4)")
+        assert not consistency_automaton(alphabet).accepts(tampered)
+
+    def test_condition5_unguarded_node(self, encoded):
+        tree, alphabet = encoded
+
+        def drop_atoms(node, label):
+            if node == ():
+                return label
+            return TreeLabel(label.names, label.core_names, frozenset())
+
+        tampered = tree.relabel(drop_atoms)
+        assert _violates(tampered, alphabet, "(5)")
+        assert not consistency_automaton(alphabet).accepts(tampered)
+
+    def test_automaton_agrees_on_random_tamperings(self, encoded):
+        tree, alphabet = encoded
+        auto = consistency_automaton(alphabet)
+        # Flip one label component at a time; checker and automaton agree.
+        for node in tree.nodes():
+            labels = dict(tree.labels)
+            old = labels[node]
+            if not old.atoms:
+                continue
+            labels[node] = TreeLabel(old.names, old.core_names, frozenset())
+            tampered = LabeledTree(labels)
+            assert auto.accepts(tampered) == is_consistent(tampered, alphabet)

@@ -1,0 +1,61 @@
+"""Determinism tests: identical inputs must give bit-identical outputs.
+
+Reproducibility is a design requirement (DESIGN.md): the chase, XRewrite,
+and the containment procedures are deterministic — no randomness, FIFO
+orders, sorted tie-breaks.
+"""
+
+from repro import OMQ, Schema, contains, parse_cq, parse_database, parse_tgds
+from repro.chase import chase
+from repro.rewriting.xrewrite import xrewrite_cq
+
+
+SIGMA_TEXT = """
+P(x) -> R(x, w)
+R(x, y) -> P(y)
+T(x) -> P(x)
+"""
+
+
+class TestChaseDeterminism:
+    def test_identical_instances(self):
+        sigma = parse_tgds(SIGMA_TEXT)
+        db = parse_database("T(a). T(b). P(c)")
+        r1 = chase(db, sigma, max_depth=3)
+        r2 = chase(db, sigma, max_depth=3)
+        assert r1.instance == r2.instance
+        assert r1.steps == r2.steps
+        assert [s.tgd_index for s in r1.log] == [s.tgd_index for s in r2.log]
+
+    def test_null_ids_are_stable(self):
+        sigma = parse_tgds("P(x) -> R(x, w)")
+        db = parse_database("P(a). P(b)")
+        n1 = sorted(n.ident for n in chase(db, sigma).instance.nulls())
+        n2 = sorted(n.ident for n in chase(db, sigma).instance.nulls())
+        assert n1 == n2
+
+
+class TestRewritingDeterminism:
+    def test_identical_rewritings(self):
+        sigma = parse_tgds(SIGMA_TEXT)
+        schema = Schema.of(P=1, T=1)
+        query = parse_cq("q(x) :- R(x, y), P(y)")
+        r1 = xrewrite_cq(schema, sigma, query)
+        r2 = xrewrite_cq(schema, sigma, query)
+        assert [str(d) for d in r1.rewriting.disjuncts] == [
+            str(d) for d in r2.rewriting.disjuncts
+        ]
+        assert r1.stats.rewriting_steps == r2.stats.rewriting_steps
+
+
+class TestContainmentDeterminism:
+    def test_identical_witnesses(self):
+        schema = Schema.of(P=1, T=1)
+        sigma = parse_tgds(SIGMA_TEXT)
+        q1 = OMQ(schema, sigma, parse_cq("q(x) :- P(x)"))
+        q2 = OMQ(schema, sigma, parse_cq("q(x) :- T(x)"))
+        r1 = contains(q1, q2)
+        r2 = contains(q1, q2)
+        assert r1.verdict == r2.verdict
+        assert str(r1.witness.database) == str(r2.witness.database)
+        assert r1.witness.answer == r2.witness.answer

@@ -1,0 +1,141 @@
+"""Tests for the containment dispatcher's special procedures."""
+
+import pytest
+
+from repro import OMQ, Schema, Verdict, contains, parse_cq, parse_tgds
+from repro.containment.dispatch import cq_subsumption
+from repro.containment.propositional import (
+    contains_propositional,
+    is_propositional,
+)
+from repro.containment.result import (
+    ContainmentResult,
+    Witness,
+    contained,
+    not_contained,
+    unknown,
+)
+from repro.core.instance import Instance
+from repro.core.atoms import atom
+
+
+def omq(schema, rules, query):
+    return OMQ(Schema(schema), parse_tgds(rules), parse_cq(query))
+
+
+class TestResultTypes:
+    def test_contained_result(self):
+        r = contained("m", "detail")
+        assert r.is_contained and r.decided and bool(r)
+
+    def test_not_contained_result(self):
+        db = Instance.of([atom("A")])
+        r = not_contained("m", db, ())
+        assert not r.is_contained and r.decided
+        assert isinstance(r.witness, Witness)
+        assert "witness" in str(r)
+
+    def test_unknown_result_raises_on_bool(self):
+        r = unknown("m", "out of budget")
+        assert not r.decided
+        with pytest.raises(ValueError):
+            bool(r)
+        with pytest.raises(ValueError):
+            r.is_contained
+
+
+class TestCQSubsumption:
+    def test_same_sigma_query_weakening(self):
+        s = {"E": 2, "S": 1}
+        rules = "E(x, y), S(x) -> S(y)"
+        q1 = omq(s, rules, "q() :- S(x), E(x, y)")
+        q2 = omq(s, rules, "q() :- S(x)")
+        shortcut = cq_subsumption(q1, q2)
+        assert shortcut is not None and shortcut.is_contained
+
+    def test_sigma_superset_direction(self):
+        s = {"A": 1}
+        q1 = omq(s, "", "q(x) :- A(x)")
+        q2 = omq(s, "A(x) -> B(x)", "q(x) :- A(x)")
+        # Σ1 = ∅ ⊆ Σ2 and q1 ⊆ q2 as plain CQs: shortcut applies.
+        assert cq_subsumption(q1, q2) is not None
+
+    def test_sigma_not_subset_no_shortcut(self):
+        s = {"A": 1}
+        q1 = omq(s, "A(x) -> B(x)", "q(x) :- A(x)")
+        q2 = omq(s, "A(x) -> C(x)", "q(x) :- A(x)")
+        assert cq_subsumption(q1, q2) is None
+
+    def test_query_not_contained_no_shortcut(self):
+        s = {"A": 1, "B": 1}
+        q1 = omq(s, "", "q(x) :- A(x)")
+        q2 = omq(s, "", "q(x) :- B(x)")
+        assert cq_subsumption(q1, q2) is None
+
+    def test_shortcut_is_sound(self):
+        # Where the shortcut answers, the exact procedure must agree.
+        s = {"E": 2, "P": 1}
+        rules = "E(x, y) -> P(y)"
+        q1 = omq(s, rules, "q(x) :- P(x), E(y, x)")
+        q2 = omq(s, rules, "q(x) :- P(x)")
+        shortcut = cq_subsumption(q1, q2)
+        assert shortcut is not None
+        from repro.containment.small_witness import contains_via_small_witness
+
+        exact = contains_via_small_witness(q1, q2)
+        assert exact.is_contained
+
+
+class TestPropositional:
+    def test_detection(self):
+        assert is_propositional(omq({"P": 0, "Q": 0}, "", "q() :- P()"))
+        assert not is_propositional(omq({"A": 1}, "", "q() :- A(x)"))
+        assert not is_propositional(
+            OMQ(Schema({}), (), parse_cq("q() :- X()"))
+        )
+
+    def test_simple_propositional_containment(self):
+        s = {"P": 0, "Q": 0}
+        q1 = omq(s, "P(), Q() -> Both()", "q() :- Both()")
+        q2 = omq(s, "P() -> Goal()", "q() :- Goal()")
+        assert contains_propositional(q1, q2).is_contained
+        result = contains_propositional(q2, q1)
+        assert result.verdict is Verdict.NOT_CONTAINED
+        # Witness: P alone fires Q2 but not Q1.
+        assert len(result.witness.database) == 1
+
+    def test_cap_respected(self):
+        s = {f"P{i}": 0 for i in range(20)}
+        q = omq(s, "", "q() :- P0()")
+        result = contains_propositional(q, q)
+        assert result.verdict is Verdict.UNKNOWN
+
+    def test_dispatcher_uses_propositional(self):
+        s = {"P": 0, "Q": 0}
+        q1 = omq(s, "P(), Q() -> Both()", "q() :- Both()")
+        q2 = omq(s, "P() -> Goal()", "q() :- Goal()")
+        result = contains(q1, q2)
+        assert result.is_contained
+        assert "propositional" in result.method
+
+
+class TestBudgetOverrides:
+    def test_custom_budget_is_honoured(self):
+        # A tiny budget forces UNKNOWN on a guarded-recursive LHS whose
+        # partial rewriting cannot refute either.
+        s = {"E": 2, "S": 1}
+        rules = "E(x, y), S(x) -> S(y)"
+        q1 = omq(s, rules, "q(x) :- S(x)")
+        q2 = OMQ(
+            q1.data_schema, parse_tgds("E(x, y) -> S(y)"), parse_cq("q(x) :- S(x)")
+        )
+        result = contains(
+            q1,
+            q2,
+            rewriting_budget=20,
+            search_max_atoms=2,
+            search_max_databases=50,
+        )
+        # Either a genuine witness is found in the small space or UNKNOWN;
+        # never a false CONTAINED.
+        assert result.verdict in (Verdict.NOT_CONTAINED, Verdict.UNKNOWN)

@@ -1,0 +1,217 @@
+"""Unit tests for the fragment classifiers, including Figure 1."""
+
+import pytest
+
+from repro.core.omq import TGDClass
+from repro.core.parser import parse_tgds
+from repro.core.terms import Variable
+from repro.fragments import (
+    best_class,
+    classify,
+    find_predicate_cycle,
+    guard_of,
+    is_full,
+    is_guarded,
+    is_linear,
+    is_lossless,
+    is_non_recursive,
+    is_sticky,
+    is_weakly_acyclic,
+    marked_variables,
+    predicate_depth,
+    predicate_levels,
+    sticky_violations,
+    stratification,
+    uses_only_low_arity,
+)
+
+
+class TestGuardedLinear:
+    def test_linear_is_guarded(self):
+        sigma = parse_tgds("P(x) -> R(x, w)")
+        assert is_linear(sigma)
+        assert is_guarded(sigma)
+
+    def test_guard_detection(self):
+        sigma = parse_tgds("R(x, y, z), P(x) -> S(x)")
+        assert is_guarded(sigma)
+        assert guard_of(sigma[0]).predicate == "R"
+
+    def test_unguarded(self):
+        sigma = parse_tgds("R(x, y), P(y, z) -> S(x, z)")
+        assert not is_guarded(sigma)
+        assert guard_of(sigma[0]) is None
+
+    def test_fact_tgd_vacuously_guarded(self):
+        sigma = parse_tgds("-> P(x)")
+        assert is_guarded(sigma) and is_linear(sigma)
+
+    def test_inclusion_dependencies_are_linear(self):
+        sigma = parse_tgds("Emp(x, y) -> Dept(y, w)")
+        assert is_linear(sigma)
+
+    def test_low_arity_check(self):
+        assert uses_only_low_arity(parse_tgds("R(x, y) -> P(y)"))
+        assert not uses_only_low_arity(parse_tgds("T(x, y, z) -> P(y)"))
+
+
+class TestNonRecursive:
+    def test_acyclic(self):
+        sigma = parse_tgds("A(x) -> B(x)\nB(x) -> C(x)")
+        assert is_non_recursive(sigma)
+        assert find_predicate_cycle(sigma) is None
+
+    def test_direct_recursion(self):
+        sigma = parse_tgds("E(x, y), E(y, z) -> E(x, z)")
+        assert not is_non_recursive(sigma)
+        cycle = find_predicate_cycle(sigma)
+        assert cycle[0] == cycle[-1] == "E"
+
+    def test_indirect_recursion(self):
+        sigma = parse_tgds("A(x) -> B(x)\nB(x) -> A(x)")
+        assert not is_non_recursive(sigma)
+
+    def test_predicate_levels(self):
+        sigma = parse_tgds("A(x) -> B(x)\nB(x) -> C(x)")
+        mu = predicate_levels(sigma)
+        assert mu["A"] < mu["B"] < mu["C"]
+
+    def test_levels_undefined_for_recursive(self):
+        sigma = parse_tgds("A(x) -> A(x)")
+        with pytest.raises(ValueError):
+            predicate_levels(sigma)
+
+    def test_stratification(self):
+        sigma = parse_tgds("A(x) -> B(x)\nB(x) -> C(x)\nA(x) -> D(x)")
+        strata = stratification(sigma)
+        flattened = [t for s in strata for t in s]
+        assert sorted(map(str, flattened)) == sorted(map(str, sigma))
+        # Every tgd's body predicates sit strictly below its head predicates.
+        mu = predicate_levels(sigma)
+        for t in sigma:
+            for b in t.body_predicates():
+                for h in t.head_predicates():
+                    assert mu[b] < mu[h]
+
+    def test_predicate_depth(self):
+        sigma = parse_tgds("A(x) -> B(x)\nB(x) -> C(x)\nC(x) -> D(x)")
+        assert predicate_depth(sigma) == 3
+
+    def test_multi_head_merging(self):
+        sigma = parse_tgds("A(x) -> P(x), Q(x)")
+        mu = predicate_levels(sigma)
+        assert mu["P"] == mu["Q"]
+
+
+class TestSticky:
+    def test_figure1_left_is_sticky(self, figure1_sticky):
+        assert is_sticky(figure1_sticky)
+
+    def test_figure1_right_is_not_sticky(self, figure1_non_sticky):
+        assert not is_sticky(figure1_non_sticky)
+
+    def test_figure1_marking(self, figure1_non_sticky):
+        # In the right-hand set, S(y, w) drops x and z from the first tgd,
+        # and the marking propagates into the second tgd making its join
+        # variable y marked — the violation.
+        violations = sticky_violations(figure1_non_sticky)
+        assert len(violations) == 1
+        index, var = violations[0]
+        assert index == 1
+        assert var.name.startswith("y")
+
+    def test_base_marking(self):
+        # x missing from the head is marked.
+        sigma = parse_tgds("R(x, y) -> P(y)")
+        marks = marked_variables(sigma)
+        assert any(v.name.startswith("x") for _, v in marks)
+        assert not any(v.name.startswith("y") for _, v in marks)
+
+    def test_marked_join_variable_breaks_stickiness(self):
+        sigma = parse_tgds("R(x, y), P(y, z) -> S(x, z)")
+        assert not is_sticky(sigma)
+
+    def test_unmarked_join_variable_is_fine(self):
+        sigma = parse_tgds("R(x, y), P(y, z) -> S(x, y, z)")
+        assert is_sticky(sigma)
+
+    def test_lossless_tgds_are_sticky(self):
+        sigma = parse_tgds("R(x, y) -> S(x, y, w)\nS(x, y, z) -> T(x, y, z)")
+        assert is_lossless(sigma)
+        assert is_sticky(sigma)
+
+    def test_propagation_through_variables(self):
+        sigma = parse_tgds(
+            """
+            R(x, y) -> P(y)
+            S(x) -> R(x, 0)
+            """
+        )
+        marks = marked_variables(sigma)
+        # The second tgd's x is marked by propagating through R[0] (where
+        # the first tgd's x, marked by the base step, occurs).
+        assert any(v.name.startswith("x") and i == 1 for i, v in marks)
+
+    def test_constant_blocks_propagation(self):
+        # β holding a constant at the checked position blocks the marking:
+        # lossless-style padding with constants must not mark (the reading
+        # Proposition 35 requires).
+        sigma = parse_tgds(
+            """
+            A(x, z), B(x) -> R(x)
+            R(0) -> Q(x, w)
+            """
+        )
+        marks = marked_variables(sigma)
+        assert not any(v.name.startswith("x") and i == 0 for i, v in marks)
+        assert is_sticky(sigma)
+
+    def test_empty_set_is_sticky(self):
+        assert is_sticky([])
+
+
+class TestWeakAcyclicity:
+    def test_full_sets_are_weakly_acyclic(self):
+        sigma = parse_tgds("E(x, y), E(y, z) -> E(x, z)")
+        assert is_weakly_acyclic(sigma)
+
+    def test_null_recycling_detected(self):
+        sigma = parse_tgds("R(x, y) -> R(y, w)")
+        assert not is_weakly_acyclic(sigma)
+
+    def test_terminating_existential_chain(self):
+        sigma = parse_tgds("A(x) -> B(x, w)\nB(x, y) -> C(y)")
+        assert is_weakly_acyclic(sigma)
+
+
+class TestClassify:
+    def test_empty_set(self):
+        classes = classify([])
+        assert TGDClass.EMPTY in classes
+        assert best_class([]) is TGDClass.EMPTY
+
+    def test_linear_preferred(self):
+        sigma = parse_tgds("P(x) -> R(x, w)\nR(x, y) -> P(y)")
+        assert best_class(sigma) is TGDClass.LINEAR
+
+    def test_classification_is_multi_label(self):
+        sigma = parse_tgds("A(x) -> B(x)")
+        classes = classify(sigma)
+        assert {
+            TGDClass.LINEAR,
+            TGDClass.GUARDED,
+            TGDClass.NON_RECURSIVE,
+            TGDClass.STICKY,
+            TGDClass.FULL,
+            TGDClass.FULL_NON_RECURSIVE,
+        } <= classes
+
+    def test_guarded_only(self):
+        # Guarded, recursive, non-sticky, not linear.
+        sigma = parse_tgds("R(x, y), P(y) -> R(y, x)\nR(x, y), S(x, y) -> P(x)")
+        assert best_class(sigma) is TGDClass.GUARDED
+
+    def test_full_recursive_datalog(self):
+        sigma = parse_tgds("E(x, y), E(y, z) -> E(x, z)")
+        assert is_full(sigma)
+        assert best_class(sigma) is TGDClass.FULL

@@ -1,0 +1,102 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.core.schema import Schema
+from repro.fragments import (
+    is_guarded,
+    is_linear,
+    is_non_recursive,
+    is_sticky,
+)
+from repro.generators import (
+    chain_database,
+    disjoint_union,
+    guarded_acyclic,
+    guarded_reachability,
+    linear_chain,
+    linear_witness_family,
+    non_recursive_doubling,
+    random_database,
+    sticky_arity_family,
+    star_database,
+)
+from repro.rewriting import xrewrite
+
+
+class TestOntologyFamilies:
+    def test_linear_chain_class_and_semantics(self):
+        q = linear_chain(4)
+        assert is_linear(q.sigma)
+        result = xrewrite(q)
+        assert result.complete
+        assert result.max_disjunct_size() == 1
+
+    def test_linear_witness_family_tracks_query_size(self):
+        for size in (1, 2, 4):
+            q = linear_witness_family(size)
+            assert is_linear(q.sigma)
+            result = xrewrite(q)
+            assert result.complete
+            assert result.max_disjunct_size() == size
+
+    def test_non_recursive_doubling_is_exponential(self):
+        sizes = []
+        for layers in (1, 2, 3):
+            q = non_recursive_doubling(layers)
+            assert is_non_recursive(q.sigma)
+            result = xrewrite(q)
+            assert result.complete
+            sizes.append(result.max_disjunct_size())
+        assert sizes == [2, 4, 8]
+
+    def test_sticky_arity_family(self):
+        for arity in (2, 3):
+            q = sticky_arity_family(arity)
+            assert is_sticky(q.sigma)
+            assert xrewrite(q).complete
+
+    def test_guarded_reachability_class(self):
+        q = guarded_reachability()
+        assert is_guarded(q.sigma)
+        assert not is_linear(q.sigma)
+        assert not is_sticky(q.sigma)
+        assert not is_non_recursive(q.sigma)
+
+    def test_guarded_acyclic_is_rewritable(self):
+        q = guarded_acyclic(2)
+        assert is_guarded(q.sigma)
+        assert is_non_recursive(q.sigma)
+        assert xrewrite(q).complete
+
+
+class TestDatabaseGenerators:
+    def test_random_database_is_deterministic(self):
+        schema = Schema.of(R=2, P=1)
+        assert random_database(schema, 5, 10, seed=7) == random_database(
+            schema, 5, 10, seed=7
+        )
+        assert random_database(schema, 5, 10, seed=7) != random_database(
+            schema, 5, 10, seed=8
+        )
+
+    def test_random_database_respects_schema(self):
+        schema = Schema.of(R=2, P=1)
+        db = random_database(schema, 4, 12, seed=1)
+        for atom in db:
+            schema.validate_atom(atom)
+
+    def test_chain_database(self):
+        db = chain_database("E", 5)
+        assert len(db) == 5
+        assert len(db.domain()) == 6
+        assert db.is_connected()
+
+    def test_star_database(self):
+        db = star_database("E", 4)
+        assert len(db) == 4
+        assert db.is_connected()
+
+    def test_disjoint_union_components(self):
+        parts = [chain_database("E", 2), star_database("E", 3)]
+        db = disjoint_union(parts)
+        assert len(db.components()) == 2
+        assert len(db) == 5

@@ -1,0 +1,106 @@
+"""Unit tests for the homomorphism search engine."""
+
+from repro.core.atoms import atom, fact
+from repro.core.homomorphism import (
+    find_homomorphism,
+    has_homomorphism,
+    homomorphisms,
+    instance_homomorphism,
+    is_hom_equivalent,
+)
+from repro.core.instance import Instance
+from repro.core.terms import Constant, Null, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestBasicSearch:
+    def test_single_atom_match(self):
+        target = Instance.of([fact("R", "a", "b")])
+        h = find_homomorphism([atom("R", x, y)], target)
+        assert h == {x: a, y: b}
+
+    def test_constants_must_match(self):
+        target = Instance.of([fact("R", "a", "b")])
+        assert has_homomorphism([atom("R", a, y)], target)
+        assert not has_homomorphism([atom("R", b, y)], target)
+
+    def test_join_variable(self):
+        target = Instance.of([fact("R", "a", "b"), fact("R", "b", "c")])
+        h = find_homomorphism([atom("R", x, y), atom("R", y, z)], target)
+        assert h == {x: a, y: b, z: c}
+
+    def test_join_failure(self):
+        target = Instance.of([fact("R", "a", "b"), fact("R", "c", "d")])
+        assert not has_homomorphism([atom("R", x, y), atom("R", y, z)], target)
+
+    def test_variable_repetition_within_atom(self):
+        target = Instance.of([fact("R", "a", "b")])
+        assert not has_homomorphism([atom("R", x, x)], target)
+        loop = Instance.of([fact("R", "a", "a")])
+        assert has_homomorphism([atom("R", x, x)], loop)
+
+    def test_all_homomorphisms_enumerated(self):
+        target = Instance.of([fact("R", "a", "a"), fact("R", "a", "b")])
+        homs = list(homomorphisms([atom("R", x, y)], target))
+        assert len(homs) == 2
+
+    def test_fixed_binding(self):
+        target = Instance.of([fact("R", "a", "b"), fact("R", "c", "d")])
+        h = find_homomorphism([atom("R", x, y)], target, fixed={x: c})
+        assert h == {x: c, y: Constant("d")}
+
+    def test_fixed_binding_unsatisfiable(self):
+        target = Instance.of([fact("R", "a", "b")])
+        assert find_homomorphism([atom("R", x, y)], target, {x: b}) is None
+
+    def test_empty_source_yields_identity(self):
+        target = Instance.of([fact("R", "a", "b")])
+        assert list(homomorphisms([], target)) == [{}]
+
+    def test_zero_ary_atoms(self):
+        target = Instance.of([atom("Goal")])
+        assert has_homomorphism([atom("Goal")], target)
+        assert not has_homomorphism([atom("Other")], target)
+
+    def test_nulls_in_source_are_mapped(self):
+        target = Instance.of([fact("R", "a", "b")])
+        h = find_homomorphism([atom("R", Null(0), Null(1))], target)
+        assert h == {Null(0): a, Null(1): b}
+
+    def test_nulls_in_target_are_values(self):
+        target = Instance.of([atom("R", a, Null(5))])
+        h = find_homomorphism([atom("R", x, y)], target)
+        assert h[y] == Null(5)
+
+
+class TestInstanceHomomorphisms:
+    def test_instance_hom(self):
+        src = Instance.of([atom("R", Null(0), Null(1))])
+        dst = Instance.of([fact("R", "a", "b")])
+        assert instance_homomorphism(src, dst) is not None
+        assert instance_homomorphism(dst, src) is None  # constants are rigid
+
+    def test_hom_equivalence(self):
+        i1 = Instance.of([atom("R", a, Null(0))])
+        i2 = Instance.of([atom("R", a, Null(9)), atom("R", a, Null(10))])
+        assert is_hom_equivalent(i1, i2)
+
+    def test_not_equivalent(self):
+        i1 = Instance.of([fact("R", "a", "b")])
+        i2 = Instance.of([fact("R", "a", "b"), fact("P", "a")])
+        assert not is_hom_equivalent(i1, i2)
+
+
+class TestDeterminism:
+    def test_enumeration_order_is_stable(self):
+        target = Instance.of(
+            [fact("R", "a", "b"), fact("R", "b", "c"), fact("R", "c", "a")]
+        )
+        runs = [
+            [tuple(sorted((str(k), str(v)) for k, v in h.items()))
+             for h in homomorphisms([atom("R", x, y)], target)]
+            for _ in range(3)
+        ]
+        assert runs[0] == runs[1] == runs[2]

@@ -1,0 +1,116 @@
+"""Unit tests for instances and databases."""
+
+import pytest
+
+from repro.core.atoms import atom, fact
+from repro.core.instance import Instance, freeze_atoms
+from repro.core.terms import Constant, Null, Variable
+
+x, y = Variable("x"), Variable("y")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestInstanceBasics:
+    def test_of_and_domain(self):
+        inst = Instance.of([fact("R", "a", "b"), fact("P", "b")])
+        assert inst.domain() == {a, b}
+        assert len(inst) == 2
+
+    def test_rejects_variables(self):
+        with pytest.raises(ValueError):
+            Instance.of([atom("R", x, a)])
+
+    def test_accepts_nulls(self):
+        inst = Instance.of([atom("R", Null(0), a)])
+        assert inst.nulls() == {Null(0)}
+        assert not inst.is_database()
+
+    def test_is_database(self):
+        assert Instance.of([fact("R", "a")]).is_database()
+
+    def test_empty(self):
+        assert len(Instance.empty()) == 0
+        assert Instance.empty().is_database()
+
+    def test_union_and_subset(self):
+        i1 = Instance.of([fact("R", "a")])
+        i2 = Instance.of([fact("P", "b")])
+        u = i1 | i2
+        assert i1 <= u and i2 <= u
+        assert len(u) == 2
+
+    def test_schema_inference(self):
+        inst = Instance.of([fact("R", "a", "b"), fact("P", "a")])
+        assert inst.schema().arity("R") == 2
+
+    def test_restrict_to_predicates(self):
+        inst = Instance.of([fact("R", "a", "b"), fact("P", "a")])
+        assert inst.restrict_to_predicates(["P"]).predicates() == {"P"}
+
+    def test_induced_by(self):
+        inst = Instance.of([fact("R", "a", "b"), fact("P", "a"), fact("P", "c")])
+        induced = inst.induced_by([a, b])
+        assert fact("R", "a", "b") in induced
+        assert fact("P", "a") in induced
+        assert fact("P", "c") not in induced
+
+    def test_rename(self):
+        inst = Instance.of([fact("R", "a", "b")])
+        renamed = inst.rename({a: c})
+        assert fact("R", "c", "b") in renamed
+
+    def test_freeze_nulls(self):
+        inst = Instance.of([atom("R", Null(3), a)])
+        frozen = inst.freeze_nulls()
+        assert frozen.is_database()
+        assert frozen.domain() == {Constant("c_n3"), a}
+
+    def test_deterministic_iteration(self):
+        inst = Instance.of([fact("R", "b"), fact("R", "a"), fact("P", "z")])
+        assert [str(at) for at in inst] == ["P(z)", "R(a)", "R(b)"]
+
+
+class TestComponents:
+    def test_single_component(self):
+        inst = Instance.of([fact("R", "a", "b"), fact("R", "b", "c")])
+        assert inst.is_connected()
+        assert len(inst.components()) == 1
+
+    def test_two_components(self):
+        inst = Instance.of([fact("R", "a", "b"), fact("P", "c")])
+        comps = inst.components()
+        assert len(comps) == 2
+        assert not inst.is_connected()
+        total = Instance.empty()
+        for comp in comps:
+            total = total | comp
+        assert total == inst
+
+    def test_components_reject_zero_ary(self):
+        inst = Instance.of([atom("Goal")])
+        with pytest.raises(ValueError):
+            inst.components()
+
+    def test_component_atoms_are_induced(self):
+        inst = Instance.of(
+            [fact("R", "a", "b"), fact("P", "b"), fact("R", "c", "d")]
+        )
+        comps = {frozenset(map(str, comp)) for comp in inst.components()}
+        assert frozenset({"R(a, b)", "P(b)"}) in comps
+        assert frozenset({"R(c, d)"}) in comps
+
+    def test_empty_instance_is_connected(self):
+        assert Instance.empty().is_connected()
+
+
+class TestFreezeAtoms:
+    def test_freeze_variables(self):
+        db, mapping = freeze_atoms([atom("R", x, y), atom("P", x)])
+        assert db.is_database()
+        assert mapping[x] == Constant("c_x")
+        assert fact("R", "c_x", "c_y") in db
+
+    def test_freeze_preserves_constants(self):
+        db, mapping = freeze_atoms([atom("R", x, a)])
+        assert fact("R", "c_x", "a") in db
+        assert a not in mapping

@@ -1,0 +1,78 @@
+"""Unit tests for the OMQ triple and its validation."""
+
+import pytest
+
+from repro.core.omq import OMQ, OMQError, TGDClass, UCQ_REWRITABLE_CLASSES
+from repro.core.parser import parse_cq, parse_database, parse_tgds, parse_ucq
+from repro.core.schema import Schema
+
+
+def omq(schema, rules, query_text, ucq=False):
+    query = parse_ucq(query_text) if ucq else parse_cq(query_text)
+    return OMQ(Schema(schema), parse_tgds(rules), query)
+
+
+class TestOMQStructure:
+    def test_basic_accessors(self):
+        q = omq({"A": 1}, "A(x) -> B(x)", "q(x) :- B(x)")
+        assert q.arity == 1
+        assert not q.is_boolean()
+        assert q.data_predicates() == {"A"}
+        assert q.ontology_schema().arity("B") == 1
+
+    def test_full_schema_merges(self):
+        q = omq({"A": 1}, "A(x) -> B(x, w)", "q() :- B(x, y), C(x)")
+        full = q.full_schema()
+        assert full.arity("A") == 1
+        assert full.arity("B") == 2
+        assert full.arity("C") == 1  # query-only predicate allowed
+
+    def test_arity_clash_rejected(self):
+        with pytest.raises(OMQError):
+            omq({"A": 1}, "A(x) -> B(x)", "q() :- A(x, y)")
+
+    def test_as_cq_and_as_ucq(self):
+        q = omq({"A": 1}, "", "q(x) :- A(x)")
+        assert q.as_cq().size() == 1
+        assert len(q.as_ucq()) == 1
+        u = omq({"A": 1, "B": 1}, "", "q(x) :- A(x) | q(x) :- B(x)", ucq=True)
+        assert len(u.as_ucq()) == 2
+        with pytest.raises(OMQError):
+            u.as_cq()
+
+    def test_size_counts_symbols(self):
+        q = omq({"A": 1}, "A(x) -> B(x)", "q(x) :- B(x)")
+        assert q.size() == (1 + 1 + 1 + 1) + (1 + 1)
+
+    def test_validate_database(self):
+        q = omq({"A": 1}, "A(x) -> B(x)", "q(x) :- B(x)")
+        q.validate_database(parse_database("A(a)"))
+        with pytest.raises(OMQError):
+            q.validate_database(parse_database("B(b)"))
+        with pytest.raises(OMQError):
+            q.validate_database(parse_database("A(a, b)"))
+
+    def test_omq_is_hashable(self):
+        q1 = omq({"A": 1}, "A(x) -> B(x)", "q(x) :- B(x)")
+        q2 = omq({"A": 1}, "A(x) -> B(x)", "q(x) :- B(x)")
+        assert hash(q1) == hash(q2)
+        assert q1 == q2
+
+    def test_boolean_omq(self):
+        q = omq({"A": 1}, "", "q() :- A(x)")
+        assert q.is_boolean()
+        assert q.arity == 0
+
+
+class TestLanguages:
+    def test_rewritable_class_set(self):
+        assert TGDClass.LINEAR in UCQ_REWRITABLE_CLASSES
+        assert TGDClass.STICKY in UCQ_REWRITABLE_CLASSES
+        assert TGDClass.NON_RECURSIVE in UCQ_REWRITABLE_CLASSES
+        assert TGDClass.GUARDED not in UCQ_REWRITABLE_CLASSES
+        assert TGDClass.FULL not in UCQ_REWRITABLE_CLASSES
+
+    def test_class_str(self):
+        assert str(TGDClass.LINEAR) == "L"
+        assert str(TGDClass.GUARDED) == "G"
+        assert str(TGDClass.NON_RECURSIVE) == "NR"

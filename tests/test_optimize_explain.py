@@ -1,0 +1,147 @@
+"""Tests for OMQ minimization and certain-answer explanations."""
+
+import pytest
+
+from repro import (
+    OMQ,
+    Schema,
+    explain_answer,
+    format_explanation,
+    minimize_query,
+    parse_cq,
+    parse_database,
+    parse_tgds,
+    parse_ucq,
+)
+from repro.chase import ChaseBudgetExceeded
+from repro.core.terms import Constant
+from repro.evaluation import evaluate_omq
+
+
+def omq(schema, rules, query):
+    return OMQ(Schema(schema), parse_tgds(rules), parse_cq(query))
+
+
+class TestMinimizeQuery:
+    def test_plain_core_redundancy(self):
+        q = omq({"R": 2}, "", "q() :- R(x, y), R(x, z)")
+        minimized, report = minimize_query(q)
+        assert minimized.as_cq().size() == 1
+        assert report.cored_atoms_removed == 1
+
+    def test_ontology_aware_pruning(self):
+        q = omq(
+            {"A": 1, "C": 1},
+            "A(x) -> B(x)\nB(x), C(x) -> D(x)",
+            "q(x) :- D(x), B(x), A(x)",
+        )
+        minimized, report = minimize_query(q)
+        assert minimized.as_cq().size() == 1
+        assert minimized.as_cq().predicates() == {"D"}
+        assert report.cored_atoms_removed == 2
+
+    def test_pruning_preserves_semantics(self):
+        q = omq(
+            {"A": 1, "C": 1},
+            "A(x) -> B(x)\nB(x), C(x) -> D(x)",
+            "q(x) :- D(x), B(x), A(x)",
+        )
+        minimized, _ = minimize_query(q)
+        for text in ["A(a). C(a)", "A(a)", "C(c)", "A(a). C(b)"]:
+            db = parse_database(text)
+            assert (
+                evaluate_omq(q, db).answers
+                == evaluate_omq(minimized, db).answers
+            ), text
+
+    def test_non_redundant_atoms_kept(self):
+        q = omq({"A": 1, "B": 1}, "", "q(x) :- A(x), B(x)")
+        minimized, report = minimize_query(q)
+        assert minimized.as_cq().size() == 2
+        assert report.cored_atoms_removed == 0
+
+    def test_subsumed_disjunct_dropped(self):
+        base = omq({"A": 1, "B": 1}, "", "q(x) :- A(x)")
+        query = parse_ucq("q(x) :- A(x) | q(x) :- A(x), B(x)")
+        full = OMQ(base.data_schema, (), query)
+        minimized, report = minimize_query(full)
+        assert len(minimized.as_ucq()) == 1
+        assert len(report.disjuncts_dropped) == 1
+
+    def test_ontology_subsumption_between_disjuncts(self):
+        sigma = parse_tgds("Student(x) -> Person(x)")
+        query = parse_ucq("q(x) :- Person(x) | q(x) :- Student(x)")
+        full = OMQ(Schema.of(Student=1, Person=1), sigma, query)
+        minimized, report = minimize_query(full)
+        # Student ⊆ Person under Σ, so only Person survives.
+        assert len(minimized.as_ucq()) == 1
+        assert minimized.as_ucq().disjuncts[0].predicates() == {"Person"}
+
+    def test_ontology_unaware_mode(self):
+        q = omq(
+            {"A": 1, "C": 1},
+            "A(x) -> B(x)\nB(x), C(x) -> D(x)",
+            "q(x) :- D(x), B(x), A(x)",
+        )
+        minimized, _ = minimize_query(q, ontology_aware=False)
+        assert minimized.as_cq().size() == 3  # plain core keeps all
+
+
+class TestExplainAnswer:
+    def test_multi_step_derivation(self):
+        q = omq({"A": 1, "C": 1}, "A(x) -> B(x)\nB(x), C(x) -> D(x)",
+                "q(x) :- D(x)")
+        db = parse_database("A(a). C(a)")
+        explanation = explain_answer(q, db, (Constant("a"),))
+        assert explanation is not None
+        assert explanation.max_depth() == 2
+        assert set(map(str, explanation.facts_used())) == {"A(a)", "C(a)"}
+
+    def test_direct_fact(self):
+        q = omq({"A": 1}, "", "q(x) :- A(x)")
+        explanation = explain_answer(q, parse_database("A(a)"), (Constant("a"),))
+        assert explanation.max_depth() == 0
+        assert explanation.derivations[0].is_fact()
+
+    def test_non_answer_returns_none(self):
+        q = omq({"A": 1}, "A(x) -> B(x)", "q(x) :- B(x)")
+        db = parse_database("A(a)")
+        assert explain_answer(q, db, (Constant("zzz"),)) is None
+
+    def test_boolean_explanation(self):
+        q = omq({"A": 1}, "A(x) -> B(x)", "q() :- B(x)")
+        explanation = explain_answer(q, parse_database("A(a)"))
+        assert explanation is not None
+        assert explanation.answer == ()
+
+    def test_formatting(self):
+        q = omq({"A": 1, "C": 1}, "A(x) -> B(x)\nB(x), C(x) -> D(x)",
+                "q(x) :- D(x)")
+        explanation = explain_answer(
+            q, parse_database("A(a). C(a)"), (Constant("a"),)
+        )
+        text = format_explanation(explanation)
+        assert "D(a)" in text and "[fact]" in text and "by r" in text
+
+    def test_ucq_explanation_names_the_disjunct(self):
+        sigma = parse_tgds("A(x) -> B(x)")
+        query = parse_ucq("q(x) :- B(x) | q(x) :- C(x)")
+        q = OMQ(Schema.of(A=1, C=1), sigma, query)
+        explanation = explain_answer(q, parse_database("C(c)"), (Constant("c"),))
+        assert "C(" in explanation.disjunct
+
+    def test_diverging_chase_raises(self):
+        q = omq({"R": 2}, "R(x, y) -> R(y, w)", "q() :- R(x, y)")
+        with pytest.raises(ChaseBudgetExceeded):
+            explain_answer(q, parse_database("R(a, b)"), max_steps=50)
+
+    def test_explanation_facts_suffice(self):
+        # Re-evaluating on just the used facts must still give the answer.
+        q = omq({"A": 1, "C": 1}, "A(x) -> B(x)\nB(x), C(x) -> D(x)",
+                "q(x) :- D(x)")
+        db = parse_database("A(a). C(a). A(b). C(z)")
+        explanation = explain_answer(q, db, (Constant("a"),))
+        from repro.core.instance import Instance
+
+        support = Instance.of(explanation.facts_used())
+        assert (Constant("a"),) in evaluate_omq(q, support).answers

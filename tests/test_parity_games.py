@@ -1,0 +1,108 @@
+"""Tests for the parity-game acceptance beyond the Ω ≡ 1 fragment.
+
+The paper's automata all use priority 1 (finite runs only), but the
+solver implements full parity acceptance via Zielonka; these tests pin the
+general semantics (even self-loops accept, odd ones reject, mixed
+priorities resolve by the maximum seen infinitely often).
+"""
+
+from repro.automata import TWAPA, Bottom, Top, box, conj, diamond, disj
+from repro.trees import LabeledTree
+
+TREE = LabeledTree({(): "a", (1,): "b", (1, 1): "c"})
+
+
+def test_even_self_loop_accepts():
+    def delta(state, label):
+        return diamond(0, "loop")
+
+    auto = TWAPA(frozenset({"loop"}), delta, "loop", {"loop": 0})
+    assert auto.accepts(TREE)
+
+
+def test_odd_self_loop_rejects():
+    def delta(state, label):
+        return diamond(0, "loop")
+
+    auto = TWAPA(frozenset({"loop"}), delta, "loop", {"loop": 1})
+    assert not auto.accepts(TREE)
+
+
+def test_max_priority_wins_on_mixed_loop():
+    # Alternate between priority-1 and priority-2 states: max = 2 (even).
+    def delta(state, label):
+        return diamond(0, "two" if state == "one" else "one")
+
+    auto = TWAPA(
+        frozenset({"one", "two"}), delta, "one", {"one": 1, "two": 2}
+    )
+    assert auto.accepts(TREE)
+
+
+def test_max_priority_odd_loses():
+    def delta(state, label):
+        return diamond(0, "three" if state == "two" else "two")
+
+    auto = TWAPA(
+        frozenset({"two", "three"}), delta, "two", {"two": 2, "three": 3}
+    )
+    assert not auto.accepts(TREE)
+
+
+def test_eve_escapes_odd_loop_when_possible():
+    # Eve can choose: loop forever at priority 1, or jump to acceptance.
+    def delta(state, label):
+        if state == "start":
+            return disj([diamond(0, "start"), diamond(0, "win")])
+        return Top()
+
+    auto = TWAPA(frozenset({"start", "win"}), delta, "start", {"start": 1})
+    assert auto.accepts(TREE)
+
+
+def test_adam_forces_odd_loop_when_possible():
+    # Adam chooses between a rejecting loop and Eve's win: picks the loop.
+    def delta(state, label):
+        if state == "start":
+            return conj([diamond(0, "trap")])
+        return diamond(0, "trap")
+
+    auto = TWAPA(frozenset({"start", "trap"}), delta, "start", {"trap": 1})
+    assert not auto.accepts(TREE)
+
+
+def test_buchi_style_infinitely_often():
+    # Eve must revisit an even-priority "good" state infinitely often while
+    # wandering a two-node tree; possible by bouncing root↔child.
+    def delta(state, label):
+        if state == "good":
+            return disj([diamond("*", "move"), diamond(-1, "move")])
+        return disj([diamond("*", "good"), diamond(-1, "good")])
+
+    auto = TWAPA(
+        frozenset({"good", "move"}), delta, "good", {"good": 2, "move": 1}
+    )
+    assert auto.accepts(LabeledTree({(): "a", (1,): "b"}))
+
+
+def test_universal_branching_with_priorities():
+    # Adam sends copies everywhere; each copy must still reach Top before
+    # looping at odd priority — true only if every node carries the flag.
+    def delta(state, label):
+        if label == "ok":
+            return conj([box("*", "check")])
+        return Bottom()
+
+    auto = TWAPA(frozenset({"check"}), delta, "check", {"check": 1})
+    assert auto.accepts(LabeledTree({(): "ok", (1,): "ok"}))
+    assert not auto.accepts(LabeledTree({(): "ok", (1,): "bad"}))
+
+
+def test_complement_flips_parity_semantics():
+    def delta(state, label):
+        return diamond(0, "loop")
+
+    even_loop = TWAPA(frozenset({"loop"}), delta, "loop", {"loop": 0})
+    assert even_loop.accepts(TREE)
+    assert not even_loop.complement().accepts(TREE)
+    assert even_loop.complement().complement().accepts(TREE)

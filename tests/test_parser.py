@@ -1,0 +1,140 @@
+"""Unit tests for the text parser."""
+
+import pytest
+
+from repro.core.atoms import atom, fact
+from repro.core.parser import (
+    ParseError,
+    parse_atom,
+    parse_cq,
+    parse_database,
+    parse_tgd,
+    parse_tgds,
+    parse_ucq,
+)
+from repro.core.terms import Constant, Variable
+
+x, y, w = Variable("x"), Variable("y"), Variable("w")
+
+
+class TestAtomParsing:
+    def test_variables_lowercase(self):
+        assert parse_atom("R(x, y)") == atom("R", x, y)
+
+    def test_numbers_are_constants(self):
+        assert parse_atom("Bit(0)") == atom("Bit", Constant("0"))
+
+    def test_quoted_constants(self):
+        assert parse_atom("R('a', \"b\")") == fact("R", "a", "b")
+
+    def test_zero_ary(self):
+        assert parse_atom("Goal()") == atom("Goal")
+        assert parse_atom("Goal") == atom("Goal")
+
+    def test_uppercase_term_is_constant(self):
+        # In term position an uppercase identifier denotes a constant.
+        assert parse_atom("R(A)") == atom("R", Constant("A"))
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x) R(y)")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x$)")
+
+
+class TestTGDParsing:
+    def test_simple_tgd(self):
+        t = parse_tgd("R(x, y) -> P(y)")
+        assert t.body == (atom("R", x, y),)
+        assert t.head == (atom("P", y),)
+        assert t.is_full()
+
+    def test_existential_inferred(self):
+        t = parse_tgd("P(x) -> R(x, w)")
+        assert t.existential_variables() == {w}
+
+    def test_fact_tgd(self):
+        t = parse_tgd("true -> Bit(0)")
+        assert t.is_fact_tgd()
+        t2 = parse_tgd("-> Bit(1)")
+        assert t2.is_fact_tgd()
+
+    def test_multi_atom_tgd(self):
+        t = parse_tgd("R(x, y), P(y, z) -> T(x, y, w)")
+        assert len(t.body) == 2
+        assert t.frontier() == {x, y}
+
+    def test_unicode_arrow(self):
+        t = parse_tgd("R(x, y) → P(y)")
+        assert t.head == (atom("P", y),)
+
+    def test_program_with_comments(self):
+        sigma = parse_tgds(
+            """
+            % a comment
+            P(x) -> R(x, y)
+            # another comment
+            R(x, y) -> P(y)
+            """
+        )
+        assert len(sigma) == 2
+
+    def test_period_separated(self):
+        sigma = parse_tgds("P(x) -> Q(x). Q(x) -> S(x).")
+        assert len(sigma) == 2
+
+
+class TestCQParsing:
+    def test_with_head(self):
+        q = parse_cq("q(x) :- R(x, y), P(y)")
+        assert q.head == (x,)
+        assert q.size() == 2
+        assert q.name == "q"
+
+    def test_boolean_bare_body(self):
+        q = parse_cq("R(x, y), P(y)")
+        assert q.is_boolean()
+
+    def test_boolean_with_head(self):
+        q = parse_cq("q() :- R(x, y)")
+        assert q.is_boolean()
+
+    def test_constant_in_head(self):
+        q = parse_cq("q(0, x) :- Ans(0, x)")
+        assert q.head == (Constant("0"), x)
+
+
+class TestUCQParsing:
+    def test_pipe_separated(self):
+        q = parse_ucq("q(x) :- P(x) | q(x) :- T(x)")
+        assert len(q) == 2
+
+    def test_line_separated(self):
+        q = parse_ucq("q(x) :- P(x)\nq(x) :- T(x)")
+        assert len(q) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ucq("   ")
+
+
+class TestDatabaseParsing:
+    def test_identifiers_become_constants(self):
+        db = parse_database("R(a, b). P(b).")
+        assert fact("R", "a", "b") in db
+        assert fact("P", "b") in db
+
+    def test_multiline(self):
+        db = parse_database(
+            """
+            R(a, b)
+            P(b)
+            """
+        )
+        assert len(db) == 2
+
+    def test_zero_ary_fact(self):
+        db = parse_database("Goal()")
+        assert atom("Goal") in db

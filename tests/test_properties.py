@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The strategies build small random vocabularies: a couple of unary/binary
+predicates, a handful of constants and variables.  Sizes are kept small so
+each property runs hundreds of scenarios in seconds.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chase import chase
+from repro.containment.cq import cq_contained_in
+from repro.core.atoms import Atom
+from repro.core.homomorphism import (
+    find_homomorphism,
+    homomorphisms,
+    instance_homomorphism,
+)
+from repro.core.instance import Instance
+from repro.core.omq import OMQ
+from repro.core.queries import CQ
+from repro.core.schema import Schema
+from repro.core.terms import Constant, Variable
+from repro.core.tgd import TGD
+from repro.evaluation import evaluate_omq
+from repro.rewriting.unification import mgu
+from repro.rewriting.xrewrite import xrewrite
+
+SCHEMA = Schema.of(R=2, P=1, Q=1)
+CONSTANTS = [Constant(c) for c in "abcd"]
+VARIABLES = [Variable(v) for v in "xyzuvw"]
+
+
+def atoms_strategy(terms, predicates=(("R", 2), ("P", 1), ("Q", 1))):
+    def build(draw):
+        name, arity = draw(st.sampled_from(predicates))
+        args = tuple(draw(st.sampled_from(terms)) for _ in range(arity))
+        return Atom(name, args)
+
+    return st.composite(lambda draw: build(draw))()
+
+
+ground_atoms = atoms_strategy(CONSTANTS)
+databases = st.frozensets(ground_atoms, min_size=0, max_size=6).map(Instance)
+query_atoms = atoms_strategy(VARIABLES + CONSTANTS[:1])
+boolean_cqs = st.lists(query_atoms, min_size=1, max_size=4).map(
+    lambda body: CQ((), tuple(body), "q")
+)
+
+
+@st.composite
+def nr_tgds(draw):
+    """A small random non-recursive single-head tgd over a layered alphabet.
+
+    Bodies use layer-i predicates, heads layer-(i+1): acyclicity for free.
+    """
+    layer = draw(st.integers(min_value=0, max_value=1))
+    body_preds = [(f"R{layer}", 2), (f"P{layer}", 1)]
+    head_preds = [(f"R{layer+1}", 2), (f"P{layer+1}", 1)]
+    n_body = draw(st.integers(min_value=1, max_value=2))
+    body = []
+    for _ in range(n_body):
+        name, arity = draw(st.sampled_from(body_preds))
+        args = tuple(
+            draw(st.sampled_from(VARIABLES[:4])) for _ in range(arity)
+        )
+        body.append(Atom(name, args))
+    body_vars = sorted(
+        {t for a in body for t in a.args if isinstance(t, Variable)},
+        key=lambda v: v.name,
+    )
+    name, arity = draw(st.sampled_from(head_preds))
+    head_terms = []
+    for _ in range(arity):
+        use_existential = draw(st.booleans())
+        if use_existential or not body_vars:
+            # Two existential names so heads like R(e,e), R(e,f) both arise
+            # (the repeated-existential case caught a real soundness bug).
+            head_terms.append(
+                Variable(draw(st.sampled_from(["fresh_e", "fresh_f"])))
+            )
+        else:
+            head_terms.append(draw(st.sampled_from(body_vars)))
+    return TGD(tuple(body), (Atom(name, tuple(head_terms)),))
+
+
+nr_ontologies = st.lists(nr_tgds(), min_size=1, max_size=3)
+
+layered_ground_atoms = atoms_strategy(
+    CONSTANTS, (("R0", 2), ("P0", 1))
+)
+layered_databases = st.frozensets(
+    layered_ground_atoms, min_size=0, max_size=5
+).map(Instance)
+
+
+class TestHomomorphismProperties:
+    @given(databases, databases)
+    @settings(max_examples=60, deadline=None)
+    def test_subset_implies_homomorphism(self, d1, d2):
+        union = d1 | d2
+        assert instance_homomorphism(d1, union) is not None
+
+    @given(databases)
+    @settings(max_examples=60, deadline=None)
+    def test_identity_homomorphism(self, db):
+        assert instance_homomorphism(db, db) is not None
+
+    @given(boolean_cqs, databases, databases)
+    @settings(max_examples=60, deadline=None)
+    def test_cq_evaluation_monotone(self, q, d1, d2):
+        assert q.evaluate(d1) <= q.evaluate(d1 | d2)
+
+    @given(boolean_cqs, databases)
+    @settings(max_examples=60, deadline=None)
+    def test_all_homomorphisms_are_homomorphisms(self, q, db):
+        for h in homomorphisms(q.body, db):
+            for a in q.body:
+                assert a.substitute(h) in db
+
+
+class TestMGUProperties:
+    @given(st.lists(atoms_strategy(VARIABLES), min_size=1, max_size=3))
+    @settings(max_examples=80, deadline=None)
+    def test_mgu_unifies(self, atoms):
+        same_pred = [a for a in atoms if a.predicate == atoms[0].predicate
+                     and a.arity == atoms[0].arity]
+        sub = mgu(same_pred)
+        if sub is not None:
+            images = {a.substitute(sub) for a in same_pred}
+            assert len(images) == 1
+
+
+class TestChaseProperties:
+    @given(nr_ontologies, layered_databases)
+    @settings(max_examples=30, deadline=None)
+    def test_chase_extends_database(self, sigma, db):
+        result = chase(db, sigma, max_steps=2_000)
+        assert db <= result.instance
+
+    @given(nr_ontologies, layered_databases)
+    @settings(max_examples=30, deadline=None)
+    def test_chase_satisfies_sigma(self, sigma, db):
+        result = chase(db, sigma, max_steps=2_000)
+        for rule in sigma:
+            for h in homomorphisms(rule.body, result.instance):
+                frontier = {v: h[v] for v in rule.frontier()}
+                assert (
+                    find_homomorphism(rule.head, result.instance, frontier)
+                    is not None
+                )
+
+    @given(nr_ontologies, layered_databases)
+    @settings(max_examples=20, deadline=None)
+    def test_restricted_embeds_into_oblivious(self, sigma, db):
+        restricted = chase(db, sigma, max_steps=2_000)
+        oblivious = chase(db, sigma, policy="oblivious", max_steps=2_000)
+        assert (
+            instance_homomorphism(restricted.instance, oblivious.instance)
+            is not None
+        )
+
+
+class TestChandraMerlinProperties:
+    @given(boolean_cqs, boolean_cqs, databases)
+    @settings(max_examples=60, deadline=None)
+    def test_containment_sound_on_samples(self, q1, q2, db):
+        if cq_contained_in(q1, q2):
+            assert q1.evaluate(db) <= q2.evaluate(db)
+
+    @given(boolean_cqs, boolean_cqs)
+    @settings(max_examples=60, deadline=None)
+    def test_non_containment_has_canonical_counterexample(self, q1, q2):
+        if not cq_contained_in(q1, q2):
+            db, canonical = q1.canonical_database()
+            assert q1.holds_in(db, canonical)
+            assert not q2.holds_in(db, canonical)
+
+    @given(boolean_cqs)
+    @settings(max_examples=60, deadline=None)
+    def test_reflexive(self, q):
+        assert cq_contained_in(q, q)
+
+
+class TestSignatureProperties:
+    @given(boolean_cqs)
+    @settings(max_examples=60, deadline=None)
+    def test_signature_invariant_under_renaming(self, q):
+        renamed = q.rename(
+            {v: Variable(v.name + "_r") for v in q.variables()}
+        )
+        assert q.signature() == renamed.signature()
+        assert q.is_isomorphic_to(renamed)
+
+
+class TestRewritingProperties:
+    @given(nr_ontologies, layered_databases)
+    @settings(max_examples=20, deadline=None)
+    def test_rewriting_agrees_with_chase(self, sigma, db):
+        # Query the top layer; XRewrite answers must equal chase answers.
+        query = CQ((), (Atom("P2", (Variable("x"),)),), "q")
+        omq = OMQ(Schema.of(R0=2, P0=1), tuple(sigma), query)
+        rewriting = xrewrite(omq, max_queries=4_000)
+        if not rewriting.complete:
+            return
+        via_rewriting = rewriting.rewriting.evaluate(db)
+        via_chase = query.evaluate(chase(db, sigma, max_steps=5_000).instance)
+        assert via_rewriting == via_chase
+
+
+class TestComponentProperties:
+    @given(databases)
+    @settings(max_examples=60, deadline=None)
+    def test_components_partition_atoms(self, db):
+        comps = db.components()
+        total = Instance.empty()
+        for c in comps:
+            total = total | c
+        assert total == db
+        assert all(c.is_connected() for c in comps)
+
+    @given(databases)
+    @settings(max_examples=60, deadline=None)
+    def test_components_are_domain_disjoint(self, db):
+        comps = db.components()
+        for i, c1 in enumerate(comps):
+            for c2 in comps[i + 1:]:
+                assert not (c1.domain() & c2.domain())
+
+
+class TestEvaluationProperties:
+    @given(nr_ontologies, layered_databases, layered_databases)
+    @settings(max_examples=20, deadline=None)
+    def test_certain_answers_monotone(self, sigma, d1, d2):
+        query = CQ((), (Atom("P1", (Variable("x"),)),), "q")
+        omq = OMQ(Schema.of(R0=2, P0=1), tuple(sigma), query)
+        small = evaluate_omq(omq, d1, method="chase").answers
+        big = evaluate_omq(omq, d1 | d2, method="chase").answers
+        assert small <= big

@@ -1,0 +1,195 @@
+"""Second wave of property-based tests: trees, automata, reductions, apps.
+
+These tie the subsystems together: random tree-shaped databases round-trip
+through the Γ_{S,l} encoding, the query automaton agrees with direct
+evaluation on every encoding, the Prop-5/6 reductions agree with direct
+evaluation, and federated evaluation agrees with centralized evaluation
+exactly when the distribution verdict promises it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.automata import consistency_automaton, query_automaton
+from repro.containment.dispatch import contains
+from repro.containment.result import Verdict
+from repro.core.atoms import Atom
+from repro.core.homomorphism import instance_homomorphism
+from repro.core.instance import Instance
+from repro.core.omq import OMQ
+from repro.core.parser import parse_cq, parse_tgds
+from repro.core.queries import CQ
+from repro.core.schema import Schema
+from repro.core.terms import Constant, Null, Variable
+from repro.evaluation import evaluate_omq
+from repro.reductions import eval_to_containment, eval_to_non_containment
+from repro.trees import decode_tree, encode_ctree, is_consistent
+
+
+# ---------------------------------------------------------------------------
+# Random tree-shaped databases: a core edge plus a random tree of R-edges.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def ctree_databases(draw):
+    n_extra = draw(st.integers(min_value=0, max_value=5))
+    constants = [Constant("a"), Constant("b")]
+    atoms = [Atom("R", (constants[0], constants[1]))]
+    domain = list(constants)
+    for i in range(n_extra):
+        parent = draw(st.sampled_from(domain))
+        child = Constant(f"t{i}")
+        domain.append(child)
+        atoms.append(Atom("R", (parent, child)))
+        if draw(st.booleans()):
+            atoms.append(Atom("P", (child,)))
+    if draw(st.booleans()):
+        atoms.append(Atom("P", (constants[0],)))
+    db = Instance.of(atoms)
+    core = db.induced_by(set(constants))
+    return db, core
+
+
+class TestEncodingProperties:
+    @given(ctree_databases())
+    @settings(max_examples=40, deadline=None)
+    def test_encode_is_consistent(self, pair):
+        db, core = pair
+        tree, alphabet = encode_ctree(db, core)
+        assert is_consistent(tree, alphabet)
+
+    @given(ctree_databases())
+    @settings(max_examples=40, deadline=None)
+    def test_encode_decode_hom_equivalent(self, pair):
+        db, core = pair
+        tree, alphabet = encode_ctree(db, core)
+        decoded, decoded_core = decode_tree(tree, alphabet)
+        assert len(decoded) == len(db)
+        assert len(decoded_core) == len(core)
+
+        def nullified(instance):
+            mapping = {
+                c: Null(i)
+                for i, c in enumerate(sorted(instance.constants(), key=str))
+            }
+            return instance.rename(mapping)
+
+        assert instance_homomorphism(nullified(decoded), nullified(db))
+        assert instance_homomorphism(nullified(db), nullified(decoded))
+
+    @given(ctree_databases())
+    @settings(max_examples=30, deadline=None)
+    def test_consistency_automaton_accepts_every_encoding(self, pair):
+        db, core = pair
+        tree, alphabet = encode_ctree(db, core)
+        assert consistency_automaton(alphabet).accepts(tree)
+
+    @given(
+        ctree_databases(),
+        st.sampled_from(
+            ["q() :- R(x, y)", "q() :- P(x)", "q() :- R(x, x)",
+             "q() :- R(x, y), P(z)"]
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_query_automaton_agrees_with_evaluation(self, pair, query_text):
+        db, core = pair
+        query = parse_cq(query_text)
+        tree, alphabet = encode_ctree(db, core)
+        automaton = query_automaton(query, alphabet)
+        decoded, _ = decode_tree(tree, alphabet)
+        assert automaton.accepts(tree) == bool(query.evaluate(decoded))
+
+
+# ---------------------------------------------------------------------------
+# Reduction properties (Props 5 and 6) over random inputs.
+# ---------------------------------------------------------------------------
+
+SCHEMA = Schema.of(A=1, E=2)
+# Non-recursive, so both reduction directions are decided by the *exact*
+# procedures (the starred Σ of Prop 6 stays NR after fact-tgd extension);
+# a recursive Σ would leave the CONTAINED direction honestly UNKNOWN.
+SIGMA = parse_tgds("A(x) -> B(x)\nE(x, y), B(x) -> C(y)")
+QUERY = parse_cq("q(x) :- C(x)")
+CONSTANTS = [Constant(c) for c in "abc"]
+
+ground_atoms = st.one_of(
+    st.builds(lambda c: Atom("A", (c,)), st.sampled_from(CONSTANTS)),
+    st.builds(
+        lambda c, d: Atom("E", (c, d)),
+        st.sampled_from(CONSTANTS),
+        st.sampled_from(CONSTANTS),
+    ),
+)
+random_dbs = st.frozensets(ground_atoms, min_size=1, max_size=5).map(Instance)
+
+
+class TestReductionProperties:
+    @given(random_dbs, st.sampled_from(CONSTANTS))
+    @settings(max_examples=30, deadline=None)
+    def test_prop5_agrees(self, db, c):
+        assume(c in db.domain())
+        omq = OMQ(SCHEMA, SIGMA, QUERY)
+        direct = (c,) in evaluate_omq(omq, db).answers
+        q1, q2 = eval_to_containment(omq, db, (c,))
+        result = contains(q1, q2)
+        assert result.decided and result.is_contained is direct
+
+    @given(random_dbs, st.sampled_from(CONSTANTS))
+    @settings(max_examples=30, deadline=None)
+    def test_prop6_agrees(self, db, c):
+        assume(c in db.domain())
+        omq = OMQ(SCHEMA, SIGMA, QUERY)
+        direct = (c,) in evaluate_omq(omq, db).answers
+        q1, q2 = eval_to_non_containment(omq, db, (c,))
+        result = contains(q1, q2)
+        assert result.decided and result.is_contained is (not direct)
+
+
+# ---------------------------------------------------------------------------
+# Distribution over components: verdicts guarantee federated agreement.
+# ---------------------------------------------------------------------------
+
+
+class TestDistributionProperties:
+    @given(random_dbs)
+    @settings(max_examples=30, deadline=None)
+    def test_connected_query_federates_exactly(self, db):
+        assume(len(db) > 0)
+        from repro.applications import evaluate_distributed
+
+        omq = OMQ(SCHEMA, SIGMA, QUERY)  # connected query: distributes
+        central = evaluate_omq(omq, db).answers
+        federated = evaluate_distributed(omq, db)
+        assert central == federated
+
+    @given(random_dbs)
+    @settings(max_examples=30, deadline=None)
+    def test_federated_is_always_sound(self, db):
+        from repro.applications import evaluate_distributed
+
+        omq = OMQ(SCHEMA, SIGMA, parse_cq("q() :- B(x), B(y)"))
+        central = evaluate_omq(omq, db).answers
+        federated = evaluate_distributed(omq, db)
+        assert federated <= central  # never invents answers
+
+
+# ---------------------------------------------------------------------------
+# Minimization properties.
+# ---------------------------------------------------------------------------
+
+
+class TestMinimizationProperties:
+    @given(random_dbs)
+    @settings(max_examples=25, deadline=None)
+    def test_minimized_query_is_equivalent(self, db):
+        from repro.optimize import minimize_query
+
+        omq = OMQ(SCHEMA, SIGMA, parse_cq("q(x) :- B(x), A(x)"))
+        minimized, _ = minimize_query(omq)
+        assert (
+            evaluate_omq(omq, db).answers
+            == evaluate_omq(minimized, db).answers
+        )

@@ -1,0 +1,197 @@
+"""Unit tests for CQs and UCQs."""
+
+import pytest
+
+from repro.core.atoms import atom, fact
+from repro.core.instance import Instance
+from repro.core.queries import CQ, UCQ, QueryError, boolean_cq
+from repro.core.terms import Constant, Variable
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+def _db(*facts_):
+    return Instance.of(facts_)
+
+
+class TestCQStructure:
+    def test_safety(self):
+        with pytest.raises(QueryError):
+            CQ((x,), (atom("R", y, z),))
+
+    def test_head_constant_allowed(self):
+        q = CQ((a,), (atom("R", a, y),))
+        assert q.arity == 1
+
+    def test_free_and_existential_variables(self):
+        q = CQ((x,), (atom("R", x, y), atom("P", y)))
+        assert q.free_variables() == (x,)
+        assert q.existential_variables() == {y}
+
+    def test_boolean(self):
+        q = boolean_cq([atom("R", x, y)])
+        assert q.is_boolean()
+
+    def test_shared_variables(self):
+        q = CQ((x,), (atom("R", x, y), atom("P", y), atom("S", z, z)))
+        # x free, y in two atoms, z twice within one atom.
+        assert q.shared_variables() == {x, y, z}
+
+    def test_variables_in_multiple_atoms(self):
+        q = CQ((), (atom("R", x, y), atom("P", y), atom("S", z, z)))
+        assert q.variables_in_multiple_atoms() == {y}
+
+    def test_size(self):
+        q = CQ((), (atom("R", x, y), atom("P", y)))
+        assert q.size() == 2
+
+
+class TestCQEvaluation:
+    def test_basic_evaluation(self):
+        q = CQ((x,), (atom("R", x, y), atom("P", y)))
+        db = _db(fact("R", "a", "b"), fact("P", "b"), fact("R", "c", "d"))
+        assert q.evaluate(db) == {(a,)}
+
+    def test_boolean_evaluation(self):
+        q = boolean_cq([atom("R", x, x)])
+        assert q.evaluate(_db(fact("R", "a", "a"))) == {()}
+        assert q.evaluate(_db(fact("R", "a", "b"))) == set()
+
+    def test_holds_in(self):
+        q = CQ((x,), (atom("R", x, y),))
+        db = _db(fact("R", "a", "b"))
+        assert q.holds_in(db, (a,))
+        assert not q.holds_in(db, (b,))
+
+    def test_holds_in_arity_check(self):
+        q = CQ((x,), (atom("R", x, y),))
+        with pytest.raises(QueryError):
+            q.holds_in(_db(), (a, b))
+
+    def test_repeated_head_variable(self):
+        q = CQ((x, x), (atom("R", x, y),))
+        assert q.evaluate(_db(fact("R", "a", "b"))) == {(a, a)}
+
+    def test_constants_only_filter(self):
+        from repro.core.terms import Null
+
+        q = CQ((x,), (atom("R", x),))
+        inst = Instance.of([atom("R", Null(0)), fact("R", "a")])
+        assert q.evaluate(inst) == {(a,)}
+        assert q.evaluate(inst, constants_only=False) == {(a,), (Null(0),)}
+
+    def test_monotone_under_extension(self):
+        q = CQ((x,), (atom("R", x, y),))
+        small = _db(fact("R", "a", "b"))
+        big = small | _db(fact("R", "c", "d"))
+        assert q.evaluate(small) <= q.evaluate(big)
+
+    def test_empty_body_boolean_tautology(self):
+        q = CQ((), ())
+        assert q.evaluate(Instance.empty()) == {()}
+
+
+class TestCanonicalDatabase:
+    def test_freezing(self):
+        q = CQ((x,), (atom("R", x, y),))
+        db, canonical = q.canonical_database()
+        assert canonical == (Constant("c_x"),)
+        assert fact("R", "c_x", "c_y") in db
+
+    def test_canonical_tuple_is_answer(self):
+        q = CQ((x,), (atom("R", x, y), atom("P", y)))
+        db, canonical = q.canonical_database()
+        assert q.holds_in(db, canonical)
+
+
+class TestComponents:
+    def test_connected_query_single_component(self):
+        q = CQ((x,), (atom("R", x, y), atom("P", y)))
+        assert len(q.components()) == 1
+
+    def test_disconnected_query(self):
+        q = CQ((), (atom("R", x, y), atom("P", z)))
+        comps = q.components()
+        assert len(comps) == 2
+        sizes = sorted(c.size() for c in comps)
+        assert sizes == [1, 1]
+
+    def test_component_heads_restricted(self):
+        q = CQ((x, z), (atom("R", x, y), atom("P", z)))
+        comps = {c.head for c in q.components()}
+        assert (x,) in comps and (z,) in comps
+
+    def test_zero_ary_rejected(self):
+        q = CQ((), (atom("Goal"),))
+        with pytest.raises(QueryError):
+            q.components()
+
+
+class TestIsomorphism:
+    def test_renaming_is_isomorphic(self):
+        q1 = CQ((x,), (atom("R", x, y),))
+        q2 = CQ((z,), (atom("R", z, w),))
+        assert q1.is_isomorphic_to(q2)
+
+    def test_different_shape_not_isomorphic(self):
+        q1 = CQ((), (atom("R", x, y), atom("R", y, z)))
+        q2 = CQ((), (atom("R", x, y), atom("R", x, z)))
+        assert not q1.is_isomorphic_to(q2)
+
+    def test_equivalent_but_not_isomorphic(self):
+        q1 = CQ((), (atom("R", x, y),))
+        q2 = CQ((), (atom("R", x, y), atom("R", x, z)))
+        assert not q1.is_isomorphic_to(q2)
+
+    def test_head_order_matters(self):
+        q1 = CQ((x, y), (atom("R", x, y),))
+        q2 = CQ((y, x), (atom("R", x, y),))
+        assert not q1.is_isomorphic_to(q2)
+
+    def test_constants_must_align(self):
+        q1 = CQ((), (atom("R", x, a),))
+        q2 = CQ((), (atom("R", x, b),))
+        assert not q1.is_isomorphic_to(q2)
+
+
+class TestUCQ:
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(QueryError):
+            UCQ((CQ((x,), (atom("R", x),)), boolean_cq([atom("P", y)])))
+
+    def test_evaluation_is_union(self):
+        q = UCQ.of(
+            CQ((x,), (atom("R", x),)),
+            CQ((x,), (atom("P", x),)),
+        )
+        db = _db(fact("R", "a"), fact("P", "b"))
+        assert q.evaluate(db) == {(a,), (b,)}
+
+    def test_empty_ucq(self):
+        q = UCQ(())
+        assert q.is_empty()
+        assert q.evaluate(_db(fact("R", "a"))) == set()
+
+    def test_max_disjunct_size(self):
+        q = UCQ.of(
+            boolean_cq([atom("R", x, y)]),
+            boolean_cq([atom("R", x, y), atom("P", y)]),
+        )
+        assert q.max_disjunct_size() == 2
+
+    def test_deduplicate(self):
+        q = UCQ.of(
+            CQ((x,), (atom("R", x, y),)),
+            CQ((z,), (atom("R", z, w),)),
+        )
+        assert len(q.deduplicate()) == 1
+
+    def test_minimize_drops_subsumed(self):
+        q = UCQ.of(
+            CQ((x,), (atom("R", x, y),)),
+            CQ((x,), (atom("R", x, y), atom("P", y))),
+        )
+        minimized = q.minimize()
+        assert len(minimized) == 1
+        assert minimized.disjuncts[0].size() == 1

@@ -1,0 +1,340 @@
+"""Tests for the appendix reductions (Props 5/6/9/35, Theorems 16/34)."""
+
+import pytest
+
+from repro import (
+    OMQ,
+    Schema,
+    Verdict,
+    contains,
+    evaluate_omq,
+    parse_cq,
+    parse_database,
+    parse_tgds,
+    parse_ucq,
+)
+from repro.core.terms import Constant
+from repro.fragments import (
+    is_full,
+    is_guarded,
+    is_linear,
+    is_non_recursive,
+    is_sticky,
+)
+from repro.reductions import (
+    ETPInstance,
+    TilingInstance,
+    all_pairs,
+    canonical_query_of_database,
+    equal_pairs,
+    etp_to_containment,
+    eval_to_containment,
+    eval_to_non_containment,
+    expected_witness_size,
+    full_to_sticky,
+    has_solution,
+    minimal_satisfying_database,
+    prop18_family,
+    solve_etp,
+    solve_tiling,
+    tiling_to_containment,
+    ucq_omq_to_cq_omq,
+)
+
+
+def omq(schema, rules, query):
+    return OMQ(Schema(schema), parse_tgds(rules), parse_cq(query))
+
+
+class TestProp5:
+    """Eval reduces to containment."""
+
+    CASES = [
+        ({"A": 1}, "A(x) -> B(x)", "q(x) :- B(x)", "A(a). A(b)", ("a",), True),
+        (
+            {"A": 1, "C": 1},
+            "A(x) -> B(x)",
+            "q(x) :- B(x)",
+            "A(a). C(c)",
+            ("c",),  # c ∈ dom(D) but B(c) is not derivable
+            False,
+        ),
+        (
+            {"E": 2},
+            "E(x, y) -> P(y)",
+            "q() :- P(x)",
+            "E(a, b)",
+            (),
+            True,
+        ),
+    ]
+
+    @pytest.mark.parametrize("schema, rules, query, db, answer, expected", CASES)
+    def test_reduction_agrees_with_eval(
+        self, schema, rules, query, db, answer, expected
+    ):
+        q = omq(schema, rules, query)
+        database = parse_database(db)
+        tup = tuple(Constant(c) for c in answer)
+        direct = tup in evaluate_omq(q, database).answers
+        assert direct is expected
+        q1, q2 = eval_to_containment(q, database, tup)
+        assert not q1.sigma  # Q1 ∈ O_∅
+        result = contains(q1, q2)
+        assert result.decided
+        assert result.is_contained is expected
+
+    def test_canonical_query_structure(self):
+        database = parse_database("R(a, b). P(b)")
+        q = canonical_query_of_database(database, (Constant("a"),))
+        assert q.arity == 1
+        assert q.size() == 2
+        assert not q.constants()
+
+
+class TestProp6:
+    """Eval reduces to the complement of containment."""
+
+    CASES = [
+        ({"A": 1}, "A(x) -> B(x)", "q(x) :- B(x)", "A(a). A(b)", ("a",), True),
+        ({"A": 1}, "A(x) -> B(x)", "q(x) :- B(x)", "A(a)", ("c",), False),
+    ]
+
+    @pytest.mark.parametrize("schema, rules, query, db, answer, expected", CASES)
+    def test_reduction_agrees_with_eval(
+        self, schema, rules, query, db, answer, expected
+    ):
+        q = omq(schema, rules, query)
+        database = parse_database(db)
+        tup = tuple(Constant(c) for c in answer)
+        q1, q2 = eval_to_non_containment(q, database, tup)
+        # Q2 is the unsatisfiable query over S; Q1 carries D as fact tgds.
+        assert not q2.sigma
+        assert any(t.is_fact_tgd() for t in q1.sigma)
+        result = contains(q1, q2)
+        assert result.decided
+        assert result.is_contained is (not expected)
+
+    def test_fact_tgd_extension_stays_in_class(self):
+        q = omq({"A": 1}, "A(x) -> B(x)", "q(x) :- B(x)")
+        database = parse_database("A(a)")
+        q1, _ = eval_to_non_containment(q, database, (Constant("a"),))
+        assert is_linear(q1.sigma)  # fact tgds keep the class (Section 3.1)
+
+
+class TestProp9:
+    """The UCQ → CQ Or-gadget."""
+
+    def test_translation_preserves_answers(self):
+        sigma = parse_tgds("A(x) -> B(x)")
+        base = OMQ(
+            Schema.of(A=1, C=1),
+            sigma,
+            parse_ucq("q() :- B(x) | q() :- C(x)"),
+        )
+        translated = ucq_omq_to_cq_omq(base)
+        from repro.core.queries import CQ
+
+        assert isinstance(translated.query, CQ)
+        for db_text in ["A(a)", "C(c)", "A(a). C(c)"]:
+            db = parse_database(db_text)
+            assert bool(evaluate_omq(base, db).answers) == bool(
+                evaluate_omq(translated, db, method="chase").answers
+            ), db_text
+
+    def test_translation_empty_database(self):
+        base = OMQ(
+            Schema.of(A=1, C=1),
+            parse_tgds("A(x) -> B(x)"),
+            parse_ucq("q() :- B(x) | q() :- C(x)"),
+        )
+        translated = ucq_omq_to_cq_omq(base)
+        db = parse_database("Z(z)").restrict_to_predicates([])
+        assert not evaluate_omq(translated, db, method="chase").answers
+
+    def test_class_preservation_linear(self):
+        base = OMQ(
+            Schema.of(A=1, C=1),
+            parse_tgds("A(x) -> B(x, w)"),
+            parse_ucq("q() :- B(x, y) | q() :- C(x)"),
+        )
+        translated = ucq_omq_to_cq_omq(base)
+        assert is_linear(translated.sigma)
+
+    def test_class_preservation_non_recursive(self):
+        base = OMQ(
+            Schema.of(A=1, C=1),
+            parse_tgds("A(x) -> B(x)\nB(x) -> D(x)"),
+            parse_ucq("q() :- D(x) | q() :- C(x)"),
+        )
+        translated = ucq_omq_to_cq_omq(base)
+        assert is_non_recursive(translated.sigma)
+
+    def test_non_boolean_rejected(self):
+        base = OMQ(
+            Schema.of(A=1),
+            (),
+            parse_ucq("q(x) :- A(x)"),
+        )
+        with pytest.raises(ValueError):
+            ucq_omq_to_cq_omq(base)
+
+
+class TestTilingSolver:
+    def test_all_pairs_always_solvable(self):
+        t = TilingInstance(1, 2, all_pairs(2), all_pairs(2), (1, 2))
+        solution = solve_tiling(t)
+        assert solution is not None
+        assert solution[(0, 0)] == 1 and solution[(1, 0)] == 2
+
+    def test_diagonal_forces_constant_tiling(self):
+        t = TilingInstance(1, 3, equal_pairs(3), equal_pairs(3), (2,))
+        solution = solve_tiling(t)
+        assert set(solution.values()) == {2}
+
+    def test_conflicting_initial_unsolvable(self):
+        # Diagonal relations but two different initial tiles.
+        t = TilingInstance(1, 2, equal_pairs(2), equal_pairs(2), (1, 2))
+        assert not has_solution(t)
+
+    def test_solution_respects_relations(self):
+        h = frozenset({(1, 2), (2, 1)})
+        v = frozenset({(1, 1), (2, 2)})
+        t = TilingInstance(1, 2, h, v, ())
+        solution = solve_tiling(t)
+        assert solution is not None
+        for (i, j), tile in solution.items():
+            if (i + 1, j) in solution:
+                assert (tile, solution[(i + 1, j)]) in h
+            if (i, j + 1) in solution:
+                assert (tile, solution[(i, j + 1)]) in v
+
+    def test_initial_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            TilingInstance(1, 2, all_pairs(2), all_pairs(2), (1, 1, 1))
+
+    def test_n2_grid(self):
+        t = TilingInstance(2, 2, all_pairs(2), all_pairs(2), (1, 2, 1))
+        assert has_solution(t)
+
+
+class TestETP:
+    def test_solve_etp_yes(self):
+        inst = ETPInstance(
+            1, 1, 2, all_pairs(2), all_pairs(2), all_pairs(2), all_pairs(2)
+        )
+        assert solve_etp(inst)
+
+    def test_solve_etp_no(self):
+        inst = ETPInstance(
+            1, 1, 2, all_pairs(2), all_pairs(2), frozenset(), frozenset()
+        )
+        assert not solve_etp(inst)
+
+
+class TestTheorem16:
+    CASES = [
+        ETPInstance(1, 1, 2, all_pairs(2), all_pairs(2), all_pairs(2), all_pairs(2)),
+        ETPInstance(1, 1, 2, frozenset(), all_pairs(2), frozenset(), frozenset()),
+        ETPInstance(1, 1, 2, all_pairs(2), all_pairs(2), frozenset(), frozenset()),
+        ETPInstance(
+            1, 1, 2, equal_pairs(2), equal_pairs(2), all_pairs(2), all_pairs(2)
+        ),
+    ]
+
+    @pytest.mark.parametrize("instance", CASES, ids=lambda i: f"k{i.k}n{i.n}m{i.m}")
+    def test_bi_implication(self, instance):
+        expected = solve_etp(instance)
+        q1, q2 = etp_to_containment(instance)
+        assert is_non_recursive(q1.sigma)
+        assert is_non_recursive(q2.sigma)
+        result = contains(q1, q2)
+        assert result.decided
+        assert result.is_contained is expected
+
+    def test_k2(self):
+        instance = ETPInstance(
+            2, 1, 2, all_pairs(2), all_pairs(2), all_pairs(2), all_pairs(2)
+        )
+        q1, q2 = etp_to_containment(instance)
+        result = contains(q1, q2)
+        assert result.is_contained is solve_etp(instance)
+
+
+class TestTheorem34:
+    CASES = [
+        TilingInstance(1, 2, all_pairs(2), all_pairs(2), (1,)),
+        TilingInstance(1, 2, frozenset(), all_pairs(2), ()),
+        TilingInstance(1, 2, equal_pairs(2), equal_pairs(2), (2,)),
+        TilingInstance(1, 2, equal_pairs(2), equal_pairs(2), (1, 2)),
+    ]
+
+    @pytest.mark.parametrize("instance", CASES, ids=lambda t: f"H{len(t.horizontal)}V{len(t.vertical)}s{t.initial}")
+    def test_bi_implication(self, instance):
+        solvable = has_solution(instance)
+        q_t, q_t_prime = tiling_to_containment(instance)
+        assert is_full(q_t.sigma) and is_non_recursive(q_t.sigma)
+        assert is_linear(q_t_prime.sigma)
+        result = contains(q_t, q_t_prime)
+        assert result.decided
+        assert result.is_contained is (not solvable)
+
+
+class TestProp35:
+    def test_output_is_sticky_and_lossless(self):
+        t = TilingInstance(1, 2, all_pairs(2), all_pairs(2), (1,))
+        q_t = tiling_to_containment(t)[0]
+        sticky_q = full_to_sticky(q_t)
+        assert is_sticky(sticky_q.sigma)
+        from repro.fragments import is_lossless
+
+        assert all(
+            rule.is_lossless() or rule.is_fact_tgd() for rule in sticky_q.sigma
+        )
+
+    def test_equivalence_on_01_databases(self):
+        t = TilingInstance(1, 2, all_pairs(2), all_pairs(2), ())
+        q_t = tiling_to_containment(t)[0]
+        sticky_q = full_to_sticky(q_t)
+        # A complete tiling database (every cell tiled by tile 1).
+        rows = []
+        for x in ("0", "1"):
+            for y in ("0", "1"):
+                rows.append(f"TiledBy_1({x}, {y})")
+        full_db = parse_database(". ".join(rows))
+        partial_db = parse_database("TiledBy_1(0, 0)")
+        for db in (full_db, partial_db):
+            original = bool(evaluate_omq(q_t, db, method="chase").answers)
+            translated = bool(evaluate_omq(sticky_q, db, method="chase").answers)
+            assert original == translated
+
+    def test_rejects_existential_rules(self):
+        q = omq({"A": 1}, "A(x) -> B(x, w)", "q() :- B(x, y)")
+        with pytest.raises(ValueError):
+            full_to_sticky(q)
+
+
+class TestProp18:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_minimal_witness_is_exponential(self, n):
+        q = prop18_family(n)
+        assert is_sticky(q.sigma)
+        assert is_non_recursive(q.sigma)
+        db = minimal_satisfying_database(q)
+        assert len(db) == expected_witness_size(n)
+
+    def test_witness_shape(self):
+        q = prop18_family(4)
+        db = minimal_satisfying_database(q)
+        # All atoms are S-facts ending in (0, 1).
+        for a in db:
+            assert a.predicate == "S"
+            assert a.args[-2].name == "0" and a.args[-1].name == "1"
+        # The data positions enumerate the full Boolean cube.
+        cubes = {tuple(t.name for t in a.args[:-2]) for a in db}
+        assert len(cubes) == 4
+
+    def test_family_omq_is_satisfiable(self):
+        from repro.containment import is_satisfiable
+
+        assert is_satisfiable(prop18_family(3)) is True

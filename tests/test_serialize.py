@@ -1,0 +1,155 @@
+"""Round-trip tests for the text emitters."""
+
+import pytest
+
+from repro.core.atoms import atom, fact
+from repro.core.instance import Instance
+from repro.core.omq import OMQ
+from repro.core.parser import (
+    parse_cq,
+    parse_database,
+    parse_omq,
+    parse_tgd,
+    parse_tgds,
+)
+from repro.core.queries import CQ
+from repro.core.schema import Schema
+from repro.core.serialize import (
+    cq_to_text,
+    database_to_text,
+    omq_to_document,
+    tgd_to_text,
+    tgds_to_text,
+    ucq_to_text,
+)
+from repro.core.terms import Constant, Variable
+
+
+class TestTGDRoundTrip:
+    CASES = [
+        "R(x, y) -> P(y)",
+        "P(x) -> R(x, w)",
+        "R(x, y), P(y, z) -> T(x, y, w)",
+        "-> Bit(0)",
+        "T(x) -> Ans(x, 1)",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip(self, text):
+        original = parse_tgd(text)
+        reparsed = parse_tgd(tgd_to_text(original))
+        # Equal up to variable renaming: same shape after canonicalization.
+        mapping = {
+            v: Variable(f"n{i}")
+            for i, v in enumerate(sorted(original.variables(), key=str))
+        }
+        mapping2 = {
+            v: Variable(f"n{i}")
+            for i, v in enumerate(sorted(reparsed.variables(), key=str))
+        }
+        assert len(original.body) == len(reparsed.body)
+        assert len(original.head) == len(reparsed.head)
+        assert original.rename(mapping).predicates() == reparsed.rename(
+            mapping2
+        ).predicates()
+
+    def test_unsafe_variable_names_sanitized(self):
+        rule = parse_tgd("R(x, y) -> P(y)").with_indexed_variables(3)
+        text = tgd_to_text(rule)
+        reparsed = parse_tgd(text)  # must not raise
+        assert len(reparsed.body) == 1
+
+    def test_constants_survive(self):
+        rule = parse_tgd("T(x) -> Ans(x, 1)")
+        reparsed = parse_tgd(tgd_to_text(rule))
+        assert Constant("1") in reparsed.constants()
+
+    def test_quoted_constants(self):
+        rule = parse_tgd("T(x) -> Label(x, 'hello')")
+        reparsed = parse_tgd(tgd_to_text(rule))
+        assert Constant("hello") in reparsed.constants()
+
+    def test_program_round_trip(self):
+        sigma = parse_tgds("A(x) -> B(x)\nB(x) -> C(x, w)")
+        reparsed = parse_tgds(tgds_to_text(sigma))
+        assert len(reparsed) == 2
+
+
+class TestCQRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "q(x) :- R(x, y), P(y)",
+            "q() :- R(x, y)",
+            "q(x, x) :- R(x, y)",
+            "q(0, x) :- Ans(0, x)",
+        ],
+    )
+    def test_round_trip_isomorphic(self, text):
+        original = parse_cq(text)
+        reparsed = parse_cq(cq_to_text(original))
+        assert original.is_isomorphic_to(reparsed)
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            cq_to_text(CQ((), ()))
+
+    def test_ucq_round_trip(self):
+        from repro.core.parser import parse_ucq
+
+        original = parse_ucq("q(x) :- P(x) | q(x) :- T(x)")
+        reparsed = parse_ucq(ucq_to_text(original))
+        assert len(reparsed) == 2
+
+
+class TestDatabaseRoundTrip:
+    def test_round_trip_exact(self):
+        db = parse_database("R(a, b). P(b). Zero(0)")
+        assert parse_database(database_to_text(db)) == db
+
+    def test_odd_constant_names_quoted(self):
+        db = Instance.of([atom("R", Constant("has space"))])
+        assert parse_database(database_to_text(db)) == db
+
+    def test_zero_ary_facts(self):
+        db = Instance.of([atom("Goal")])
+        assert parse_database(database_to_text(db)) == db
+
+    def test_nulls_rejected(self):
+        from repro.core.terms import Null
+
+        db = Instance.of([atom("R", Null(0))])
+        with pytest.raises(ValueError):
+            database_to_text(db)
+
+
+class TestOMQDocument:
+    def test_document_round_trip(self):
+        omq = OMQ(
+            Schema.of(P=1, T=1),
+            parse_tgds("P(x) -> R(x, w)\nT(x) -> P(x)"),
+            parse_cq("q(x) :- R(x, y)"),
+        )
+        reparsed = parse_omq(omq_to_document(omq))
+        assert reparsed.data_schema == omq.data_schema
+        assert len(reparsed.sigma) == len(omq.sigma)
+        assert reparsed.as_cq().is_isomorphic_to(omq.as_cq())
+
+    def test_document_without_rules(self):
+        omq = OMQ(Schema.of(A=1), (), parse_cq("q(x) :- A(x)"))
+        reparsed = parse_omq(omq_to_document(omq))
+        assert not reparsed.sigma
+
+    def test_semantic_round_trip(self):
+        from repro.evaluation import evaluate_omq
+
+        omq = OMQ(
+            Schema.of(P=1, T=1),
+            parse_tgds("P(x) -> R(x, w)\nR(x, y) -> P(y)\nT(x) -> P(x)"),
+            parse_cq("q(x) :- P(x)"),
+        )
+        reparsed = parse_omq(omq_to_document(omq))
+        db = parse_database("T(alice). P(bob)")
+        assert (
+            evaluate_omq(omq, db).answers == evaluate_omq(reparsed, db).answers
+        )

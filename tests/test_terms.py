@@ -1,0 +1,69 @@
+"""Unit tests for the term model."""
+
+from repro.core.terms import (
+    Constant,
+    Null,
+    NullFactory,
+    Variable,
+    constants_of,
+    is_constant,
+    is_null,
+    is_variable,
+    variables_of,
+)
+
+
+class TestTermIdentity:
+    def test_constants_equal_by_name(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+
+    def test_variables_equal_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_nulls_equal_by_ident(self):
+        assert Null(3) == Null(3)
+        assert Null(3) != Null(4)
+
+    def test_kinds_are_disjoint(self):
+        assert Constant("x") != Variable("x")
+        assert Constant("1") != Null(1)
+        assert Variable("n1") != Null(1)
+
+    def test_terms_are_hashable(self):
+        s = {Constant("a"), Variable("a"), Null(0)}
+        assert len(s) == 3
+
+    def test_str_forms_are_distinct(self):
+        assert str(Constant("a")) == "a"
+        assert str(Variable("x")) == "?x"
+        assert str(Null(7)) == "_:n7"
+
+
+class TestNullFactory:
+    def test_fresh_nulls_are_distinct(self):
+        f = NullFactory()
+        assert f.fresh() != f.fresh()
+
+    def test_factory_is_deterministic(self):
+        assert NullFactory().fresh() == NullFactory().fresh()
+
+    def test_start_offset(self):
+        f = NullFactory(start=10)
+        assert f.fresh() == Null(10)
+
+
+class TestPredicatesAndCollectors:
+    def test_kind_predicates(self):
+        assert is_constant(Constant("a"))
+        assert is_variable(Variable("x"))
+        assert is_null(Null(0))
+        assert not is_constant(Variable("a"))
+        assert not is_variable(Null(0))
+        assert not is_null(Constant("0"))
+
+    def test_collectors(self):
+        terms = [Constant("a"), Variable("x"), Null(0), Variable("y")]
+        assert variables_of(terms) == {Variable("x"), Variable("y")}
+        assert constants_of(terms) == {Constant("a")}

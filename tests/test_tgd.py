@@ -1,0 +1,117 @@
+"""Unit tests for tgds and tgd-set utilities."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.parser import parse_tgd, parse_tgds
+from repro.core.terms import Variable
+from repro.core.tgd import (
+    TGD,
+    TGDError,
+    max_body_size,
+    normalize_single_head,
+    predicate_graph,
+    rename_set_apart,
+    sch,
+    total_size,
+)
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+class TestTGDStructure:
+    def test_frontier_and_existentials(self):
+        t = parse_tgd("R(x, y), P(y, z) -> T(x, y, w)")
+        assert t.frontier() == {x, y}
+        assert t.existential_variables() == {w}
+        assert t.body_variables() == {x, y, z}
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(TGDError):
+            TGD((atom("R", x),), ())
+
+    def test_fact_tgd(self):
+        t = parse_tgd("-> P(x)")
+        assert t.is_fact_tgd()
+        assert t.existential_variables() == {x}
+
+    def test_full_and_lossless(self):
+        assert parse_tgd("R(x, y) -> P(x)").is_full()
+        assert not parse_tgd("R(x, y) -> P(x)").is_lossless()
+        assert parse_tgd("R(x, y) -> P(x, y, w)").is_lossless()
+
+    def test_guard_candidates(self):
+        t = parse_tgd("R(x, y, z), P(x) -> S(x)")
+        assert t.guard_candidates() == (atom("R", x, y, z),)
+
+    def test_rename_apart(self):
+        t = parse_tgd("R(x, y) -> P(y)")
+        renamed = t.rename_apart({x})
+        assert x not in renamed.variables()
+        assert renamed.head[0].predicate == "P"
+
+    def test_with_indexed_variables(self):
+        t = parse_tgd("R(x, y) -> P(y)")
+        t1 = t.with_indexed_variables(1)
+        t2 = t.with_indexed_variables(2)
+        assert not (t1.variables() & t2.variables())
+
+    def test_size(self):
+        t = parse_tgd("R(x, y) -> P(y)")
+        assert t.size() == (1 + 2) + (1 + 1)
+
+
+class TestSetUtilities:
+    def test_sch(self):
+        sigma = parse_tgds("R(x, y) -> P(y)\nP(x) -> S(x, w)")
+        schema = sch(sigma)
+        assert schema.arity("R") == 2 and schema.arity("S") == 2
+
+    def test_total_size_and_max_body(self):
+        sigma = parse_tgds("R(x, y) -> P(y)\nP(x), S(x, y) -> T(x)")
+        assert total_size(sigma) == sum(t.size() for t in sigma)
+        assert max_body_size(sigma) == 2
+
+    def test_predicate_graph(self):
+        sigma = parse_tgds("R(x, y) -> P(y)\nP(x) -> S(x)")
+        g = predicate_graph(sigma)
+        assert g["R"] == {"P"}
+        assert g["P"] == {"S"}
+        assert g["S"] == set()
+
+    def test_rename_set_apart(self):
+        sigma = parse_tgds("R(x, y) -> P(y)\nP(x) -> S(x)")
+        renamed = rename_set_apart(sigma)
+        assert not (renamed[0].variables() & renamed[1].variables())
+
+
+class TestNormalization:
+    def test_single_head_untouched(self):
+        sigma = parse_tgds("R(x, y) -> P(y)")
+        assert normalize_single_head(sigma) == sigma
+
+    def test_multi_head_split(self):
+        sigma = parse_tgds("R(x, y) -> P(y), S(y, w)")
+        normalized = normalize_single_head(sigma)
+        assert all(len(t.head) == 1 for t in normalized)
+        assert len(normalized) == 3  # splitter + two continuations
+
+    def test_split_preserves_certain_answers(self):
+        from repro.chase import chase
+        from repro.core.instance import Instance
+        from repro.core.atoms import fact
+        from repro.core.queries import boolean_cq
+
+        sigma = parse_tgds("R(x, y) -> P(y), S(y, w)")
+        normalized = normalize_single_head(sigma)
+        db = Instance.of([fact("R", "a", "b")])
+        original = chase(db, sigma).instance
+        split = chase(db, normalized).instance
+        q = boolean_cq([atom("P", x), atom("S", x, y)])
+        assert q.evaluate(original) == q.evaluate(split)
+
+    def test_split_is_guarded_when_input_is(self):
+        from repro.fragments import is_guarded
+
+        sigma = parse_tgds("R(x, y) -> P(y), S(y, w)")
+        assert is_guarded(normalize_single_head(sigma))

@@ -1,0 +1,186 @@
+"""Tests for labeled trees, decompositions, C-trees and encodings."""
+
+import pytest
+
+from repro.core.atoms import fact
+from repro.core.homomorphism import instance_homomorphism
+from repro.core.instance import Instance
+from repro.core.parser import parse_database
+from repro.trees import (
+    LabeledTree,
+    consistency_violations,
+    decode_tree,
+    decomposition_from_bags,
+    encode_ctree,
+    is_consistent,
+    is_ctree,
+    star_decomposition,
+    trivial_decomposition,
+    try_build_ctree_decomposition,
+)
+from repro.core.terms import Constant
+
+
+class TestLabeledTree:
+    def test_construction_and_structure(self):
+        t = LabeledTree({(): "a", (1,): "b", (2,): "c", (1, 1): "d"})
+        assert t.children(()) == [(1,), (2,)]
+        assert t.parent((1, 1)) == (1,)
+        assert t.depth() == 2
+        assert t.branching_degree() == 2
+        assert set(t.leaves()) == {(2,), (1, 1)}
+
+    def test_orphan_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledTree({(): "a", (1, 1): "b"})
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledTree({(1,): "a"})
+
+    def test_path_between(self):
+        t = LabeledTree({(): 0, (1,): 1, (1, 1): 2, (2,): 3})
+        path = t.path_between((1, 1), (2,))
+        assert path == [(1, 1), (1,), (), (2,)]
+
+    def test_path_to_self(self):
+        t = LabeledTree({(): 0, (1,): 1})
+        assert t.path_between((1,), (1,)) == [(1,)]
+
+    def test_subtree(self):
+        t = LabeledTree({(): "r", (1,): "a", (1, 1): "b", (2,): "c"})
+        sub = t.subtree((1,))
+        assert sub.labels == {(): "a", (1,): "b"}
+
+    def test_attach(self):
+        t = LabeledTree.single("r")
+        t2 = t.attach((), LabeledTree.single("child"))
+        assert t2.labels == {(): "r", (1,): "child"}
+
+    def test_relabel(self):
+        t = LabeledTree({(): 1, (1,): 2})
+        doubled = t.relabel(lambda n, v: v * 2)
+        assert doubled.label((1,)) == 4
+
+
+class TestTreeDecomposition:
+    def test_trivial_is_valid(self):
+        db = parse_database("R(a, b). P(b, c)")
+        decomp = trivial_decomposition(db)
+        assert decomp.is_valid_for(db)
+        assert decomp.width() == 2
+
+    def test_star_for_disjoint_atoms(self):
+        db = parse_database("R(a, b). P(c, d)")
+        decomp = star_decomposition(db)
+        assert decomp is not None
+        assert decomp.is_valid_for(db)
+        assert decomp.is_guarded_except(db, exempt=[()])
+
+    def test_star_fails_on_shared_terms(self):
+        db = parse_database("R(a, b). P(b, c)")
+        assert star_decomposition(db) is None
+
+    def test_connectivity_violation_detected(self):
+        db = parse_database("R(a, b). P(b, c)")
+        # b appears in two non-adjacent bags.
+        bad = decomposition_from_bags(
+            {
+                (): {Constant("a"), Constant("b")},
+                (1,): {Constant("a")},
+                (1, 1): {Constant("b"), Constant("c")},
+            }
+        )
+        assert not bad.is_valid_for(db)
+
+    def test_coverage_violation_detected(self):
+        db = parse_database("R(a, b)")
+        bad = decomposition_from_bags({(): {Constant("a")}})
+        assert not bad.covers(db)
+
+
+class TestCTrees:
+    def test_path_database_is_ctree(self):
+        db = parse_database("R(a, b). R(b, c). R(c, d)")
+        core = db.induced_by({Constant("a"), Constant("b")})
+        assert is_ctree(db, core)
+
+    def test_cycle_outside_core_is_not_ctree(self):
+        db = parse_database("R(a, b). R(b, c). R(c, a). Core(z)")
+        core = db.induced_by({Constant("z")})
+        assert not is_ctree(db, core)
+
+    def test_cycle_inside_core_is_fine(self):
+        db = parse_database("R(a, b). R(b, c). R(c, a). R(a, d)")
+        core = db.induced_by({Constant("a"), Constant("b"), Constant("c")})
+        assert is_ctree(db, core)
+
+    def test_decomposition_properties(self):
+        db = parse_database("R(a, b). R(b, c)")
+        core = db.induced_by({Constant("a"), Constant("b")})
+        decomp = try_build_ctree_decomposition(db, core)
+        assert decomp is not None
+        assert decomp.is_valid_for(db)
+        assert decomp.is_guarded_except(db, exempt=[()])
+        assert decomp.induced_instance(db, ()) == core
+
+
+class TestEncodingRoundTrip:
+    CASES = [
+        ("R(a, b). R(b, c). R(c, d)", {"a", "b"}),
+        ("R(a, b). R(b, c). R(b, d). P(d)", {"a", "b"}),
+        ("R(a, b). R(b, c). R(c, a). R(a, d). R(d, e)", {"a", "b", "c"}),
+    ]
+
+    @pytest.mark.parametrize("db_text, core_names", CASES)
+    def test_encode_decode_isomorphic(self, db_text, core_names):
+        db = parse_database(db_text)
+        core = db.induced_by({Constant(n) for n in core_names})
+        tree, alphabet = encode_ctree(db, core)
+        assert is_consistent(tree, alphabet)
+        decoded, decoded_core = decode_tree(tree, alphabet)
+        # Isomorphism via mutual homomorphism + equal cardinalities.
+        assert len(decoded) == len(db)
+        assert len(decoded.domain()) == len(db.domain())
+        renamed_db = db.rename(
+            {c: Constant(f"n_{c.name}") for c in db.constants()}
+        )
+        # Hom both ways after dropping constant rigidity: freeze via nulls.
+        from repro.core.terms import Null
+
+        def as_nullified(instance):
+            mapping = {
+                c: Null(i)
+                for i, c in enumerate(sorted(instance.constants(), key=str))
+            }
+            return instance.rename(mapping)
+
+        left = as_nullified(decoded)
+        right = as_nullified(db)
+        assert instance_homomorphism(left, right) is not None
+        assert instance_homomorphism(right, left) is not None
+        assert len(decoded_core) == len(core)
+
+    def test_inconsistent_tree_rejected(self):
+        db = parse_database("R(a, b). R(b, c)")
+        core = db.induced_by({Constant("a"), Constant("b")})
+        tree, alphabet = encode_ctree(db, core)
+        # Tamper: drop a core flag somewhere it is required.
+        from repro.trees.ctree import TreeLabel
+
+        def strip_core(node, label):
+            if node == ():
+                return TreeLabel(label.names, frozenset(), label.atoms)
+            return label
+
+        tampered = tree.relabel(strip_core)
+        violations = consistency_violations(tampered, alphabet)
+        assert violations
+        with pytest.raises(ValueError):
+            decode_tree(tampered, alphabet)
+
+    def test_non_ctree_encoding_raises(self):
+        db = parse_database("R(a, b). R(b, c). R(c, a). Core(z)")
+        core = db.induced_by({Constant("z")})
+        with pytest.raises(ValueError):
+            encode_ctree(db, core)

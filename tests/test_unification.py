@@ -1,0 +1,63 @@
+"""Unit tests for most general unifiers."""
+
+from repro.core.atoms import atom
+from repro.core.terms import Constant, Variable
+from repro.rewriting.unification import apply_substitution, mgu, unifies
+
+x, y, z, u, v = (Variable(n) for n in "xyzuv")
+a, b = Constant("a"), Constant("b")
+
+
+class TestMGU:
+    def test_simple_unification(self):
+        sub = mgu([atom("R", x, y), atom("R", u, v)])
+        assert sub is not None
+        assert atom("R", x, y).substitute(sub) == atom("R", u, v).substitute(sub)
+
+    def test_predicate_mismatch(self):
+        assert mgu([atom("R", x), atom("P", x)]) is None
+
+    def test_arity_mismatch(self):
+        assert mgu([atom("R", x), atom("R", x, y)]) is None
+
+    def test_constant_clash(self):
+        assert mgu([atom("R", a), atom("R", b)]) is None
+
+    def test_variable_to_constant(self):
+        sub = mgu([atom("R", x), atom("R", a)])
+        assert sub[x] == a
+
+    def test_transitive_merging(self):
+        sub = mgu([atom("R", x, x), atom("R", y, a)])
+        assert sub[x] == a and sub[y] == a
+
+    def test_transitive_clash(self):
+        assert mgu([atom("R", x, x), atom("R", a, b)]) is None
+
+    def test_empty_set(self):
+        assert mgu([]) == {}
+
+    def test_single_atom(self):
+        # A single atom unifies with itself; the MGU is the identity (the
+        # returned map may list identity entries explicitly).
+        sub = mgu([atom("R", x, y)])
+        assert atom("R", x, y).substitute(sub) == atom("R", x, y)
+
+    def test_three_atoms(self):
+        sub = mgu([atom("R", x, y), atom("R", y, z), atom("R", z, a)])
+        assert all(sub[v_] == a for v_ in (x, y, z))
+
+    def test_rank_controls_representative(self):
+        sub = mgu(
+            [atom("R", x), atom("R", u)],
+            rank=lambda t: (0,) if t == u else (1,),
+        )
+        assert sub[x] == u
+
+    def test_unifies_predicate(self):
+        assert unifies([atom("R", x, y), atom("R", y, x)])
+        assert not unifies([atom("R", a, b), atom("R", b, a), atom("R", x, x)])
+
+    def test_apply_substitution(self):
+        out = apply_substitution([atom("R", x, y)], {x: a})
+        assert out == (atom("R", a, y),)

@@ -1,0 +1,108 @@
+"""Tests for the weak fragment classifiers (Section 3.1's Prop 8 boundary).
+
+The paper rules the weak relaxations out of the containment study because
+they extend full tgds (Proposition 8: Datalog containment is undecidable);
+the classifiers still matter for evaluation-strategy selection and for
+delimiting where the library's exact procedures stop.
+"""
+
+from repro.core.parser import parse_tgds
+from repro.fragments import (
+    affected_positions,
+    infinite_rank_positions,
+    is_guarded,
+    is_sticky,
+    is_weakly_acyclic,
+    is_weakly_guarded,
+    is_weakly_sticky,
+)
+
+
+class TestAffectedPositions:
+    def test_existential_positions_are_affected(self):
+        sigma = parse_tgds("P(x) -> R(x, w)")
+        assert ("R", 1) in affected_positions(sigma)
+        assert ("R", 0) not in affected_positions(sigma)
+
+    def test_propagation_through_frontier(self):
+        sigma = parse_tgds("P(x) -> R(x, w)\nR(x, y) -> S(y)")
+        affected = affected_positions(sigma)
+        assert ("S", 0) in affected
+
+    def test_mixed_occurrence_blocks_propagation(self):
+        # y also occurs at the unaffected P-position, so S[0] stays clean.
+        sigma = parse_tgds("P(x) -> R(x, w)\nR(x, y), P(y) -> S(y)")
+        affected = affected_positions(sigma)
+        assert ("S", 0) not in affected
+
+    def test_full_sets_have_no_affected_positions(self):
+        sigma = parse_tgds("E(x, y), E(y, z) -> E(x, z)")
+        assert affected_positions(sigma) == set()
+
+
+class TestWeaklyGuarded:
+    def test_guarded_implies_weakly_guarded(self):
+        sigma = parse_tgds("R(x, y), P(x) -> Q(y)")
+        assert is_guarded(sigma)
+        assert is_weakly_guarded(sigma)
+
+    def test_full_unguarded_is_weakly_guarded(self):
+        # No nulls ever arise, so nothing needs guarding.
+        sigma = parse_tgds("A(x), B(y) -> C(x, y)")
+        assert not is_guarded(sigma)
+        assert is_weakly_guarded(sigma)
+
+    def test_single_harmful_variable_is_guarded_by_its_atom(self):
+        sigma = parse_tgds("P(x) -> R(x, w)\nR(x, y), A(z) -> S(y, z)")
+        assert not is_guarded(sigma)
+        assert is_weakly_guarded(sigma)
+
+    def test_two_unguardable_harmful_variables(self):
+        sigma = parse_tgds(
+            """
+            P(x) -> R(x, w)
+            Q(x) -> T(x, w)
+            R(x, y), T(z, u) -> S(y, u)
+            """
+        )
+        assert not is_weakly_guarded(sigma)
+
+
+class TestWeaklySticky:
+    def test_sticky_implies_weakly_sticky(self, figure1_sticky):
+        assert is_weakly_sticky(figure1_sticky)
+
+    def test_full_sets_are_weakly_sticky(self):
+        sigma = parse_tgds("E(x, y), E(y, z) -> E(x, z)")
+        assert not is_sticky(sigma)
+        assert is_weakly_sticky(sigma)
+        assert infinite_rank_positions(sigma) == set()
+
+    def test_weakly_acyclic_sets_are_weakly_sticky(self):
+        sigma = parse_tgds(
+            """
+            A(x) -> B(x, w)
+            B(x, y), B(y, z) -> C(x, z)
+            C(x, y) -> D(y)
+            """
+        )
+        assert is_weakly_acyclic(sigma)
+        assert is_weakly_sticky(sigma)
+
+    def test_marked_join_at_infinite_rank_violates(self):
+        # A null-recycling loop feeds the join variable: every occurrence
+        # of the marked join variable sits at an infinite-rank position.
+        sigma = parse_tgds(
+            """
+            R(x, y) -> R(y, w)
+            R(x, y), R(y, z) -> P(x)
+            """
+        )
+        assert not is_weakly_acyclic(sigma)
+        assert not is_sticky(sigma)
+        assert not is_weakly_sticky(sigma)
+
+    def test_infinite_rank_positions_detected(self):
+        sigma = parse_tgds("R(x, y) -> R(y, w)")
+        infinite = infinite_rank_positions(sigma)
+        assert ("R", 0) in infinite and ("R", 1) in infinite
