@@ -1,0 +1,201 @@
+"""ENG: the batch containment engine — cold vs warm, 1 vs N workers.
+
+Unlike the Table 1 benches, this one measures the *harness* rather than a
+paper claim: the engine's worker pool must overlap independent containment
+checks, and its canonical-hash cache must turn a warm re-run into (almost)
+pure lookups.
+
+Workloads:
+
+* containment — 16 independent CONTAINED checks over per-task-renamed
+  linear path OMQs (``P``-path under ``E ⊑ P`` vs the plain ``E``-path).
+  The pairs are built so the CQ-subsumption shortcut does not fire and the
+  full small-witness procedure runs.
+* overlap — blocking tasks (stand-ins for checks that spend their time
+  waiting) where the pool's per-worker overlap wins even on one core.
+
+The CPU-parallel speedup is only asserted when the machine actually has
+more than one usable core; the overlap speedup and the warm-cache hit rate
+are asserted unconditionally.  Results land in ``BENCH_engine.json`` at the
+repo root (cold/warm × serial/parallel timings plus cache stats).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_table
+from repro import OMQ, Schema, clear_caches, parse_cq
+from repro.containment import Verdict
+from repro.core.parser import parse_tgds
+from repro.engine import BatchEngine, ContainmentJob
+from repro.engine.jobs import SleepJob
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_engine.json"
+
+N_TASKS = 16
+WORKERS = 4
+OVERLAP_TASKS = 12
+OVERLAP_SLEEP = 0.2
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _containment_job(tag: int, size: int) -> ContainmentJob:
+    """One CONTAINED check that must run the small-witness procedure.
+
+    q1 is a ``P``-path whose ``P`` is derivable from the data relation
+    ``E`` (one linear hop); q2 is the plain ``E``-path.  They are
+    equivalent over ``E``-databases, but Σ(q1) ⊄ Σ(q2) = ∅, so the
+    CQ-subsumption shortcut cannot answer and q1 gets fully rewritten.
+    Per-task predicate names keep the 16 tasks cache-independent.
+    """
+    e, p = f"E{tag}", f"P{tag}"
+    schema = Schema.of(**{e: 2})
+    sigma = tuple(parse_tgds(f"{e}(x, y) -> {p}(x, y)"))
+    hops = [
+        (f"v{i}", f"v{i + 1}") for i in range(size)
+    ]
+    p_body = ", ".join(f"{p}({a}, {b})" for a, b in hops)
+    e_body = ", ".join(f"{e}({a}, {b})" for a, b in hops)
+    q1 = OMQ(schema, sigma, parse_cq(f"q() :- {p_body}"), f"ppath_{tag}")
+    q2 = OMQ(schema, (), parse_cq(f"q() :- {e_body}"), f"epath_{tag}")
+    return ContainmentJob(q1, q2)
+
+
+def _containment_jobs():
+    # Half the tasks one size up, so the batch mixes ~40ms and ~200ms work.
+    return [_containment_job(tag, 4 + tag % 2) for tag in range(N_TASKS)]
+
+
+def _timed_batch(engine: BatchEngine, jobs):
+    start = time.perf_counter()
+    results = engine.run_batch(jobs)
+    return time.perf_counter() - start, results
+
+
+def test_engine_cold_warm_and_workers(benchmark, tmp_path):
+    """The headline scenario: cold serial vs cold parallel vs warm."""
+
+    def _scenario():
+        jobs = _containment_jobs()
+
+        clear_caches()
+        with BatchEngine(cache_dir=str(tmp_path / "serial"), workers=1) as eng:
+            cold_serial, results = _timed_batch(eng, jobs)
+        assert all(
+            r.ok and r.value.verdict is Verdict.CONTAINED for r in results
+        )
+
+        clear_caches()
+        with BatchEngine(
+            cache_dir=str(tmp_path / "parallel"), workers=WORKERS
+        ) as eng:
+            cold_parallel, presults = _timed_batch(eng, jobs)
+        assert [r.value.verdict for r in presults] == [
+            r.value.verdict for r in results
+        ]
+
+        # Warm: a fresh engine over the serial run's cache directory.
+        clear_caches()
+        with BatchEngine(cache_dir=str(tmp_path / "serial"), workers=1) as eng:
+            warm_serial, wresults = _timed_batch(eng, jobs)
+            hit_rate = sum(1 for r in wresults if r.cached) / len(wresults)
+        assert hit_rate >= 0.95
+        assert warm_serial < cold_serial
+        assert [r.value.verdict for r in wresults] == [
+            r.value.verdict for r in results
+        ]
+
+        # Blocking workload: the pool overlaps waiting tasks regardless of
+        # core count, so parallel must win even on a one-core box.
+        sleepers = [
+            SleepJob(OVERLAP_SLEEP, payload=i) for i in range(OVERLAP_TASKS)
+        ]
+        with BatchEngine(workers=1) as eng:
+            overlap_serial, _ = _timed_batch(eng, sleepers)
+        with BatchEngine(workers=WORKERS) as eng:
+            overlap_parallel, _ = _timed_batch(eng, sleepers)
+        assert overlap_parallel * 1.5 < overlap_serial
+
+        cores = _usable_cores()
+        if cores >= 2:
+            # CPU-bound speedup needs actual cores to spread over.
+            assert cold_parallel < cold_serial
+
+        payload = {
+            "bench": "engine_batch",
+            "usable_cores": cores,
+            "tasks": N_TASKS,
+            "workers": WORKERS,
+            "containment": {
+                "cold_serial_s": round(cold_serial, 4),
+                "cold_parallel_s": round(cold_parallel, 4),
+                "warm_serial_s": round(warm_serial, 4),
+                "warm_hit_rate": round(hit_rate, 4),
+                "parallel_speedup": round(cold_serial / cold_parallel, 3),
+                "warm_speedup": round(cold_serial / warm_serial, 3),
+            },
+            "overlap": {
+                "tasks": OVERLAP_TASKS,
+                "sleep_s": OVERLAP_SLEEP,
+                "serial_s": round(overlap_serial, 4),
+                "parallel_s": round(overlap_parallel, 4),
+                "speedup": round(overlap_serial / overlap_parallel, 3),
+            },
+        }
+        ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+        print_table(
+            "ENG: batch engine (16 containment tasks)",
+            ["configuration", "time (s)", "note"],
+            [
+                ["cold, workers=1", f"{cold_serial:.3f}", ""],
+                [
+                    f"cold, workers={WORKERS}",
+                    f"{cold_parallel:.3f}",
+                    f"{cores} core(s) usable",
+                ],
+                [
+                    "warm, workers=1",
+                    f"{warm_serial:.3f}",
+                    f"hit rate {hit_rate:.0%}",
+                ],
+                [
+                    f"overlap {OVERLAP_TASKS}×{OVERLAP_SLEEP}s",
+                    f"{overlap_serial:.3f} → {overlap_parallel:.3f}",
+                    f"{overlap_serial / overlap_parallel:.1f}× with pool",
+                ],
+            ],
+        )
+
+    benchmark.pedantic(_scenario, rounds=1, iterations=1)
+
+
+def test_parallel_verdicts_match_serial(benchmark):
+    """Worker-pool execution is semantics-preserving on a small batch."""
+
+    def _run():
+        jobs = [_containment_job(100 + t, 3) for t in range(4)]
+        clear_caches()
+        with BatchEngine(workers=1) as eng:
+            serial = eng.run_batch(jobs)
+        clear_caches()
+        with BatchEngine(workers=2) as eng:
+            parallel = eng.run_batch(jobs)
+        assert [r.value.verdict for r in serial] == [
+            r.value.verdict for r in parallel
+        ]
+        assert all(
+            r.value.verdict is Verdict.CONTAINED for r in serial
+        )
+        return serial
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)

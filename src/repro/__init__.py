@@ -80,6 +80,14 @@ from .core import (
     parse_ucq,
     tgd,
 )
+from .engine import (
+    BatchEngine,
+    ClassifyJob,
+    ContainmentJob,
+    JobResult,
+    RewriteJob,
+    clear_caches,
+)
 from .evaluation import EvaluationResult, certain_answer, evaluate_omq
 from .explain import Derivation, Explanation, explain_answer, format_explanation
 from .fragments import (
@@ -105,10 +113,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Atom",
+    "BatchEngine",
     "CQ",
     "ChaseBudgetExceeded",
     "ChaseResult",
+    "ClassifyJob",
     "Constant",
+    "ContainmentJob",
     "ContainmentResult",
     "Database",
     "Derivation",
@@ -116,9 +127,11 @@ __all__ = [
     "Explanation",
     "GuardedChaseForest",
     "Instance",
+    "JobResult",
     "MinimizationReport",
     "Null",
     "OMQ",
+    "RewriteJob",
     "RewritingBudgetExceeded",
     "RewritingResult",
     "Schema",
@@ -134,6 +147,7 @@ __all__ = [
     "chase",
     "chase_terminates",
     "classify",
+    "clear_caches",
     "contains",
     "contains_guarded",
     "contains_via_small_witness",

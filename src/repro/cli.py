@@ -16,21 +16,34 @@ Commands:
 * ``rewrite OMQ``                — UCQ rewriting (XRewrite)
 * ``evaluate OMQ DATABASE``      — certain answers
 * ``contains OMQ1 OMQ2``         — containment verdict (+ witness)
+* ``batch FILE``                 — run a batch of jobs via the engine
 * ``distributes OMQ``            — distribution over components
 * ``rewritable OMQ``             — UCQ rewritability verdict
 * ``minimize OMQ``               — containment-powered query minimization
 * ``explain OMQ DATABASE ANSWER``— derivation forest for a certain answer
+
+``contains`` and ``rewrite`` accept ``--json`` (the machine-readable
+output contract shared with ``batch``) and ``--cache-dir``/``--workers``
+to route through the :class:`repro.engine.BatchEngine`.
+
+A batch file is one job per line (``%``/``#`` comments, blank lines ok),
+with paths resolved relative to the batch file::
+
+    contains q1.omq q2.omq
+    rewrite  q1.omq
+    classify rules.tgd
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .applications import distributes_over_components, is_ucq_rewritable
-from .containment import Verdict, contains
+from .containment import ContainmentResult, Verdict, contains
 from .core.parser import parse_database, parse_omq, parse_tgds
 from .core.serialize import omq_to_document
 from .core.terms import Constant
@@ -38,11 +51,63 @@ from .evaluation import evaluate_omq
 from .explain import explain_answer, format_explanation
 from .fragments import best_class, classify
 from .optimize import minimize_query
-from .rewriting import RewritingBudgetExceeded, xrewrite
+from .rewriting import RewritingBudgetExceeded, RewritingResult, xrewrite
 
 
 def _read(path: str) -> str:
     return Path(path).read_text(encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# The JSON output contract (shared by contains/rewrite/batch)
+# ---------------------------------------------------------------------------
+
+
+def _containment_to_json(
+    result: ContainmentResult, cached: Optional[bool] = None
+) -> Dict[str, Any]:
+    witness = None
+    if result.witness is not None:
+        witness = {
+            "database": [str(a) for a in result.witness.database],
+            "answer": [t.name for t in result.witness.answer],
+        }
+    out: Dict[str, Any] = {
+        "verdict": str(result.verdict),
+        "method": result.method,
+        "detail": result.detail,
+        "witness": witness,
+    }
+    if cached is not None:
+        out["cached"] = cached
+    return out
+
+
+def _rewriting_to_json(
+    result: RewritingResult, cached: Optional[bool] = None
+) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "disjuncts": [str(d) for d in result.rewriting.disjuncts],
+        "count": len(result.rewriting),
+        "max_disjunct_size": result.rewriting.max_disjunct_size(),
+        "complete": result.complete,
+        "rewriting_steps": result.stats.rewriting_steps,
+        "factorization_steps": result.stats.factorization_steps,
+    }
+    if cached is not None:
+        out["cached"] = cached
+    return out
+
+
+def _make_engine(args):
+    """A BatchEngine honoring --cache-dir/--workers/--timeout flags."""
+    from .engine import BatchEngine
+
+    return BatchEngine(
+        cache_dir=getattr(args, "cache_dir", None),
+        workers=getattr(args, "workers", 1) or 1,
+        task_timeout=getattr(args, "timeout", None),
+    )
 
 
 def _cmd_classify(args) -> int:
@@ -55,12 +120,28 @@ def _cmd_classify(args) -> int:
 
 def _cmd_rewrite(args) -> int:
     omq = parse_omq(_read(args.omq))
-    try:
-        result = xrewrite(omq, max_queries=args.budget)
-    except RewritingBudgetExceeded as exc:
+    cached: Optional[bool] = None
+    if args.cache_dir is not None or (args.workers or 1) > 1:
+        from .engine import RewriteJob
+
+        with _make_engine(args) as engine:
+            job_result = engine.run_batch([RewriteJob(omq, args.budget)])[0]
+        result, cached = job_result.value, job_result.cached
+        if result is None:
+            print(f"rewriting failed: {job_result.error}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            result = xrewrite(omq, max_queries=args.budget)
+        except RewritingBudgetExceeded as exc:
+            result = exc.partial
+    if args.json:
+        print(json.dumps(_rewriting_to_json(result, cached), indent=2))
+        return 0 if result.complete else 2
+    if not result.complete:
         print(
             f"rewriting exceeded the budget after "
-            f"{exc.partial.stats.queries_generated} queries "
+            f"{result.stats.queries_generated} queries "
             "(the OMQ may not be UCQ-rewritable)",
             file=sys.stderr,
         )
@@ -93,16 +174,154 @@ def _cmd_evaluate(args) -> int:
 def _cmd_contains(args) -> int:
     q1 = parse_omq(_read(args.omq1), name="Q1")
     q2 = parse_omq(_read(args.omq2), name="Q2")
-    result = contains(q1, q2, rewriting_budget=args.budget)
-    print(result)
+    cached: Optional[bool] = None
+    if args.cache_dir is not None or (args.workers or 1) > 1:
+        from .engine import ContainmentJob
+
+        with _make_engine(args) as engine:
+            job_result = engine.run_batch(
+                [ContainmentJob(q1, q2, rewriting_budget=args.budget)]
+            )[0]
+        result, cached = job_result.value, job_result.cached
+    else:
+        result = contains(q1, q2, rewriting_budget=args.budget)
+    if args.json:
+        print(json.dumps(_containment_to_json(result, cached), indent=2))
+    else:
+        print(result)
+        if result.verdict is Verdict.NOT_CONTAINED:
+            print("witness database:")
+            for atom in sorted(result.witness.database, key=str):
+                print("  ", atom)
     if result.verdict is Verdict.NOT_CONTAINED:
-        print("witness database:")
-        for atom in sorted(result.witness.database, key=str):
-            print("  ", atom)
         return 1
     if result.verdict is Verdict.UNKNOWN:
         return 2
     return 0
+
+
+def _parse_batch_file(path: str):
+    """Parse a batch manifest into engine jobs plus display labels."""
+    from .engine import ClassifyJob, ContainmentJob, RewriteJob
+
+    base = Path(path).resolve().parent
+    jobs: List[Any] = []
+    labels: List[str] = []
+    for lineno, raw in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), 1
+    ):
+        line = raw.strip()
+        if not line or line.startswith(("%", "#")):
+            continue
+        parts = line.split()
+        kind, operands = parts[0].lower(), parts[1:]
+        if kind == "contains" and len(operands) == 2:
+            q1 = parse_omq(_read(str(base / operands[0])), name=operands[0])
+            q2 = parse_omq(_read(str(base / operands[1])), name=operands[1])
+            jobs.append(ContainmentJob(q1, q2))
+            labels.append(f"contains {operands[0]} ⊆ {operands[1]}")
+        elif kind == "rewrite" and len(operands) == 1:
+            omq = parse_omq(_read(str(base / operands[0])), name=operands[0])
+            jobs.append(RewriteJob(omq))
+            labels.append(f"rewrite {operands[0]}")
+        elif kind == "classify" and len(operands) == 1:
+            sigma = parse_tgds(_read(str(base / operands[0])))
+            jobs.append(ClassifyJob(tuple(sigma)))
+            labels.append(f"classify {operands[0]}")
+        else:
+            raise ValueError(
+                f"{path}:{lineno}: unrecognized batch line: {line!r}"
+            )
+    return jobs, labels
+
+
+def _batch_entry_json(job_result, label: str, index: int) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "index": index,
+        "job": label,
+        "kind": job_result.job.kind,
+        "cached": job_result.cached,
+        "error": job_result.error,
+    }
+    value = job_result.value
+    if job_result.job.kind == "containment":
+        entry.update(_containment_to_json(value))
+    elif job_result.job.kind == "rewrite" and value is not None:
+        entry.update(_rewriting_to_json(value))
+    elif job_result.job.kind == "classify" and value is not None:
+        entry["classes"] = sorted(str(c) for c in value.classes)
+        entry["best"] = str(value.best)
+    return entry
+
+
+def _batch_entry_text(job_result, label: str, index: int) -> str:
+    suffix = " (cached)" if job_result.cached else ""
+    value = job_result.value
+    if job_result.job.kind == "containment":
+        body = f"{value.verdict} via {value.method}"
+        if job_result.error:
+            body += f" [{job_result.error}]"
+    elif job_result.error is not None:
+        body = f"failed: {job_result.error}"
+    elif job_result.job.kind == "rewrite":
+        body = (
+            f"{len(value.rewriting)} disjuncts, "
+            f"{'complete' if value.complete else 'partial'}"
+        )
+    else:
+        body = (
+            f"classes {','.join(sorted(str(c) for c in value.classes))}, "
+            f"preferred {value.best}"
+        )
+    return f"[{index}] {label}: {body}{suffix}"
+
+
+def _cmd_batch(args) -> int:
+    from .containment.result import Verdict as V
+
+    try:
+        jobs, labels = _parse_batch_file(args.batch_file)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not jobs:
+        print("batch file contains no jobs", file=sys.stderr)
+        return 2
+    with _make_engine(args) as engine:
+        results = engine.run_batch(jobs)
+        stats = engine.stats()
+    degraded = 0
+    for r in results:
+        if r.error is not None:
+            degraded += 1
+        elif (
+            r.job.kind == "containment" and r.value.verdict is V.UNKNOWN
+        ):
+            degraded += 1
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "jobs": [
+                        _batch_entry_json(r, label, i)
+                        for i, (r, label) in enumerate(zip(results, labels))
+                    ],
+                    "stats": stats,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for i, (r, label) in enumerate(zip(results, labels)):
+            print(_batch_entry_text(r, label, i))
+        cache = stats["cache"]
+        print(
+            f"% {len(jobs)} jobs, {args.workers or 1} worker(s), "
+            f"hit rate {cache['hit_rate']:.0%}, "
+            f"{degraded} degraded",
+            file=sys.stderr,
+        )
+    return 2 if degraded else 0
 
 
 def _cmd_distributes(args) -> int:
@@ -172,6 +391,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("rewrite", help="UCQ-rewrite an OMQ file")
     p.add_argument("omq")
     p.add_argument("--budget", type=int, default=20_000)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument("--cache-dir", default=None, help="persistent result cache")
+    p.add_argument("--workers", type=int, default=1)
     p.set_defaults(func=_cmd_rewrite)
 
     p = sub.add_parser("evaluate", help="certain answers over a database")
@@ -183,7 +405,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("omq1")
     p.add_argument("omq2")
     p.add_argument("--budget", type=int, default=None)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument("--cache-dir", default=None, help="persistent result cache")
+    p.add_argument("--workers", type=int, default=1)
     p.set_defaults(func=_cmd_contains)
+
+    p = sub.add_parser(
+        "batch", help="run a manifest of jobs through the batch engine"
+    )
+    p.add_argument("batch_file", help="one job per line; see module docs")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--cache-dir", default=None, help="persistent result cache")
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-task seconds (workers > 1 only)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("distributes", help="distribution over components")
     p.add_argument("omq")

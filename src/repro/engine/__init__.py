@@ -1,0 +1,69 @@
+"""``repro.engine`` — the batch containment engine.
+
+A service-shaped layer over the per-call library API:
+
+* :mod:`~repro.engine.canon` — isomorphism-invariant canonical forms and
+  content hashes for CQs, tgd sets, and OMQs (the cache-key algebra);
+* :mod:`~repro.engine.cache` — a persistent, corruption-tolerant sqlite
+  store fronted by an in-memory LRU;
+* :mod:`~repro.engine.pool` — a crash-isolated multiprocessing pool with
+  per-task timeouts and a deterministic serial fallback;
+* :mod:`~repro.engine.engine` — the :class:`BatchEngine` façade tying the
+  three together, with a containment-matrix helper;
+* :mod:`~repro.engine.metrics` — counters/timers behind ``stats()``;
+* :mod:`~repro.engine.registry` — the process-wide clearable-cache
+  registry behind ``repro.clear_caches()``.
+"""
+
+from .canon import (
+    CANON_VERSION,
+    CanonicalForm,
+    canonical_cq,
+    canonical_omq,
+    canonical_tgd,
+    canonical_tgds,
+    canonical_ucq,
+    hash_cq,
+    hash_omq,
+    hash_tgds,
+    hash_ucq,
+)
+from .cache import ResultCache
+from .engine import BatchEngine
+from .jobs import (
+    ClassificationOutcome,
+    ClassifyJob,
+    ContainmentJob,
+    JobResult,
+    RewriteJob,
+)
+from .metrics import MetricsRegistry
+from .pool import TaskOutcome, WorkerPool
+from .registry import clear_caches, register_cache, registered_caches
+
+__all__ = [
+    "BatchEngine",
+    "CANON_VERSION",
+    "CanonicalForm",
+    "ClassificationOutcome",
+    "ClassifyJob",
+    "ContainmentJob",
+    "JobResult",
+    "MetricsRegistry",
+    "ResultCache",
+    "RewriteJob",
+    "TaskOutcome",
+    "WorkerPool",
+    "canonical_cq",
+    "canonical_omq",
+    "canonical_tgd",
+    "canonical_tgds",
+    "canonical_ucq",
+    "clear_caches",
+    "hash_cq",
+    "hash_omq",
+    "hash_tgds",
+    "hash_ucq",
+    "register_cache",
+    "registered_caches",
+]

@@ -1,0 +1,275 @@
+"""The engine's result store: an in-memory LRU over a persistent sqlite file.
+
+Design (see DESIGN.md, "Batch engine"):
+
+* **Keys** are canonical-content strings built by the jobs in
+  :mod:`repro.engine.jobs` from the hashes of :mod:`repro.engine.canon`
+  plus every procedure parameter that can change the answer (budgets,
+  step limits).  α-equivalent inputs therefore hit the same row.
+* **Values** are pickled library objects (``ContainmentResult``,
+  ``RewritingResult``, classification outcomes) — everything the library
+  returns is a frozen dataclass over hashable cores, so pickling is safe
+  and round-trips exactly.
+* **Corruption tolerance**: the cache must never take down a query.  Every
+  sqlite/pickle failure degrades to a miss; a structurally bad file (not a
+  database, wrong schema version, wrong canon version) is deleted and
+  rebuilt on open.  The ``meta`` table stores both version stamps.
+* The in-memory LRU fronts the disk store so warm-batch lookups never
+  touch sqlite; it registers with :mod:`repro.engine.registry` so
+  ``repro.clear_caches()`` empties it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import time
+from collections import OrderedDict
+from pathlib import Path
+from threading import RLock
+from typing import Any, Optional, Tuple
+
+from . import registry
+from .canon import CANON_VERSION
+from .metrics import MetricsRegistry
+
+#: Bump when the sqlite layout changes; old files are discarded on open.
+SCHEMA_VERSION = "1"
+
+_DB_NAME = "repro-cache.sqlite"
+
+
+class ResultCache:
+    """A two-level (LRU memory, sqlite disk) store for engine results.
+
+    ``cache_dir=None`` gives a memory-only cache.  All operations are
+    total: lookups return ``(found, value)`` and failures of the disk
+    layer only ever cost performance, never correctness.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        memory_size: int = 4096,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._lock = RLock()
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        self._memory_size = max(1, memory_size)
+        self.metrics = metrics or MetricsRegistry()
+        self._path: Optional[Path] = None
+        self._conn: Optional[sqlite3.Connection] = None
+        self.recoveries = 0
+        if cache_dir is not None:
+            self._path = Path(cache_dir) / _DB_NAME
+            self._open_disk()
+        registry.register_instance_cache(
+            "engine.result_cache", self, "clear_memory"
+        )
+
+    # -- disk layer -----------------------------------------------------
+
+    def _open_disk(self) -> None:
+        """Open (or rebuild) the sqlite file; never raises."""
+        assert self._path is not None
+        try:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(str(self._path), check_same_thread=False)
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta "
+                "(key TEXT PRIMARY KEY, value TEXT)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS results "
+                "(key TEXT PRIMARY KEY, payload BLOB, created REAL)"
+            )
+            stamps = dict(conn.execute("SELECT key, value FROM meta"))
+            expected = {
+                "schema_version": SCHEMA_VERSION,
+                "canon_version": CANON_VERSION,
+            }
+            if stamps and stamps != expected:
+                conn.close()
+                self._discard_file()
+                conn = sqlite3.connect(
+                    str(self._path), check_same_thread=False
+                )
+                conn.execute(
+                    "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)"
+                )
+                conn.execute(
+                    "CREATE TABLE results "
+                    "(key TEXT PRIMARY KEY, payload BLOB, created REAL)"
+                )
+                stamps = {}
+            if not stamps:
+                conn.executemany(
+                    "INSERT OR REPLACE INTO meta VALUES (?, ?)",
+                    sorted(expected.items()),
+                )
+                conn.commit()
+            self._conn = conn
+        except (sqlite3.Error, OSError):
+            self._recover()
+
+    def _discard_file(self) -> None:
+        assert self._path is not None
+        self.recoveries += 1
+        try:
+            os.unlink(self._path)
+        except OSError:
+            pass
+
+    def _recover(self) -> None:
+        """Throw the file away and start over; give up disk on repeat failure."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        if self._path is None:
+            return
+        self._discard_file()
+        try:
+            conn = sqlite3.connect(str(self._path), check_same_thread=False)
+            conn.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
+            conn.execute(
+                "CREATE TABLE results "
+                "(key TEXT PRIMARY KEY, payload BLOB, created REAL)"
+            )
+            conn.executemany(
+                "INSERT INTO meta VALUES (?, ?)",
+                sorted(
+                    {
+                        "schema_version": SCHEMA_VERSION,
+                        "canon_version": CANON_VERSION,
+                    }.items()
+                ),
+            )
+            conn.commit()
+            self._conn = conn
+        except (sqlite3.Error, OSError):
+            self._conn = None  # run memory-only from here on
+
+    # -- public API ------------------------------------------------------
+
+    @property
+    def persistent(self) -> bool:
+        return self._conn is not None
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Look *key* up; returns ``(found, value)``."""
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.metrics.counter("cache.memory_hits").inc()
+                return True, self._memory[key]
+            if self._conn is not None:
+                try:
+                    row = self._conn.execute(
+                        "SELECT payload FROM results WHERE key = ?", (key,)
+                    ).fetchone()
+                except sqlite3.Error:
+                    self._recover()
+                    row = None
+                if row is not None:
+                    try:
+                        value = pickle.loads(row[0])
+                    except Exception:
+                        self._delete_row(key)
+                    else:
+                        self._remember(key, value)
+                        self.metrics.counter("cache.disk_hits").inc()
+                        return True, value
+            self.metrics.counter("cache.misses").inc()
+            return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store *value* under *key* in both layers (best effort on disk)."""
+        with self._lock:
+            self._remember(key, value)
+            if self._conn is not None:
+                try:
+                    payload = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+                except Exception:
+                    return  # unpicklable values live in memory only
+                try:
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO results VALUES (?, ?, ?)",
+                        (key, payload, time.time()),
+                    )
+                    self._conn.commit()
+                except sqlite3.Error:
+                    self._recover()
+
+    def clear_memory(self) -> None:
+        """Empty the in-memory layer (the disk layer persists)."""
+        with self._lock:
+            self._memory.clear()
+
+    def clear(self) -> None:
+        """Empty both layers."""
+        with self._lock:
+            self._memory.clear()
+            if self._conn is not None:
+                try:
+                    self._conn.execute("DELETE FROM results")
+                    self._conn.commit()
+                except sqlite3.Error:
+                    self._recover()
+
+    def stats(self) -> dict:
+        """Hit/miss counters plus sizes, as plain data."""
+        with self._lock:
+            disk_rows = 0
+            if self._conn is not None:
+                try:
+                    disk_rows = self._conn.execute(
+                        "SELECT COUNT(*) FROM results"
+                    ).fetchone()[0]
+                except sqlite3.Error:
+                    self._recover()
+            snap = self.metrics.snapshot()
+            memory_hits = snap.get("cache.memory_hits", 0)
+            disk_hits = snap.get("cache.disk_hits", 0)
+            misses = snap.get("cache.misses", 0)
+            lookups = memory_hits + disk_hits + misses
+            return {
+                "memory_entries": len(self._memory),
+                "disk_entries": disk_rows,
+                "memory_hits": memory_hits,
+                "disk_hits": disk_hits,
+                "misses": misses,
+                "hit_rate": (
+                    (memory_hits + disk_hits) / lookups if lookups else 0.0
+                ),
+                "persistent": self.persistent,
+                "recoveries": self.recoveries,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+                self._conn = None
+
+    # -- internals -------------------------------------------------------
+
+    def _remember(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self._memory_size:
+            self._memory.popitem(last=False)
+
+    def _delete_row(self, key: str) -> None:
+        assert self._conn is not None
+        try:
+            self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
+            self._conn.commit()
+        except sqlite3.Error:
+            self._recover()

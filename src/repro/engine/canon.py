@@ -1,0 +1,304 @@
+"""Isomorphism-invariant canonical forms and content hashes.
+
+The engine's cache is keyed by *content*, not by object identity or source
+text: two α-equivalent CQs (equal up to bijective variable renaming and
+body-atom reordering), two tgd sets listing the same rules in different
+orders, or two OMQ documents that parse to isomorphic structures must map
+to the same key, or the cache silently loses most of its hits.
+
+``core/serialize.py`` renames *unsafe* variable names to ``v0, v1, ...``
+but keeps user-chosen names, and ``CQ.standardize`` is order-sensitive —
+both are normalizations, not canonical forms.  This module computes true
+canonical labelings:
+
+1. variables are partitioned by **iterated colour refinement** (the
+   Weisfeiler–Leman idea on the query's incidence structure: a variable's
+   colour summarizes the predicates/positions it occurs at and the colours
+   of its co-arguments, iterated to a fixpoint);
+2. ties inside a colour class are broken by **exhaustive search for the
+   lexicographically least rendering**, which is what makes the form
+   canonical rather than merely normalized.  The search space is the
+   product of factorials of the class sizes; refinement keeps classes tiny
+   (almost always singletons) for real queries.
+
+For pathologically symmetric inputs whose search space exceeds
+``LABELING_BUDGET``, the labeler falls back to refinement order with the
+variable's *name* as the final tie-break — still deterministic, and still
+invariant under atom/rule reordering, but not under adversarial renaming
+of automorphic variables.  The fallback is flagged on the result so
+callers can observe it; no test-suite or generator input comes close to
+the budget.
+
+Head variables of a CQ are *pinned*: their canonical identity is their
+first-occurrence position in the head (that position is semantic — it
+determines the answer tuple), so only existential variables participate
+in the search.
+
+Content hashes are SHA-256 over a versioned, type-tagged canonical text;
+bump :data:`CANON_VERSION` whenever the rendering changes so stale
+persistent caches self-invalidate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from math import factorial
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.omq import OMQ
+from ..core.queries import CQ, UCQ
+from ..core.schema import Schema
+from ..core.terms import Constant, Null, Term, Variable
+from ..core.tgd import TGD
+
+#: Version tag mixed into every digest; bump on any rendering change.
+CANON_VERSION = "1"
+
+#: Maximum number of candidate labelings the exact tie-break may explore.
+LABELING_BUDGET = 40_320  # 8!
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """A canonical rendering plus whether the exact labeler produced it."""
+
+    text: str
+    exact: bool
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def _render_term(
+    t: Term,
+    pins: Mapping[Variable, int],
+    assignment: Mapping[Variable, int],
+) -> str:
+    if isinstance(t, Constant):
+        return f"c:{t.name}"
+    if isinstance(t, Null):
+        return f"n:{t.ident}"
+    if t in pins:
+        return f"h:{pins[t]}"
+    return f"x:{assignment[t]}"
+
+
+def _render_atoms(
+    tagged_atoms: Sequence[Tuple[str, Atom]],
+    pins: Mapping[Variable, int],
+    assignment: Mapping[Variable, int],
+) -> Tuple[str, ...]:
+    return tuple(
+        sorted(
+            f"{tag}|{a.predicate}({','.join(_render_term(t, pins, assignment) for t in a.args)})"
+            for tag, a in tagged_atoms
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Colour refinement
+# ---------------------------------------------------------------------------
+
+
+def _refine_colours(
+    tagged_atoms: Sequence[Tuple[str, Atom]],
+    pins: Mapping[Variable, int],
+    free: Sequence[Variable],
+) -> Dict[Variable, int]:
+    """Iterated colour refinement; returns each free variable's colour rank."""
+    if not free:
+        return {}
+    # Initial colour: the multiset of (tag, predicate, position) occurrences.
+    occurrences: Dict[Variable, List[Tuple]] = {v: [] for v in free}
+    for tag, a in tagged_atoms:
+        for pos, t in enumerate(a.args):
+            if isinstance(t, Variable) and t not in pins:
+                occurrences[t].append((tag, a.predicate, a.arity, pos))
+    colours: Dict[Variable, int] = {}
+    keys = {v: tuple(sorted(occ)) for v, occ in occurrences.items()}
+    for rank, key in enumerate(sorted(set(keys.values()))):
+        for v in free:
+            if keys[v] == key:
+                colours[v] = rank
+
+    for _ in range(len(free)):
+        views: Dict[Variable, List[Tuple]] = {v: [] for v in free}
+        for tag, a in tagged_atoms:
+            slots = tuple(
+                f"c:{t.name}" if isinstance(t, Constant)
+                else f"n:{t.ident}" if isinstance(t, Null)
+                else f"h:{pins[t]}" if t in pins
+                else f"w:{colours[t]}"
+                for t in a.args
+            )
+            for pos, t in enumerate(a.args):
+                if isinstance(t, Variable) and t not in pins:
+                    views[t].append((tag, a.predicate, pos, slots))
+        new_keys = {
+            v: (colours[v], tuple(sorted(views[v]))) for v in free
+        }
+        new_colours: Dict[Variable, int] = {}
+        for rank, key in enumerate(sorted(set(new_keys.values()))):
+            for v in free:
+                if new_keys[v] == key:
+                    new_colours[v] = rank
+        if len(set(new_colours.values())) == len(set(colours.values())):
+            colours = new_colours
+            break
+        colours = new_colours
+    return colours
+
+
+# ---------------------------------------------------------------------------
+# Canonical labeling
+# ---------------------------------------------------------------------------
+
+
+def _canonical_atoms(
+    tagged_atoms: Sequence[Tuple[str, Atom]],
+    pinned: Sequence[Variable] = (),
+) -> Tuple[Tuple[str, ...], Dict[Variable, int], bool]:
+    """The least rendering of *tagged_atoms* over admissible labelings.
+
+    Returns ``(sorted rendered atoms, variable assignment, exact)``.
+    """
+    pins: Dict[Variable, int] = {}
+    for v in pinned:
+        if v not in pins:
+            pins[v] = len(pins)
+    seen: Dict[Variable, None] = {}
+    for _, a in tagged_atoms:
+        for t in a.args:
+            if isinstance(t, Variable) and t not in pins:
+                seen.setdefault(t, None)
+    free = list(seen)
+    if not free:
+        return _render_atoms(tagged_atoms, pins, {}), {}, True
+
+    colours = _refine_colours(tagged_atoms, pins, free)
+    classes: List[List[Variable]] = []
+    for rank in sorted(set(colours.values())):
+        classes.append([v for v in free if colours[v] == rank])
+
+    search_space = 1
+    for cls in classes:
+        search_space *= factorial(len(cls))
+        if search_space > LABELING_BUDGET:
+            break
+    if search_space > LABELING_BUDGET:
+        # Deterministic fallback: refinement order, then variable name.
+        assignment: Dict[Variable, int] = {}
+        for cls in classes:
+            for v in sorted(cls, key=lambda v: v.name):
+                assignment[v] = len(assignment)
+        return _render_atoms(tagged_atoms, pins, assignment), assignment, False
+
+    best: Optional[Tuple[Tuple[str, ...], Dict[Variable, int]]] = None
+    for perms in itertools.product(
+        *(itertools.permutations(cls) for cls in classes)
+    ):
+        assignment = {}
+        for perm in perms:
+            for v in perm:
+                assignment[v] = len(assignment)
+        rendered = _render_atoms(tagged_atoms, pins, assignment)
+        if best is None or rendered < best[0]:
+            best = (rendered, assignment)
+    assert best is not None
+    return best[0], best[1], True
+
+
+# ---------------------------------------------------------------------------
+# Canonical forms per structure
+# ---------------------------------------------------------------------------
+
+
+def canonical_cq(q: CQ) -> CanonicalForm:
+    """Canonical text of a CQ (name-independent, α- and order-invariant)."""
+    pinned = [t for t in q.head if isinstance(t, Variable)]
+    tagged = [("B", a) for a in q.body]
+    rendered, assignment, exact = _canonical_atoms(tagged, pinned)
+    pins: Dict[Variable, int] = {}
+    for v in pinned:
+        if v not in pins:
+            pins[v] = len(pins)
+    head = ",".join(_render_term(t, pins, assignment) for t in q.head)
+    return CanonicalForm(f"({head})<-[{';'.join(rendered)}]", exact)
+
+
+def canonical_ucq(q: UCQ) -> CanonicalForm:
+    """Canonical text of a UCQ: sorted canonical disjuncts."""
+    forms = [canonical_cq(d) for d in q.disjuncts]
+    texts = sorted(f.text for f in forms)
+    return CanonicalForm("|".join(texts), all(f.exact for f in forms))
+
+
+def canonical_tgd(t: TGD) -> CanonicalForm:
+    """Canonical text of a single tgd (all variables are searched)."""
+    tagged = [("B", a) for a in t.body] + [("H", a) for a in t.head]
+    rendered, _, exact = _canonical_atoms(tagged)
+    return CanonicalForm(";".join(rendered), exact)
+
+
+def canonical_tgds(sigma: Iterable[TGD]) -> CanonicalForm:
+    """Canonical text of a tgd set: sorted per-rule canonical forms.
+
+    Rules are universally closed sentences, so each is canonicalized
+    independently and the set is order-insensitive.  Duplicate rules
+    collapse (a set, per the paper's ``Σ``).
+    """
+    forms = [canonical_tgd(t) for t in sigma]
+    texts = sorted(set(f.text for f in forms))
+    return CanonicalForm("&".join(texts), all(f.exact for f in forms))
+
+
+def canonical_schema(schema: Schema) -> str:
+    """Canonical text of a schema: sorted ``name/arity`` pairs."""
+    return ",".join(f"{p}/{schema.arity(p)}" for p in schema.predicates())
+
+
+def canonical_omq(omq: OMQ) -> CanonicalForm:
+    """Canonical text of an OMQ ``(S, Σ, q)``; the cosmetic name is ignored."""
+    sigma = canonical_tgds(omq.sigma)
+    query = canonical_ucq(omq.as_ucq())
+    text = (
+        f"S[{canonical_schema(omq.data_schema)}]"
+        f"O[{sigma.text}]Q[{query.text}]"
+    )
+    return CanonicalForm(text, sigma.exact and query.exact)
+
+
+# ---------------------------------------------------------------------------
+# Content hashes
+# ---------------------------------------------------------------------------
+
+
+def _digest(kind: str, text: str) -> str:
+    payload = f"repro-canon:{CANON_VERSION}:{kind}:{text}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def hash_cq(q: CQ) -> str:
+    """Stable content hash of a CQ."""
+    return _digest("cq", canonical_cq(q).text)
+
+
+def hash_ucq(q: UCQ) -> str:
+    """Stable content hash of a UCQ."""
+    return _digest("ucq", canonical_ucq(q).text)
+
+
+def hash_tgds(sigma: Iterable[TGD]) -> str:
+    """Stable content hash of a tgd set."""
+    return _digest("tgds", canonical_tgds(sigma).text)
+
+
+def hash_omq(omq: OMQ) -> str:
+    """Stable content hash of an OMQ."""
+    return _digest("omq", canonical_omq(omq).text)

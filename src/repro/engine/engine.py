@@ -1,0 +1,172 @@
+"""The ``BatchEngine`` façade: cached, parallel, failure-isolated batches.
+
+This is the layer the ROADMAP's production story needs between callers and
+the per-call library API: a service-shaped object that (a) never computes
+an answer it has already computed — lookups go through the canonical-hash
+cache of :mod:`repro.engine.cache`, so α-equivalent inputs hit; (b) runs
+independent jobs across a :class:`repro.engine.pool.WorkerPool`, where a
+hung or killed worker costs one UNKNOWN result, not the batch; and
+(c) accounts for everything in a :class:`~repro.engine.metrics.MetricsRegistry`.
+
+``run_batch`` is the primitive.  ``contains`` / ``rewrite`` / ``classify``
+are one-job conveniences, and :meth:`containment_matrix` builds the all-
+pairs verdict matrix that powers minimization-at-scale (every off-diagonal
+ordered pair is an independent job, so the matrix parallelizes and warm
+re-runs are nearly free).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..core.omq import OMQ
+from ..core.tgd import TGD
+from .cache import ResultCache
+from .jobs import (
+    ClassificationOutcome,
+    ClassifyJob,
+    ContainmentJob,
+    JobResult,
+    RewriteJob,
+)
+from .metrics import MetricsRegistry
+from .pool import WorkerPool
+
+
+class BatchEngine:
+    """Batched containment/rewriting/classification with caching and a pool.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the persistent sqlite cache; ``None`` keeps results
+        in memory only.
+    workers:
+        Pool width.  ``1`` (the default) is the deterministic serial path.
+    task_timeout:
+        Per-task wall-clock limit in seconds, enforced when ``workers > 1``.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        workers: int = 1,
+        task_timeout: Optional[float] = None,
+        memory_cache_size: int = 4096,
+        metrics: Optional[MetricsRegistry] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.metrics = metrics or MetricsRegistry()
+        self.cache = ResultCache(
+            cache_dir, memory_cache_size, metrics=self.metrics
+        )
+        self.pool = WorkerPool(
+            workers=workers,
+            task_timeout=task_timeout,
+            start_method=start_method,
+        )
+
+    # -- the batch primitive ---------------------------------------------
+
+    def run_batch(self, jobs: Sequence[Any]) -> List[JobResult]:
+        """Run *jobs*, consulting the cache first; results in input order."""
+        jobs = list(jobs)
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        misses: List[Tuple[int, Any, Optional[str]]] = []
+        with self.metrics.timer("engine.batch").time():
+            for i, job in enumerate(jobs):
+                key = job.cache_key()
+                if key is not None:
+                    found, value = self.cache.get(key)
+                    if found:
+                        results[i] = JobResult(job, value, cached=True)
+                        self.metrics.counter(
+                            f"engine.{job.kind}.cache_hits"
+                        ).inc()
+                        continue
+                misses.append((i, job, key))
+
+            if misses:
+                outcomes = self.pool.run([job for _, job, _ in misses])
+                for (i, job, key), outcome in zip(misses, outcomes):
+                    self.metrics.counter(f"engine.{job.kind}.runs").inc()
+                    self.metrics.timer(f"engine.{job.kind}.time").observe(
+                        outcome.duration
+                    )
+                    if outcome.ok:
+                        results[i] = JobResult(
+                            job, outcome.value, duration=outcome.duration
+                        )
+                        if key is not None:
+                            self.cache.put(key, outcome.value)
+                    else:
+                        self.metrics.counter(
+                            f"engine.{job.kind}.failures"
+                        ).inc()
+                        results[i] = JobResult(
+                            job,
+                            job.failure_result(outcome.failure),
+                            error=outcome.failure,
+                            duration=outcome.duration,
+                        )
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # -- one-job conveniences --------------------------------------------
+
+    def contains(self, q1: OMQ, q2: OMQ, **params) -> JobResult:
+        """Cached/pooled ``contains(q1, q2)``; value is a ContainmentResult."""
+        return self.run_batch([ContainmentJob(q1, q2, **params)])[0]
+
+    def rewrite(self, omq: OMQ, budget: int = 20_000) -> JobResult:
+        """Cached/pooled XRewrite; value is a RewritingResult."""
+        return self.run_batch([RewriteJob(omq, budget)])[0]
+
+    def classify(self, sigma: Sequence[TGD]) -> JobResult:
+        """Cached/pooled fragment classification of a tgd set."""
+        return self.run_batch([ClassifyJob(tuple(sigma))])[0]
+
+    # -- the all-pairs helper --------------------------------------------
+
+    def containment_matrix(
+        self, omqs: Sequence[OMQ], **params
+    ) -> List[List[JobResult]]:
+        """The ``n × n`` matrix of ``omqs[i] ⊆ omqs[j]`` results.
+
+        Off-diagonal entries are independent jobs (parallel, cached);
+        diagonal entries are trivially CONTAINED and never scheduled.
+        This is the scale-out substrate for ``optimize.py``-style
+        minimization over query catalogs.
+        """
+        from ..containment.result import contained
+
+        n = len(omqs)
+        pairs = [(i, j) for i in range(n) for j in range(n) if i != j]
+        batch = self.run_batch(
+            [ContainmentJob(omqs[i], omqs[j], **params) for i, j in pairs]
+        )
+        matrix: List[List[Optional[JobResult]]] = [
+            [None] * n for _ in range(n)
+        ]
+        for i in range(n):
+            matrix[i][i] = JobResult(
+                None, contained("reflexivity", "Q ⊆ Q trivially"), cached=True
+            )
+        for (i, j), result in zip(pairs, batch):
+            matrix[i][j] = result
+        return matrix  # type: ignore[return-value]
+
+    # -- accounting -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Cache statistics plus the metrics snapshot."""
+        return {"cache": self.cache.stats(), "metrics": self.metrics.snapshot()}
+
+    def close(self) -> None:
+        self.cache.close()
+
+    def __enter__(self) -> "BatchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,172 @@
+"""Job types the batch engine schedules.
+
+A job is a frozen, picklable dataclass with three responsibilities:
+
+* ``run()`` — execute the underlying library procedure (in a worker
+  process or inline);
+* ``cache_key()`` — the canonical-content cache key, or ``None`` for
+  uncacheable jobs; keys fold in every parameter that can change the
+  answer, and containment keys are *ordered* (``Q1 ⊆ Q2`` and
+  ``Q2 ⊆ Q1`` are different questions);
+* ``failure_result(reason)`` — the result reported when the worker
+  running the job times out, crashes, or raises.  Containment jobs
+  degrade to an honest UNKNOWN verdict carrying the reason; rewriting
+  and classification jobs have no UNKNOWN value and report ``None``
+  (the error is preserved on the ``JobResult``).
+
+``SleepJob`` and ``CrashJob`` exist for tests and benchmarks that need a
+task with a known duration or a worker that dies mid-task.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional, Tuple
+
+from ..core.omq import OMQ, TGDClass
+from ..core.tgd import TGD
+from .canon import hash_omq, hash_tgds
+
+
+@dataclass(frozen=True)
+class ClassificationOutcome:
+    """The fragment classes of a tgd set plus the preferred one."""
+
+    classes: FrozenSet[TGDClass]
+    best: TGDClass
+
+
+@dataclass(frozen=True)
+class ContainmentJob:
+    """Decide ``Q1 ⊆ Q2`` via :func:`repro.containment.contains`."""
+
+    q1: OMQ
+    q2: OMQ
+    rewriting_budget: Optional[int] = None
+    chase_max_steps: int = 200_000
+
+    kind = "containment"
+
+    def cache_key(self) -> str:
+        return (
+            f"cont:{hash_omq(self.q1)}:{hash_omq(self.q2)}"
+            f":b={self.rewriting_budget}:s={self.chase_max_steps}"
+        )
+
+    def run(self) -> Any:
+        from ..containment.dispatch import contains
+
+        return contains(
+            self.q1,
+            self.q2,
+            rewriting_budget=self.rewriting_budget,
+            chase_max_steps=self.chase_max_steps,
+        )
+
+    def failure_result(self, reason: str) -> Any:
+        from ..containment.result import unknown
+
+        return unknown("engine-pool", reason)
+
+
+@dataclass(frozen=True)
+class RewriteJob:
+    """UCQ-rewrite an OMQ; budget exhaustion yields a partial result."""
+
+    omq: OMQ
+    budget: int = 20_000
+
+    kind = "rewrite"
+
+    def cache_key(self) -> str:
+        return f"rw:{hash_omq(self.omq)}:b={self.budget}"
+
+    def run(self) -> Any:
+        from ..rewriting.xrewrite import RewritingBudgetExceeded, xrewrite
+
+        try:
+            return xrewrite(
+                self.omq,
+                max_queries=self.budget,
+                max_total_atoms=20 * self.budget,
+            )
+        except RewritingBudgetExceeded as exc:
+            return exc.partial
+
+    def failure_result(self, reason: str) -> Any:
+        return None
+
+
+@dataclass(frozen=True)
+class ClassifyJob:
+    """Classify a tgd set into the paper's fragments."""
+
+    sigma: Tuple[TGD, ...]
+
+    kind = "classify"
+
+    def cache_key(self) -> str:
+        return f"cls:{hash_tgds(self.sigma)}"
+
+    def run(self) -> ClassificationOutcome:
+        from ..fragments.classify import best_class, classify
+
+        return ClassificationOutcome(
+            frozenset(classify(self.sigma)), best_class(self.sigma)
+        )
+
+    def failure_result(self, reason: str) -> Any:
+        return None
+
+
+@dataclass(frozen=True)
+class SleepJob:
+    """Sleep then return; a deterministic stand-in for a slow task."""
+
+    seconds: float
+    payload: Any = None
+
+    kind = "sleep"
+
+    def cache_key(self) -> Optional[str]:
+        return None
+
+    def run(self) -> Any:
+        time.sleep(self.seconds)
+        return self.payload
+
+    def failure_result(self, reason: str) -> Any:
+        return None
+
+
+@dataclass(frozen=True)
+class CrashJob:
+    """Kill the hosting worker process abruptly (SIGKILL-style exit)."""
+
+    kind = "crash"
+
+    def cache_key(self) -> Optional[str]:
+        return None
+
+    def run(self) -> Any:  # pragma: no cover - exercised in a subprocess
+        os._exit(13)
+
+    def failure_result(self, reason: str) -> Any:
+        return None
+
+
+@dataclass
+class JobResult:
+    """One batch slot: the job, its value, and how it was obtained."""
+
+    job: Any
+    value: Any
+    cached: bool = False
+    error: Optional[str] = None
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None

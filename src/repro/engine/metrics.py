@@ -1,0 +1,119 @@
+"""Lightweight counters and timers for the batch engine.
+
+A :class:`MetricsRegistry` is a named bag of monotonically increasing
+:class:`Counter`\\ s and accumulating :class:`Timer`\\ s.  It is deliberately
+minimal — enough to report cache hit rates and per-procedure latency from
+``BatchEngine.stats()`` and the CLI without pulling in a metrics library —
+and thread-safe, since the pool coordinator and callers may touch it
+concurrently.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from threading import RLock
+from typing import Dict, Iterator
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: RLock) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = lock
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Timer:
+    """An accumulating timer: total seconds and number of observations."""
+
+    __slots__ = ("name", "_total", "_count", "_max", "_lock")
+
+    def __init__(self, name: str, lock: RLock) -> None:
+        self.name = name
+        self._total = 0.0
+        self._count = 0
+        self._max = 0.0
+        self._lock = lock
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._total += seconds
+            self._count += 1
+            self._max = max(self._max, seconds)
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._total
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._total / self._count if self._count else 0.0
+
+
+class MetricsRegistry:
+    """A named collection of counters and timers."""
+
+    def __init__(self) -> None:
+        self._lock = RLock()
+        self._counters: Dict[str, Counter] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name, self._lock)
+            return self._counters[name]
+
+    def timer(self, name: str) -> Timer:
+        with self._lock:
+            if name not in self._timers:
+                self._timers[name] = Timer(name, self._lock)
+            return self._timers[name]
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict view of every metric (stable key order)."""
+        with self._lock:
+            out: Dict[str, object] = {}
+            for name in sorted(self._counters):
+                out[name] = self._counters[name].value
+            for name in sorted(self._timers):
+                t = self._timers[name]
+                out[name] = {
+                    "total_s": t.total,
+                    "count": t.count,
+                    "mean_s": t.mean,
+                }
+            return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()

@@ -1,0 +1,300 @@
+"""A crash-isolated multiprocessing worker pool with per-task timeouts.
+
+``multiprocessing.Pool`` is the obvious tool and the wrong one: a worker
+that segfaults or is OOM-killed poisons the whole pool (tasks hang
+forever), and there is no per-task timeout.  Containment checks are
+2EXPTIME-worst-case (Table 1 of the paper), so both failure modes are
+expected in production, not exceptional.  This pool therefore manages its
+workers directly:
+
+* one duplex pipe per worker; the coordinator assigns one task at a time
+  and waits on the busy pipes with :func:`multiprocessing.connection.wait`
+  (a dead worker closes its pipe end, which wakes the wait — crash
+  detection costs no polling);
+* a task that exceeds ``task_timeout`` gets its worker terminated and a
+  :class:`TaskOutcome` failure; the worker is respawned and the rest of
+  the batch is unaffected;
+* a worker that dies mid-task (any exit, including ``SIGKILL``) likewise
+  fails only its own task;
+* results always come back in input order;
+* ``workers=1`` runs every task inline, serially and deterministically —
+  no subprocesses, no timeout enforcement — which is also the debuggable
+  path.
+
+The pool schedules *jobs* in the :mod:`repro.engine.jobs` sense: picklable
+objects with a ``run()`` method.  It knows nothing about caching or
+verdicts; the engine maps failures onto per-kind results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task: a value or a failure reason."""
+
+    value: Any = None
+    failure: Optional[str] = None
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
+    """Worker loop: receive ``(idx, task)``, run it, send the outcome back."""
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                break
+            idx, task = msg
+            start = time.perf_counter()
+            try:
+                value = task.run()
+                outcome = (idx, "ok", value, time.perf_counter() - start)
+            except BaseException as exc:
+                outcome = (
+                    idx,
+                    "error",
+                    f"{type(exc).__name__}: {exc}",
+                    time.perf_counter() - start,
+                )
+            try:
+                conn.send(outcome)
+            except Exception:
+                try:
+                    conn.send(
+                        (
+                            idx,
+                            "error",
+                            "worker result was not picklable",
+                            time.perf_counter() - start,
+                        )
+                    )
+                except Exception:
+                    break
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+
+
+class _Worker:
+    __slots__ = ("proc", "conn", "task_idx", "deadline")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.task_idx: Optional[int] = None
+        self.deadline: Optional[float] = None
+
+
+class WorkerPool:
+    """Run picklable tasks across worker processes, tolerating failures."""
+
+    #: How often an idle-crashed worker may bounce a task back before the
+    #: task itself is failed.
+    MAX_REQUEUES = 3
+
+    def __init__(
+        self,
+        workers: int = 1,
+        task_timeout: Optional[float] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.task_timeout = task_timeout
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = mp.get_context(start_method)
+
+    # -- serial fallback --------------------------------------------------
+
+    def _run_serial(self, tasks: Sequence[Any]) -> List[TaskOutcome]:
+        out: List[TaskOutcome] = []
+        for task in tasks:
+            start = time.perf_counter()
+            try:
+                value = task.run()
+            except Exception as exc:
+                out.append(
+                    TaskOutcome(
+                        failure=f"{type(exc).__name__}: {exc}",
+                        duration=time.perf_counter() - start,
+                    )
+                )
+            else:
+                out.append(
+                    TaskOutcome(
+                        value=value, duration=time.perf_counter() - start
+                    )
+                )
+        return out
+
+    # -- parallel path ----------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        return _Worker(proc, parent_conn)
+
+    @staticmethod
+    def _retire(worker: _Worker, graceful: bool = True) -> None:
+        try:
+            if graceful and worker.proc.is_alive():
+                worker.conn.send(None)
+        except Exception:
+            pass
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+        worker.proc.join(timeout=0.5)
+        if worker.proc.is_alive():
+            worker.proc.terminate()
+            worker.proc.join(timeout=0.5)
+        if worker.proc.is_alive():  # pragma: no cover - stuck in a syscall
+            worker.proc.kill()
+            worker.proc.join(timeout=0.5)
+
+    def run(self, tasks: Sequence[Any]) -> List[TaskOutcome]:
+        """Run all tasks; outcomes are returned in input order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.workers == 1 or len(tasks) == 1:
+            return self._run_serial(tasks)
+
+        results: List[Optional[TaskOutcome]] = [None] * len(tasks)
+        pending = deque(range(len(tasks)))
+        requeues: Dict[int, int] = {}
+        completed = 0
+        workers = [
+            self._spawn() for _ in range(min(self.workers, len(tasks)))
+        ]
+        try:
+            while completed < len(tasks):
+                # Assign pending tasks to idle workers.
+                for w in list(workers):
+                    if w.task_idx is not None or not pending:
+                        continue
+                    idx = pending.popleft()
+                    try:
+                        w.conn.send((idx, tasks[idx]))
+                    except OSError:
+                        # The worker died while idle: replace it and retry
+                        # the task elsewhere (bounded, in case spawning is
+                        # itself broken).
+                        workers.remove(w)
+                        self._retire(w, graceful=False)
+                        requeues[idx] = requeues.get(idx, 0) + 1
+                        if requeues[idx] > self.MAX_REQUEUES:
+                            results[idx] = TaskOutcome(
+                                failure="worker died before task start"
+                            )
+                            completed += 1
+                        else:
+                            pending.appendleft(idx)
+                            workers.append(self._spawn())
+                        continue
+                    except Exception as exc:
+                        results[idx] = TaskOutcome(
+                            failure=f"task not picklable: {exc}"
+                        )
+                        completed += 1
+                        continue
+                    w.task_idx = idx
+                    w.deadline = (
+                        time.monotonic() + self.task_timeout
+                        if self.task_timeout
+                        else None
+                    )
+
+                busy = [w for w in workers if w.task_idx is not None]
+                if not busy:
+                    if pending:
+                        continue
+                    break
+
+                deadlines = [
+                    w.deadline for w in busy if w.deadline is not None
+                ]
+                wait_timeout: Optional[float] = None
+                if deadlines:
+                    wait_timeout = max(
+                        0.0, min(deadlines) - time.monotonic()
+                    )
+                ready = mp_connection.wait(
+                    [w.conn for w in busy], timeout=wait_timeout
+                )
+                by_conn = {w.conn: w for w in busy}
+                for conn in ready:
+                    w = by_conn[conn]
+                    try:
+                        idx, status, payload, duration = conn.recv()
+                    except (EOFError, OSError):
+                        idx = w.task_idx
+                        w.proc.join(timeout=0.5)
+                        code = w.proc.exitcode
+                        results[idx] = TaskOutcome(
+                            failure=f"worker crashed (exit code {code})"
+                        )
+                        completed += 1
+                        workers.remove(w)
+                        self._retire(w, graceful=False)
+                        if pending:
+                            workers.append(self._spawn())
+                        continue
+                    if status == "ok":
+                        results[idx] = TaskOutcome(
+                            value=payload, duration=duration
+                        )
+                    else:
+                        results[idx] = TaskOutcome(
+                            failure=payload, duration=duration
+                        )
+                    completed += 1
+                    w.task_idx = None
+                    w.deadline = None
+
+                # Enforce per-task deadlines on workers that stayed silent.
+                now = time.monotonic()
+                for w in list(workers):
+                    if (
+                        w.task_idx is None
+                        or w.deadline is None
+                        or now < w.deadline
+                    ):
+                        continue
+                    idx = w.task_idx
+                    results[idx] = TaskOutcome(
+                        failure=(
+                            f"timed out after {self.task_timeout}s"
+                        )
+                    )
+                    completed += 1
+                    workers.remove(w)
+                    self._retire(w, graceful=False)
+                    if pending:
+                        workers.append(self._spawn())
+        finally:
+            for w in workers:
+                self._retire(w)
+
+        # Every slot is filled by construction; the assert documents it.
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]

@@ -1,0 +1,81 @@
+"""A process-wide registry of clearable caches.
+
+The library memoizes aggressively (the ``lru_cache``s of
+:mod:`repro.evaluation`, the in-memory layer of every
+:class:`repro.engine.cache.ResultCache`), which is exactly right for a
+long-lived service and exactly wrong for test isolation.  This module is
+the one place that knows about all of them: cache owners register a
+clear-callback under a stable name, and :func:`clear_caches` (re-exported
+as ``repro.clear_caches``) empties everything in one call.
+
+The module deliberately imports nothing from the rest of the package so
+that any module — including :mod:`repro.evaluation`, which the engine
+itself depends on — can register here without creating an import cycle.
+Instance-owned caches register through :func:`register_instance_cache`,
+which holds only a weak reference so registration never extends a cache's
+lifetime.
+"""
+
+from __future__ import annotations
+
+import weakref
+from threading import RLock
+from typing import Callable, Dict
+
+_lock = RLock()
+_registry: Dict[str, Callable[[], None]] = {}
+_instance_counter = 0
+
+
+def register_cache(name: str, clear: Callable[[], None]) -> None:
+    """Register a module-level cache under *name* (idempotent on re-import)."""
+    with _lock:
+        _registry[name] = clear
+
+
+def register_instance_cache(name: str, owner: object, method_name: str) -> str:
+    """Register ``getattr(owner, method_name)()`` as a clearer, weakly.
+
+    Returns the unique registry key.  The entry drops out automatically
+    when *owner* is garbage-collected.
+    """
+    global _instance_counter
+    with _lock:
+        _instance_counter += 1
+        key = f"{name}#{_instance_counter}"
+
+    def _finalize(k=key):
+        with _lock:
+            _registry.pop(k, None)
+
+    ref = weakref.ref(owner, lambda _: _finalize())
+
+    def _clear():
+        target = ref()
+        if target is not None:
+            getattr(target, method_name)()
+
+    with _lock:
+        _registry[key] = _clear
+    return key
+
+
+def unregister_cache(name: str) -> None:
+    """Remove a registration; missing names are ignored."""
+    with _lock:
+        _registry.pop(name, None)
+
+
+def registered_caches() -> tuple:
+    """The currently registered cache names (sorted, for introspection)."""
+    with _lock:
+        return tuple(sorted(_registry))
+
+
+def clear_caches() -> int:
+    """Clear every registered cache; returns how many were cleared."""
+    with _lock:
+        clearers = list(_registry.values())
+    for clear in clearers:
+        clear()
+    return len(clearers)

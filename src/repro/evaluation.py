@@ -25,6 +25,7 @@ from .chase.engine import ChaseBudgetExceeded, chase
 from .core.instance import Instance
 from .core.omq import OMQ, TGDClass
 from .core.terms import Term
+from .engine.registry import register_cache
 from .fragments.classify import best_class
 from .fragments.weak import is_weakly_acyclic
 from .rewriting.xrewrite import (
@@ -65,6 +66,17 @@ def cached_rewriting(omq: OMQ, budget: int) -> RewritingResult:
         )
     except RewritingBudgetExceeded as exc:
         return exc.partial
+
+
+# These memo tables are keyed by whole OMQs/tgd tuples and accumulate
+# across unrelated inputs; registering them makes repro.clear_caches()
+# (and the test suite's isolation fixture) able to reset them.
+register_cache("evaluation.best_class", _cached_best_class.cache_clear)
+register_cache("evaluation.classes", _cached_classes.cache_clear)
+register_cache(
+    "evaluation.weakly_acyclic", _cached_weakly_acyclic.cache_clear
+)
+register_cache("evaluation.rewriting", cached_rewriting.cache_clear)
 
 
 @dataclass

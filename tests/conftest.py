@@ -4,7 +4,21 @@ from __future__ import annotations
 
 import pytest
 
+import repro
 from repro import OMQ, Schema, parse_cq, parse_database, parse_tgds
+
+
+@pytest.fixture(autouse=True)
+def _isolate_caches():
+    """Empty every registered memo table after each test.
+
+    The library's module-level caches (``repro.evaluation``) and the
+    engine's in-memory layers are process-wide; without this, one test's
+    cached rewriting can mask another test's bug (or keep a stale result
+    alive across parametrized cases).
+    """
+    yield
+    repro.clear_caches()
 
 
 @pytest.fixture

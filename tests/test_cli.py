@@ -1,5 +1,7 @@
 """Tests for the command-line interface and the OMQ file format."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -164,3 +166,102 @@ class TestCLI:
         assert main(
             ["explain", files["q1"], files["db"], "alice", "--budget", "200"]
         ) == 2
+
+
+class TestJSONOutput:
+    def test_contains_json_contained(self, files, capsys):
+        assert main(["contains", files["q1"], files["q2"], "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "contained"
+        assert payload["witness"] is None
+        assert payload["method"]
+
+    def test_contains_json_witness(self, files, capsys):
+        assert main(["contains", files["q2"], files["q3"], "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "not-contained"
+        assert payload["witness"]["database"]
+        assert isinstance(payload["witness"]["answer"], list)
+
+    def test_rewrite_json(self, files, capsys):
+        assert main(["rewrite", files["q1"], "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["complete"] is True
+        assert payload["count"] == len(payload["disjuncts"]) == 2
+
+    def test_contains_json_through_engine(self, files, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        args = [
+            "contains", files["q1"], files["q2"], "--json",
+            "--cache-dir", cache,
+        ]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["cached"] is False
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["cached"] is True
+        assert warm["verdict"] == cold["verdict"] == "contained"
+
+
+class TestBatchCommand:
+    @pytest.fixture
+    def batch_file(self, files, tmp_path):
+        ontology = tmp_path / "rules.tgd"
+        ontology.write_text("P(x) -> R(x, w)\nR(x, y) -> P(y)")
+        manifest = tmp_path / "batch.txt"
+        manifest.write_text(
+            "% a demo manifest\n"
+            f"contains {files['q1']} {files['q2']}\n"
+            f"contains {files['q2']} {files['q3']}\n"
+            f"rewrite {files['q1']}\n"
+            "classify rules.tgd\n"
+        )
+        return str(manifest)
+
+    def test_batch_text_output(self, batch_file, capsys):
+        assert main(["batch", batch_file]) == 0
+        out = capsys.readouterr().out
+        assert "contained via" in out
+        assert "not-contained via" in out
+        assert "2 disjuncts, complete" in out
+        assert "preferred L" in out
+
+    def test_batch_json_output(self, batch_file, capsys):
+        assert main(["batch", batch_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["jobs"]) == 4
+        kinds = [j["kind"] for j in payload["jobs"]]
+        assert kinds == ["containment", "containment", "rewrite", "classify"]
+        assert payload["jobs"][0]["verdict"] == "contained"
+        assert payload["jobs"][1]["verdict"] == "not-contained"
+        assert payload["jobs"][3]["best"] == "L"
+        assert "cache" in payload["stats"]
+
+    def test_batch_warm_cache(self, batch_file, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["batch", batch_file, "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["batch", batch_file, "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert out.count("(cached)") == 4
+
+    def test_batch_rejects_bad_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("frobnicate something.omq\n")
+        assert main(["batch", str(bad)]) == 2
+        assert "unrecognized" in capsys.readouterr().err
+
+    def test_batch_empty_manifest(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("% nothing here\n")
+        assert main(["batch", str(empty)]) == 2
+
+    def test_batch_parallel_matches_serial(self, batch_file, capsys):
+        assert main(["batch", batch_file, "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["batch", batch_file, "--json", "--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        for s, p in zip(serial["jobs"], parallel["jobs"]):
+            assert s.get("verdict") == p.get("verdict")
+            assert s.get("count") == p.get("count")

@@ -1,0 +1,224 @@
+"""The BatchEngine façade: caching, verdicts, failure semantics, matrix.
+
+These tests mirror the acceptance criteria: warm re-runs of a batch are
+(nearly) all cache hits, an injected crash/timeout degrades exactly one
+task to UNKNOWN, and results always come back in input order.
+"""
+
+import pytest
+
+from repro import OMQ, Schema, parse_cq, parse_tgds
+from repro.containment import Verdict, contains
+from repro.engine import (
+    BatchEngine,
+    ClassifyJob,
+    ContainmentJob,
+    RewriteJob,
+)
+from repro.engine.jobs import CrashJob, SleepJob
+
+
+SIGMA = "P(x) -> R(x, w)\nR(x, y) -> P(y)\nT(x) -> P(x)"
+SCHEMA = Schema.of(P=1, T=1)
+
+
+def _omq(query: str, rules: str = SIGMA, name: str = "Q") -> OMQ:
+    return OMQ(SCHEMA, tuple(parse_tgds(rules)), parse_cq(query), name)
+
+
+@pytest.fixture
+def family():
+    """A small family of comparable OMQs over the Example 1 ontology."""
+    return [
+        _omq("q(x) :- R(x, y), P(y)", name="Qr"),
+        _omq("q(x) :- P(x)", name="Qp"),
+        _omq("q(x) :- T(x)", name="Qt"),
+    ]
+
+
+class TestRunBatch:
+    def test_verdicts_match_direct_calls(self, family):
+        engine = BatchEngine()
+        jobs = [
+            ContainmentJob(family[0], family[1]),
+            ContainmentJob(family[1], family[0]),
+            ContainmentJob(family[2], family[1]),
+            ContainmentJob(family[1], family[2]),
+        ]
+        results = engine.run_batch(jobs)
+        for job, res in zip(jobs, results):
+            assert res.ok
+            assert res.value.verdict is contains(job.q1, job.q2).verdict
+
+    def test_warm_rerun_is_all_cache_hits(self, family):
+        engine = BatchEngine()
+        jobs = [
+            ContainmentJob(q1, q2)
+            for q1 in family
+            for q2 in family
+            if q1 is not q2
+        ]
+        cold = engine.run_batch(jobs)
+        assert not any(r.cached for r in cold)
+        warm = engine.run_batch(jobs)
+        hits = sum(1 for r in warm if r.cached)
+        assert hits / len(warm) >= 0.95
+        for c, w in zip(cold, warm):
+            assert c.value.verdict is w.value.verdict
+
+    def test_alpha_variant_hits_the_cache(self):
+        engine = BatchEngine()
+        q1 = _omq("q(x) :- R(x, y), P(y)")
+        variant = OMQ(
+            SCHEMA,
+            tuple(reversed(parse_tgds(SIGMA))),
+            parse_cq("q(u) :- P(v), R(u, v)"),
+            name="other-name",
+        )
+        target = _omq("q(x) :- P(x)")
+        assert not engine.contains(q1, target).cached
+        assert engine.contains(variant, target).cached
+
+    def test_mixed_job_kinds(self, family):
+        engine = BatchEngine()
+        sigma = tuple(parse_tgds(SIGMA))
+        results = engine.run_batch(
+            [
+                ContainmentJob(family[0], family[1]),
+                RewriteJob(family[0], 5_000),
+                ClassifyJob(sigma),
+            ]
+        )
+        assert results[0].value.verdict is Verdict.CONTAINED
+        assert results[1].value.complete
+        assert {"P(?x)", "T(?x)"} <= {
+            str(a) for d in results[1].value.rewriting for a in d.body
+        }
+        assert str(results[2].value.best) == "L"
+
+    def test_results_in_input_order(self, family):
+        engine = BatchEngine()
+        jobs = [
+            ContainmentJob(family[i % 3], family[(i + 1) % 3])
+            for i in range(6)
+        ]
+        results = engine.run_batch(jobs)
+        assert [r.job for r in results] == jobs
+
+    def test_batch_engine_rewrite_parity_with_cli_budget(self):
+        engine = BatchEngine()
+        res = engine.rewrite(_omq("q(x) :- R(x, y), P(y)"), budget=20_000)
+        assert res.ok and res.value.complete
+        assert len(res.value.rewriting) == 2
+
+
+class TestFailureSemantics:
+    def test_crash_degrades_one_containment_to_unknown(self, family):
+        engine = BatchEngine(workers=2)
+        jobs = [
+            ContainmentJob(family[0], family[1]),
+            CrashJob(),
+            ContainmentJob(family[2], family[1]),
+        ]
+        results = engine.run_batch(jobs)
+        assert results[0].ok and results[0].value.verdict is Verdict.CONTAINED
+        assert results[2].ok and results[2].value.verdict is Verdict.CONTAINED
+        assert not results[1].ok
+        assert results[1].value is None  # CrashJob has no UNKNOWN encoding
+
+    def test_timeout_yields_unknown_containment(self, family):
+        # A slow sleeping task stands in for a diverging containment check;
+        # the containment jobs around it are unaffected.
+        engine = BatchEngine(workers=2, task_timeout=0.5)
+        slow = SleepJob(10.0)
+        jobs = [
+            ContainmentJob(family[0], family[1]),
+            slow,
+            ContainmentJob(family[1], family[2]),
+        ]
+        results = engine.run_batch(jobs)
+        assert results[0].value.verdict is Verdict.CONTAINED
+        assert results[1].error is not None
+        assert "timed out" in results[1].error
+        assert results[2].value.verdict is Verdict.NOT_CONTAINED
+
+    def test_containment_pool_failure_maps_to_unknown_verdict(self, family):
+        # Drive the mapping directly through the job API.
+        job = ContainmentJob(family[0], family[1])
+        result = job.failure_result("worker crashed (exit code -9)")
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.method == "engine-pool"
+        assert "crashed" in result.detail
+
+    def test_failed_results_are_not_cached(self, family):
+        engine = BatchEngine(workers=2, task_timeout=0.5)
+        engine.run_batch([SleepJob(10.0), SleepJob(10.0)])
+        stats = engine.stats()["cache"]
+        assert stats["memory_entries"] == 0
+
+    def test_metrics_track_failures(self, family):
+        engine = BatchEngine(workers=2, task_timeout=0.5)
+        engine.run_batch([SleepJob(10.0), ContainmentJob(family[0], family[1])])
+        snap = engine.stats()["metrics"]
+        assert snap.get("engine.sleep.failures") == 1
+        assert snap.get("engine.containment.runs") == 1
+
+
+class TestContainmentMatrix:
+    def test_matrix_shape_and_diagonal(self, family):
+        engine = BatchEngine()
+        matrix = engine.containment_matrix(family)
+        assert len(matrix) == 3 and all(len(row) == 3 for row in matrix)
+        for i in range(3):
+            assert matrix[i][i].value.verdict is Verdict.CONTAINED
+            assert matrix[i][i].value.method == "reflexivity"
+
+    def test_matrix_matches_pairwise_contains(self, family):
+        engine = BatchEngine()
+        matrix = engine.containment_matrix(family)
+        for i, q1 in enumerate(family):
+            for j, q2 in enumerate(family):
+                if i == j:
+                    continue
+                assert (
+                    matrix[i][j].value.verdict
+                    is contains(q1, q2).verdict
+                ), f"mismatch at ({i}, {j})"
+
+    def test_matrix_reruns_warm(self, family):
+        engine = BatchEngine()
+        engine.containment_matrix(family)
+        warm = engine.containment_matrix(family)
+        off_diagonal = [
+            warm[i][j] for i in range(3) for j in range(3) if i != j
+        ]
+        assert all(r.cached for r in off_diagonal)
+
+    def test_matrix_feeds_minimization_shape(self, family):
+        # Qt ⊆ Qp: the matrix exposes exactly the subsumptions a minimizer
+        # over a catalog would drop.
+        engine = BatchEngine()
+        matrix = engine.containment_matrix(family)
+        subsumed = {
+            (i, j)
+            for i in range(3)
+            for j in range(3)
+            if i != j and matrix[i][j].value.verdict is Verdict.CONTAINED
+        }
+        assert (2, 1) in subsumed  # Qt ⊆ Qp
+        assert (1, 2) not in subsumed
+
+
+class TestPersistence:
+    def test_warm_across_engine_instances(self, family, tmp_path):
+        jobs = [
+            ContainmentJob(family[0], family[1]),
+            ContainmentJob(family[1], family[2]),
+        ]
+        with BatchEngine(cache_dir=str(tmp_path)) as e1:
+            cold = e1.run_batch(jobs)
+        with BatchEngine(cache_dir=str(tmp_path)) as e2:
+            warm = e2.run_batch(jobs)
+        assert all(r.cached for r in warm)
+        for c, w in zip(cold, warm):
+            assert c.value.verdict is w.value.verdict

@@ -1,0 +1,172 @@
+"""The engine's result cache: round-trips, persistence, corruption recovery,
+and the process-wide cache registry behind ``repro.clear_caches()``.
+"""
+
+import sqlite3
+
+import pytest
+
+import repro
+from repro import OMQ, Schema, parse_cq, parse_tgds
+from repro.containment.result import ContainmentResult, Verdict, contained
+from repro.engine.cache import _DB_NAME, SCHEMA_VERSION, ResultCache
+from repro.evaluation import cached_rewriting, evaluate_omq
+
+
+class TestMemoryLayer:
+    def test_roundtrip(self):
+        cache = ResultCache()
+        assert cache.get("k") == (False, None)
+        cache.put("k", {"answer": 42})
+        assert cache.get("k") == (True, {"answer": 42})
+
+    def test_lru_eviction(self):
+        cache = ResultCache(memory_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now least recent
+        cache.put("c", 3)
+        assert cache.get("a") == (True, 1)
+        assert cache.get("b") == (False, None)
+        assert cache.get("c") == (True, 3)
+
+    def test_not_persistent_without_dir(self):
+        assert not ResultCache().persistent
+
+    def test_stats_shape(self):
+        cache = ResultCache()
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["memory_hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+
+class TestDiskLayer:
+    def test_survives_reopen(self, tmp_path):
+        c1 = ResultCache(str(tmp_path))
+        c1.put("k", contained("test-method", "detail"))
+        c1.close()
+        c2 = ResultCache(str(tmp_path))
+        found, value = c2.get("k")
+        assert found
+        assert isinstance(value, ContainmentResult)
+        assert value.verdict is Verdict.CONTAINED
+        assert value.method == "test-method"
+        c2.close()
+
+    def test_clear_memory_keeps_disk(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("k", "v")
+        cache.clear_memory()
+        assert cache.get("k") == (True, "v")  # reloaded from disk
+        assert cache.stats()["disk_hits"] == 1
+        cache.close()
+
+    def test_clear_empties_both_layers(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("k", "v")
+        cache.clear()
+        assert cache.get("k") == (False, None)
+        cache.close()
+
+    def test_corrupted_file_is_rebuilt(self, tmp_path):
+        c1 = ResultCache(str(tmp_path))
+        c1.put("k", "v")
+        c1.close()
+        (tmp_path / _DB_NAME).write_bytes(b"\x00garbage, not sqlite\xff" * 64)
+        c2 = ResultCache(str(tmp_path))
+        # The bad file was discarded; the cache still works.
+        assert c2.recoveries == 1
+        assert c2.persistent
+        assert c2.get("k") == (False, None)
+        c2.put("k2", "v2")
+        c2.clear_memory()
+        assert c2.get("k2") == (True, "v2")
+        c2.close()
+
+    def test_stale_version_is_discarded(self, tmp_path):
+        c1 = ResultCache(str(tmp_path))
+        c1.put("k", "v")
+        c1.close()
+        conn = sqlite3.connect(str(tmp_path / _DB_NAME))
+        conn.execute(
+            "UPDATE meta SET value = '0-stale' WHERE key = 'schema_version'"
+        )
+        conn.commit()
+        conn.close()
+        c2 = ResultCache(str(tmp_path))
+        assert c2.recoveries == 1
+        assert c2.get("k") == (False, None)  # old rows gone
+        c2.close()
+
+    def test_corrupt_pickle_row_degrades_to_miss(self, tmp_path):
+        c1 = ResultCache(str(tmp_path))
+        c1.put("k", "v")
+        c1.close()
+        conn = sqlite3.connect(str(tmp_path / _DB_NAME))
+        conn.execute(
+            "UPDATE results SET payload = ? WHERE key = 'k'",
+            (b"not a pickle",),
+        )
+        conn.commit()
+        conn.close()
+        c2 = ResultCache(str(tmp_path))
+        assert c2.get("k") == (False, None)
+        c2.close()
+
+    def test_unpicklable_value_stays_in_memory(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        value = lambda: None  # noqa: E731 - deliberately unpicklable
+        cache.put("k", value)
+        assert cache.get("k") == (True, value)
+        cache.clear_memory()
+        assert cache.get("k") == (False, None)  # never reached disk
+        cache.close()
+
+
+class TestCacheRegistry:
+    def test_clear_caches_reports_registrations(self):
+        # The evaluation module registers four lru_caches at import time.
+        assert repro.clear_caches() >= 4
+
+    def test_clear_caches_empties_evaluation_memos(self):
+        omq = OMQ(
+            Schema.of(P=1),
+            tuple(parse_tgds("P(x) -> R(x, w)\nR(x, y) -> P(y)")),
+            parse_cq("q(x) :- P(x)"),
+        )
+        cached_rewriting(omq, 1_000)
+        assert cached_rewriting.cache_info().currsize > 0
+        repro.clear_caches()
+        assert cached_rewriting.cache_info().currsize == 0
+
+    def test_clear_caches_empties_engine_memory(self, tmp_path):
+        from repro.engine import BatchEngine, ContainmentJob
+
+        omq = OMQ(Schema.of(P=1), (), parse_cq("q(x) :- P(x)"))
+        engine = BatchEngine(cache_dir=str(tmp_path))
+        engine.run_batch([ContainmentJob(omq, omq)])
+        assert engine.cache.stats()["memory_entries"] == 1
+        repro.clear_caches()
+        assert engine.cache.stats()["memory_entries"] == 0
+        # The disk layer survives a registry clear (it is persistent state).
+        assert engine.cache.get(
+            ContainmentJob(omq, omq).cache_key()
+        )[0]
+        engine.close()
+
+    def test_evaluation_still_correct_after_clear(self):
+        # Clearing mid-flight must not change any answer.
+        omq = OMQ(
+            Schema.of(P=1, T=1),
+            tuple(parse_tgds("T(x) -> P(x)")),
+            parse_cq("q(x) :- P(x)"),
+        )
+        db = repro.parse_database("T(a). P(b).")
+        before = evaluate_omq(omq, db).answers
+        repro.clear_caches()
+        after = evaluate_omq(omq, db).answers
+        assert before == after

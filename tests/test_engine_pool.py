@@ -1,0 +1,112 @@
+"""The crash-isolated worker pool: ordering, isolation, timeouts.
+
+Parallel tests use short sleeps; each asserts behaviour (which task
+failed, result order), not wall-clock performance — timing claims live in
+``benchmarks/bench_engine_batch.py``.
+"""
+
+import pytest
+
+from repro.engine.jobs import CrashJob, SleepJob
+from repro.engine.pool import TaskOutcome, WorkerPool
+
+
+class _RaisingJob:
+    """A job whose run() raises (picklable because module-level)."""
+
+    def run(self):
+        raise ValueError("intentional failure")
+
+
+class _EchoJob:
+    def __init__(self, payload):
+        self.payload = payload
+
+    def run(self):
+        return self.payload
+
+
+class TestSerialFallback:
+    def test_results_in_order(self):
+        pool = WorkerPool(workers=1)
+        out = pool.run([_EchoJob(i) for i in range(5)])
+        assert [o.value for o in out] == list(range(5))
+        assert all(o.ok for o in out)
+
+    def test_exception_isolated(self):
+        pool = WorkerPool(workers=1)
+        out = pool.run([_EchoJob(0), _RaisingJob(), _EchoJob(2)])
+        assert out[0].ok and out[2].ok
+        assert not out[1].ok
+        assert "intentional failure" in out[1].failure
+
+    def test_deterministic(self):
+        pool = WorkerPool(workers=1)
+        tasks = [_EchoJob(i) for i in range(4)]
+        assert [o.value for o in pool.run(tasks)] == [
+            o.value for o in pool.run(tasks)
+        ]
+
+    def test_empty_batch(self):
+        assert WorkerPool(workers=1).run([]) == []
+        assert WorkerPool(workers=4).run([]) == []
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+
+
+class TestParallelPool:
+    def test_results_in_input_order(self):
+        pool = WorkerPool(workers=3)
+        # Longer sleeps first, so completion order inverts input order.
+        out = pool.run(
+            [SleepJob(0.3 - 0.05 * i, payload=i) for i in range(6)]
+        )
+        assert [o.value for o in out] == list(range(6))
+
+    def test_worker_crash_fails_only_its_task(self):
+        pool = WorkerPool(workers=2)
+        tasks = [_EchoJob(0), CrashJob(), _EchoJob(2), _EchoJob(3)]
+        out = pool.run(tasks)
+        assert [o.ok for o in out] == [True, False, True, True]
+        assert "crashed" in out[1].failure
+        assert "exit code 13" in out[1].failure
+        assert [o.value for o in out if o.ok] == [0, 2, 3]
+
+    def test_timeout_fails_only_the_slow_task(self):
+        pool = WorkerPool(workers=2, task_timeout=0.5)
+        tasks = [SleepJob(0.05, "a"), SleepJob(10.0, "slow"), SleepJob(0.05, "c")]
+        out = pool.run(tasks)
+        assert out[0].ok and out[2].ok
+        assert not out[1].ok
+        assert "timed out" in out[1].failure
+
+    def test_exception_reported_with_type(self):
+        pool = WorkerPool(workers=2)
+        out = pool.run([_RaisingJob(), _EchoJob(1)])
+        assert not out[0].ok
+        assert "ValueError" in out[0].failure
+        assert out[1].ok
+
+    def test_multiple_crashes_do_not_sink_the_batch(self):
+        pool = WorkerPool(workers=2)
+        tasks = [CrashJob(), _EchoJob(1), CrashJob(), _EchoJob(3), CrashJob()]
+        out = pool.run(tasks)
+        assert [o.ok for o in out] == [False, True, False, True, False]
+        assert [o.value for o in out if o.ok] == [1, 3]
+
+    def test_single_task_runs_inline(self):
+        # A one-task batch takes the serial path even with workers > 1.
+        out = WorkerPool(workers=4).run([_EchoJob("only")])
+        assert out[0].value == "only"
+
+    def test_durations_recorded(self):
+        out = WorkerPool(workers=2).run([SleepJob(0.1, 1), SleepJob(0.1, 2)])
+        assert all(o.duration >= 0.09 for o in out)
+
+
+class TestTaskOutcome:
+    def test_ok_flag(self):
+        assert TaskOutcome(value=1).ok
+        assert not TaskOutcome(failure="boom").ok
