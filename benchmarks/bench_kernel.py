@@ -1,0 +1,152 @@
+"""Kernel benchmark: delta-driven vs naive chase trigger discovery.
+
+Measures the restricted chase under ``strategy="naive"`` (the pre-kernel
+algorithm: every round re-enumerates every rule body over the whole
+instance) against ``strategy="delta"`` (semi-naive discovery over the
+kernel's :class:`~repro.kernel.WorkingInstance` windows) on the largest
+linear and guarded workloads, asserting canonically identical outputs
+(``hash_instance``) before trusting any timing.
+
+Run as a script — not through pytest::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py          # full
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick  # CI smoke
+
+Writes ``BENCH_kernel.json`` (see ``--out``) with per-workload timings,
+speedups, step counts, and the kernel counter deltas of the delta run.
+Exits non-zero if any workload's outputs diverge or its speedup falls
+below ``--min-speedup`` (relaxed to 1.0 in ``--quick`` mode: CI boxes are
+noisy; the ratio claim is made by the full run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.chase.engine import chase  # noqa: E402
+from repro.core.atoms import fact  # noqa: E402
+from repro.core.instance import Instance  # noqa: E402
+from repro.engine.canon import hash_instance  # noqa: E402
+from repro.generators.databases import chain_database  # noqa: E402
+from repro.generators.ontologies import (  # noqa: E402
+    guarded_reachability,
+    linear_chain,
+)
+from repro.kernel import KERNEL_METRICS, kernel_snapshot  # noqa: E402
+
+
+def linear_workload(length: int, chain: int):
+    """Inclusion chain of *length* hops over a *chain*-edge database."""
+    omq = linear_chain(length)
+    return f"linear_chain_{length}_db{chain}", chain_database("R_0", chain), omq.sigma
+
+
+def guarded_workload(chain: int):
+    """Guarded reachability seeded at one end of a *chain*-edge path."""
+    omq = guarded_reachability()
+    atoms = list(chain_database("E", chain).atoms) + [fact("S", "n0")]
+    return f"guarded_reach_db{chain}", Instance.of(atoms), omq.sigma
+
+
+def time_chase(db, sigma, strategy: str, repeats: int):
+    """Best-of-*repeats* wall time plus the (identical) chase result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = chase(db, sigma, strategy=strategy, max_steps=1_000_000)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_workload(name, db, sigma, repeats: int):
+    naive_s, naive = time_chase(db, sigma, "naive", repeats)
+    KERNEL_METRICS.reset()
+    delta_s, delta = time_chase(db, sigma, "delta", repeats)
+    counters = kernel_snapshot()
+    naive_hash = hash_instance(naive.instance)
+    delta_hash = hash_instance(delta.instance)
+    row = {
+        "workload": name,
+        "db_atoms": len(db.atoms),
+        "chase_atoms": len(delta.instance.atoms),
+        "steps": delta.steps,
+        "naive_s": round(naive_s, 6),
+        "delta_s": round(delta_s, 6),
+        "speedup": round(naive_s / delta_s, 2) if delta_s else float("inf"),
+        "outputs_identical": naive_hash == delta_hash
+        and naive.instance == delta.instance
+        and naive.steps == delta.steps,
+        "instance_hash": delta_hash,
+        "kernel_counters": {
+            k: v for k, v in counters.items() if isinstance(v, int)
+        },
+    }
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small workloads, one repeat, no speedup floor (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_kernel.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="fail below this delta-vs-naive ratio (full mode only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        workloads = [
+            linear_workload(8, 20),
+            guarded_workload(60),
+        ]
+        repeats, floor = 1, 1.0
+    else:
+        workloads = [
+            linear_workload(16, 40),
+            guarded_workload(150),
+        ]
+        repeats, floor = 3, args.min_speedup
+
+    rows = [run_workload(*w, repeats=repeats) for w in workloads]
+    report = {
+        "benchmark": "bench_kernel",
+        "mode": "quick" if args.quick else "full",
+        "repeats": repeats,
+        "min_speedup": floor,
+        "workloads": rows,
+    }
+    Path(args.out).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+
+    ok = True
+    for row in rows:
+        status = "ok"
+        if not row["outputs_identical"]:
+            status, ok = "OUTPUT MISMATCH", False
+        elif row["speedup"] < floor:
+            status, ok = f"speedup < {floor}", False
+        print(
+            f"{row['workload']:>28}: naive {row['naive_s']*1000:8.1f} ms  "
+            f"delta {row['delta_s']*1000:7.1f} ms  "
+            f"speedup {row['speedup']:6.1f}x  [{status}]"
+        )
+    print(f"report written to {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,14 @@ Commands:
 output contract shared with ``batch``) and ``--cache-dir``/``--workers``
 to route through the :class:`repro.engine.BatchEngine`.
 
+``contains``, ``rewrite`` and ``batch`` accept ``--max-steps`` and
+``--max-depth`` chase budgets.  Exhausting a budget never diverges or
+errors: evaluation falls back to the truncated chase (sound, possibly
+incomplete), so containment degrades to an UNKNOWN verdict carrying the
+reason — the same convention the engine uses for pool failures.  XRewrite
+itself never runs the chase, so on ``rewrite`` the flags are accepted for
+interface uniformity (shared scripts/manifests) and have no effect.
+
 A batch file is one job per line (``%``/``#`` comments, blank lines ok),
 with paths resolved relative to the batch file::
 
@@ -180,11 +188,25 @@ def _cmd_contains(args) -> int:
 
         with _make_engine(args) as engine:
             job_result = engine.run_batch(
-                [ContainmentJob(q1, q2, rewriting_budget=args.budget)]
+                [
+                    ContainmentJob(
+                        q1,
+                        q2,
+                        rewriting_budget=args.budget,
+                        chase_max_steps=args.max_steps,
+                        chase_max_depth=args.max_depth,
+                    )
+                ]
             )[0]
         result, cached = job_result.value, job_result.cached
     else:
-        result = contains(q1, q2, rewriting_budget=args.budget)
+        result = contains(
+            q1,
+            q2,
+            rewriting_budget=args.budget,
+            chase_max_steps=args.max_steps,
+            chase_max_depth=args.max_depth,
+        )
     if args.json:
         print(json.dumps(_containment_to_json(result, cached), indent=2))
     else:
@@ -200,7 +222,11 @@ def _cmd_contains(args) -> int:
     return 0
 
 
-def _parse_batch_file(path: str):
+def _parse_batch_file(
+    path: str,
+    max_steps: int = 200_000,
+    max_depth: Optional[int] = None,
+):
     """Parse a batch manifest into engine jobs plus display labels."""
     from .engine import ClassifyJob, ContainmentJob, RewriteJob
 
@@ -218,7 +244,14 @@ def _parse_batch_file(path: str):
         if kind == "contains" and len(operands) == 2:
             q1 = parse_omq(_read(str(base / operands[0])), name=operands[0])
             q2 = parse_omq(_read(str(base / operands[1])), name=operands[1])
-            jobs.append(ContainmentJob(q1, q2))
+            jobs.append(
+                ContainmentJob(
+                    q1,
+                    q2,
+                    chase_max_steps=max_steps,
+                    chase_max_depth=max_depth,
+                )
+            )
             labels.append(f"contains {operands[0]} ⊆ {operands[1]}")
         elif kind == "rewrite" and len(operands) == 1:
             omq = parse_omq(_read(str(base / operands[0])), name=operands[0])
@@ -280,7 +313,9 @@ def _cmd_batch(args) -> int:
     from .containment.result import Verdict as V
 
     try:
-        jobs, labels = _parse_batch_file(args.batch_file)
+        jobs, labels = _parse_batch_file(
+            args.batch_file, args.max_steps, args.max_depth
+        )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -377,6 +412,18 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _add_chase_budget_flags(p: argparse.ArgumentParser, note: str = "") -> None:
+    p.add_argument(
+        "--max-steps", type=int, default=200_000, dest="max_steps",
+        help="chase step budget; exhaustion degrades to UNKNOWN/partial"
+        + note,
+    )
+    p.add_argument(
+        "--max-depth", type=int, default=None, dest="max_depth",
+        help="chase depth cut-off (bounded guarded strategy)" + note,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -394,6 +441,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.add_argument("--cache-dir", default=None, help="persistent result cache")
     p.add_argument("--workers", type=int, default=1)
+    _add_chase_budget_flags(
+        p, " (accepted for interface parity; XRewrite never chases)"
+    )
     p.set_defaults(func=_cmd_rewrite)
 
     p = sub.add_parser("evaluate", help="certain answers over a database")
@@ -408,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.add_argument("--cache-dir", default=None, help="persistent result cache")
     p.add_argument("--workers", type=int, default=1)
+    _add_chase_budget_flags(p)
     p.set_defaults(func=_cmd_contains)
 
     p = sub.add_parser(
@@ -421,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-task seconds (workers > 1 only)",
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_chase_budget_flags(p)
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("distributes", help="distribution over components")

@@ -48,6 +48,7 @@ def contains(
     *,
     rewriting_budget: int | None = None,
     chase_max_steps: int = 200_000,
+    chase_max_depth: int | None = None,
     **guarded_kwargs,
 ) -> ContainmentResult:
     """Decide ``Q1 ⊆ Q2`` (both over the same data schema).
@@ -74,12 +75,14 @@ def contains(
             q2,
             rewriting_budget=rewriting_budget or 20_000,
             chase_max_steps=chase_max_steps,
+            chase_max_depth=chase_max_depth,
         )
     return contains_guarded(
         q1,
         q2,
         rewriting_budget=rewriting_budget or 2_000,
         chase_max_steps=chase_max_steps,
+        chase_max_depth=chase_max_depth,
         **guarded_kwargs,
     )
 

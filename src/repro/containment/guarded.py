@@ -31,6 +31,7 @@ from ..core.instance import Instance
 from ..core.omq import OMQ
 from ..core.terms import Constant, Term
 from ..evaluation import evaluate_omq
+from ..kernel import KERNEL_METRICS, trusted_instance
 from .result import ContainmentResult, Verdict, not_contained, unknown
 from .small_witness import (
     check_same_data_schema,
@@ -95,7 +96,9 @@ def enumerate_databases(
     possible.sort(key=str)
     for size in range(1, max_atoms + 1):
         for subset in itertools.combinations(possible, size):
-            yield Instance.of(subset)
+            # Atoms are built over constants only — skip the per-database
+            # groundness re-validation on this very hot path.
+            yield trusted_instance(subset)
 
 
 def contains_guarded(
@@ -108,32 +111,47 @@ def contains_guarded(
     search_max_atoms: int = 3,
     search_max_databases: int = 5_000,
     chase_max_steps: int = 100_000,
+    chase_max_depth: Optional[int] = None,
 ) -> ContainmentResult:
     """Decide (or boundedly attempt) ``Q1 ⊆ Q2`` for guarded/arbitrary OMQs."""
     check_same_data_schema(q1, q2)
     # Layer 1: exact small-witness if the LHS happens to be rewritable.
     attempt = contains_via_small_witness(
-        q1, q2, rewriting_budget=rewriting_budget, chase_max_steps=chase_max_steps
+        q1,
+        q2,
+        rewriting_budget=rewriting_budget,
+        chase_max_steps=chase_max_steps,
+        chase_max_depth=chase_max_depth,
     )
     if attempt.decided:
         return attempt
     # Layer 2: sound refutation from the partial rewriting.
     refutation = refute_via_partial_rewriting(
-        q1, q2, rewriting_budget=refutation_budget, chase_max_steps=chase_max_steps
+        q1,
+        q2,
+        rewriting_budget=refutation_budget,
+        chase_max_steps=chase_max_steps,
+        chase_max_depth=chase_max_depth,
     )
     if refutation is not None:
         return refutation
     # Layer 3: bounded enumeration of small witness databases.
     tried = 0
     inexact_seen = False
+    scanned = KERNEL_METRICS.counter("kernel.witness_search.databases")
     for db in enumerate_databases(q1, search_max_constants, search_max_atoms):
         tried += 1
         if tried > search_max_databases:
             break
-        left = evaluate_omq(q1, db, chase_max_steps=chase_max_steps)
+        scanned.inc()
+        left = evaluate_omq(
+            q1, db, chase_max_steps=chase_max_steps, chase_max_depth=chase_max_depth
+        )
         if not left.answers:
             continue
-        right = evaluate_omq(q2, db, chase_max_steps=chase_max_steps)
+        right = evaluate_omq(
+            q2, db, chase_max_steps=chase_max_steps, chase_max_depth=chase_max_depth
+        )
         missing = left.answers - right.answers
         if missing:
             if right.exact:

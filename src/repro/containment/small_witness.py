@@ -25,6 +25,7 @@ from typing import Optional
 from ..core.omq import OMQ
 from ..core.queries import UCQ
 from ..evaluation import cached_rewriting, evaluate_omq
+from ..kernel import KERNEL_METRICS
 from .result import ContainmentResult, contained, not_contained, unknown
 
 
@@ -75,8 +76,16 @@ def contains_via_small_witness(
         return contained(method, "Q1 is unsatisfiable")
 
     inconclusive = 0
+    q2_plain = q2.as_ucq()
+    shortcut_counter = KERNEL_METRICS.counter("kernel.small_witness.shortcuts")
     for disjunct in rewriting.disjuncts:
         db, canonical = disjunct.canonical_database()
+        # Cheap sound pre-check: D_q ⊆ chase(D_q, Σ2) and CQ evaluation is
+        # monotone, so q2 already holding on the bare canonical database
+        # settles this disjunct without chasing or rewriting Q2.
+        if q2_plain.holds_in(db, canonical):
+            shortcut_counter.inc()
+            continue
         evaluation = evaluate_omq(
             q2,
             db,
@@ -107,6 +116,7 @@ def refute_via_partial_rewriting(
     *,
     rewriting_budget: int = 2_000,
     chase_max_steps: int = 200_000,
+    chase_max_depth: Optional[int] = None,
 ) -> Optional[ContainmentResult]:
     """Try to *refute* containment from a partial rewriting of Q1.
 
@@ -120,7 +130,12 @@ def refute_via_partial_rewriting(
     rewriting = cached_rewriting(q1, rewriting_budget).rewriting
     for disjunct in rewriting.disjuncts:
         db, canonical = disjunct.canonical_database()
-        evaluation = evaluate_omq(q2, db, chase_max_steps=chase_max_steps)
+        evaluation = evaluate_omq(
+            q2,
+            db,
+            chase_max_steps=chase_max_steps,
+            chase_max_depth=chase_max_depth,
+        )
         if canonical not in evaluation.answers and evaluation.exact:
             return not_contained(
                 "partial-rewriting-refutation",

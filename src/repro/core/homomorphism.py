@@ -1,4 +1,4 @@
-"""Homomorphism search.
+"""Homomorphism search — the stable public API.
 
 Homomorphisms are the single semantic primitive of the paper: CQ evaluation,
 CQ containment (Chandra–Merlin), chase applicability, and the universality of
@@ -7,32 +7,36 @@ the chase are all phrased through them.  A homomorphism from a set of atoms
 ``I`` and is the identity on constants, such that the image of every atom of
 ``A`` is an atom of ``I``.
 
-The search is a standard backtracking join: atoms are processed in an order
-that greedily maximizes the number of already-bound terms (so joins filter
-early), candidate target atoms come from a predicate index, and the whole
-thing is deterministic.
+The search itself lives in :mod:`repro.kernel` (compiled per-body plans,
+positional candidate indexes, instrumentation); this module is the thin
+compatibility shim that preserves the original call signatures.  Answer
+sets and the deterministic enumeration order are identical to the
+pre-kernel implementation.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from ..kernel.search import (
+    find_homomorphism as _kernel_find,
+    homomorphisms as _kernel_homomorphisms,
+    is_mappable as _is_mappable,
+)
 from .atoms import Atom
 from .instance import Instance
-from .terms import Constant, Null, Term, Variable
-
-
-def _is_mappable(term: Term) -> bool:
-    """Variables and nulls are mapped; constants are fixed."""
-    return isinstance(term, (Variable, Null))
+from .terms import Term
 
 
 def _order_atoms(atoms: Sequence[Atom], bound: Iterable[Term]) -> List[Atom]:
     """Greedy join order: repeatedly pick the atom with fewest unbound terms.
 
-    Ties are broken deterministically by the atom's string form.
+    Ties are broken deterministically by the atom's string form; the string
+    keys are computed once up front rather than inside every ``min`` key
+    evaluation.
     """
-    remaining = sorted(atoms, key=str)
+    strs = {a: str(a) for a in atoms}
+    remaining = sorted(atoms, key=strs.__getitem__)
     bound_terms = set(bound)
     ordered: List[Atom] = []
     while remaining:
@@ -40,7 +44,7 @@ def _order_atoms(atoms: Sequence[Atom], bound: Iterable[Term]) -> List[Atom]:
             remaining,
             key=lambda a: (
                 sum(1 for t in set(a.args) if _is_mappable(t) and t not in bound_terms),
-                str(a),
+                strs[a],
             ),
         )
         remaining.remove(best)
@@ -82,21 +86,7 @@ def homomorphisms(
     tuple, or to hold a trigger fixed during the chase).  Yielded dicts map
     every mappable term of *source*; constants are implicitly identity.
     """
-    initial: Dict[Term, Term] = dict(fixed) if fixed else {}
-    index = target.by_predicate()
-    ordered = _order_atoms(list(source), initial.keys())
-
-    def extend(i: int, assignment: Dict[Term, Term]) -> Iterator[Dict[Term, Term]]:
-        if i == len(ordered):
-            yield dict(assignment)
-            return
-        src = ordered[i]
-        for candidate in index.get(src.predicate, ()):
-            extension = _match_atom(src, candidate, assignment)
-            if extension is not None:
-                yield from extend(i + 1, extension)
-
-    yield from extend(0, initial)
+    return _kernel_homomorphisms(tuple(source), target, fixed)
 
 
 def find_homomorphism(
@@ -105,7 +95,7 @@ def find_homomorphism(
     fixed: Optional[Mapping[Term, Term]] = None,
 ) -> Optional[Dict[Term, Term]]:
     """The first homomorphism from *source* into *target*, or None."""
-    return next(homomorphisms(source, target, fixed), None)
+    return _kernel_find(tuple(source), target, fixed)
 
 
 def has_homomorphism(

@@ -84,14 +84,42 @@ class Instance:
     # -- indexing --------------------------------------------------------
 
     def by_predicate(self) -> Mapping[str, Tuple[Atom, ...]]:
-        """Atoms grouped by predicate, in deterministic sorted order."""
-        index: Dict[str, List[Atom]] = defaultdict(list)
-        for a in self.atoms:
-            index[a.predicate].append(a)
-        return {
-            p: tuple(sorted(atoms, key=_atom_sort_key))
-            for p, atoms in index.items()
-        }
+        """Atoms grouped by predicate, in deterministic sorted order.
+
+        Built once on first use and memoized on the (frozen) instance —
+        repeated homomorphism searches against the same instance share the
+        index instead of rebuilding it per call.
+        """
+        cached = self.__dict__.get("_by_predicate_memo")
+        if cached is None:
+            index: Dict[str, List[Atom]] = defaultdict(list)
+            for a in self.atoms:
+                index[a.predicate].append(a)
+            cached = {
+                p: tuple(sorted(atoms, key=_atom_sort_key))
+                for p, atoms in index.items()
+            }
+            object.__setattr__(self, "_by_predicate_memo", cached)
+        return cached
+
+    def by_position(self) -> Mapping[Tuple[str, int, Term], Tuple[Atom, ...]]:
+        """Atoms keyed by (predicate, position, term), memoized.
+
+        The positional index behind the kernel's candidate selection: the
+        atoms whose argument at *position* is *term*.  Each value preserves
+        the deterministic :meth:`by_predicate` order, so index-filtered
+        searches enumerate in the same relative order as full scans.
+        """
+        cached = self.__dict__.get("_by_position_memo")
+        if cached is None:
+            index: Dict[Tuple[str, int, Term], List[Atom]] = defaultdict(list)
+            for atoms in self.by_predicate().values():
+                for a in atoms:
+                    for pos, t in enumerate(a.args):
+                        index[(a.predicate, pos, t)].append(a)
+            cached = {k: tuple(v) for k, v in index.items()}
+            object.__setattr__(self, "_by_position_memo", cached)
+        return cached
 
     # -- algebra ---------------------------------------------------------
 
@@ -189,6 +217,12 @@ class Instance:
         return len(self.components()) <= 1
 
     # -- dunder ----------------------------------------------------------
+
+    def __reduce__(self):
+        # Pickle only the atoms: the index memos are cheap to rebuild and
+        # would otherwise bloat every job payload shipped to worker
+        # processes.
+        return (Instance, (self.atoms,))
 
     def __contains__(self, a: Atom) -> bool:
         return a in self.atoms

@@ -26,8 +26,8 @@ from typing import (
     Tuple,
 )
 
+from ..kernel.search import compiled_search
 from .atoms import Atom, variables_of_atoms
-from .homomorphism import homomorphisms, find_homomorphism
 from .instance import Instance, freeze_atoms
 from .schema import Schema
 from .terms import Constant, Term, Variable
@@ -143,7 +143,7 @@ class CQ:
         answers containing nulls (useful when inspecting chase internals).
         """
         answers: Set[Tuple[Term, ...]] = set()
-        for h in homomorphisms(self.body, instance):
+        for h in compiled_search(self.body).search(instance):
             tup = tuple(h.get(t, t) for t in self.head)
             if constants_only and not all(isinstance(t, Constant) for t in tup):
                 continue
@@ -165,7 +165,7 @@ class CQ:
                 fixed[t] = value
             elif t != value:
                 return False
-        return find_homomorphism(self.body, instance, fixed) is not None
+        return compiled_search(self.body).find(instance, fixed) is not None
 
     # -- canonical database ----------------------------------------------
 
@@ -369,7 +369,7 @@ def _injective_match(left: CQ, right: CQ) -> Optional[Dict[Term, Term]]:
         s: (_VarToken(t) if isinstance(t, Variable) else t)
         for s, t in fixed.items()
     }
-    for h in homomorphisms(left.body, target, wrapped_fixed):
+    for h in compiled_search(left.body).search(target, wrapped_fixed):
         values = [v for v in h.values()]
         if len(set(values)) == len(values):
             return {k: _unwrap(v) for k, v in h.items()}

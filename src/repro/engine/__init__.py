@@ -3,7 +3,8 @@
 A service-shaped layer over the per-call library API:
 
 * :mod:`~repro.engine.canon` — isomorphism-invariant canonical forms and
-  content hashes for CQs, tgd sets, and OMQs (the cache-key algebra);
+  content hashes for CQs, tgd sets, instances, and OMQs (the cache-key
+  algebra);
 * :mod:`~repro.engine.cache` — a persistent, corruption-tolerant sqlite
   store fronted by an in-memory LRU;
 * :mod:`~repro.engine.pool` — a crash-isolated multiprocessing pool with
@@ -13,57 +14,93 @@ A service-shaped layer over the per-call library API:
 * :mod:`~repro.engine.metrics` — counters/timers behind ``stats()``;
 * :mod:`~repro.engine.registry` — the process-wide clearable-cache
   registry behind ``repro.clear_caches()``.
+
+Exports resolve lazily (PEP 562).  This is load-bearing, not cosmetic:
+the homomorphism kernel (:mod:`repro.kernel`) sits *below* the core data
+model yet reports through :mod:`~repro.engine.metrics` and
+:mod:`~repro.engine.registry` — both dependency-free leaf modules.  An
+eager ``__init__`` here would pull :mod:`~repro.engine.canon` (which needs
+``core.queries``) into the kernel's import chain and close an import
+cycle.
 """
 
-from .canon import (
-    CANON_VERSION,
-    CanonicalForm,
-    canonical_cq,
-    canonical_omq,
-    canonical_tgd,
-    canonical_tgds,
-    canonical_ucq,
-    hash_cq,
-    hash_omq,
-    hash_tgds,
-    hash_ucq,
-)
-from .cache import ResultCache
-from .engine import BatchEngine
-from .jobs import (
-    ClassificationOutcome,
-    ClassifyJob,
-    ContainmentJob,
-    JobResult,
-    RewriteJob,
-)
-from .metrics import MetricsRegistry
-from .pool import TaskOutcome, WorkerPool
-from .registry import clear_caches, register_cache, registered_caches
+from importlib import import_module
+from typing import TYPE_CHECKING
 
-__all__ = [
-    "BatchEngine",
-    "CANON_VERSION",
-    "CanonicalForm",
-    "ClassificationOutcome",
-    "ClassifyJob",
-    "ContainmentJob",
-    "JobResult",
-    "MetricsRegistry",
-    "ResultCache",
-    "RewriteJob",
-    "TaskOutcome",
-    "WorkerPool",
-    "canonical_cq",
-    "canonical_omq",
-    "canonical_tgd",
-    "canonical_tgds",
-    "canonical_ucq",
-    "clear_caches",
-    "hash_cq",
-    "hash_omq",
-    "hash_tgds",
-    "hash_ucq",
-    "register_cache",
-    "registered_caches",
-]
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .cache import ResultCache
+    from .canon import (
+        CANON_VERSION,
+        CanonicalForm,
+        canonical_cq,
+        canonical_instance,
+        canonical_omq,
+        canonical_tgd,
+        canonical_tgds,
+        canonical_ucq,
+        hash_cq,
+        hash_instance,
+        hash_omq,
+        hash_tgds,
+        hash_ucq,
+    )
+    from .engine import BatchEngine
+    from .jobs import (
+        ClassificationOutcome,
+        ClassifyJob,
+        ContainmentJob,
+        JobResult,
+        RewriteJob,
+    )
+    from .metrics import MetricsRegistry
+    from .pool import TaskOutcome, WorkerPool
+    from .registry import clear_caches, register_cache, registered_caches
+
+#: export name -> defining submodule (relative to this package)
+_EXPORTS = {
+    "CANON_VERSION": ".canon",
+    "CanonicalForm": ".canon",
+    "canonical_cq": ".canon",
+    "canonical_instance": ".canon",
+    "canonical_omq": ".canon",
+    "canonical_tgd": ".canon",
+    "canonical_tgds": ".canon",
+    "canonical_ucq": ".canon",
+    "hash_cq": ".canon",
+    "hash_instance": ".canon",
+    "hash_omq": ".canon",
+    "hash_tgds": ".canon",
+    "hash_ucq": ".canon",
+    "ResultCache": ".cache",
+    "BatchEngine": ".engine",
+    "ClassificationOutcome": ".jobs",
+    "ClassifyJob": ".jobs",
+    "ContainmentJob": ".jobs",
+    "JobResult": ".jobs",
+    "RewriteJob": ".jobs",
+    "MetricsRegistry": ".metrics",
+    "TaskOutcome": ".pool",
+    "WorkerPool": ".pool",
+    "clear_caches": ".registry",
+    "register_cache": ".registry",
+    "registered_caches": ".registry",
+}
+
+_SUBMODULES = {"cache", "canon", "engine", "jobs", "metrics", "pool", "registry"}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    target = _EXPORTS.get(name)
+    if target is not None:
+        value = getattr(import_module(target, __name__), name)
+        globals()[name] = value
+        return value
+    if name in _SUBMODULES:
+        return import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__) | _SUBMODULES)

@@ -274,6 +274,24 @@ def canonical_omq(omq: OMQ) -> CanonicalForm:
     return CanonicalForm(text, sigma.exact and query.exact)
 
 
+def canonical_instance(instance) -> CanonicalForm:
+    """Canonical text of an instance, invariant under null *renaming*.
+
+    Labeled nulls are existentially quantified placeholders, so two chase
+    outputs that differ only in which null idents their factories handed
+    out must canonicalize identically — that is exactly the equivalence the
+    kernel's chase-parity checks need.  Each null is re-cast as a variable
+    and canonically labeled; constants (and atom/set order) never matter.
+    """
+    blanks: Dict[Term, Term] = {
+        n: Variable(f"!n{n.ident}")
+        for n in sorted(instance.nulls(), key=lambda n: str(n.ident))
+    }
+    tagged = [("I", a.substitute(blanks)) for a in instance.atoms]
+    rendered, _, exact = _canonical_atoms(tagged)
+    return CanonicalForm(";".join(rendered), exact)
+
+
 # ---------------------------------------------------------------------------
 # Content hashes
 # ---------------------------------------------------------------------------
@@ -302,3 +320,8 @@ def hash_tgds(sigma: Iterable[TGD]) -> str:
 def hash_omq(omq: OMQ) -> str:
     """Stable content hash of an OMQ."""
     return _digest("omq", canonical_omq(omq).text)
+
+
+def hash_instance(instance) -> str:
+    """Stable content hash of an instance (null-renaming invariant)."""
+    return _digest("inst", canonical_instance(instance).text)

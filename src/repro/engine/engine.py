@@ -159,8 +159,19 @@ class BatchEngine:
     # -- accounting -------------------------------------------------------
 
     def stats(self) -> dict:
-        """Cache statistics plus the metrics snapshot."""
-        return {"cache": self.cache.stats(), "metrics": self.metrics.snapshot()}
+        """Cache statistics plus the engine and kernel metric snapshots.
+
+        ``kernel`` reflects this process's kernel registry — fully populated
+        on the serial path (``workers=1``, jobs run inline); with a process
+        pool the workers' kernel counters stay in the workers.
+        """
+        from ..kernel import kernel_snapshot
+
+        return {
+            "cache": self.cache.stats(),
+            "metrics": self.metrics.snapshot(),
+            "kernel": kernel_snapshot(),
+        }
 
     def close(self) -> None:
         self.cache.close()

@@ -46,6 +46,7 @@ class ContainmentJob:
     q2: OMQ
     rewriting_budget: Optional[int] = None
     chase_max_steps: int = 200_000
+    chase_max_depth: Optional[int] = None
 
     kind = "containment"
 
@@ -53,6 +54,7 @@ class ContainmentJob:
         return (
             f"cont:{hash_omq(self.q1)}:{hash_omq(self.q2)}"
             f":b={self.rewriting_budget}:s={self.chase_max_steps}"
+            f":d={self.chase_max_depth}"
         )
 
     def run(self) -> Any:
@@ -63,6 +65,7 @@ class ContainmentJob:
             self.q2,
             rewriting_budget=self.rewriting_budget,
             chase_max_steps=self.chase_max_steps,
+            chase_max_depth=self.chase_max_depth,
         )
 
     def failure_result(self, reason: str) -> Any:

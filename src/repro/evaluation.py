@@ -124,7 +124,15 @@ def evaluate_omq(
     omq.validate_database(database)
     query = omq.as_ucq()
     if method == "chase":
-        result = chase(database, omq.sigma, max_steps=chase_max_steps)
+        try:
+            result = chase(database, omq.sigma, max_steps=chase_max_steps)
+        except ChaseBudgetExceeded as exc:
+            # The truncated chase is a subset of the full one, so evaluating
+            # over it under-approximates soundly; flag the result inexact so
+            # containment callers degrade negatives to UNKNOWN.
+            return EvaluationResult(
+                query.evaluate(exc.partial.instance), False, "chase-partial"
+            )
         return EvaluationResult(query.evaluate(result.instance), True, "chase")
     if method == "rewriting":
         rewriting = cached_rewriting(omq, rewriting_budget)

@@ -1,0 +1,251 @@
+"""The kernel's instance representations and their indexes.
+
+Two views back every homomorphism search:
+
+* :class:`WorkingInstance` — a *mutable, append-only* instance whose
+  per-predicate and (predicate, position, term) indexes are maintained
+  incrementally on :meth:`~WorkingInstance.add`.  Atoms carry monotonically
+  increasing sequence numbers, which is what makes the delta-driven chase
+  possible: "the atoms added since watermark ``m``" is the contiguous
+  suffix ``seq >= m``, and every index list is seq-sorted, so restricting a
+  search to a watermark (or to a delta window) is a binary search, not a
+  filter.
+* frozen :class:`~repro.core.instance.Instance` — adapted through the
+  one-shot cached indexes :meth:`Instance.by_predicate` /
+  :meth:`Instance.by_position` (see :mod:`repro.core.instance`).
+
+Both are wrapped by :func:`view_of` into the small duck-typed interface
+(`pred_candidates` / `pos_candidates`) the search consumes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.instance import Instance, _atom_sort_key
+from ..core.terms import Term
+
+#: A candidate window: (atoms, start, end) — iterate atoms[start:end]
+#: without copying the (potentially large) index list.
+Window = Tuple[Sequence[Atom], int, int]
+
+_EMPTY_WINDOW: Window = ((), 0, 0)
+
+
+def trusted_instance(atoms: Iterable[Atom]) -> Instance:
+    """Build a frozen :class:`Instance` from atoms known to be ground.
+
+    ``Instance.__post_init__`` re-validates groundness atom by atom; the
+    kernel's structures already guarantee it (``WorkingInstance.add``
+    checks on the way in), so snapshots skip the redundant pass.  Never
+    hand this non-ground atoms — it would forge an invalid instance.
+    """
+    inst = object.__new__(Instance)
+    object.__setattr__(inst, "atoms", frozenset(atoms))
+    return inst
+
+
+class _IndexList:
+    """A seq-sorted candidate list: parallel (seqs, atoms) arrays."""
+
+    __slots__ = ("seqs", "atoms")
+
+    def __init__(self) -> None:
+        self.seqs: List[int] = []
+        self.atoms: List[Atom] = []
+
+    def append(self, seq: int, atom: Atom) -> None:
+        self.seqs.append(seq)
+        self.atoms.append(atom)
+
+    def window(self, lo: int, hi: Optional[int]) -> Window:
+        """The sub-window of atoms with ``lo <= seq < hi``."""
+        start = bisect_left(self.seqs, lo) if lo > 0 else 0
+        end = len(self.seqs) if hi is None else bisect_right(self.seqs, hi - 1)
+        return (self.atoms, start, end)
+
+
+class WorkingInstance:
+    """A mutable, append-only set of ground atoms with live indexes.
+
+    Supports exactly what the kernel's consumers need: O(1) amortized
+    :meth:`add` with incremental index maintenance, watermark/delta
+    windows for semi-naive evaluation, and cheap conversion to/from the
+    frozen :class:`Instance`.
+    """
+
+    __slots__ = (
+        "_seq_of",
+        "_by_predicate",
+        "_by_position",
+        "_snapshot",
+        "_snapshot_len",
+    )
+
+    def __init__(self, atoms: Iterable[Atom] = ()) -> None:
+        self._seq_of: Dict[Atom, int] = {}
+        self._by_predicate: Dict[str, _IndexList] = {}
+        self._by_position: Dict[Tuple[str, int, Term], _IndexList] = {}
+        self._snapshot: Optional[Instance] = None
+        self._snapshot_len = -1
+        for a in atoms:
+            self.add(a)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_instance(cls, instance: Instance) -> "WorkingInstance":
+        """A working copy of a frozen instance (deterministic atom order)."""
+        work = cls()
+        for a in sorted(instance.atoms, key=_atom_sort_key):
+            work._add_trusted(a)
+        return work
+
+    # -- mutation --------------------------------------------------------
+
+    def add(self, atom: Atom) -> bool:
+        """Add *atom*; returns True iff it was new.  Atoms must be ground."""
+        if atom in self._seq_of:
+            return False
+        if not atom.is_ground():
+            raise ValueError(f"working-instance atom contains a variable: {atom}")
+        self._add_trusted(atom)
+        return True
+
+    def _add_trusted(self, atom: Atom) -> None:
+        seq = len(self._seq_of)
+        self._seq_of[atom] = seq
+        pred_list = self._by_predicate.get(atom.predicate)
+        if pred_list is None:
+            pred_list = self._by_predicate[atom.predicate] = _IndexList()
+        pred_list.append(seq, atom)
+        for pos, term in enumerate(atom.args):
+            key = (atom.predicate, pos, term)
+            pos_list = self._by_position.get(key)
+            if pos_list is None:
+                pos_list = self._by_position[key] = _IndexList()
+            pos_list.append(seq, atom)
+        self._snapshot = None
+
+    # -- windows (the search interface) ----------------------------------
+
+    def pred_candidates(
+        self, predicate: str, lo: int = 0, hi: Optional[int] = None
+    ) -> Window:
+        """Atoms over *predicate* with seq in ``[lo, hi)``."""
+        entry = self._by_predicate.get(predicate)
+        if entry is None:
+            return _EMPTY_WINDOW
+        return entry.window(lo, hi)
+
+    def pos_candidates(
+        self,
+        predicate: str,
+        position: int,
+        term: Term,
+        lo: int = 0,
+        hi: Optional[int] = None,
+    ) -> Optional[Window]:
+        """Atoms with *term* at *position*, seq in ``[lo, hi)``.
+
+        Returns ``None`` (not an empty window) when the key has never been
+        indexed — callers treat both as "no candidates", but ``None`` is
+        free while a window costs two bisects.
+        """
+        entry = self._by_position.get((predicate, position, term))
+        if entry is None:
+            return None
+        return entry.window(lo, hi)
+
+    # -- watermarks & snapshots ------------------------------------------
+
+    def watermark(self) -> int:
+        """The current sequence high-water mark (== ``len(self)``)."""
+        return len(self._seq_of)
+
+    def atoms_since(self, mark: int) -> List[Atom]:
+        """The atoms added at or after *mark*, in insertion order."""
+        if mark <= 0:
+            return list(self._seq_of)
+        atoms = list(self._seq_of)
+        return atoms[mark:]
+
+    def snapshot(self) -> Instance:
+        """A frozen :class:`Instance` of the current atoms (memoized)."""
+        if self._snapshot is None or self._snapshot_len != len(self._seq_of):
+            self._snapshot = trusted_instance(self._seq_of)
+            self._snapshot_len = len(self._seq_of)
+        return self._snapshot
+
+    # -- dunder ----------------------------------------------------------
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._seq_of
+
+    def __len__(self) -> int:
+        return len(self._seq_of)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._seq_of)
+
+    def __repr__(self) -> str:
+        return f"WorkingInstance({len(self._seq_of)} atoms)"
+
+
+class _FrozenView:
+    """Adapts a frozen :class:`Instance` to the search's window interface.
+
+    Candidate order is the instance's deterministic sorted order (the same
+    order the pre-kernel search iterated), so search results and their
+    enumeration order are unchanged.  Watermarks/deltas are meaningless on
+    an immutable instance; windows always span the full index.
+    """
+
+    __slots__ = ("_by_predicate", "_by_position")
+
+    def __init__(self, instance: Instance) -> None:
+        self._by_predicate = instance.by_predicate()
+        self._by_position = instance.by_position()
+
+    def pred_candidates(
+        self, predicate: str, lo: int = 0, hi: Optional[int] = None
+    ) -> Window:
+        if lo or hi is not None:
+            raise ValueError(
+                "sequence windows require a WorkingInstance target"
+            )
+        atoms = self._by_predicate.get(predicate)
+        if atoms is None:
+            return _EMPTY_WINDOW
+        return (atoms, 0, len(atoms))
+
+    def pos_candidates(
+        self,
+        predicate: str,
+        position: int,
+        term: Term,
+        lo: int = 0,
+        hi: Optional[int] = None,
+    ) -> Optional[Window]:
+        if lo or hi is not None:
+            raise ValueError(
+                "sequence windows require a WorkingInstance target"
+            )
+        atoms = self._by_position.get((predicate, position, term))
+        if atoms is None:
+            return None
+        return (atoms, 0, len(atoms))
+
+
+def view_of(target) -> object:
+    """The search view of *target* (WorkingInstance or frozen Instance)."""
+    if isinstance(target, WorkingInstance):
+        return target
+    if isinstance(target, Instance):
+        return _FrozenView(target)
+    raise TypeError(
+        f"hom-search target must be an Instance or WorkingInstance, "
+        f"got {type(target).__name__}"
+    )

@@ -1,0 +1,57 @@
+"""Process-wide instrumentation for the homomorphism kernel.
+
+The kernel is the hot path under every decision procedure, so its counters
+live in one module-level :class:`~repro.engine.metrics.MetricsRegistry`
+(the same registry type the batch engine uses) rather than being threaded
+through every call site.  ``BatchEngine.stats()`` and ``repro batch
+--json`` surface a snapshot of this registry, and ``repro.clear_caches()``
+resets it (registered below), which is what keeps tests isolated.
+
+Counter names:
+
+* ``kernel.hom.searches``    — hom-search invocations;
+* ``kernel.hom.candidates``  — target atoms scanned as join candidates;
+* ``kernel.hom.matches``     — candidates that extended the assignment;
+* ``kernel.hom.backtracks``  — search-tree retreats (a candidate list was
+  exhausted without completing the embedding);
+* ``kernel.chase.rounds``    — delta-chase rounds;
+* ``kernel.chase.delta_triggers`` — triggers discovered via the delta
+  (semi-naive) path rather than full re-enumeration;
+* ``kernel.witness_search.databases`` — candidate databases scanned by the
+  guarded bounded-witness layer.
+
+Searches batch their increments (one ``inc`` per counter per search), so
+the registry's lock is not on the per-candidate path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..engine.metrics import MetricsRegistry
+from ..engine.registry import register_cache
+
+#: The kernel's shared registry.  Module-level on purpose: every consumer
+#: (chase, evaluation, containment, rewriting) reports here.
+KERNEL_METRICS = MetricsRegistry()
+
+register_cache("kernel.metrics", KERNEL_METRICS.reset)
+
+
+def kernel_snapshot() -> Dict[str, object]:
+    """A plain-dict snapshot of every kernel counter/timer."""
+    return KERNEL_METRICS.snapshot()
+
+
+def flush_search_counts(
+    searches: int, candidates: int, matches: int, backtracks: int
+) -> None:
+    """Batch-add one search's locally accumulated counts to the registry."""
+    if searches:
+        KERNEL_METRICS.counter("kernel.hom.searches").inc(searches)
+    if candidates:
+        KERNEL_METRICS.counter("kernel.hom.candidates").inc(candidates)
+    if matches:
+        KERNEL_METRICS.counter("kernel.hom.matches").inc(matches)
+    if backtracks:
+        KERNEL_METRICS.counter("kernel.hom.backtracks").inc(backtracks)

@@ -1,0 +1,285 @@
+"""The indexed backtracking homomorphism search.
+
+This is the paper's single semantic primitive (CQ evaluation, Chandra–
+Merlin containment, chase applicability, the small-witness test) compiled
+into one engine.  Compared with the pre-kernel search in
+``core/homomorphism.py`` it adds, without changing the answer set or the
+deterministic enumeration order:
+
+* **compiled sources** — a :class:`HomSearch` is built once per body
+  (atom-string sort keys precomputed, greedy join orders memoized per
+  bound-variable set) and reused across targets; :func:`compiled_search`
+  memoizes compilation per body tuple, so the chase and repeated CQ
+  evaluation never re-derive the plan;
+* **positional candidate selection** — when a source atom has a bound
+  position (a constant, or a term the partial assignment already maps),
+  candidates come from the target's (predicate, position, term) index
+  instead of the whole predicate column; the most selective bound position
+  wins.  Filtering a candidate list a priori visits the same successful
+  candidates in the same relative order as filtering inside the match
+  loop, which is why enumeration order is preserved;
+* **windows** — per-source-atom ``(lo, hi)`` sequence ranges against a
+  :class:`~repro.kernel.instance.WorkingInstance`, the primitive under
+  semi-naive (delta) trigger discovery;
+* **instrumentation** — candidates scanned / matches / backtracks are
+  accumulated locally and flushed to :data:`~repro.kernel.metrics.KERNEL_METRICS`
+  once per search (also when a caller abandons the generator early).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.atoms import Atom
+from ..core.terms import Null, Term, Variable
+from ..engine.registry import register_cache
+from .instance import view_of
+from .metrics import flush_search_counts
+
+#: A per-source-atom sequence window; ``None`` means unconstrained.
+Ranges = Optional[Sequence[Tuple[int, Optional[int]]]]
+
+
+def is_mappable(term: Term) -> bool:
+    """Variables and nulls are mapped by a homomorphism; constants are fixed."""
+    return isinstance(term, (Variable, Null))
+
+
+@lru_cache(maxsize=65_536)
+def atom_str(a: Atom) -> str:
+    """``str(a)``, memoized — the deterministic tie-break key used by join
+    ordering, the chase's trigger sort, and XRewrite's subset enumeration."""
+    return str(a)
+
+
+class HomSearch:
+    """A compiled homomorphism search for a fixed tuple of source atoms."""
+
+    __slots__ = ("source", "_strs", "_orders")
+
+    def __init__(self, source: Sequence[Atom]) -> None:
+        self.source: Tuple[Atom, ...] = tuple(source)
+        # Precomputed once: the string sort keys (the pre-kernel code
+        # recomputed str(a) inside a min() key on every comparison).
+        self._strs: Tuple[str, ...] = tuple(atom_str(a) for a in self.source)
+        self._orders: Dict[FrozenSet[Term], Tuple[int, ...]] = {}
+
+    # -- join ordering ----------------------------------------------------
+
+    def order(self, bound: Iterable[Term]) -> Tuple[int, ...]:
+        """Greedy join order (indexes into ``source``) for a bound-term set.
+
+        Same strategy as the classic search: repeatedly pick the atom with
+        the fewest unbound mappable terms, ties broken by the atom's string
+        form; memoized per bound set since the order is a pure function of
+        it.
+        """
+        key = frozenset(t for t in bound if is_mappable(t))
+        cached = self._orders.get(key)
+        if cached is not None:
+            return cached
+        remaining = sorted(range(len(self.source)), key=lambda i: self._strs[i])
+        bound_terms = set(key)
+        ordered: List[int] = []
+        while remaining:
+            best = min(
+                remaining,
+                key=lambda i: (
+                    sum(
+                        1
+                        for t in set(self.source[i].args)
+                        if is_mappable(t) and t not in bound_terms
+                    ),
+                    self._strs[i],
+                ),
+            )
+            remaining.remove(best)
+            ordered.append(best)
+            bound_terms.update(
+                t for t in self.source[best].args if is_mappable(t)
+            )
+        result = tuple(ordered)
+        self._orders[key] = result
+        return result
+
+    # -- the search -------------------------------------------------------
+
+    def search(
+        self,
+        target,
+        fixed: Optional[Mapping[Term, Term]] = None,
+        *,
+        limit: Optional[int] = None,
+        ranges: Ranges = None,
+    ) -> Iterator[Dict[Term, Term]]:
+        """Yield every homomorphism of ``source`` into *target*.
+
+        *fixed* pre-binds source terms.  *limit* restricts every candidate
+        to sequence numbers below it (a :class:`WorkingInstance` watermark:
+        "the instance as of mark m").  *ranges*, aligned with ``source``,
+        gives each source atom its own ``(lo, hi)`` window — the delta
+        chase's semi-naive pivots.  Windows other than the full index
+        require a WorkingInstance target.
+        """
+        initial: Dict[Term, Term] = dict(fixed) if fixed else {}
+        view = view_of(target)
+        order = self.order(initial.keys())
+        source = self.source
+        n = len(order)
+        # Per-search instrumentation, flushed once (see finally below).
+        counts = [0, 0, 0]  # candidates, matches, backtracks
+
+        def window_for(src_index: int, assignment: Dict[Term, Term]):
+            src = source[src_index]
+            if ranges is not None:
+                lo, hi = ranges[src_index]
+            else:
+                lo, hi = 0, None
+            if limit is not None:
+                hi = limit if hi is None else min(hi, limit)
+            # Most selective bound position, if any.
+            best = None
+            best_size = None
+            for pos, t in enumerate(src.args):
+                if is_mappable(t):
+                    value = assignment.get(t)
+                    if value is None:
+                        continue
+                else:
+                    value = t
+                w = view.pos_candidates(src.predicate, pos, value, lo, hi)
+                if w is None:
+                    return None  # value never occurs there: no candidates
+                size = w[2] - w[1]
+                if best_size is None or size < best_size:
+                    best, best_size = w, size
+                    if size == 0:
+                        return best
+            if best is not None:
+                return best
+            return view.pred_candidates(src.predicate, lo, hi)
+
+        def extend(k: int, assignment: Dict[Term, Term]):
+            if k == n:
+                yield dict(assignment)
+                return
+            src_index = order[k]
+            src = source[src_index]
+            window = window_for(src_index, assignment)
+            produced = False
+            if window is not None:
+                atoms, start, end = window
+                src_args = src.args
+                arity = len(src_args)
+                counts[0] += end - start
+                for ci in range(start, end):
+                    candidate = atoms[ci]
+                    if len(candidate.args) != arity:
+                        continue
+                    # Inlined atom match: extend assignment or skip.
+                    extension = None
+                    for s, t in zip(src_args, candidate.args):
+                        if is_mappable(s):
+                            if extension is None:
+                                current = assignment.get(s)
+                            else:
+                                current = extension.get(s)
+                            if current is None:
+                                if extension is None:
+                                    extension = dict(assignment)
+                                extension[s] = t
+                            elif current != t:
+                                extension = False
+                                break
+                        elif s != t:
+                            extension = False
+                            break
+                    if extension is False:
+                        continue
+                    counts[1] += 1
+                    produced = True
+                    yield from extend(
+                        k + 1, assignment if extension is None else extension
+                    )
+            if not produced:
+                counts[2] += 1
+
+        try:
+            yield from extend(0, initial)
+        finally:
+            flush_search_counts(1, counts[0], counts[1], counts[2])
+
+    def find(
+        self,
+        target,
+        fixed: Optional[Mapping[Term, Term]] = None,
+        *,
+        limit: Optional[int] = None,
+        ranges: Ranges = None,
+    ) -> Optional[Dict[Term, Term]]:
+        """The first homomorphism, or None."""
+        return next(self.search(target, fixed, limit=limit, ranges=ranges), None)
+
+
+@lru_cache(maxsize=4096)
+def compiled_search(source: Tuple[Atom, ...]) -> HomSearch:
+    """The memoized compiled search for a body tuple.
+
+    Chase rules, CQ bodies, and tgd heads recur across thousands of
+    searches; compiling once per distinct tuple makes the join-order cache
+    and the precomputed sort keys shared state.
+    """
+    return HomSearch(source)
+
+
+register_cache("kernel.compiled_search", compiled_search.cache_clear)
+register_cache("kernel.atom_str", atom_str.cache_clear)
+
+
+# ---------------------------------------------------------------------------
+# Module-level conveniences (the shim in core/homomorphism.py calls these)
+# ---------------------------------------------------------------------------
+
+
+def homomorphisms(
+    source: Sequence[Atom],
+    target,
+    fixed: Optional[Mapping[Term, Term]] = None,
+    *,
+    limit: Optional[int] = None,
+) -> Iterator[Dict[Term, Term]]:
+    """Yield every homomorphism from *source* into *target*."""
+    return compiled_search(tuple(source)).search(target, fixed, limit=limit)
+
+
+def find_homomorphism(
+    source: Sequence[Atom],
+    target,
+    fixed: Optional[Mapping[Term, Term]] = None,
+    *,
+    limit: Optional[int] = None,
+) -> Optional[Dict[Term, Term]]:
+    """The first homomorphism from *source* into *target*, or None."""
+    return compiled_search(tuple(source)).find(target, fixed, limit=limit)
+
+
+def has_homomorphism(
+    source: Sequence[Atom],
+    target,
+    fixed: Optional[Mapping[Term, Term]] = None,
+    *,
+    limit: Optional[int] = None,
+) -> bool:
+    """True iff some homomorphism from *source* into *target* exists."""
+    return find_homomorphism(source, target, fixed, limit=limit) is not None

@@ -43,6 +43,7 @@ from ..core.omq import OMQ
 from ..core.queries import CQ, UCQ
 from ..core.terms import Constant, Term, Variable
 from ..core.tgd import TGD, normalize_single_head
+from ..kernel import KERNEL_METRICS, atom_str
 from .unification import mgu
 
 
@@ -234,7 +235,9 @@ def _apply_to_query(
     head = tuple(
         sub.get(t, t) if isinstance(t, Variable) else t for t in query.head
     )
-    body = tuple(sorted({a.substitute(sub) for a in new_body}, key=str))
+    # atom_str is the kernel's memoized str(a): generated queries re-sort
+    # the same (value-equal) atoms thousands of times across candidates.
+    body = tuple(sorted({a.substitute(sub) for a in new_body}, key=atom_str))
     candidate = CQ(head, body, name)
     # Core-minimize generated queries — [40]'s "query elimination"
     # optimization.  Without it, recursive sticky sets accumulate
@@ -250,7 +253,7 @@ def _predicate_subsets(query: CQ, predicate: str, arity: int, max_size: int):
     """Non-empty subsets of body atoms over *predicate* (deterministic order)."""
     atoms = sorted(
         (a for a in set(query.body) if a.predicate == predicate and a.arity == arity),
-        key=str,
+        key=atom_str,
     )
     for size in range(1, min(len(atoms), max_size) + 1):
         yield from itertools.combinations(atoms, size)
@@ -289,73 +292,77 @@ def xrewrite_cq(
     seen = index.seen
 
     frontier = deque([entries[0]])
-    while frontier:
-        entry = frontier.popleft()
-        if entry.explored:
-            continue
-        entry.explored = True
-        q = entry.query
-        for rule in rules:
-            fresh = rule.with_indexed_variables(next(counter)).rename_apart(
-                q.variables()
-            )
-            max_size = max_subset_size or len(q.body)
-            head = fresh.head[0]
-            # Rewriting step.
-            for subset in _predicate_subsets(q, head.predicate, head.arity, max_size):
-                sub = _applicable(q, subset, fresh)
-                if sub is None:
-                    continue
-                remaining = [a for a in set(q.body) if a not in set(subset)]
-                candidate = _apply_to_query(
-                    q, sub, remaining + list(fresh.body), f"{query.name}_r",
-                    minimize,
+    # The accumulated wall-clock of rewriting runs lands in the kernel
+    # registry next to the hom-search counters (observed on every exit,
+    # including budget-exhaustion raises).
+    with KERNEL_METRICS.timer("kernel.xrewrite.seconds").time():
+        while frontier:
+            entry = frontier.popleft()
+            if entry.explored:
+                continue
+            entry.explored = True
+            q = entry.query
+            for rule in rules:
+                fresh = rule.with_indexed_variables(next(counter)).rename_apart(
+                    q.variables()
                 )
-                if seen(candidate, ("r",)):
-                    continue
-                if (
-                    stats.queries_generated >= max_queries
-                    or stats.total_atoms + len(candidate.body)
-                    > max_total_atoms
-                ):
-                    result = _finalize(data_schema, entries, stats, complete=False)
-                    if partial:
-                        return result
-                    raise RewritingBudgetExceeded(result)
-                stats.rewriting_steps += 1
-                stats.queries_generated += 1
-                stats.total_atoms += len(candidate.body)
-                new_entry = _Entry(candidate, "r")
-                entries.append(new_entry)
-                index.add(new_entry)
-                frontier.append(new_entry)
-            # Factorization step.
-            for subset in _predicate_subsets(q, head.predicate, head.arity, max_size):
-                sub = _factorizable(q, subset, fresh)
-                if sub is None:
-                    continue
-                candidate = _apply_to_query(
-                    q, sub, q.body, f"{query.name}_f", minimize
-                )
-                if seen(candidate, ("r", "f")):
-                    continue
-                if (
-                    stats.queries_generated >= max_queries
-                    or stats.total_atoms + len(candidate.body)
-                    > max_total_atoms
-                ):
-                    result = _finalize(data_schema, entries, stats, complete=False)
-                    if partial:
-                        return result
-                    raise RewritingBudgetExceeded(result)
-                stats.factorization_steps += 1
-                stats.queries_generated += 1
-                stats.total_atoms += len(candidate.body)
-                new_entry = _Entry(candidate, "f")
-                entries.append(new_entry)
-                index.add(new_entry)
-                frontier.append(new_entry)
-    return _finalize(data_schema, entries, stats, complete=True)
+                max_size = max_subset_size or len(q.body)
+                head = fresh.head[0]
+                # Rewriting step.
+                for subset in _predicate_subsets(q, head.predicate, head.arity, max_size):
+                    sub = _applicable(q, subset, fresh)
+                    if sub is None:
+                        continue
+                    remaining = [a for a in set(q.body) if a not in set(subset)]
+                    candidate = _apply_to_query(
+                        q, sub, remaining + list(fresh.body), f"{query.name}_r",
+                        minimize,
+                    )
+                    if seen(candidate, ("r",)):
+                        continue
+                    if (
+                        stats.queries_generated >= max_queries
+                        or stats.total_atoms + len(candidate.body)
+                        > max_total_atoms
+                    ):
+                        result = _finalize(data_schema, entries, stats, complete=False)
+                        if partial:
+                            return result
+                        raise RewritingBudgetExceeded(result)
+                    stats.rewriting_steps += 1
+                    stats.queries_generated += 1
+                    stats.total_atoms += len(candidate.body)
+                    new_entry = _Entry(candidate, "r")
+                    entries.append(new_entry)
+                    index.add(new_entry)
+                    frontier.append(new_entry)
+                # Factorization step.
+                for subset in _predicate_subsets(q, head.predicate, head.arity, max_size):
+                    sub = _factorizable(q, subset, fresh)
+                    if sub is None:
+                        continue
+                    candidate = _apply_to_query(
+                        q, sub, q.body, f"{query.name}_f", minimize
+                    )
+                    if seen(candidate, ("r", "f")):
+                        continue
+                    if (
+                        stats.queries_generated >= max_queries
+                        or stats.total_atoms + len(candidate.body)
+                        > max_total_atoms
+                    ):
+                        result = _finalize(data_schema, entries, stats, complete=False)
+                        if partial:
+                            return result
+                        raise RewritingBudgetExceeded(result)
+                    stats.factorization_steps += 1
+                    stats.queries_generated += 1
+                    stats.total_atoms += len(candidate.body)
+                    new_entry = _Entry(candidate, "f")
+                    entries.append(new_entry)
+                    index.add(new_entry)
+                    frontier.append(new_entry)
+        return _finalize(data_schema, entries, stats, complete=True)
 
 
 def _finalize(
