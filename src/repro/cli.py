@@ -26,6 +26,12 @@ Commands:
 output contract shared with ``batch``) and ``--cache-dir``/``--workers``
 to route through the :class:`repro.engine.BatchEngine`.
 
+``batch`` also accepts ``--stream``: results are printed the moment each
+job finishes (completion order) rather than when the whole batch drains.
+Duplicate α-equivalent jobs in a manifest are scheduled once — the
+``engine.dedup.coalesced`` counter in ``--json`` ``stats.metrics`` counts
+the absorbed copies.
+
 ``contains``, ``rewrite`` and ``batch`` accept ``--max-steps`` and
 ``--max-depth`` chase budgets.  Exhausting a budget never diverges or
 errors: evaluation falls back to the truncated chase (sound, possibly
@@ -274,6 +280,7 @@ def _batch_entry_json(job_result, label: str, index: int) -> Dict[str, Any]:
         "job": label,
         "kind": job_result.job.kind,
         "cached": job_result.cached,
+        "coalesced": job_result.coalesced,
         "error": job_result.error,
     }
     value = job_result.value
@@ -289,6 +296,8 @@ def _batch_entry_json(job_result, label: str, index: int) -> Dict[str, Any]:
 
 def _batch_entry_text(job_result, label: str, index: int) -> str:
     suffix = " (cached)" if job_result.cached else ""
+    if job_result.coalesced and not job_result.cached:
+        suffix = " (deduplicated)"
     value = job_result.value
     if job_result.job.kind == "containment":
         body = f"{value.verdict} via {value.method}"
@@ -322,8 +331,22 @@ def _cmd_batch(args) -> int:
     if not jobs:
         print("batch file contains no jobs", file=sys.stderr)
         return 2
+    stream = getattr(args, "stream", False)
     with _make_engine(args) as engine:
-        results = engine.run_batch(jobs)
+        if stream:
+            # Progress lines go out as workers finish, not when the whole
+            # batch drains; with --json they go to stderr so stdout stays
+            # a single machine-readable document.
+            handles = engine.submit_batch(jobs)
+            index_of = {id(h): i for i, h in enumerate(handles)}
+            progress_out = sys.stderr if args.json else sys.stdout
+            for n, handle in enumerate(engine.as_completed(handles), 1):
+                i = index_of[id(handle)]
+                line = _batch_entry_text(handle.result(), labels[i], i)
+                print(f"[{n}/{len(jobs)}] {line}", file=progress_out, flush=True)
+            results = [h.result() for h in handles]
+        else:
+            results = engine.run_batch(jobs)
         stats = engine.stats()
     degraded = 0
     for r in results:
@@ -347,8 +370,9 @@ def _cmd_batch(args) -> int:
             )
         )
     else:
-        for i, (r, label) in enumerate(zip(results, labels)):
-            print(_batch_entry_text(r, label, i))
+        if not stream:  # streamed lines were already printed on arrival
+            for i, (r, label) in enumerate(zip(results, labels)):
+                print(_batch_entry_text(r, label, i))
         cache = stats["cache"]
         print(
             f"% {len(jobs)} jobs, {args.workers or 1} worker(s), "
@@ -472,6 +496,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-task seconds (workers > 1 only)",
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--stream", action="store_true",
+        help="print each result as it completes instead of waiting for "
+        "the whole batch (with --json, progress lines go to stderr)",
+    )
     _add_chase_budget_flags(p)
     p.set_defaults(func=_cmd_batch)
 

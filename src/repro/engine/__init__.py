@@ -9,8 +9,10 @@ A service-shaped layer over the per-call library API:
   store fronted by an in-memory LRU;
 * :mod:`~repro.engine.pool` — a crash-isolated multiprocessing pool with
   per-task timeouts and a deterministic serial fallback;
+* :mod:`~repro.engine.scheduler` — async submission (:class:`JobHandle`,
+  ``as_completed`` streaming) with canonical-key dedup of in-flight work;
 * :mod:`~repro.engine.engine` — the :class:`BatchEngine` façade tying the
-  three together, with a containment-matrix helper;
+  pieces together, with a containment-matrix helper;
 * :mod:`~repro.engine.metrics` — counters/timers behind ``stats()``;
 * :mod:`~repro.engine.registry` — the process-wide clearable-cache
   registry behind ``repro.clear_caches()``.
@@ -53,8 +55,9 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         RewriteJob,
     )
     from .metrics import MetricsRegistry
-    from .pool import TaskOutcome, WorkerPool
+    from .pool import PoolTicket, TaskOutcome, WorkerPool
     from .registry import clear_caches, register_cache, registered_caches
+    from .scheduler import JobHandle, Scheduler
 
 #: export name -> defining submodule (relative to this package)
 _EXPORTS = {
@@ -79,14 +82,26 @@ _EXPORTS = {
     "JobResult": ".jobs",
     "RewriteJob": ".jobs",
     "MetricsRegistry": ".metrics",
+    "PoolTicket": ".pool",
     "TaskOutcome": ".pool",
     "WorkerPool": ".pool",
     "clear_caches": ".registry",
     "register_cache": ".registry",
     "registered_caches": ".registry",
+    "JobHandle": ".scheduler",
+    "Scheduler": ".scheduler",
 }
 
-_SUBMODULES = {"cache", "canon", "engine", "jobs", "metrics", "pool", "registry"}
+_SUBMODULES = {
+    "cache",
+    "canon",
+    "engine",
+    "jobs",
+    "metrics",
+    "pool",
+    "registry",
+    "scheduler",
+}
 
 __all__ = sorted(_EXPORTS)
 

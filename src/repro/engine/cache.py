@@ -14,6 +14,13 @@ Design (see DESIGN.md, "Batch engine"):
   sqlite/pickle failure degrades to a miss; a structurally bad file (not a
   database, wrong schema version, wrong canon version) is deleted and
   rebuilt on open.  The ``meta`` table stores both version stamps.
+* **Contention tolerance**: several processes may share one
+  ``cache_dir`` (parallel batch runs, CI shards).  The connection opens
+  in WAL mode with a busy timeout, and a *transient*
+  ``sqlite3.OperationalError`` (``database is locked``, disk I/O
+  hiccups) only ever costs that one lookup/store — the file is **not**
+  discarded; deletion is reserved for genuine corruption
+  (``sqlite3.DatabaseError`` and bad version stamps).
 * The in-memory LRU fronts the disk store so warm-batch lookups never
   touch sqlite; it registers with :mod:`repro.engine.registry` so
   ``repro.clear_caches()`` empties it.
@@ -39,6 +46,10 @@ SCHEMA_VERSION = "1"
 
 _DB_NAME = "repro-cache.sqlite"
 
+#: How long a connection waits on a locked database before giving up.
+#: Kept module-level so tests can shrink it without a 5s stall.
+_BUSY_TIMEOUT_MS = 5_000
+
 
 class ResultCache:
     """A two-level (LRU memory, sqlite disk) store for engine results.
@@ -61,6 +72,7 @@ class ResultCache:
         self._path: Optional[Path] = None
         self._conn: Optional[sqlite3.Connection] = None
         self.recoveries = 0
+        self.transient_errors = 0
         if cache_dir is not None:
             self._path = Path(cache_dir) / _DB_NAME
             self._open_disk()
@@ -70,12 +82,23 @@ class ResultCache:
 
     # -- disk layer -----------------------------------------------------
 
+    def _connect(self) -> sqlite3.Connection:
+        """One configured connection: WAL for multi-process readers/writers,
+        a busy timeout so concurrent commits wait instead of erroring."""
+        assert self._path is not None
+        conn = sqlite3.connect(str(self._path), check_same_thread=False)
+        # WAL probes the file header, so a corrupt file fails here (as a
+        # DatabaseError) before any query runs.
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute(f"PRAGMA busy_timeout={int(_BUSY_TIMEOUT_MS)}")
+        return conn
+
     def _open_disk(self) -> None:
         """Open (or rebuild) the sqlite file; never raises."""
         assert self._path is not None
         try:
             self._path.parent.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(str(self._path), check_same_thread=False)
+            conn = self._connect()
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS meta "
                 "(key TEXT PRIMARY KEY, value TEXT)"
@@ -92,14 +115,13 @@ class ResultCache:
             if stamps and stamps != expected:
                 conn.close()
                 self._discard_file()
-                conn = sqlite3.connect(
-                    str(self._path), check_same_thread=False
+                conn = self._connect()
+                conn.execute(
+                    "CREATE TABLE IF NOT EXISTS meta "
+                    "(key TEXT PRIMARY KEY, value TEXT)"
                 )
                 conn.execute(
-                    "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)"
-                )
-                conn.execute(
-                    "CREATE TABLE results "
+                    "CREATE TABLE IF NOT EXISTS results "
                     "(key TEXT PRIMARY KEY, payload BLOB, created REAL)"
                 )
                 stamps = {}
@@ -110,19 +132,38 @@ class ResultCache:
                 )
                 conn.commit()
             self._conn = conn
+        except sqlite3.OperationalError:
+            # Transient (locked/busy/unopenable): run memory-only for now,
+            # but leave the shared file alone — another process may be
+            # using it perfectly well.
+            self.transient_errors += 1
+            self._conn = None
         except (sqlite3.Error, OSError):
             self._recover()
 
     def _discard_file(self) -> None:
         assert self._path is not None
         self.recoveries += 1
-        try:
-            os.unlink(self._path)
-        except OSError:
-            pass
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(str(self._path) + suffix)
+            except OSError:
+                pass
+
+    def _degrade(self) -> None:
+        """A transient failure (``database is locked``, I/O hiccup): count
+        it, roll back any half-open transaction, and move on.  The file is
+        shared state other processes rely on — never delete it for this."""
+        self.transient_errors += 1
+        if self._conn is not None:
+            try:
+                self._conn.rollback()
+            except sqlite3.Error:
+                pass
 
     def _recover(self) -> None:
-        """Throw the file away and start over; give up disk on repeat failure."""
+        """Genuine corruption: throw the file away and start over; give up
+        disk on repeat failure."""
         if self._conn is not None:
             try:
                 self._conn.close()
@@ -133,14 +174,17 @@ class ResultCache:
             return
         self._discard_file()
         try:
-            conn = sqlite3.connect(str(self._path), check_same_thread=False)
-            conn.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
+            conn = self._connect()
             conn.execute(
-                "CREATE TABLE results "
+                "CREATE TABLE IF NOT EXISTS meta "
+                "(key TEXT PRIMARY KEY, value TEXT)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS results "
                 "(key TEXT PRIMARY KEY, payload BLOB, created REAL)"
             )
             conn.executemany(
-                "INSERT INTO meta VALUES (?, ?)",
+                "INSERT OR REPLACE INTO meta VALUES (?, ?)",
                 sorted(
                     {
                         "schema_version": SCHEMA_VERSION,
@@ -171,6 +215,9 @@ class ResultCache:
                     row = self._conn.execute(
                         "SELECT payload FROM results WHERE key = ?", (key,)
                     ).fetchone()
+                except sqlite3.OperationalError:
+                    self._degrade()
+                    row = None
                 except sqlite3.Error:
                     self._recover()
                     row = None
@@ -201,6 +248,8 @@ class ResultCache:
                         (key, payload, time.time()),
                     )
                     self._conn.commit()
+                except sqlite3.OperationalError:
+                    self._degrade()  # the value still lives in memory
                 except sqlite3.Error:
                     self._recover()
 
@@ -217,6 +266,8 @@ class ResultCache:
                 try:
                     self._conn.execute("DELETE FROM results")
                     self._conn.commit()
+                except sqlite3.OperationalError:
+                    self._degrade()
                 except sqlite3.Error:
                     self._recover()
 
@@ -229,6 +280,8 @@ class ResultCache:
                     disk_rows = self._conn.execute(
                         "SELECT COUNT(*) FROM results"
                     ).fetchone()[0]
+                except sqlite3.OperationalError:
+                    self._degrade()
                 except sqlite3.Error:
                     self._recover()
             snap = self.metrics.snapshot()
@@ -247,6 +300,7 @@ class ResultCache:
                 ),
                 "persistent": self.persistent,
                 "recoveries": self.recoveries,
+                "transient_errors": self.transient_errors,
             }
 
     def close(self) -> None:
@@ -271,5 +325,7 @@ class ResultCache:
         try:
             self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
             self._conn.commit()
+        except sqlite3.OperationalError:
+            self._degrade()
         except sqlite3.Error:
             self._recover()

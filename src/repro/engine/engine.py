@@ -3,21 +3,32 @@
 This is the layer the ROADMAP's production story needs between callers and
 the per-call library API: a service-shaped object that (a) never computes
 an answer it has already computed — lookups go through the canonical-hash
-cache of :mod:`repro.engine.cache`, so α-equivalent inputs hit; (b) runs
-independent jobs across a :class:`repro.engine.pool.WorkerPool`, where a
-hung or killed worker costs one UNKNOWN result, not the batch; and
-(c) accounts for everything in a :class:`~repro.engine.metrics.MetricsRegistry`.
+cache of :mod:`repro.engine.cache`, so α-equivalent inputs hit; (b) never
+computes an answer it is *currently* computing — α-equivalent submissions
+coalesce onto one in-flight job via :mod:`repro.engine.scheduler`;
+(c) runs independent jobs across a :class:`repro.engine.pool.WorkerPool`,
+where a hung or killed worker costs one UNKNOWN result, not the batch; and
+(d) accounts for everything in a :class:`~repro.engine.metrics.MetricsRegistry`.
 
-``run_batch`` is the primitive.  ``contains`` / ``rewrite`` / ``classify``
-are one-job conveniences, and :meth:`containment_matrix` builds the all-
-pairs verdict matrix that powers minimization-at-scale (every off-diagonal
-ordered pair is an independent job, so the matrix parallelizes and warm
-re-runs are nearly free).
+Two submission styles share all of that machinery:
+
+* **async** — :meth:`submit` returns a
+  :class:`~repro.engine.scheduler.JobHandle` immediately;
+  :meth:`as_completed` streams outcomes as workers finish.
+* **batch** — :meth:`run_batch` is now submit-all + drain over the same
+  scheduler: results still come back in input order, but duplicated
+  α-equivalent jobs inside the batch are detected up front and scheduled
+  once (``engine.dedup.coalesced`` counts the absorbed copies).
+
+``contains`` / ``rewrite`` / ``classify`` are one-job conveniences, and
+:meth:`containment_matrix` builds the all-pairs verdict matrix that powers
+minimization-at-scale (every off-diagonal ordered pair is an independent
+job, so the matrix parallelizes and warm re-runs are nearly free).
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.omq import OMQ
 from ..core.tgd import TGD
@@ -31,6 +42,7 @@ from .jobs import (
 )
 from .metrics import MetricsRegistry
 from .pool import WorkerPool
+from .scheduler import JobHandle, Scheduler
 
 
 class BatchEngine:
@@ -42,7 +54,8 @@ class BatchEngine:
         Directory for the persistent sqlite cache; ``None`` keeps results
         in memory only.
     workers:
-        Pool width.  ``1`` (the default) is the deterministic serial path.
+        Pool width.  ``1`` (the default) executes jobs in-process on the
+        scheduler's serial thread — deterministic, no subprocesses.
     task_timeout:
         Per-task wall-clock limit in seconds, enforced when ``workers > 1``.
     """
@@ -65,52 +78,51 @@ class BatchEngine:
             task_timeout=task_timeout,
             start_method=start_method,
         )
+        self.scheduler = Scheduler(self.pool, self.cache, self.metrics)
+
+    # -- async submission --------------------------------------------------
+
+    def submit(self, job: Any) -> JobHandle:
+        """Enqueue *job* without blocking; resolves from cache, an
+        α-equivalent in-flight computation, or a worker."""
+        return self.scheduler.submit(job)
+
+    def submit_batch(self, jobs: Sequence[Any]) -> List[JobHandle]:
+        """Submit all *jobs*; handles are aligned with the input order.
+
+        α-equivalent duplicates within the batch are coalesced
+        deterministically: only the first copy of each canonical key is
+        scheduled, and the other copies' handles ride on it.
+        """
+        first_by_key: dict = {}
+        handles: List[JobHandle] = []
+        for job in jobs:
+            key = job.cache_key()
+            primary = first_by_key.get(key) if key is not None else None
+            if primary is not None:
+                handles.append(self.scheduler.attach(primary, job))
+                continue
+            handle = self.scheduler.submit(job)
+            if key is not None:
+                first_by_key[key] = handle
+            handles.append(handle)
+        return handles
+
+    def as_completed(
+        self,
+        handles: Iterable[JobHandle],
+        timeout: Optional[float] = None,
+    ) -> Iterator[JobHandle]:
+        """Yield handles as their results arrive (completion order)."""
+        return self.scheduler.as_completed(handles, timeout)
 
     # -- the batch primitive ---------------------------------------------
 
     def run_batch(self, jobs: Sequence[Any]) -> List[JobResult]:
         """Run *jobs*, consulting the cache first; results in input order."""
-        jobs = list(jobs)
-        results: List[Optional[JobResult]] = [None] * len(jobs)
-        misses: List[Tuple[int, Any, Optional[str]]] = []
         with self.metrics.timer("engine.batch").time():
-            for i, job in enumerate(jobs):
-                key = job.cache_key()
-                if key is not None:
-                    found, value = self.cache.get(key)
-                    if found:
-                        results[i] = JobResult(job, value, cached=True)
-                        self.metrics.counter(
-                            f"engine.{job.kind}.cache_hits"
-                        ).inc()
-                        continue
-                misses.append((i, job, key))
-
-            if misses:
-                outcomes = self.pool.run([job for _, job, _ in misses])
-                for (i, job, key), outcome in zip(misses, outcomes):
-                    self.metrics.counter(f"engine.{job.kind}.runs").inc()
-                    self.metrics.timer(f"engine.{job.kind}.time").observe(
-                        outcome.duration
-                    )
-                    if outcome.ok:
-                        results[i] = JobResult(
-                            job, outcome.value, duration=outcome.duration
-                        )
-                        if key is not None:
-                            self.cache.put(key, outcome.value)
-                    else:
-                        self.metrics.counter(
-                            f"engine.{job.kind}.failures"
-                        ).inc()
-                        results[i] = JobResult(
-                            job,
-                            job.failure_result(outcome.failure),
-                            error=outcome.failure,
-                            duration=outcome.duration,
-                        )
-        assert all(r is not None for r in results)
-        return results  # type: ignore[return-value]
+            handles = self.submit_batch(list(jobs))
+            return [h.result() for h in handles]
 
     # -- one-job conveniences --------------------------------------------
 
@@ -133,10 +145,10 @@ class BatchEngine:
     ) -> List[List[JobResult]]:
         """The ``n × n`` matrix of ``omqs[i] ⊆ omqs[j]`` results.
 
-        Off-diagonal entries are independent jobs (parallel, cached);
-        diagonal entries are trivially CONTAINED and never scheduled.
-        This is the scale-out substrate for ``optimize.py``-style
-        minimization over query catalogs.
+        Off-diagonal entries are independent jobs (parallel, cached,
+        deduplicated); diagonal entries are trivially CONTAINED and never
+        scheduled.  This is the scale-out substrate for ``optimize.py``-
+        style minimization over query catalogs.
         """
         from ..containment.result import contained
 
@@ -161,9 +173,10 @@ class BatchEngine:
     def stats(self) -> dict:
         """Cache statistics plus the engine and kernel metric snapshots.
 
-        ``kernel`` reflects this process's kernel registry — fully populated
-        on the serial path (``workers=1``, jobs run inline); with a process
-        pool the workers' kernel counters stay in the workers.
+        ``kernel`` reflects this process's kernel registry — fully
+        populated with ``workers=1`` (jobs execute in-process on the
+        scheduler's serial thread); with a process pool the workers'
+        kernel counters stay in the workers.
         """
         from ..kernel import kernel_snapshot
 
@@ -174,6 +187,7 @@ class BatchEngine:
         }
 
     def close(self) -> None:
+        self.pool.close()
         self.cache.close()
 
     def __enter__(self) -> "BatchEngine":

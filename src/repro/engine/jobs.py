@@ -7,7 +7,10 @@ A job is a frozen, picklable dataclass with three responsibilities:
 * ``cache_key()`` — the canonical-content cache key, or ``None`` for
   uncacheable jobs; keys fold in every parameter that can change the
   answer, and containment keys are *ordered* (``Q1 ⊆ Q2`` and
-  ``Q2 ⊆ Q1`` are different questions);
+  ``Q2 ⊆ Q1`` are different questions).  The key is *stable* — computed
+  once per job instance and memoized — because the scheduler consults it
+  repeatedly (cache lookup, in-flight dedup, store) and the canonical
+  labeling behind it is not free;
 * ``failure_result(reason)`` — the result reported when the worker
   running the job times out, crashes, or raises.  Containment jobs
   degrade to an honest UNKNOWN verdict carrying the reason; rewriting
@@ -23,6 +26,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, FrozenSet, Optional, Tuple
 
 from ..core.omq import OMQ, TGDClass
@@ -50,12 +54,18 @@ class ContainmentJob:
 
     kind = "containment"
 
-    def cache_key(self) -> str:
+    @cached_property
+    def _key(self) -> str:
+        # cached_property writes through the instance __dict__, which is
+        # legal on a frozen dataclass and keeps equality field-based.
         return (
             f"cont:{hash_omq(self.q1)}:{hash_omq(self.q2)}"
             f":b={self.rewriting_budget}:s={self.chase_max_steps}"
             f":d={self.chase_max_depth}"
         )
+
+    def cache_key(self) -> str:
+        return self._key
 
     def run(self) -> Any:
         from ..containment.dispatch import contains
@@ -83,8 +93,12 @@ class RewriteJob:
 
     kind = "rewrite"
 
-    def cache_key(self) -> str:
+    @cached_property
+    def _key(self) -> str:
         return f"rw:{hash_omq(self.omq)}:b={self.budget}"
+
+    def cache_key(self) -> str:
+        return self._key
 
     def run(self) -> Any:
         from ..rewriting.xrewrite import RewritingBudgetExceeded, xrewrite
@@ -110,8 +124,12 @@ class ClassifyJob:
 
     kind = "classify"
 
-    def cache_key(self) -> str:
+    @cached_property
+    def _key(self) -> str:
         return f"cls:{hash_tgds(self.sigma)}"
+
+    def cache_key(self) -> str:
+        return self._key
 
     def run(self) -> ClassificationOutcome:
         from ..fragments.classify import best_class, classify
@@ -162,13 +180,20 @@ class CrashJob:
 
 @dataclass
 class JobResult:
-    """One batch slot: the job, its value, and how it was obtained."""
+    """One batch slot: the job, its value, and how it was obtained.
+
+    ``cached`` marks a value served from the result cache; ``coalesced``
+    marks one served by deduplication — the job was α-equivalent to
+    another submission and rode along on that single computation instead
+    of being scheduled itself.
+    """
 
     job: Any
     value: Any
     cached: bool = False
     error: Optional[str] = None
     duration: float = 0.0
+    coalesced: bool = False
 
     @property
     def ok(self) -> bool:

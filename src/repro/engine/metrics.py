@@ -1,7 +1,8 @@
 """Lightweight counters and timers for the batch engine.
 
 A :class:`MetricsRegistry` is a named bag of monotonically increasing
-:class:`Counter`\\ s and accumulating :class:`Timer`\\ s.  It is deliberately
+:class:`Counter`\\ s, up/down :class:`Gauge`\\ s (current in-flight depth of
+the scheduler), and accumulating :class:`Timer`\\ s.  It is deliberately
 minimal — enough to report cache hit rates and per-procedure latency from
 ``BatchEngine.stats()`` and the CLI without pulling in a metrics library —
 and thread-safe, since the pool coordinator and callers may touch it
@@ -34,6 +35,37 @@ class Counter:
     def value(self) -> int:
         with self._lock:
             return self._value
+
+
+class Gauge:
+    """A value that goes up and down, remembering its high-water mark."""
+
+    __slots__ = ("name", "_value", "_max", "_lock")
+
+    def __init__(self, name: str, lock: RLock) -> None:
+        self.name = name
+        self._value = 0
+        self._max = 0
+        self._lock = lock
+
+    def add(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+            self._max = max(self._max, self._value)
+
+    def sub(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    @property
+    def high_water(self) -> int:
+        with self._lock:
+            return self._max
 
 
 class Timer:
@@ -84,6 +116,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = RLock()
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._timers: Dict[str, Timer] = {}
 
     def counter(self, name: str) -> Counter:
@@ -91,6 +124,12 @@ class MetricsRegistry:
             if name not in self._counters:
                 self._counters[name] = Counter(name, self._lock)
             return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name, self._lock)
+            return self._gauges[name]
 
     def timer(self, name: str) -> Timer:
         with self._lock:
@@ -104,6 +143,9 @@ class MetricsRegistry:
             out: Dict[str, object] = {}
             for name in sorted(self._counters):
                 out[name] = self._counters[name].value
+            for name in sorted(self._gauges):
+                g = self._gauges[name]
+                out[name] = {"value": g.value, "high_water": g.high_water}
             for name in sorted(self._timers):
                 t = self._timers[name]
                 out[name] = {
@@ -116,4 +158,5 @@ class MetricsRegistry:
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._timers.clear()

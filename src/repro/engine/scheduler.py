@@ -1,0 +1,316 @@
+"""Async job scheduling with canonical deduplication.
+
+The batch engine's ``run_batch`` answers "run these N jobs and wait";
+this module is the service-shaped layer underneath it and beside it:
+:meth:`Scheduler.submit` enqueues one job *without blocking* and returns
+a :class:`JobHandle` that resolves when the job's result exists — from
+the cache, from a worker, or from somebody else's identical in-flight
+computation.
+
+The last case is the point.  Real OMQ catalogs are full of α-equivalent
+queries (renamed variables, reordered atoms/rules — the symmetries the
+semantics ignores), and a containment check is 2EXPTIME-worst-case, so
+computing the same answer twice because two callers spelled the same OMQ
+differently is the most expensive no-op in the system.  Before dispatch,
+every cacheable job is keyed by its canonical cache key
+(:mod:`repro.engine.canon` hashes plus procedure parameters); a submission
+whose key matches an in-flight computation *coalesces* onto it — no new
+pool task — and every attached handle resolves from the single outcome.
+
+Accounting (all visible in ``BatchEngine.stats()`` / ``repro batch
+--json``):
+
+* ``engine.scheduler.submitted`` / ``.dispatched`` / ``.completed`` /
+  ``.cancelled`` — handle lifecycle counters;
+* ``engine.scheduler.inflight`` — gauge of currently scheduled flights
+  (with its high-water mark);
+* ``engine.dedup.coalesced`` — submissions that were absorbed by an
+  existing flight (or, in ``BatchEngine.submit_batch``, by an earlier
+  α-equivalent job in the same batch).
+
+Thread model: ``submit``/``cancel`` may be called from any thread; handle
+resolution runs on the pool's coordinator thread via ticket callbacks.
+The scheduler's lock is reentrant because a cancellation that empties a
+flight completes the pool ticket synchronously, which re-enters the
+completion path on the same thread.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Iterable, Iterator, List, Optional
+
+from .cache import ResultCache
+from .jobs import JobResult
+from .metrics import MetricsRegistry
+from .pool import CANCELLED, PoolTicket, WorkerPool
+
+
+class JobHandle:
+    """One submitted job's future result.
+
+    ``done()`` never blocks; ``result(timeout)`` blocks until the handle
+    resolves (raising ``TimeoutError`` on expiry); ``cancel()`` resolves
+    the handle with a ``"cancelled"`` error if the computation has not
+    produced a value for it yet — and releases the underlying pool task
+    when this was the last handle interested in it.
+    """
+
+    __slots__ = ("job", "key", "_scheduler", "_flight", "_event", "_result",
+                 "_lock", "_callbacks")
+
+    def __init__(
+        self, job: Any, key: Optional[str], scheduler: "Scheduler"
+    ) -> None:
+        self.job = job
+        self.key = key
+        self._scheduler = scheduler
+        self._flight: Optional[_Flight] = None
+        self._event = threading.Event()
+        self._result: Optional[JobResult] = None
+        self._lock = threading.Lock()
+        self._callbacks: List[Any] = []
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> JobResult:
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"job not done after {timeout}s")
+        assert self._result is not None
+        return self._result
+
+    def cancel(self) -> bool:
+        return self._scheduler._cancel(self)
+
+    # -- internal ---------------------------------------------------------
+
+    def _resolve(self, result: JobResult) -> bool:
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._result = result
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:
+                pass
+        return True
+
+    def _add_done_callback(self, callback) -> None:
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+
+class _Flight:
+    """One scheduled computation and every handle riding on it."""
+
+    __slots__ = ("key", "handles", "ticket")
+
+    def __init__(self, key: Optional[str], handle: JobHandle) -> None:
+        self.key = key
+        self.handles: List[JobHandle] = [handle]
+        self.ticket: Optional[PoolTicket] = None
+
+
+class Scheduler:
+    """Dedup-aware async submission over a :class:`WorkerPool`.
+
+    Owns no workers and no storage — it composes the pool, the result
+    cache, and the metrics registry handed to it (all shared with the
+    :class:`~repro.engine.engine.BatchEngine` façade).
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        cache: ResultCache,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.pool = pool
+        self.cache = cache
+        self.metrics = metrics or MetricsRegistry()
+        self._lock = threading.RLock()
+        self._inflight: dict = {}
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, job: Any) -> JobHandle:
+        """Enqueue *job*; returns immediately with its handle.
+
+        Resolution order: result cache (α-equivalent inputs hit), then
+        coalescing onto an in-flight computation with the same canonical
+        key, then dispatch to the pool.
+        """
+        self.metrics.counter("engine.scheduler.submitted").inc()
+        key = job.cache_key()
+        handle = JobHandle(job, key, self)
+        if key is not None:
+            found, value = self.cache.get(key)
+            if found:
+                self.metrics.counter(f"engine.{job.kind}.cache_hits").inc()
+                handle._resolve(JobResult(job, value, cached=True))
+                self.metrics.counter("engine.scheduler.completed").inc()
+                return handle
+            with self._lock:
+                flight = self._inflight.get(key)
+                if flight is not None:
+                    handle._flight = flight
+                    flight.handles.append(handle)
+                    self.metrics.counter("engine.dedup.coalesced").inc()
+                    return handle
+                flight = _Flight(key, handle)
+                handle._flight = flight
+                self._inflight[key] = flight
+        else:
+            flight = _Flight(None, handle)
+            handle._flight = flight
+        self.metrics.gauge("engine.scheduler.inflight").add()
+        ticket = self.pool.submit(job)
+        flight.ticket = ticket
+        self.metrics.counter("engine.scheduler.dispatched").inc()
+        ticket.add_done_callback(
+            lambda t, flight=flight: self._on_ticket_done(flight, t)
+        )
+        return handle
+
+    def attach(self, primary: JobHandle, job: Any) -> JobHandle:
+        """A handle for *job* that rides on *primary*'s computation.
+
+        Used by ``BatchEngine.submit_batch`` to coalesce α-equivalent
+        duplicates *within* one batch deterministically (the in-flight
+        map alone cannot promise a coalesce — with a fast worker the
+        first copy may already have finished and turned into a plain
+        cache hit by the time the second is submitted).
+        """
+        handle = JobHandle(job, primary.key, self)
+        self.metrics.counter("engine.scheduler.submitted").inc()
+        self.metrics.counter("engine.dedup.coalesced").inc()
+
+        def _forward(done: JobHandle) -> None:
+            r = done._result
+            assert r is not None
+            if handle._resolve(
+                JobResult(
+                    job,
+                    r.value if r.ok else job.failure_result(r.error),
+                    cached=r.cached,
+                    error=r.error,
+                    duration=r.duration,
+                    coalesced=True,
+                )
+            ):
+                self.metrics.counter("engine.scheduler.completed").inc()
+
+        primary._add_done_callback(_forward)
+        return handle
+
+    # -- streaming --------------------------------------------------------
+
+    def as_completed(
+        self,
+        handles: Iterable[JobHandle],
+        timeout: Optional[float] = None,
+    ) -> Iterator[JobHandle]:
+        """Yield handles as they resolve, soonest first.
+
+        Unlike draining ``result()`` in input order, the caller sees each
+        outcome the moment a worker produces it.  ``timeout`` bounds the
+        *total* wait; expiry raises ``TimeoutError`` with the stragglers
+        still pending.
+        """
+        handles = list(handles)
+        done_queue: "queue.Queue[JobHandle]" = queue.Queue()
+        for h in handles:
+            h._add_done_callback(done_queue.put)
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        for _ in range(len(handles)):
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            try:
+                yield done_queue.get(timeout=remaining)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"batch not done after {timeout}s"
+                ) from None
+
+    # -- cancellation -----------------------------------------------------
+
+    def _cancel(self, handle: JobHandle) -> bool:
+        with self._lock:
+            if handle.done():
+                return False
+            job = handle.job
+            resolved = handle._resolve(
+                JobResult(
+                    job,
+                    job.failure_result(CANCELLED),
+                    error=CANCELLED,
+                )
+            )
+            if not resolved:
+                return False
+            self.metrics.counter("engine.scheduler.cancelled").inc()
+            flight = handle._flight
+            if flight is not None and all(h.done() for h in flight.handles):
+                # Nobody is waiting any more: release the pool slot if the
+                # task has not started (completing the ticket re-enters
+                # _on_ticket_done on this thread — the RLock allows it).
+                if flight.ticket is not None:
+                    self.pool.cancel(flight.ticket)
+        return True
+
+    # -- completion (runs on the pool's coordinator thread) ---------------
+
+    def _on_ticket_done(self, flight: _Flight, ticket: PoolTicket) -> None:
+        outcome = ticket.outcome
+        assert outcome is not None
+        job = flight.handles[0].job
+        cancelled = outcome.failure == CANCELLED
+        if not cancelled:
+            self.metrics.counter(f"engine.{job.kind}.runs").inc()
+            self.metrics.timer(f"engine.{job.kind}.time").observe(
+                outcome.duration
+            )
+            if outcome.ok:
+                if flight.key is not None:
+                    self.cache.put(flight.key, outcome.value)
+            else:
+                self.metrics.counter(f"engine.{job.kind}.failures").inc()
+        # The cache now holds the value (if any), so a submit that races
+        # the pop below lands on a cache hit rather than a recompute.
+        with self._lock:
+            if flight.key is not None:
+                self._inflight.pop(flight.key, None)
+            handles = list(flight.handles)
+        self.metrics.gauge("engine.scheduler.inflight").sub()
+        for i, h in enumerate(handles):
+            if h.done():  # individually cancelled earlier
+                continue
+            if outcome.ok:
+                result = JobResult(
+                    h.job,
+                    outcome.value,
+                    duration=outcome.duration,
+                    coalesced=i > 0,
+                )
+            else:
+                result = JobResult(
+                    h.job,
+                    h.job.failure_result(outcome.failure),
+                    error=outcome.failure,
+                    duration=outcome.duration,
+                    coalesced=i > 0,
+                )
+            if h._resolve(result):
+                self.metrics.counter("engine.scheduler.completed").inc()

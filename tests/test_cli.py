@@ -265,3 +265,68 @@ class TestBatchCommand:
         for s, p in zip(serial["jobs"], parallel["jobs"]):
             assert s.get("verdict") == p.get("verdict")
             assert s.get("count") == p.get("count")
+
+    @pytest.fixture
+    def dedup_file(self, files, tmp_path):
+        """A manifest asking the same containment question twice, the
+        second time through an α-renamed spelling of q1."""
+        alpha = tmp_path / "q1_alpha.omq"
+        alpha.write_text(
+            "schema: P/1, T/1\n"
+            "rules:\n"
+            "    T(a) -> P(a)\n"
+            "    R(u, v) -> P(v)\n"
+            "    P(u) -> R(u, w)\n"
+            "query: q(m) :- P(n), R(m, n)\n"
+        )
+        manifest = tmp_path / "dedup.txt"
+        manifest.write_text(
+            f"contains {files['q1']} {files['q2']}\n"
+            f"contains {alpha} {files['q2']}\n"
+        )
+        return str(manifest)
+
+    def test_batch_reports_coalesced_duplicates(self, dedup_file, capsys):
+        assert main(["batch", dedup_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        metrics = payload["stats"]["metrics"]
+        assert metrics["engine.dedup.coalesced"] >= 1
+        assert metrics["engine.containment.runs"] == 1
+        coalesced = [j["coalesced"] for j in payload["jobs"]]
+        assert coalesced == [False, True]
+        verdicts = {j["verdict"] for j in payload["jobs"]}
+        assert verdicts == {"contained"}
+
+    def test_batch_dedup_marked_in_text_output(self, dedup_file, capsys):
+        assert main(["batch", dedup_file]) == 0
+        out = capsys.readouterr().out
+        assert out.count("(deduplicated)") == 1
+
+    def test_batch_stream_text(self, batch_file, capsys):
+        assert main(["batch", batch_file, "--stream", "--workers", "2"]) == 0
+        captured = capsys.readouterr()
+        # Every job shows up as a progress line, numbered by arrival.
+        for n in range(1, 5):
+            assert f"[{n}/4]" in captured.out
+        assert "contained via" in captured.out
+        assert "preferred L" in captured.out
+        assert "4 jobs" in captured.err  # the summary still prints
+
+    def test_batch_stream_json_keeps_stdout_clean(self, batch_file, capsys):
+        assert main(["batch", batch_file, "--stream", "--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # stdout is one JSON document
+        assert len(payload["jobs"]) == 4
+        assert "[1/4]" in captured.err  # progress went to stderr
+
+    def test_batch_stream_matches_plain_batch(self, batch_file, capsys):
+        assert main(["batch", batch_file, "--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert main(
+            ["batch", batch_file, "--json", "--stream", "--workers", "2"]
+        ) == 0
+        streamed = json.loads(capsys.readouterr().out)
+        for s, p in zip(streamed["jobs"], plain["jobs"]):
+            assert s.get("verdict") == p.get("verdict")
+            assert s.get("count") == p.get("count")
+            assert s.get("best") == p.get("best")

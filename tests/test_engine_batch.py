@@ -79,6 +79,28 @@ class TestRunBatch:
         assert not engine.contains(q1, target).cached
         assert engine.contains(variant, target).cached
 
+    def test_alpha_duplicates_within_one_batch_run_once(self, family):
+        # Dedup inside a single batch: the α-renamed copy is never
+        # scheduled — it rides on the first copy's computation.
+        engine = BatchEngine()
+        variant = OMQ(
+            SCHEMA,
+            tuple(reversed(parse_tgds(SIGMA))),
+            parse_cq("q(u) :- P(v), R(u, v)"),
+            name="other-name",
+        )
+        results = engine.run_batch(
+            [
+                ContainmentJob(family[0], family[1]),
+                ContainmentJob(variant, family[1]),
+            ]
+        )
+        snap = engine.stats()["metrics"]
+        assert snap["engine.containment.runs"] == 1
+        assert snap["engine.dedup.coalesced"] == 1
+        assert not results[0].coalesced and results[1].coalesced
+        assert results[0].value.verdict is results[1].value.verdict
+
     def test_mixed_job_kinds(self, family):
         engine = BatchEngine()
         sigma = tuple(parse_tgds(SIGMA))

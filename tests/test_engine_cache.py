@@ -1,14 +1,20 @@
 """The engine's result cache: round-trips, persistence, corruption recovery,
-and the process-wide cache registry behind ``repro.clear_caches()``.
+contention tolerance (shared cache_dir across processes), and the
+process-wide cache registry behind ``repro.clear_caches()``.
 """
 
+import json
 import sqlite3
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
 import repro
 from repro import OMQ, Schema, parse_cq, parse_tgds
 from repro.containment.result import ContainmentResult, Verdict, contained
+from repro.engine import cache as cache_module
 from repro.engine.cache import _DB_NAME, SCHEMA_VERSION, ResultCache
 from repro.evaluation import cached_rewriting, evaluate_omq
 
@@ -125,6 +131,93 @@ class TestDiskLayer:
         cache.clear_memory()
         assert cache.get("k") == (False, None)  # never reached disk
         cache.close()
+
+
+class TestContentionTolerance:
+    def test_disk_layer_opens_in_wal_mode(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        mode = cache._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        cache.close()
+
+    def test_locked_database_degrades_without_deletion(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression: a "database is locked" OperationalError used to be
+        # treated like corruption — the shared cache file was deleted out
+        # from under every other process using it.  Now it only costs the
+        # one store: recoveries stays 0, the file stays put, and the
+        # cache recovers as soon as the lock clears.
+        monkeypatch.setattr(cache_module, "_BUSY_TIMEOUT_MS", 50)
+        cache = ResultCache(str(tmp_path))
+        cache.put("before", "v")
+
+        locker = sqlite3.connect(str(tmp_path / _DB_NAME))
+        locker.execute("BEGIN IMMEDIATE")  # hold the write lock
+        try:
+            cache.put("during", "w")  # write blocked -> transient degrade
+            stats = cache.stats()
+            assert stats["recoveries"] == 0
+            assert stats["transient_errors"] >= 1
+            assert (tmp_path / _DB_NAME).exists()
+            assert cache.persistent
+            # The value still landed in the memory layer.
+            assert cache.get("during") == (True, "w")
+        finally:
+            locker.rollback()
+            locker.close()
+
+        # Lock released: disk writes work again on the same connection.
+        cache.put("after", "x")
+        cache.clear_memory()
+        assert cache.get("before") == (True, "v")
+        assert cache.get("after") == (True, "x")
+        assert cache.recoveries == 0
+        cache.close()
+
+    def test_two_processes_share_one_cache_dir(self, tmp_path):
+        # Two concurrent writers hammer one cache_dir.  WAL + busy_timeout
+        # must absorb the contention: neither process may "recover" (i.e.
+        # delete) the shared file, and every row must survive.
+        script = (
+            "import json, sys\n"
+            "from repro.engine.cache import ResultCache\n"
+            "tag, cache_dir = sys.argv[1], sys.argv[2]\n"
+            "cache = ResultCache(cache_dir)\n"
+            "for i in range(40):\n"
+            "    cache.put(f'{tag}:{i}', {'tag': tag, 'i': i})\n"
+            "    cache.get(f'{tag}:{i}')\n"
+            "stats = cache.stats()\n"
+            "cache.close()\n"
+            "print(json.dumps({'recoveries': stats['recoveries'],\n"
+            "                  'persistent': stats['persistent']}))\n"
+        )
+        repo_root = Path(__file__).resolve().parent.parent
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, tag, str(tmp_path)],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                cwd=repo_root,
+                env={"PYTHONPATH": str(repo_root / "src")},
+            )
+            for tag in ("a", "b")
+        ]
+        reports = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            reports.append(json.loads(out))
+        assert [r["recoveries"] for r in reports] == [0, 0]
+        assert all(r["persistent"] for r in reports)
+
+        survivor = ResultCache(str(tmp_path))
+        assert survivor.stats()["disk_entries"] == 80
+        assert survivor.get("a:0") == (True, {"tag": "a", "i": 0})
+        assert survivor.get("b:39") == (True, {"tag": "b", "i": 39})
+        assert survivor.recoveries == 0
+        survivor.close()
 
 
 class TestCacheRegistry:

@@ -1,0 +1,262 @@
+"""The async scheduler: non-blocking submission, canonical dedup of
+α-equivalent jobs, streaming completion, and cancellation.
+
+The dedup tests mirror the acceptance criterion directly: N α-renamed
+copies of one containment question must cost exactly one execution
+(``engine.containment.runs == 1``) while every handle still resolves,
+with the absorbed copies visible in ``engine.dedup.coalesced``.
+"""
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import pytest
+
+from repro import OMQ, Schema, parse_cq, parse_tgds
+from repro.containment import Verdict
+from repro.engine import BatchEngine, ContainmentJob
+from repro.engine.jobs import SleepJob
+
+START_METHODS = [
+    m for m in ("fork", "spawn") if m in mp.get_all_start_methods()
+]
+
+SIGMA = "P(x) -> R(x, w)\nR(x, y) -> P(y)\nT(x) -> P(x)"
+SCHEMA = Schema.of(P=1, T=1)
+
+
+def _omq(query: str, rules: str = SIGMA, name: str = "Q") -> OMQ:
+    return OMQ(SCHEMA, tuple(parse_tgds(rules)), parse_cq(query), name)
+
+
+def _alpha_variants():
+    """Four spellings of the same OMQ: renamed variables, reordered body
+    atoms, reordered rules, different display names — all α-equivalent,
+    so all four share one canonical cache key."""
+    spellings = [
+        ("q(x) :- R(x, y), P(y)", SIGMA),
+        ("q(u) :- P(v), R(u, v)", SIGMA),
+        ("q(a) :- R(a, b), P(b)", "\n".join(reversed(SIGMA.split("\n")))),
+        ("q(m) :- P(n), R(m, n)", SIGMA),
+    ]
+    return [
+        OMQ(SCHEMA, tuple(parse_tgds(rules)), parse_cq(cq), f"spelling-{i}")
+        for i, (cq, rules) in enumerate(spellings)
+    ]
+
+
+@dataclass(frozen=True)
+class _SlowKeyedJob:
+    """A cacheable job slow enough to still be in flight when its
+    α-twin arrives (module-level, so it pickles into workers)."""
+
+    key: str
+    seconds: float = 0.3
+
+    kind = "slowkeyed"
+
+    def cache_key(self) -> str:
+        return f"slow:{self.key}"
+
+    def run(self) -> str:
+        time.sleep(self.seconds)
+        return f"value:{self.key}"
+
+    def failure_result(self, reason: str) -> Any:
+        return None
+
+
+class TestSubmission:
+    def test_submit_resolves_to_the_library_verdict(self):
+        with BatchEngine() as engine:
+            handle = engine.submit(
+                ContainmentJob(_omq("q(x) :- T(x)"), _omq("q(x) :- P(x)"))
+            )
+            result = handle.result(timeout=60)
+        assert result.ok
+        assert result.value.verdict is Verdict.CONTAINED
+        assert handle.done()
+
+    def test_submit_does_not_block(self):
+        with BatchEngine() as engine:
+            start = time.monotonic()
+            handle = engine.submit(SleepJob(0.5, "late"))
+            submit_cost = time.monotonic() - start
+            assert submit_cost < 0.3
+            assert not handle.done()
+            assert handle.result(timeout=10).value == "late"
+
+    def test_result_timeout_raises(self):
+        with BatchEngine(workers=2) as engine:
+            handle = engine.submit(SleepJob(30.0))
+            with pytest.raises(TimeoutError):
+                handle.result(timeout=0.1)
+
+    def test_cache_hit_resolves_immediately(self):
+        with BatchEngine() as engine:
+            job = ContainmentJob(_omq("q(x) :- T(x)"), _omq("q(x) :- P(x)"))
+            cold = engine.submit(job).result(timeout=60)
+            warm = engine.submit(job)
+            assert warm.done()  # no pool round-trip at all
+            assert warm.result().cached
+            assert warm.result().value.verdict is cold.value.verdict
+
+
+class TestCanonicalDedup:
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_alpha_renamed_batch_executes_once(self, start_method):
+        variants = _alpha_variants()
+        target = _omq("q(x) :- P(x)")
+        jobs = [ContainmentJob(v, target) for v in variants]
+        assert len({j.cache_key() for j in jobs}) == 1
+        with BatchEngine(workers=2, start_method=start_method) as engine:
+            handles = engine.submit_batch(jobs)
+            results = [h.result(timeout=120) for h in handles]
+            snap = engine.stats()["metrics"]
+        assert snap["engine.containment.runs"] == 1
+        assert snap["engine.dedup.coalesced"] == len(jobs) - 1
+        verdicts = {r.value.verdict for r in results}
+        assert verdicts == {Verdict.CONTAINED}
+        assert [r.coalesced for r in results] == [False, True, True, True]
+        # Every handle keeps its own job identity despite sharing the run.
+        assert [r.job for r in results] == jobs
+
+    def test_serial_engine_dedups_too(self):
+        variants = _alpha_variants()
+        jobs = [ContainmentJob(v, _omq("q(x) :- P(x)")) for v in variants]
+        with BatchEngine() as engine:
+            results = engine.run_batch(jobs)
+            snap = engine.stats()["metrics"]
+        assert snap["engine.containment.runs"] == 1
+        assert snap["engine.dedup.coalesced"] == len(jobs) - 1
+        assert all(r.value.verdict is Verdict.CONTAINED for r in results)
+
+    def test_inflight_submission_coalesces(self):
+        # Not a batch: two independent submit() calls, the second arriving
+        # while the first is still computing, land on one flight.
+        with BatchEngine() as engine:
+            first = engine.submit(_SlowKeyedJob("x"))
+            second = engine.submit(_SlowKeyedJob("x"))
+            r1 = first.result(timeout=10)
+            r2 = second.result(timeout=10)
+            snap = engine.stats()["metrics"]
+        assert r1.value == r2.value == "value:x"
+        assert not r1.coalesced and r2.coalesced
+        assert snap["engine.slowkeyed.runs"] == 1
+        assert snap["engine.dedup.coalesced"] == 1
+
+    def test_distinct_keys_do_not_coalesce(self):
+        with BatchEngine() as engine:
+            handles = engine.submit_batch(
+                [_SlowKeyedJob("x", 0.05), _SlowKeyedJob("y", 0.05)]
+            )
+            for h in handles:
+                h.result(timeout=10)
+            snap = engine.stats()["metrics"]
+        assert snap["engine.slowkeyed.runs"] == 2
+        assert snap.get("engine.dedup.coalesced", 0) == 0
+
+    def test_scheduler_lifecycle_counters(self):
+        variants = _alpha_variants()
+        jobs = [ContainmentJob(v, _omq("q(x) :- P(x)")) for v in variants]
+        with BatchEngine() as engine:
+            engine.run_batch(jobs)
+            engine.run_batch(jobs)  # warm: all four are cache hits now
+            snap = engine.stats()["metrics"]
+        assert snap["engine.scheduler.submitted"] == 8
+        assert snap["engine.scheduler.dispatched"] == 1
+        assert snap["engine.scheduler.completed"] == 8
+        # Warm batch: within-batch dedup absorbs the duplicates before the
+        # cache is consulted, so only the batch's first copy counts a hit.
+        assert snap["engine.containment.cache_hits"] == 1
+        assert snap["engine.dedup.coalesced"] == 6
+        inflight = snap["engine.scheduler.inflight"]
+        assert inflight["value"] == 0  # nothing left scheduled
+        assert inflight["high_water"] == 1
+
+
+class TestStreaming:
+    def test_results_stream_in_completion_order(self):
+        with BatchEngine(workers=2) as engine:
+            slow = engine.submit(SleepJob(0.6, "slow"))
+            fast = engine.submit(SleepJob(0.05, "fast"))
+            order = [
+                h.result().value
+                for h in engine.as_completed([slow, fast], timeout=30)
+            ]
+        assert order == ["fast", "slow"]
+
+    def test_first_result_arrives_before_batch_completes(self):
+        # The acceptance criterion for `repro batch --stream`: a streamed
+        # outcome is observable while other jobs are still running.
+        with BatchEngine(workers=2) as engine:
+            handles = engine.submit_batch(
+                [SleepJob(0.8, "slow"), SleepJob(0.05, "fast")]
+            )
+            stream = engine.as_completed(handles, timeout=30)
+            first = next(stream)
+            assert first.result().value == "fast"
+            assert not handles[0].done()  # the batch is NOT finished
+            rest = [h.result().value for h in stream]
+        assert rest == ["slow"]
+
+    def test_stream_timeout_raises_with_stragglers_pending(self):
+        with BatchEngine(workers=2) as engine:
+            handles = engine.submit_batch([SleepJob(0.05), SleepJob(30.0)])
+            stream = engine.as_completed(handles, timeout=0.5)
+            next(stream)  # the fast one arrives fine
+            with pytest.raises(TimeoutError):
+                next(stream)
+
+    def test_stream_covers_cached_and_coalesced_handles(self):
+        variants = _alpha_variants()
+        jobs = [ContainmentJob(v, _omq("q(x) :- P(x)")) for v in variants]
+        with BatchEngine() as engine:
+            handles = engine.submit_batch(jobs)
+            seen = set()
+            for h in engine.as_completed(handles, timeout=120):
+                seen.add(id(h))
+            assert seen == {id(h) for h in handles}
+
+
+class TestCancellation:
+    def test_cancel_pending_job(self):
+        with BatchEngine() as engine:
+            blocker = engine.submit(SleepJob(0.4, "blocker"))
+            doomed = engine.submit(SleepJob(30.0, "doomed"))
+            assert doomed.cancel()
+            result = doomed.result(timeout=1)
+            assert result.error == "cancelled"
+            assert not result.ok
+            assert blocker.result(timeout=10).value == "blocker"
+            snap = engine.stats()["metrics"]
+        assert snap["engine.scheduler.cancelled"] == 1
+
+    def test_cancel_resolved_handle_returns_false(self):
+        with BatchEngine() as engine:
+            handle = engine.submit(SleepJob(0.01, "x"))
+            handle.result(timeout=10)
+            assert not handle.cancel()
+
+    def test_cancelled_containment_degrades_to_unknown(self):
+        with BatchEngine() as engine:
+            blocker = engine.submit(SleepJob(0.4))
+            doomed = engine.submit(
+                ContainmentJob(_omq("q(x) :- T(x)"), _omq("q(x) :- P(x)"))
+            )
+            assert doomed.cancel()
+            result = doomed.result(timeout=1)
+            blocker.result(timeout=10)
+        assert result.value.verdict is Verdict.UNKNOWN
+        assert "cancelled" in result.value.detail
+
+    def test_cancel_one_coalesced_handle_spares_the_others(self):
+        with BatchEngine() as engine:
+            first = engine.submit(_SlowKeyedJob("shared"))
+            second = engine.submit(_SlowKeyedJob("shared"))
+            assert second.cancel()
+            assert second.result(timeout=1).error == "cancelled"
+            # The primary handle still gets the real value.
+            assert first.result(timeout=10).value == "value:shared"
