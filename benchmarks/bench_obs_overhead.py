@@ -1,0 +1,180 @@
+"""Observability overhead benchmark: tracing off must cost ~nothing.
+
+The ``repro.obs`` design promise is that every instrumentation site costs
+one module-level bool test when tracing is off.  This bench checks that
+promise two ways on a real containment workload:
+
+* **macro A/B** — the workload runs interleaved with tracing off and
+  tracing ``"always"``; the off runs also estimate the machine's noise
+  floor (spread between identical off runs);
+* **micro estimate** — the per-call cost of disabled ``obs.span()`` /
+  ``obs.add()`` is measured directly, multiplied by the number of
+  instrumentation hits an actual traced run of the workload records (span
+  count plus counter updates), and expressed as a fraction of the
+  workload's wall time.  This is the disabled-mode overhead bound that
+  does not depend on having an uninstrumented build to diff against.
+
+Run as a script — not through pytest::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py          # full
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --quick  # CI
+
+Writes ``BENCH_obs.json`` (see ``--out``).  Exits non-zero when the
+estimated disabled-mode overhead exceeds ``--max-disabled-pct`` (default
+5%) — the CI guard for accidental work on the off path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import OMQ, Schema, obs, parse_cq, parse_tgds  # noqa: E402
+from repro.containment import contains  # noqa: E402
+from repro.obs.span import walk  # noqa: E402
+
+RULES = """
+P(x) -> R(x, w)
+R(x, y) -> P(y)
+T(x) -> P(x)
+"""
+
+
+def workload_pair():
+    """A containment pair that exercises rewrite + witness + evaluation."""
+    q1 = OMQ(
+        Schema.of(P=1, T=1),
+        parse_tgds(RULES),
+        parse_cq("q(x) :- R(x, y), P(y)"),
+        name="A",
+    )
+    q2 = OMQ(
+        Schema.of(P=1, T=1),
+        parse_tgds(RULES),
+        parse_cq("q(x) :- P(x)"),
+        name="B",
+    )
+    return q1, q2
+
+
+def run_workload(q1, q2) -> None:
+    r1 = contains(q1, q2)
+    r2 = contains(q2, q1)
+    assert r1.verdict.name == "CONTAINED" and r2.verdict.name == "CONTAINED"
+
+
+def time_runs(q1, q2, repeats: int, mode: str):
+    """Per-run wall times of the workload under the given tracing mode."""
+    times = []
+    with obs.tracing(mode):
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run_workload(q1, q2)
+            times.append(time.perf_counter() - t0)
+            obs.drain()  # keep the sink bounded out of the timed region
+    return times
+
+
+def instrumentation_hits(q1, q2) -> int:
+    """Span + counter-update count of one traced run of the workload."""
+    with obs.tracing("always"):
+        run_workload(q1, q2)
+        roots = obs.drain()
+    hits = 0
+    for root in roots:
+        for node in walk(root):
+            hits += 1  # the span() call
+            hits += len(node.get("counters", {}))
+            hits += len(node.get("events", ()))
+    return hits
+
+
+def disabled_call_cost(calls: int = 200_000) -> float:
+    """Seconds per disabled obs.span()/obs.add() pair (averaged)."""
+    assert not obs.is_enabled()
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        with obs.span("x"):
+            pass
+        obs.add("c")
+    total = time.perf_counter() - t0
+    return total / calls
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    ap.add_argument(
+        "--repeats", type=int, default=None,
+        help="workload repetitions per mode (default 30, quick 8)",
+    )
+    ap.add_argument(
+        "--max-disabled-pct", type=float, default=5.0,
+        help="fail if the estimated disabled overhead exceeds this %%",
+    )
+    ap.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+        ),
+    )
+    args = ap.parse_args()
+    repeats = args.repeats or (8 if args.quick else 30)
+
+    q1, q2 = workload_pair()
+    run_workload(q1, q2)  # warm module caches out of the timed region
+
+    off_a = time_runs(q1, q2, repeats, "off")
+    on = time_runs(q1, q2, repeats, "always")
+    off_b = time_runs(q1, q2, repeats, "off")
+
+    off = off_a + off_b
+    off_best = min(off)
+    # Noise floor: spread between two identical off runs.
+    noise_pct = abs(min(off_a) - min(off_b)) / off_best * 100
+    traced_pct = (min(on) - off_best) / off_best * 100
+
+    hits = instrumentation_hits(q1, q2)
+    per_call = disabled_call_cost(20_000 if args.quick else 200_000)
+    disabled_est_pct = hits * per_call / off_best * 100
+
+    report = {
+        "repeats_per_mode": repeats,
+        "workload": "contains(A,B) + contains(B,A), linear pair",
+        "off_best_s": round(off_best, 6),
+        "off_median_s": round(statistics.median(off), 6),
+        "traced_best_s": round(min(on), 6),
+        "traced_overhead_pct": round(traced_pct, 2),
+        "noise_floor_pct": round(noise_pct, 2),
+        "instrumentation_hits_per_run": hits,
+        "disabled_call_cost_ns": round(per_call * 1e9, 1),
+        "disabled_overhead_est_pct": round(disabled_est_pct, 3),
+        "max_disabled_pct": args.max_disabled_pct,
+    }
+    Path(args.out).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(report, indent=2))
+
+    if disabled_est_pct > args.max_disabled_pct:
+        print(
+            f"FAIL: disabled-mode overhead estimate "
+            f"{disabled_est_pct:.2f}% > {args.max_disabled_pct}%",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: disabled-mode overhead estimate {disabled_est_pct:.3f}% "
+        f"(noise floor {noise_pct:.2f}%)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,10 @@ from ..core.instance import Instance
 from ..core.terms import NullFactory, Term, Variable
 from ..core.tgd import TGD
 from ..kernel import KERNEL_METRICS, WorkingInstance, compiled_search, delta_triggers
+from .. import obs
+
+#: Buckets for the per-round new-fact-count histogram (counts, not seconds).
+_ROUND_SIZE_BUCKETS = (1, 2, 5, 10, 50, 200, 1000, 5000)
 
 
 class ChaseBudgetExceeded(RuntimeError):
@@ -188,68 +192,98 @@ def _chase_delta(
         for i, r in rules
     }
     rounds_counter = KERNEL_METRICS.counter("kernel.chase.rounds")
+    round_sizes = KERNEL_METRICS.histogram(
+        "kernel.chase.round_size", buckets=_ROUND_SIZE_BUCKETS
+    )
 
-    def make_result(terminated: bool) -> ChaseResult:
-        return ChaseResult(work.snapshot(), steps, terminated, levels, log)
+    with obs.span(
+        "chase.run", strategy="delta", policy=policy, rules=len(sigma)
+    ) as run_span:
 
-    old_mark = 0
-    new_mark = work.watermark()
-    first_round = True
-    while first_round or new_mark > old_mark:
-        rounds_counter.inc()
-        for i, rule in rules:
-            # New triggers only: homomorphisms into the round-start window
-            # that touch at least one atom added since the previous round.
-            # Within a (round, rule) they fire in the same deterministic
-            # order the naive strategy visits them, so the whole run —
-            # nulls, steps, log — is reproduced exactly.
-            for h in sorted(
-                delta_triggers(bodies[i], work, old_mark, new_mark),
-                key=_trigger_sort_key,
-            ):
-                key = _trigger_key(i, h, frontiers[i])
-                if key in fired:
-                    continue
-                trigger_level = max(
-                    (levels.get(h[v], 0) for v in rule.body_variables()),
-                    default=0,
-                )
-                if max_depth is not None and trigger_level >= max_depth:
-                    # Levels are immutable, so this trigger stays skipped
-                    # forever; the delta discovery simply never revisits it.
-                    continue
-                if policy == "restricted" and _satisfies_head(work, rule, h):
-                    fired.add(key)
-                    continue
-                if steps >= max_steps:
-                    result = make_result(False)
-                    if partial:
-                        return result
-                    raise ChaseBudgetExceeded(result)
-                assignment = dict(h)
-                for z in existentials[i]:
-                    fresh = nulls.fresh()
-                    assignment[z] = fresh
-                    levels[fresh] = trigger_level + 1
-                added: List[Atom] = []
-                for head_atom in rule.head:
-                    new_atom = head_atom.substitute(assignment)
-                    for t in new_atom.args:
-                        levels.setdefault(t, 0)
-                    if work.add(new_atom):
-                        added.append(new_atom)
-                fired.add(key)
-                steps += 1
-                log.append(
-                    ChaseStep(
-                        i,
-                        tuple(sorted(h.items(), key=lambda kv: str(kv[0]))),
-                        tuple(added),
+        def make_result(terminated: bool) -> ChaseResult:
+            run_span.set("steps", steps)
+            run_span.set("terminated", terminated)
+            return ChaseResult(work.snapshot(), steps, terminated, levels, log)
+
+        old_mark = 0
+        new_mark = work.watermark()
+        first_round = True
+        round_no = 0
+        while first_round or new_mark > old_mark:
+            rounds_counter.inc()
+            round_no += 1
+            round_steps = steps
+            with obs.span("chase.round", n=round_no) as round_span:
+                for i, rule in rules:
+                    # New triggers only: homomorphisms into the round-start
+                    # window that touch at least one atom added since the
+                    # previous round.  Within a (round, rule) they fire in
+                    # the same deterministic order the naive strategy visits
+                    # them, so the whole run — nulls, steps, log — is
+                    # reproduced exactly.
+                    triggers = sorted(
+                        delta_triggers(bodies[i], work, old_mark, new_mark),
+                        key=_trigger_sort_key,
                     )
-                )
-        first_round = False
-        old_mark, new_mark = new_mark, work.watermark()
-    return make_result(True)
+                    round_span.add("delta_triggers", len(triggers))
+                    for h in triggers:
+                        key = _trigger_key(i, h, frontiers[i])
+                        if key in fired:
+                            continue
+                        trigger_level = max(
+                            (
+                                levels.get(h[v], 0)
+                                for v in rule.body_variables()
+                            ),
+                            default=0,
+                        )
+                        if max_depth is not None and trigger_level >= max_depth:
+                            # Levels are immutable, so this trigger stays
+                            # skipped forever; the delta discovery simply
+                            # never revisits it.
+                            continue
+                        if policy == "restricted" and _satisfies_head(
+                            work, rule, h
+                        ):
+                            fired.add(key)
+                            continue
+                        if steps >= max_steps:
+                            result = make_result(False)
+                            if partial:
+                                return result
+                            raise ChaseBudgetExceeded(result)
+                        assignment = dict(h)
+                        for z in existentials[i]:
+                            fresh = nulls.fresh()
+                            assignment[z] = fresh
+                            levels[fresh] = trigger_level + 1
+                        added: List[Atom] = []
+                        for head_atom in rule.head:
+                            new_atom = head_atom.substitute(assignment)
+                            for t in new_atom.args:
+                                levels.setdefault(t, 0)
+                            if work.add(new_atom):
+                                added.append(new_atom)
+                        fired.add(key)
+                        steps += 1
+                        log.append(
+                            ChaseStep(
+                                i,
+                                tuple(
+                                    sorted(
+                                        h.items(), key=lambda kv: str(kv[0])
+                                    )
+                                ),
+                                tuple(added),
+                            )
+                        )
+                new_facts = work.watermark() - new_mark
+                round_sizes.observe(new_facts)
+                round_span.add("fired", steps - round_steps)
+                round_span.add("new_facts", new_facts)
+            first_round = False
+            old_mark, new_mark = new_mark, work.watermark()
+        return make_result(True)
 
 
 def _chase_naive(
@@ -273,65 +307,88 @@ def _chase_naive(
         i: tuple(sorted(r.frontier(), key=lambda v: v.name)) for i, r in rules
     }
 
+    run_span = obs.span(
+        "chase.run", strategy="naive", policy=policy, rules=len(sigma)
+    )
+
     def make_result(terminated: bool) -> ChaseResult:
+        run_span.set("steps", steps)
+        run_span.set("terminated", terminated)
         return ChaseResult(Instance(frozenset(atoms)), steps, terminated, levels, log)
 
     changed = True
-    while changed:
-        changed = False
-        current = Instance(frozenset(atoms))
-        for i, rule in rules:
-            # Enumerate triggers over the *round-start* snapshot; new atoms
-            # become visible next round, which keeps the run fair (FIFO by
-            # rounds) and deterministic.
-            for h in sorted(
-                homomorphisms(rule.body, current),
-                key=_trigger_sort_key,
-            ):
-                key = _trigger_key(i, h, frontiers[i])
-                if key in fired:
-                    continue
-                trigger_level = max(
-                    (levels.get(h[v], 0) for v in rule.body_variables()),
-                    default=0,
-                )
-                if max_depth is not None and trigger_level >= max_depth:
-                    continue
-                live = Instance(frozenset(atoms))
-                if policy == "restricted" and _satisfies_head(live, rule, h):
-                    fired.add(key)
-                    continue
-                if steps >= max_steps:
-                    result = make_result(False)
-                    if partial:
-                        return result
-                    raise ChaseBudgetExceeded(result)
-                assignment = dict(h)
-                for z in sorted(
-                    rule.existential_variables(), key=lambda v: v.name
-                ):
-                    fresh = nulls.fresh()
-                    assignment[z] = fresh
-                    levels[fresh] = trigger_level + 1
-                added: List[Atom] = []
-                for head_atom in rule.head:
-                    new_atom = head_atom.substitute(assignment)
-                    for t in new_atom.args:
-                        levels.setdefault(t, 0)
-                    if new_atom not in atoms:
-                        atoms.add(new_atom)
-                        added.append(new_atom)
-                fired.add(key)
-                steps += 1
-                changed = True
-                log.append(
-                    ChaseStep(
-                        i,
-                        tuple(sorted(h.items(), key=lambda kv: str(kv[0]))),
-                        tuple(added),
-                    )
-                )
-    return make_result(True)
+    round_no = 0
+    with run_span:
+        while changed:
+            changed = False
+            round_no += 1
+            round_facts = len(atoms)
+            round_steps = steps
+            current = Instance(frozenset(atoms))
+            with obs.span("chase.round", n=round_no) as round_span:
+                for i, rule in rules:
+                    # Enumerate triggers over the *round-start* snapshot; new
+                    # atoms become visible next round, which keeps the run
+                    # fair (FIFO by rounds) and deterministic.
+                    for h in sorted(
+                        homomorphisms(rule.body, current),
+                        key=_trigger_sort_key,
+                    ):
+                        key = _trigger_key(i, h, frontiers[i])
+                        if key in fired:
+                            continue
+                        trigger_level = max(
+                            (
+                                levels.get(h[v], 0)
+                                for v in rule.body_variables()
+                            ),
+                            default=0,
+                        )
+                        if max_depth is not None and trigger_level >= max_depth:
+                            continue
+                        live = Instance(frozenset(atoms))
+                        if policy == "restricted" and _satisfies_head(
+                            live, rule, h
+                        ):
+                            fired.add(key)
+                            continue
+                        if steps >= max_steps:
+                            result = make_result(False)
+                            if partial:
+                                return result
+                            raise ChaseBudgetExceeded(result)
+                        assignment = dict(h)
+                        for z in sorted(
+                            rule.existential_variables(), key=lambda v: v.name
+                        ):
+                            fresh = nulls.fresh()
+                            assignment[z] = fresh
+                            levels[fresh] = trigger_level + 1
+                        added: List[Atom] = []
+                        for head_atom in rule.head:
+                            new_atom = head_atom.substitute(assignment)
+                            for t in new_atom.args:
+                                levels.setdefault(t, 0)
+                            if new_atom not in atoms:
+                                atoms.add(new_atom)
+                                added.append(new_atom)
+                        fired.add(key)
+                        steps += 1
+                        changed = True
+                        log.append(
+                            ChaseStep(
+                                i,
+                                tuple(
+                                    sorted(
+                                        h.items(), key=lambda kv: str(kv[0])
+                                    )
+                                ),
+                                tuple(added),
+                            )
+                        )
+                round_span.add("fired", steps - round_steps)
+                round_span.add("new_facts", len(atoms) - round_facts)
+        return make_result(True)
 
 
 def chase_terminates(

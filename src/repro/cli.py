@@ -21,6 +21,7 @@ Commands:
 * ``rewritable OMQ``             — UCQ rewritability verdict
 * ``minimize OMQ``               — containment-powered query minimization
 * ``explain OMQ DATABASE ANSWER``— derivation forest for a certain answer
+* ``trace FILE``                 — pretty-print a saved decision trace
 
 ``contains`` and ``rewrite`` accept ``--json`` (the machine-readable
 output contract shared with ``batch``) and ``--cache-dir``/``--workers``
@@ -31,6 +32,14 @@ job finishes (completion order) rather than when the whole batch drains.
 Duplicate α-equivalent jobs in a manifest are scheduled once — the
 ``engine.dedup.coalesced`` counter in ``--json`` ``stats.metrics`` counts
 the absorbed copies.
+
+``contains``, ``rewrite`` and ``batch`` accept ``--trace FILE``: every
+decision is traced (phase spans, counter rollups — see :mod:`repro.obs`)
+and the collected trees are written to FILE on exit.  A ``.jsonl``
+extension selects the lossless JSONL tree format; anything else writes
+Chrome ``trace_event`` JSON that opens directly in ``chrome://tracing``
+or Perfetto.  ``repro trace FILE`` renders either format as an indented
+phase tree with self/cumulative times.
 
 ``contains``, ``rewrite`` and ``batch`` accept ``--max-steps`` and
 ``--max-depth`` chase budgets.  Exhausting a budget never diverges or
@@ -66,6 +75,7 @@ from .explain import explain_answer, format_explanation
 from .fragments import best_class, classify
 from .optimize import minimize_query
 from .rewriting import RewritingBudgetExceeded, RewritingResult, xrewrite
+from . import obs
 
 
 def _read(path: str) -> str:
@@ -114,13 +124,27 @@ def _rewriting_to_json(
 
 
 def _make_engine(args):
-    """A BatchEngine honoring --cache-dir/--workers/--timeout flags."""
+    """A BatchEngine honoring --cache-dir/--workers/--timeout/--trace."""
     from .engine import BatchEngine
 
     return BatchEngine(
         cache_dir=getattr(args, "cache_dir", None),
         workers=getattr(args, "workers", 1) or 1,
         task_timeout=getattr(args, "timeout", None),
+        trace="always" if getattr(args, "trace", None) else None,
+    )
+
+
+def _write_trace_file(roots: List[dict], path: str) -> None:
+    fmt = obs.write_trace(roots, path)
+    note = (
+        "open in chrome://tracing or https://ui.perfetto.dev"
+        if fmt == "chrome"
+        else "render with: repro trace " + path
+    )
+    print(
+        f"% wrote {len(roots)} decision trace(s) to {path} ({note})",
+        file=sys.stderr,
     )
 
 
@@ -135,20 +159,27 @@ def _cmd_classify(args) -> int:
 def _cmd_rewrite(args) -> int:
     omq = parse_omq(_read(args.omq))
     cached: Optional[bool] = None
+    trace_path = getattr(args, "trace", None)
     if args.cache_dir is not None or (args.workers or 1) > 1:
         from .engine import RewriteJob
 
         with _make_engine(args) as engine:
             job_result = engine.run_batch([RewriteJob(omq, args.budget)])[0]
+            traces = engine.traces()
         result, cached = job_result.value, job_result.cached
+        if trace_path:
+            _write_trace_file(traces, trace_path)
         if result is None:
             print(f"rewriting failed: {job_result.error}", file=sys.stderr)
             return 2
     else:
-        try:
-            result = xrewrite(omq, max_queries=args.budget)
-        except RewritingBudgetExceeded as exc:
-            result = exc.partial
+        with obs.tracing("always" if trace_path else "off"):
+            try:
+                result = xrewrite(omq, max_queries=args.budget)
+            except RewritingBudgetExceeded as exc:
+                result = exc.partial
+            if trace_path:
+                _write_trace_file(obs.drain(), trace_path)
     if args.json:
         print(json.dumps(_rewriting_to_json(result, cached), indent=2))
         return 0 if result.complete else 2
@@ -189,6 +220,7 @@ def _cmd_contains(args) -> int:
     q1 = parse_omq(_read(args.omq1), name="Q1")
     q2 = parse_omq(_read(args.omq2), name="Q2")
     cached: Optional[bool] = None
+    trace_path = getattr(args, "trace", None)
     if args.cache_dir is not None or (args.workers or 1) > 1:
         from .engine import ContainmentJob
 
@@ -204,15 +236,21 @@ def _cmd_contains(args) -> int:
                     )
                 ]
             )[0]
+            traces = engine.traces()
         result, cached = job_result.value, job_result.cached
+        if trace_path:
+            _write_trace_file(traces, trace_path)
     else:
-        result = contains(
-            q1,
-            q2,
-            rewriting_budget=args.budget,
-            chase_max_steps=args.max_steps,
-            chase_max_depth=args.max_depth,
-        )
+        with obs.tracing("always" if trace_path else "off"):
+            result = contains(
+                q1,
+                q2,
+                rewriting_budget=args.budget,
+                chase_max_steps=args.max_steps,
+                chase_max_depth=args.max_depth,
+            )
+            if trace_path:
+                _write_trace_file(obs.drain(), trace_path)
     if args.json:
         print(json.dumps(_containment_to_json(result, cached), indent=2))
     else:
@@ -348,6 +386,8 @@ def _cmd_batch(args) -> int:
         else:
             results = engine.run_batch(jobs)
         stats = engine.stats()
+        if getattr(args, "trace", None):
+            _write_trace_file(engine.traces(), args.trace)
     degraded = 0
     for r in results:
         if r.error is not None:
@@ -436,6 +476,31 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    try:
+        roots = obs.load_trace(args.trace_file)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot load trace {args.trace_file}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        obs.format_trace(
+            roots,
+            show_attrs=not args.no_attrs,
+            show_rollup=not args.no_rollup,
+        )
+    )
+    return 0
+
+
+def _add_trace_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="trace every decision and write the span trees to FILE "
+        "(.jsonl = JSONL trees; otherwise Chrome trace_event JSON for "
+        "chrome://tracing / Perfetto)",
+    )
+
+
 def _add_chase_budget_flags(p: argparse.ArgumentParser, note: str = "") -> None:
     p.add_argument(
         "--max-steps", type=int, default=200_000, dest="max_steps",
@@ -468,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_chase_budget_flags(
         p, " (accepted for interface parity; XRewrite never chases)"
     )
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_rewrite)
 
     p = sub.add_parser("evaluate", help="certain answers over a database")
@@ -483,6 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, help="persistent result cache")
     p.add_argument("--workers", type=int, default=1)
     _add_chase_budget_flags(p)
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_contains)
 
     p = sub.add_parser(
@@ -502,6 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
         "the whole batch (with --json, progress lines go to stderr)",
     )
     _add_chase_budget_flags(p)
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("distributes", help="distribution over components")
@@ -523,6 +591,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("answer", nargs="*", help="answer constants, in order")
     p.add_argument("--budget", type=int, default=10_000)
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "trace", help="pretty-print a saved decision trace file"
+    )
+    p.add_argument("trace_file", help="a --trace output (.jsonl or Chrome)")
+    p.add_argument(
+        "--no-attrs", action="store_true", help="hide span attributes"
+    )
+    p.add_argument(
+        "--no-rollup", action="store_true", help="hide the counter rollup"
+    )
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 

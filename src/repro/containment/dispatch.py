@@ -17,6 +17,7 @@ from typing import Optional
 
 from ..core.omq import OMQ, TGDClass, UCQ_REWRITABLE_CLASSES
 from ..fragments.classify import best_class
+from .. import obs
 from .guarded import contains_guarded
 from .cq import ucq_contained_in
 from .propositional import contains_propositional, is_propositional
@@ -59,32 +60,47 @@ def contains(
     the budgets are forwarded to the guarded layered procedure when it is
     selected.
     """
-    subsumption = cq_subsumption(q1, q2)
-    if subsumption is not None:
-        return subsumption
-    if is_propositional(q1) and len(q1.data_schema) <= 16:
-        result = contains_propositional(
-            q1, q2, chase_max_steps=chase_max_steps
-        )
-        if result.decided:
-            return result
-    cls1 = best_class(q1.sigma)
-    if cls1 in UCQ_REWRITABLE_CLASSES:
-        return contains_via_small_witness(
-            q1,
-            q2,
-            rewriting_budget=rewriting_budget or 20_000,
-            chase_max_steps=chase_max_steps,
-            chase_max_depth=chase_max_depth,
-        )
-    return contains_guarded(
-        q1,
-        q2,
-        rewriting_budget=rewriting_budget or 2_000,
-        chase_max_steps=chase_max_steps,
-        chase_max_depth=chase_max_depth,
-        **guarded_kwargs,
-    )
+    with obs.span(
+        "containment.decide", lhs_rules=len(q1.sigma), rhs_rules=len(q2.sigma)
+    ) as decision:
+        with obs.span("containment.subsumption"):
+            subsumption = cq_subsumption(q1, q2)
+        if subsumption is not None:
+            decision.set("method", subsumption.method)
+            decision.set("verdict", subsumption.verdict.name)
+            return subsumption
+        if is_propositional(q1) and len(q1.data_schema) <= 16:
+            with obs.span("containment.propositional"):
+                result = contains_propositional(
+                    q1, q2, chase_max_steps=chase_max_steps
+                )
+            if result.decided:
+                decision.set("method", result.method)
+                decision.set("verdict", result.verdict.name)
+                return result
+        with obs.span("containment.classify"):
+            cls1 = best_class(q1.sigma)
+        decision.set("fragment", cls1.value)
+        if cls1 in UCQ_REWRITABLE_CLASSES:
+            result = contains_via_small_witness(
+                q1,
+                q2,
+                rewriting_budget=rewriting_budget or 20_000,
+                chase_max_steps=chase_max_steps,
+                chase_max_depth=chase_max_depth,
+            )
+        else:
+            result = contains_guarded(
+                q1,
+                q2,
+                rewriting_budget=rewriting_budget or 2_000,
+                chase_max_steps=chase_max_steps,
+                chase_max_depth=chase_max_depth,
+                **guarded_kwargs,
+            )
+        decision.set("method", result.method)
+        decision.set("verdict", result.verdict.name)
+        return result
 
 
 def is_contained(q1: OMQ, q2: OMQ, **kwargs) -> bool:

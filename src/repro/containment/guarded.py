@@ -32,6 +32,7 @@ from ..core.omq import OMQ
 from ..core.terms import Constant, Term
 from ..evaluation import evaluate_omq
 from ..kernel import KERNEL_METRICS, trusted_instance
+from .. import obs
 from .result import ContainmentResult, Verdict, not_contained, unknown
 from .small_witness import (
     check_same_data_schema,
@@ -115,58 +116,78 @@ def contains_guarded(
 ) -> ContainmentResult:
     """Decide (or boundedly attempt) ``Q1 ⊆ Q2`` for guarded/arbitrary OMQs."""
     check_same_data_schema(q1, q2)
-    # Layer 1: exact small-witness if the LHS happens to be rewritable.
-    attempt = contains_via_small_witness(
-        q1,
-        q2,
-        rewriting_budget=rewriting_budget,
-        chase_max_steps=chase_max_steps,
-        chase_max_depth=chase_max_depth,
-    )
-    if attempt.decided:
-        return attempt
-    # Layer 2: sound refutation from the partial rewriting.
-    refutation = refute_via_partial_rewriting(
-        q1,
-        q2,
-        rewriting_budget=refutation_budget,
-        chase_max_steps=chase_max_steps,
-        chase_max_depth=chase_max_depth,
-    )
-    if refutation is not None:
-        return refutation
-    # Layer 3: bounded enumeration of small witness databases.
-    tried = 0
-    inexact_seen = False
-    scanned = KERNEL_METRICS.counter("kernel.witness_search.databases")
-    for db in enumerate_databases(q1, search_max_constants, search_max_atoms):
-        tried += 1
-        if tried > search_max_databases:
-            break
-        scanned.inc()
-        left = evaluate_omq(
-            q1, db, chase_max_steps=chase_max_steps, chase_max_depth=chase_max_depth
+    with obs.span("containment.guarded") as layered:
+        # Layer 1: exact small-witness if the LHS happens to be rewritable.
+        attempt = contains_via_small_witness(
+            q1,
+            q2,
+            rewriting_budget=rewriting_budget,
+            chase_max_steps=chase_max_steps,
+            chase_max_depth=chase_max_depth,
         )
-        if not left.answers:
-            continue
-        right = evaluate_omq(
-            q2, db, chase_max_steps=chase_max_steps, chase_max_depth=chase_max_depth
-        )
-        missing = left.answers - right.answers
-        if missing:
-            if right.exact:
-                answer = sorted(missing, key=str)[0]
-                return not_contained(
-                    "bounded-witness-search",
+        if attempt.decided:
+            layered.set("layer", "small-witness")
+            return attempt
+        # Layer 2: sound refutation from the partial rewriting.
+        with obs.span("guarded.refutation"):
+            refutation = refute_via_partial_rewriting(
+                q1,
+                q2,
+                rewriting_budget=refutation_budget,
+                chase_max_steps=chase_max_steps,
+                chase_max_depth=chase_max_depth,
+            )
+        if refutation is not None:
+            layered.set("layer", "partial-rewriting")
+            return refutation
+        # Layer 3: bounded enumeration of small witness databases.
+        layered.set("layer", "bounded-search")
+        tried = 0
+        inexact_seen = False
+        scanned = KERNEL_METRICS.counter("kernel.witness_search.databases")
+        with obs.span(
+            "witness.search",
+            max_constants=search_max_constants,
+            max_atoms=search_max_atoms,
+        ) as search_span:
+            for db in enumerate_databases(
+                q1, search_max_constants, search_max_atoms
+            ):
+                tried += 1
+                if tried > search_max_databases:
+                    break
+                scanned.inc()
+                search_span.add("witness.databases")
+                left = evaluate_omq(
+                    q1,
                     db,
-                    answer,
-                    f"found after {tried} candidate databases",
+                    chase_max_steps=chase_max_steps,
+                    chase_max_depth=chase_max_depth,
                 )
-            inexact_seen = True
-    detail = (
-        f"no counterexample among {min(tried, search_max_databases)} databases "
-        f"(≤{search_max_constants} constants, ≤{search_max_atoms} atoms)"
-    )
-    if inexact_seen:
-        detail += "; some RHS evaluations were inexact"
-    return unknown("guarded-layered", detail)
+                if not left.answers:
+                    continue
+                right = evaluate_omq(
+                    q2,
+                    db,
+                    chase_max_steps=chase_max_steps,
+                    chase_max_depth=chase_max_depth,
+                )
+                missing = left.answers - right.answers
+                if missing:
+                    if right.exact:
+                        answer = sorted(missing, key=str)[0]
+                        return not_contained(
+                            "bounded-witness-search",
+                            db,
+                            answer,
+                            f"found after {tried} candidate databases",
+                        )
+                    inexact_seen = True
+        detail = (
+            f"no counterexample among {min(tried, search_max_databases)} "
+            f"databases "
+            f"(≤{search_max_constants} constants, ≤{search_max_atoms} atoms)"
+        )
+        if inexact_seen:
+            detail += "; some RHS evaluations were inexact"
+        return unknown("guarded-layered", detail)

@@ -15,6 +15,7 @@ from ..core.atoms import Atom
 from ..core.instance import Instance
 from ..core.omq import OMQ
 from ..evaluation import evaluate_omq
+from .. import obs
 from .result import ContainmentResult, contained, not_contained, unknown
 from .small_witness import check_same_data_schema
 
@@ -43,21 +44,25 @@ def contains_propositional(
         )
     method = "propositional-enumeration"
     inexact = 0
-    for bits in itertools.product((False, True), repeat=len(predicates)):
-        db = Instance.of(
-            Atom(p, ()) for p, keep in zip(predicates, bits) if keep
-        )
-        left = evaluate_omq(q1, db, chase_max_steps=chase_max_steps)
-        if not left.answers:
-            continue
-        right = evaluate_omq(q2, db, chase_max_steps=chase_max_steps)
-        missing = left.answers - right.answers
-        if missing:
-            if right.exact:
-                return not_contained(
-                    method, db, sorted(missing, key=str)[0]
-                )
-            inexact += 1
+    with obs.span(
+        "propositional.enumerate", propositions=len(predicates)
+    ) as scan:
+        for bits in itertools.product((False, True), repeat=len(predicates)):
+            db = Instance.of(
+                Atom(p, ()) for p, keep in zip(predicates, bits) if keep
+            )
+            scan.add("prop.databases")
+            left = evaluate_omq(q1, db, chase_max_steps=chase_max_steps)
+            if not left.answers:
+                continue
+            right = evaluate_omq(q2, db, chase_max_steps=chase_max_steps)
+            missing = left.answers - right.answers
+            if missing:
+                if right.exact:
+                    return not_contained(
+                        method, db, sorted(missing, key=str)[0]
+                    )
+                inexact += 1
     if inexact:
         return unknown(method, f"{inexact} databases had inexact RHS evaluation")
     return contained(method, f"all {2 ** len(predicates)} databases pass")

@@ -26,6 +26,7 @@ from ..core.omq import OMQ
 from ..core.queries import UCQ
 from ..evaluation import cached_rewriting, evaluate_omq
 from ..kernel import KERNEL_METRICS
+from .. import obs
 from .result import ContainmentResult, contained, not_contained, unknown
 
 
@@ -59,55 +60,66 @@ def contains_via_small_witness(
     """
     check_same_data_schema(q1, q2)
     method = "small-witness"
-    if precomputed_rewriting is not None:
-        rewriting = precomputed_rewriting
-    else:
-        result = cached_rewriting(q1, rewriting_budget)
-        if not result.complete:
+    with obs.span("containment.small_witness") as sw:
+        if precomputed_rewriting is not None:
+            rewriting = precomputed_rewriting
+        else:
+            result = cached_rewriting(q1, rewriting_budget)
+            if not result.complete:
+                return unknown(
+                    method,
+                    f"LHS rewriting exceeded budget "
+                    f"({result.stats.queries_generated} queries); "
+                    "the LHS ontology may not be UCQ-rewritable",
+                )
+            rewriting = result.rewriting
+
+        if rewriting.is_empty():
+            return contained(method, "Q1 is unsatisfiable")
+
+        inconclusive = 0
+        q2_plain = q2.as_ucq()
+        shortcut_counter = KERNEL_METRICS.counter(
+            "kernel.small_witness.shortcuts"
+        )
+        with obs.span(
+            "witness.scan", disjuncts=len(rewriting.disjuncts)
+        ) as scan:
+            for disjunct in rewriting.disjuncts:
+                db, canonical = disjunct.canonical_database()
+                # Cheap sound pre-check: D_q ⊆ chase(D_q, Σ2) and CQ
+                # evaluation is monotone, so q2 already holding on the bare
+                # canonical database settles this disjunct without chasing
+                # or rewriting Q2.
+                if q2_plain.holds_in(db, canonical):
+                    shortcut_counter.inc()
+                    scan.add("witness.shortcuts")
+                    continue
+                scan.add("witness.evaluations")
+                evaluation = evaluate_omq(
+                    q2,
+                    db,
+                    chase_max_steps=chase_max_steps,
+                    chase_max_depth=chase_max_depth,
+                )
+                if canonical in evaluation.answers:
+                    continue
+                if evaluation.exact:
+                    sw.set("counterexample", str(disjunct.name))
+                    return not_contained(
+                        method,
+                        db,
+                        canonical,
+                        f"canonical database of disjunct {disjunct}",
+                    )
+                inconclusive += 1
+        if inconclusive:
             return unknown(
                 method,
-                f"LHS rewriting exceeded budget "
-                f"({result.stats.queries_generated} queries); "
-                "the LHS ontology may not be UCQ-rewritable",
+                f"{inconclusive} disjunct(s) had inexact negative RHS "
+                f"evaluation",
             )
-        rewriting = result.rewriting
-
-    if rewriting.is_empty():
-        return contained(method, "Q1 is unsatisfiable")
-
-    inconclusive = 0
-    q2_plain = q2.as_ucq()
-    shortcut_counter = KERNEL_METRICS.counter("kernel.small_witness.shortcuts")
-    for disjunct in rewriting.disjuncts:
-        db, canonical = disjunct.canonical_database()
-        # Cheap sound pre-check: D_q ⊆ chase(D_q, Σ2) and CQ evaluation is
-        # monotone, so q2 already holding on the bare canonical database
-        # settles this disjunct without chasing or rewriting Q2.
-        if q2_plain.holds_in(db, canonical):
-            shortcut_counter.inc()
-            continue
-        evaluation = evaluate_omq(
-            q2,
-            db,
-            chase_max_steps=chase_max_steps,
-            chase_max_depth=chase_max_depth,
-        )
-        if canonical in evaluation.answers:
-            continue
-        if evaluation.exact:
-            return not_contained(
-                method,
-                db,
-                canonical,
-                f"canonical database of disjunct {disjunct}",
-            )
-        inconclusive += 1
-    if inconclusive:
-        return unknown(
-            method,
-            f"{inconclusive} disjunct(s) had inexact negative RHS evaluation",
-        )
-    return contained(method, f"all {len(rewriting)} disjuncts pass")
+        return contained(method, f"all {len(rewriting)} disjuncts pass")
 
 
 def refute_via_partial_rewriting(

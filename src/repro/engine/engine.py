@@ -28,10 +28,11 @@ job, so the matrix parallelizes and warm re-runs are nearly free).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core.omq import OMQ
 from ..core.tgd import TGD
+from ..obs import TraceConfig
 from .cache import ResultCache
 from .jobs import (
     ClassificationOutcome,
@@ -58,6 +59,13 @@ class BatchEngine:
         scheduler's serial thread — deterministic, no subprocesses.
     task_timeout:
         Per-task wall-clock limit in seconds, enforced when ``workers > 1``.
+    trace:
+        Decision tracing for every job the engine runs: ``None``/"off"
+        disables, a mode string ("always", "per-job") or a full
+        :class:`repro.obs.TraceConfig` enables.  The config ships to pool
+        workers with each task, completed span trees ride back with the
+        results (``JobResult.trace``), and :meth:`traces` /
+        ``stats()["traces"]`` collect them engine-wide.
     """
 
     def __init__(
@@ -68,6 +76,7 @@ class BatchEngine:
         memory_cache_size: int = 4096,
         metrics: Optional[MetricsRegistry] = None,
         start_method: Optional[str] = None,
+        trace: Union[None, str, TraceConfig] = None,
     ) -> None:
         self.metrics = metrics or MetricsRegistry()
         self.cache = ResultCache(
@@ -78,7 +87,17 @@ class BatchEngine:
             task_timeout=task_timeout,
             start_method=start_method,
         )
-        self.scheduler = Scheduler(self.pool, self.cache, self.metrics)
+        if isinstance(trace, str):
+            trace = None if trace == "off" else TraceConfig(mode=trace)
+        self.trace_config: Optional[TraceConfig] = trace
+        self._traces: List[dict] = []
+        self.scheduler = Scheduler(
+            self.pool,
+            self.cache,
+            self.metrics,
+            trace_config=self.trace_config,
+            trace_sink=self._traces,
+        )
 
     # -- async submission --------------------------------------------------
 
@@ -170,21 +189,39 @@ class BatchEngine:
 
     # -- accounting -------------------------------------------------------
 
-    def stats(self) -> dict:
-        """Cache statistics plus the engine and kernel metric snapshots.
+    def traces(self) -> List[dict]:
+        """Serialized decision-span trees collected so far (tracing on)."""
+        return list(self._traces)
 
-        ``kernel`` reflects this process's kernel registry — fully
-        populated with ``workers=1`` (jobs execute in-process on the
-        scheduler's serial thread); with a process pool the workers'
-        kernel counters stay in the workers.
+    def stats(self) -> dict:
+        """Cache statistics plus one unified, namespaced metric snapshot.
+
+        ``metrics`` merges the engine registry (``engine.*``), the kernel
+        registry (``kernel.*``), and the tracer's registry (``obs.*``) —
+        the namespaces are disjoint by convention, so the merge is exactly
+        their union.  ``kernel`` is kept as a separate key for callers of
+        the pre-unification shape.  Kernel/obs numbers reflect this
+        process's registries — fully populated with ``workers=1`` (jobs
+        execute in-process on the scheduler's serial thread); with a
+        process pool the workers' counters stay in the workers, but span
+        trees still ride back (``traces``).
         """
         from ..kernel import kernel_snapshot
+        from ..obs import obs_snapshot
 
-        return {
+        kernel = kernel_snapshot()
+        out = {
             "cache": self.cache.stats(),
-            "metrics": self.metrics.snapshot(),
-            "kernel": kernel_snapshot(),
+            "metrics": {
+                **self.metrics.snapshot(),
+                **kernel,
+                **obs_snapshot(),
+            },
+            "kernel": kernel,
         }
+        if self.trace_config is not None:
+            out["traces"] = self.traces()
+        return out
 
     def close(self) -> None:
         self.pool.close()

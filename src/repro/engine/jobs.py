@@ -67,6 +67,14 @@ class ContainmentJob:
     def cache_key(self) -> str:
         return self._key
 
+    def trace_attrs(self) -> dict:
+        """Attributes stamped on the root job span of a traced run."""
+        return {
+            "cache_key": self._key,
+            "lhs_rules": len(self.q1.sigma),
+            "rhs_rules": len(self.q2.sigma),
+        }
+
     def run(self) -> Any:
         from ..containment.dispatch import contains
 
@@ -100,6 +108,9 @@ class RewriteJob:
     def cache_key(self) -> str:
         return self._key
 
+    def trace_attrs(self) -> dict:
+        return {"cache_key": self._key, "budget": self.budget}
+
     def run(self) -> Any:
         from ..rewriting.xrewrite import RewritingBudgetExceeded, xrewrite
 
@@ -130,6 +141,9 @@ class ClassifyJob:
 
     def cache_key(self) -> str:
         return self._key
+
+    def trace_attrs(self) -> dict:
+        return {"cache_key": self._key, "rules": len(self.sigma)}
 
     def run(self) -> ClassificationOutcome:
         from ..fragments.classify import best_class, classify
@@ -185,7 +199,12 @@ class JobResult:
     ``cached`` marks a value served from the result cache; ``coalesced``
     marks one served by deduplication — the job was α-equivalent to
     another submission and rode along on that single computation instead
-    of being scheduled itself.
+    of being scheduled itself.  ``trace``, populated when the engine runs
+    with tracing enabled, is the serialized decision-span tree captured
+    around the job's execution — shipped back from the worker process for
+    pooled jobs, so it survives even crash-isolated tasks (cached and
+    coalesced results share the original computation's trace or carry
+    none).
     """
 
     job: Any
@@ -194,6 +213,7 @@ class JobResult:
     error: Optional[str] = None
     duration: float = 0.0
     coalesced: bool = False
+    trace: Optional[dict] = None
 
     @property
     def ok(self) -> bool:

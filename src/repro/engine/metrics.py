@@ -2,19 +2,32 @@
 
 A :class:`MetricsRegistry` is a named bag of monotonically increasing
 :class:`Counter`\\ s, up/down :class:`Gauge`\\ s (current in-flight depth of
-the scheduler), and accumulating :class:`Timer`\\ s.  It is deliberately
-minimal — enough to report cache hit rates and per-procedure latency from
-``BatchEngine.stats()`` and the CLI without pulling in a metrics library —
-and thread-safe, since the pool coordinator and callers may touch it
-concurrently.
+the scheduler), accumulating :class:`Timer`\\ s, and bounded-bucket
+:class:`Histogram`\\ s (span durations, chase round sizes).  It is
+deliberately minimal — enough to report cache hit rates and per-procedure
+latency from ``BatchEngine.stats()`` and the CLI without pulling in a
+metrics library — and thread-safe, since the pool coordinator and callers
+may touch it concurrently.
+
+Two registry-wide conventions keep long-lived references safe:
+
+* :meth:`MetricsRegistry.reset` **zeroes metrics in place** rather than
+  clearing the name→object maps.  Call sites cache metric objects (the
+  kernel holds its counters across thousands of searches); dropping the
+  objects on reset would leave those references updating detached orphans
+  that later snapshots never see.
+* :meth:`MetricsRegistry.snapshot` **omits identically-zero metrics**, so
+  a freshly reset registry snapshots as ``{}`` and idle metrics do not
+  clutter reports.
 """
 
 from __future__ import annotations
 
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
 from threading import RLock
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 
 class Counter:
@@ -35,6 +48,9 @@ class Counter:
     def value(self) -> int:
         with self._lock:
             return self._value
+
+    def _zero(self) -> None:
+        self._value = 0
 
 
 class Gauge:
@@ -66,6 +82,10 @@ class Gauge:
     def high_water(self) -> int:
         with self._lock:
             return self._max
+
+    def _zero(self) -> None:
+        self._value = 0
+        self._max = 0
 
 
 class Timer:
@@ -109,15 +129,99 @@ class Timer:
         with self._lock:
             return self._total / self._count if self._count else 0.0
 
+    def _zero(self) -> None:
+        self._total = 0.0
+        self._count = 0
+        self._max = 0.0
+
+
+#: Default histogram buckets (seconds): micro-phases up to long decisions.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0,
+)
+
+
+class Histogram:
+    """A bounded-bucket histogram: counts per upper bound plus sum/max.
+
+    *buckets* are ascending upper bounds; an implicit ``+inf`` bucket
+    catches the tail, so memory is fixed regardless of how many values are
+    observed — safe for hot paths like span durations and chase round
+    sizes.
+    """
+
+    __slots__ = ("name", "buckets", "_counts", "_sum", "_count", "_max", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        lock: RLock,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(buckets)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"buckets must be ascending, got {bounds!r}")
+        self.name = name
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._max = 0.0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        # bisect_left makes the bounds inclusive, as the ``le_`` labels say.
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            out: Dict[str, object] = {
+                "count": self._count,
+                "sum": self._sum,
+                "mean": self._sum / self._count if self._count else 0.0,
+                "max": self._max,
+            }
+            labels = [f"le_{b:g}" for b in self.buckets] + ["inf"]
+            out["buckets"] = dict(zip(labels, self._counts))
+            return out
+
+    def _zero(self) -> None:
+        self._counts = [0] * len(self._counts)
+        self._sum = 0.0
+        self._count = 0
+        self._max = 0.0
+
 
 class MetricsRegistry:
-    """A named collection of counters and timers."""
+    """A named collection of counters, gauges, timers, and histograms."""
 
     def __init__(self) -> None:
         self._lock = RLock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._timers: Dict[str, Timer] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -137,26 +241,63 @@ class MetricsRegistry:
                 self._timers[name] = Timer(name, self._lock)
             return self._timers[name]
 
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """Get-or-create a histogram; *buckets* only applies on creation."""
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(
+                    name, self._lock, buckets or DEFAULT_BUCKETS
+                )
+            return self._histograms[name]
+
     def snapshot(self) -> Dict[str, object]:
-        """A plain-dict view of every metric (stable key order)."""
+        """A plain-dict view of every *touched* metric (stable key order).
+
+        Identically-zero metrics (never used, or zeroed by :meth:`reset`)
+        are omitted, so a fresh or freshly reset registry snapshots as an
+        empty dict.
+        """
         with self._lock:
             out: Dict[str, object] = {}
             for name in sorted(self._counters):
-                out[name] = self._counters[name].value
+                value = self._counters[name].value
+                if value:
+                    out[name] = value
             for name in sorted(self._gauges):
                 g = self._gauges[name]
-                out[name] = {"value": g.value, "high_water": g.high_water}
+                if g.value or g.high_water:
+                    out[name] = {"value": g.value, "high_water": g.high_water}
             for name in sorted(self._timers):
                 t = self._timers[name]
-                out[name] = {
-                    "total_s": t.total,
-                    "count": t.count,
-                    "mean_s": t.mean,
-                }
+                if t.count or t.total:
+                    out[name] = {
+                        "total_s": t.total,
+                        "count": t.count,
+                        "mean_s": t.mean,
+                    }
+            for name in sorted(self._histograms):
+                h = self._histograms[name]
+                if h.count:
+                    out[name] = h.snapshot()
             return out
 
     def reset(self) -> None:
+        """Zero every metric **in place**.
+
+        The name→object maps are preserved on purpose: call sites cache
+        metric objects across calls, and clearing the maps would orphan
+        those references — they would keep accumulating into objects no
+        snapshot ever reads (the bug ``repro.clear_caches()`` used to
+        trigger on the kernel counters).
+        """
         with self._lock:
-            self._counters.clear()
-            self._gauges.clear()
-            self._timers.clear()
+            for counter in self._counters.values():
+                counter._zero()
+            for gauge in self._gauges.values():
+                gauge._zero()
+            for timer in self._timers.values():
+                timer._zero()
+            for histogram in self._histograms.values():
+                histogram._zero()

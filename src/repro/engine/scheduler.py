@@ -46,6 +46,7 @@ from .cache import ResultCache
 from .jobs import JobResult
 from .metrics import MetricsRegistry
 from .pool import CANCELLED, PoolTicket, WorkerPool
+from ..obs import TraceConfig, TracedOutcome, TracedTask
 
 
 class JobHandle:
@@ -133,10 +134,22 @@ class Scheduler:
         pool: WorkerPool,
         cache: ResultCache,
         metrics: Optional[MetricsRegistry] = None,
+        trace_config: Optional[TraceConfig] = None,
+        trace_sink: Optional[List[dict]] = None,
     ) -> None:
         self.pool = pool
         self.cache = cache
         self.metrics = metrics or MetricsRegistry()
+        # With a trace config, every dispatched job is wrapped in a
+        # TracedTask: the config ships to the worker, the completed span
+        # tree rides back inside the result payload, and completed trees
+        # land in *trace_sink* (the BatchEngine's list) on unwrap.
+        self.trace_config = (
+            trace_config
+            if trace_config is None or trace_config.mode != "off"
+            else None
+        )
+        self.trace_sink = trace_sink
         self._lock = threading.RLock()
         self._inflight: dict = {}
 
@@ -173,7 +186,10 @@ class Scheduler:
             flight = _Flight(None, handle)
             handle._flight = flight
         self.metrics.gauge("engine.scheduler.inflight").add()
-        ticket = self.pool.submit(job)
+        task: Any = job
+        if self.trace_config is not None:
+            task = TracedTask(job, self.trace_config, time.time())
+        ticket = self.pool.submit(task)
         flight.ticket = ticket
         self.metrics.counter("engine.scheduler.dispatched").inc()
         ticket.add_done_callback(
@@ -205,6 +221,7 @@ class Scheduler:
                     error=r.error,
                     duration=r.duration,
                     coalesced=True,
+                    trace=r.trace,
                 )
             ):
                 self.metrics.counter("engine.scheduler.completed").inc()
@@ -277,6 +294,15 @@ class Scheduler:
         assert outcome is not None
         job = flight.handles[0].job
         cancelled = outcome.failure == CANCELLED
+        # Traced tasks bundle the span tree with the value; unwrap before
+        # caching so the cache stores plain values, and bank the tree.
+        value = outcome.value
+        trace: Optional[dict] = None
+        if isinstance(value, TracedOutcome):
+            trace = value.trace
+            value = value.value
+            if trace is not None and self.trace_sink is not None:
+                self.trace_sink.append(trace)
         if not cancelled:
             self.metrics.counter(f"engine.{job.kind}.runs").inc()
             self.metrics.timer(f"engine.{job.kind}.time").observe(
@@ -284,7 +310,7 @@ class Scheduler:
             )
             if outcome.ok:
                 if flight.key is not None:
-                    self.cache.put(flight.key, outcome.value)
+                    self.cache.put(flight.key, value)
             else:
                 self.metrics.counter(f"engine.{job.kind}.failures").inc()
         # The cache now holds the value (if any), so a submit that races
@@ -300,9 +326,10 @@ class Scheduler:
             if outcome.ok:
                 result = JobResult(
                     h.job,
-                    outcome.value,
+                    value,
                     duration=outcome.duration,
                     coalesced=i > 0,
+                    trace=trace,
                 )
             else:
                 result = JobResult(
@@ -311,6 +338,7 @@ class Scheduler:
                     error=outcome.failure,
                     duration=outcome.duration,
                     coalesced=i > 0,
+                    trace=trace,
                 )
             if h._resolve(result):
                 self.metrics.counter("engine.scheduler.completed").inc()

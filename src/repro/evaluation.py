@@ -27,6 +27,7 @@ from .core.omq import OMQ, TGDClass
 from .core.terms import Term
 from .engine.registry import register_cache
 from .fragments.classify import best_class
+from . import obs
 from .fragments.weak import is_weakly_acyclic
 from .rewriting.xrewrite import (
     RewritingBudgetExceeded,
@@ -121,6 +122,34 @@ def evaluate_omq(
     ``method`` is ``"auto"``, ``"chase"``, ``"rewriting"`` or
     ``"bounded-chase"``.
     """
+    # One span per top-level evaluation; the strategy dispatch below
+    # recurses through _evaluate_omq so "auto" does not nest a second span.
+    with obs.span(
+        "evaluate.omq", method=method, db_atoms=len(database.atoms)
+    ) as ev:
+        result = _evaluate_omq(
+            omq,
+            database,
+            method=method,
+            chase_max_steps=chase_max_steps,
+            chase_max_depth=chase_max_depth,
+            rewriting_budget=rewriting_budget,
+        )
+        ev.set("strategy", result.method)
+        ev.set("answers", len(result.answers))
+        ev.set("exact", result.exact)
+        return result
+
+
+def _evaluate_omq(
+    omq: OMQ,
+    database: Instance,
+    *,
+    method: str = "auto",
+    chase_max_steps: int = 200_000,
+    chase_max_depth: Optional[int] = None,
+    rewriting_budget: int = 20_000,
+) -> EvaluationResult:
     omq.validate_database(database)
     query = omq.as_ucq()
     if method == "chase":
@@ -168,11 +197,11 @@ def evaluate_omq(
         or TGDClass.NON_RECURSIVE in classes
         or _cached_weakly_acyclic(omq.sigma)
     ):
-        return evaluate_omq(
+        return _evaluate_omq(
             omq, database, method="chase", chase_max_steps=chase_max_steps
         )
     if TGDClass.LINEAR in classes or TGDClass.STICKY in classes:
-        return evaluate_omq(
+        return _evaluate_omq(
             omq, database, method="rewriting", rewriting_budget=rewriting_budget
         )
     # Guarded / arbitrary: try a rewriting attempt first (database
@@ -191,7 +220,7 @@ def evaluate_omq(
         return EvaluationResult(query.evaluate(result.instance), True, "chase")
     except ChaseBudgetExceeded:
         pass
-    return evaluate_omq(
+    return _evaluate_omq(
         omq,
         database,
         method="bounded-chase",

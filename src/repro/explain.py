@@ -24,6 +24,7 @@ from .core.homomorphism import homomorphisms
 from .core.instance import Instance
 from .core.omq import OMQ
 from .core.terms import Constant, Term
+from . import obs
 
 
 @dataclass(frozen=True)
@@ -54,11 +55,19 @@ class Derivation:
 
 @dataclass(frozen=True)
 class Explanation:
-    """Why *answer* is a certain answer: one derivation per query atom."""
+    """Why *answer* is a certain answer: one derivation per query atom.
+
+    ``decision_id`` cross-links the explanation to its trace: when the
+    explanation was built inside an active decision span, it carries the
+    root span id of that trace (the same id ``repro trace`` prints and the
+    Chrome exporter puts in ``args``), so a derivation forest and the
+    phase timings of the run that produced it can be joined offline.
+    """
 
     answer: Tuple[Term, ...]
     disjunct: str
     derivations: Tuple[Derivation, ...]
+    decision_id: Optional[str] = None
 
     def facts_used(self) -> Tuple[Atom, ...]:
         out: List[Atom] = []
@@ -124,29 +133,34 @@ def explain_answer(
     """
     omq.validate_database(database)
     answer = tuple(answer)
-    result = chase(database, omq.sigma, max_steps=max_steps)
-    index = _provenance_index(result, omq.sigma)
-    for disjunct in omq.as_ucq().disjuncts:
-        fixed: Dict[Term, Term] = {}
-        compatible = True
-        for head_term, value in zip(disjunct.head, answer):
-            if isinstance(head_term, Constant):
-                if head_term != value:
+    with obs.span("explain.answer", answer=str(answer)) as ex:
+        decision_id = obs.current_decision_id()
+        result = chase(database, omq.sigma, max_steps=max_steps)
+        index = _provenance_index(result, omq.sigma)
+        for disjunct in omq.as_ucq().disjuncts:
+            fixed: Dict[Term, Term] = {}
+            compatible = True
+            for head_term, value in zip(disjunct.head, answer):
+                if isinstance(head_term, Constant):
+                    if head_term != value:
+                        compatible = False
+                        break
+                elif fixed.setdefault(head_term, value) != value:
                     compatible = False
                     break
-            elif fixed.setdefault(head_term, value) != value:
-                compatible = False
-                break
-        if not compatible:
-            continue
-        for h in homomorphisms(disjunct.body, result.instance, fixed):
-            cache: Dict[Atom, Derivation] = {}
-            derivations = tuple(
-                _derive(a.substitute(h), database, index, cache)
-                for a in disjunct.body
-            )
-            return Explanation(answer, str(disjunct), derivations)
-    return None
+            if not compatible:
+                continue
+            for h in homomorphisms(disjunct.body, result.instance, fixed):
+                cache: Dict[Atom, Derivation] = {}
+                derivations = tuple(
+                    _derive(a.substitute(h), database, index, cache)
+                    for a in disjunct.body
+                )
+                ex.set("disjunct", str(disjunct.name))
+                return Explanation(
+                    answer, str(disjunct), derivations, decision_id
+                )
+        return None
 
 
 def format_explanation(explanation: Explanation, indent: str = "  ") -> str:
@@ -155,6 +169,8 @@ def format_explanation(explanation: Explanation, indent: str = "  ") -> str:
         f"answer ({', '.join(str(t) for t in explanation.answer)}) "
         f"via {explanation.disjunct}"
     ]
+    if explanation.decision_id:
+        lines.append(f"{indent}(decision {explanation.decision_id})")
 
     def walk(node: Derivation, depth: int) -> None:
         tag = "fact" if node.is_fact() else f"by {node.rule}"

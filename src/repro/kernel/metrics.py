@@ -30,6 +30,7 @@ from typing import Dict
 
 from ..engine.metrics import MetricsRegistry
 from ..engine.registry import register_cache
+from .. import obs
 
 #: The kernel's shared registry.  Module-level on purpose: every consumer
 #: (chase, evaluation, containment, rewriting) reports here.
@@ -46,7 +47,12 @@ def kernel_snapshot() -> Dict[str, object]:
 def flush_search_counts(
     searches: int, candidates: int, matches: int, backtracks: int
 ) -> None:
-    """Batch-add one search's locally accumulated counts to the registry."""
+    """Batch-add one search's locally accumulated counts to the registry.
+
+    When a decision trace is active, the same batch also rolls up onto the
+    current span — one ``add_many`` per search, never per candidate, so the
+    tracer stays off the kernel's inner loop.
+    """
     if searches:
         KERNEL_METRICS.counter("kernel.hom.searches").inc(searches)
     if candidates:
@@ -55,3 +61,14 @@ def flush_search_counts(
         KERNEL_METRICS.counter("kernel.hom.matches").inc(matches)
     if backtracks:
         KERNEL_METRICS.counter("kernel.hom.backtracks").inc(backtracks)
+    if obs.is_active():
+        obs.add_many(
+            (name, count)
+            for name, count in (
+                ("hom.searches", searches),
+                ("hom.candidates", candidates),
+                ("hom.matches", matches),
+                ("hom.backtracks", backtracks),
+            )
+            if count
+        )

@@ -29,6 +29,7 @@ deterministic enumeration order:
 from __future__ import annotations
 
 from functools import lru_cache
+from time import perf_counter
 from typing import (
     Dict,
     FrozenSet,
@@ -44,6 +45,7 @@ from typing import (
 from ..core.atoms import Atom
 from ..core.terms import Null, Term, Variable
 from ..engine.registry import register_cache
+from .. import obs
 from .instance import view_of
 from .metrics import flush_search_counts
 
@@ -215,9 +217,17 @@ class HomSearch:
             if not produced:
                 counts[2] += 1
 
+        # Trace rollup is per-search and sampled by is_active(): with no
+        # open span this costs one bool test, and the per-candidate inner
+        # loop above is never touched either way.
+        timed = obs.is_active()
+        if timed:
+            t0 = perf_counter()
         try:
             yield from extend(0, initial)
         finally:
+            if timed:
+                obs.add("hom.seconds", perf_counter() - t0)
             flush_search_counts(1, counts[0], counts[1], counts[2])
 
     def find(

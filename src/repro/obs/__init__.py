@@ -1,0 +1,89 @@
+"""repro.obs — hierarchical decision tracing for containment runs.
+
+The subsystem has four parts:
+
+* :mod:`repro.obs.span` — the span tree (intervals, attrs, counters,
+  events) and its serialized-dict form;
+* :mod:`repro.obs.tracer` — the contextvars-propagated tracer:
+  :func:`span` / :func:`event` / :func:`add` instrumentation API,
+  sampling policy (:class:`TraceConfig`), and the cross-process
+  :class:`TracedTask` wrapper the batch engine uses;
+* :mod:`repro.obs.export` — JSONL and Chrome ``trace_event`` exporters
+  plus loaders and a Chrome-schema validator;
+* :mod:`repro.obs.format` — the ``repro trace`` pretty-printer.
+
+Import-graph note: obs sits *below* the kernel/chase/containment layers
+(they import it for instrumentation), so it may only depend on the leaf
+modules ``engine.metrics`` and ``engine.registry``.
+"""
+
+from .span import Span, new_span_id, rollup_counters, walk
+from .tracer import (
+    NULL_HANDLE,
+    OBS_METRICS,
+    TraceConfig,
+    TracedOutcome,
+    TracedTask,
+    add,
+    add_many,
+    apply_config,
+    configure,
+    current_decision_id,
+    current_span,
+    drain,
+    event,
+    get_config,
+    growth_stride,
+    is_active,
+    is_enabled,
+    obs_snapshot,
+    span,
+    tracing,
+)
+from .export import (
+    chrome_trace,
+    load_jsonl,
+    load_trace,
+    roots_from_chrome,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from .format import format_trace
+
+__all__ = [
+    "NULL_HANDLE",
+    "OBS_METRICS",
+    "Span",
+    "TraceConfig",
+    "TracedOutcome",
+    "TracedTask",
+    "add",
+    "add_many",
+    "apply_config",
+    "chrome_trace",
+    "configure",
+    "current_decision_id",
+    "current_span",
+    "drain",
+    "event",
+    "format_trace",
+    "get_config",
+    "growth_stride",
+    "is_active",
+    "is_enabled",
+    "load_jsonl",
+    "load_trace",
+    "new_span_id",
+    "obs_snapshot",
+    "rollup_counters",
+    "roots_from_chrome",
+    "span",
+    "tracing",
+    "validate_chrome_trace",
+    "walk",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]

@@ -1,0 +1,278 @@
+"""Trace exporters and loaders: JSONL span trees and Chrome trace_event.
+
+Two on-disk formats, chosen by file extension in the CLI:
+
+* ``*.jsonl`` — one serialized root-span tree per line (the
+  :meth:`repro.obs.span.Span.to_dict` format verbatim).  Lossless; the
+  format ``repro trace`` and programmatic consumers prefer.
+* anything else (conventionally ``*.json``) — the Chrome ``trace_event``
+  format (a ``{"traceEvents": [...]}`` document of complete ``"X"`` events
+  plus instant ``"i"`` events), which loads directly in
+  ``chrome://tracing`` and https://ui.perfetto.dev.  Span attributes and
+  counter rollups ride in ``args``; timestamps are wall-clock microseconds
+  so trees captured in different pool workers land on one aligned
+  timeline.
+
+Both directions are supported: :func:`roots_from_chrome` rebuilds span
+trees from a Chrome document (nesting by containment per ``(pid, tid)``
+track), so ``repro trace`` pretty-prints either format.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .span import walk
+
+#: Event phases the validator accepts (we only emit X, i, and M).
+_KNOWN_PHASES = {"X", "i", "I", "B", "E", "M"}
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+
+def _span_events(node: Dict[str, Any], out: List[Dict[str, Any]]) -> None:
+    args: Dict[str, Any] = {"span_id": node["id"]}
+    args.update(node.get("attrs", {}))
+    for name, value in node.get("counters", {}).items():
+        args[name] = value
+    ts = int(node["start"] * 1e6)
+    out.append(
+        {
+            "name": node["name"],
+            "cat": node["name"].split(".", 1)[0],
+            "ph": "X",
+            "ts": ts,
+            # Perfetto ignores zero-width slices; clamp to 1 µs.
+            "dur": max(1, int(node["dur_s"] * 1e6)),
+            "pid": node["pid"],
+            "tid": node["tid"],
+            "args": args,
+        }
+    )
+    for ev in node.get("events", ()):
+        out.append(
+            {
+                "name": ev["name"],
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "ts": int(ev["ts"] * 1e6),
+                "pid": node["pid"],
+                "tid": node["tid"],
+                "args": dict(ev.get("attrs", {})),
+            }
+        )
+    for child in node.get("children", ()):
+        _span_events(child, out)
+
+
+def chrome_trace(roots: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """The Chrome trace_event document for a list of root span trees."""
+    events: List[Dict[str, Any]] = []
+    pids = set()
+    for root in roots:
+        _span_events(root, events)
+        pids.add(root["pid"])
+    for pid in sorted(pids):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs"},
+    }
+
+
+def write_chrome_trace(roots: Sequence[Dict[str, Any]], path: str) -> None:
+    Path(path).write_text(
+        json.dumps(chrome_trace(roots)), encoding="utf-8"
+    )
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Schema errors of a Chrome trace document; empty list means valid.
+
+    Checks the invariants the CI smoke step (and Perfetto) relies on:
+    events carry name/ph/pid/tid; ``ts`` values are finite, non-negative,
+    and non-decreasing per ``(pid, tid)`` track; complete ``X`` events
+    have a non-negative ``dur`` and nest properly (no partial overlap);
+    ``B``/``E`` pairs, if present, are balanced.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("traceEvents"), list
+    ):
+        return ["document must be a dict with a 'traceEvents' list"]
+    tracks: Dict[Tuple[Any, Any], List[Dict[str, Any]]] = {}
+    begin_depth: Dict[Tuple[Any, Any], int] = {}
+    for i, ev in enumerate(doc["traceEvents"]):
+        where = f"event[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if "name" not in ev or "pid" not in ev or "tid" not in ev:
+            errors.append(f"{where}: missing name/pid/tid")
+            continue
+        if ph == "M":
+            continue  # metadata events carry no ts
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or not math.isfinite(ts) or ts < 0:
+            errors.append(f"{where}: bad ts {ts!r}")
+            continue
+        key = (ev["pid"], ev["tid"])
+        track = tracks.setdefault(key, [])
+        if track and ts < track[-1]["ts"]:
+            errors.append(
+                f"{where}: ts {ts} not monotonic on track {key} "
+                f"(previous {track[-1]['ts']})"
+            )
+        track.append(ev)
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X event with bad dur {dur!r}")
+        elif ph == "B":
+            begin_depth[key] = begin_depth.get(key, 0) + 1
+        elif ph == "E":
+            depth = begin_depth.get(key, 0) - 1
+            if depth < 0:
+                errors.append(f"{where}: E without matching B on {key}")
+            begin_depth[key] = max(0, depth)
+    for key, depth in begin_depth.items():
+        if depth:
+            errors.append(f"track {key}: {depth} unmatched B event(s)")
+    # X nesting: per track, spans must be properly nested or disjoint.
+    for key, track in tracks.items():
+        stack: List[Tuple[float, float]] = []  # (start, end)
+        xs = sorted(
+            (e for e in track if e["ph"] == "X"),
+            key=lambda e: (e["ts"], -e.get("dur", 0)),
+        )
+        for ev in xs:
+            start, end = ev["ts"], ev["ts"] + ev.get("dur", 0)
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1] + 1:  # 1 µs rounding slack
+                errors.append(
+                    f"track {key}: span {ev['name']!r} [{start},{end}] "
+                    f"partially overlaps its enclosing span "
+                    f"[{stack[-1][0]},{stack[-1][1]}]"
+                )
+            stack.append((start, end))
+    return errors
+
+
+def roots_from_chrome(doc: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Rebuild span trees from a Chrome trace document.
+
+    Nesting is inferred per ``(pid, tid)`` track by interval containment —
+    exactly how the document was flattened, so a round trip through
+    :func:`chrome_trace` reproduces the tree shape.
+    """
+    by_track: Dict[Tuple[Any, Any], List[Dict[str, Any]]] = {}
+    for ev in doc.get("traceEvents", ()):
+        if ev.get("ph") == "X":
+            by_track.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+    roots: List[Dict[str, Any]] = []
+    for (pid, tid), events in sorted(by_track.items(), key=str):
+        events.sort(key=lambda e: (e["ts"], -e.get("dur", 0)))
+        stack: List[Dict[str, Any]] = []  # open span nodes
+        for ev in events:
+            args = dict(ev.get("args", {}))
+            span_id = args.pop("span_id", None)
+            node: Dict[str, Any] = {
+                "id": span_id or f"{pid:x}-?",
+                "name": ev["name"],
+                "pid": pid,
+                "tid": tid,
+                "start": ev["ts"] / 1e6,
+                "dur_s": ev.get("dur", 0) / 1e6,
+                "attrs": args,
+            }
+            node["_end"] = ev["ts"] + ev.get("dur", 0)
+            while stack and ev["ts"] >= stack[-1]["_end"]:
+                stack.pop()
+            if stack:
+                stack[-1].setdefault("children", []).append(node)
+            else:
+                roots.append(node)
+            stack.append(node)
+    for root in roots:
+        for node in walk(root):
+            node.pop("_end", None)
+            node["self_s"] = max(
+                0.0,
+                node["dur_s"]
+                - sum(c["dur_s"] for c in node.get("children", ())),
+            )
+    return roots
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def write_jsonl(roots: Sequence[Dict[str, Any]], path: str) -> None:
+    """One serialized root-span tree per line."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for root in roots:
+            fh.write(json.dumps(root) + "\n")
+
+
+def load_jsonl(path: str) -> List[Dict[str, Any]]:
+    roots: List[Dict[str, Any]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            roots.append(json.loads(line))
+    return roots
+
+
+# ---------------------------------------------------------------------------
+# Unified entry points
+# ---------------------------------------------------------------------------
+
+
+def write_trace(roots: Sequence[Dict[str, Any]], path: str) -> str:
+    """Write *roots* to *path*; format by extension.  Returns the format."""
+    if str(path).endswith(".jsonl"):
+        write_jsonl(roots, path)
+        return "jsonl"
+    write_chrome_trace(roots, path)
+    return "chrome"
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Load root span trees from either on-disk format (sniffed)."""
+    text = Path(path).read_text(encoding="utf-8").strip()
+    if not text:
+        return []
+    first_line = text.splitlines()[0]
+    try:
+        head = json.loads(first_line)
+    except json.JSONDecodeError:
+        head = None
+    if isinstance(head, dict) and "traceEvents" not in head:
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+    doc = json.loads(text)
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return roots_from_chrome(doc)
+    raise ValueError(f"{path}: not a repro trace file")

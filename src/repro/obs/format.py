@@ -1,0 +1,92 @@
+"""Human-readable rendering of serialized span trees (``repro trace``)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .span import rollup_counters
+
+
+def _fmt_ms(seconds: float) -> str:
+    ms = seconds * 1e3
+    if ms >= 100:
+        return f"{ms:.0f}ms"
+    if ms >= 1:
+        return f"{ms:.1f}ms"
+    return f"{ms:.3f}ms"
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _render(
+    node: Dict[str, Any],
+    depth: int,
+    lines: List[str],
+    show_attrs: bool,
+) -> None:
+    indent = "  " * depth
+    dur = node.get("dur_s", 0.0)
+    self_s = node.get("self_s", dur)
+    parts = [f"{indent}{node['name']}"]
+    parts.append(f"  {_fmt_ms(dur)}")
+    if node.get("children"):
+        parts.append(f"(self {_fmt_ms(self_s)})")
+    detail: List[str] = []
+    if show_attrs:
+        for key, value in node.get("attrs", {}).items():
+            detail.append(f"{key}={_fmt_value(value)}")
+    for key, value in node.get("counters", {}).items():
+        detail.append(f"{key}={_fmt_value(value)}")
+    if detail:
+        parts.append("[" + " ".join(detail) + "]")
+    lines.append(" ".join(parts))
+    for ev in node.get("events", ()):
+        ev_attrs = " ".join(
+            f"{k}={_fmt_value(v)}" for k, v in ev.get("attrs", {}).items()
+        )
+        lines.append(
+            f"{indent}  · {ev['name']}" + (f" [{ev_attrs}]" if ev_attrs else "")
+        )
+    for child in node.get("children", ()):
+        _render(child, depth + 1, lines, show_attrs)
+
+
+def format_trace(
+    roots: Sequence[Dict[str, Any]],
+    *,
+    show_attrs: bool = True,
+    show_rollup: bool = True,
+) -> str:
+    """An indented phase tree with self/cumulative times per decision.
+
+    One block per root decision: header (decision id, pid, total time),
+    the span tree, point events as ``·`` lines, and — when counters were
+    recorded anywhere in the tree — a recursive rollup footer.
+    """
+    blocks: List[str] = []
+    for root in roots:
+        lines: List[str] = []
+        lines.append(
+            f"decision {root['id']}  pid={root['pid']}  "
+            f"total={_fmt_ms(root.get('dur_s', 0.0))}"
+        )
+        if root.get("dropped_spans"):
+            lines.append(
+                f"  (!) {root['dropped_spans']} span(s) dropped "
+                f"(max_spans budget)"
+            )
+        _render(root, 1, lines, show_attrs)
+        if show_rollup:
+            totals = rollup_counters(root)
+            if totals:
+                lines.append("  rollup:")
+                for name in sorted(totals):
+                    lines.append(f"    {name} = {_fmt_value(totals[name])}")
+        blocks.append("\n".join(lines))
+    if not blocks:
+        return "(no decisions recorded)"
+    return "\n\n".join(blocks)

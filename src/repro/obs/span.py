@@ -1,0 +1,164 @@
+"""The span tree: one node per traced phase of a decision.
+
+A :class:`Span` is a named interval with attributes, counter rollups,
+point-in-time events, and children.  Trees are built by the tracer
+(:mod:`repro.obs.tracer`) through ``contextvars`` propagation, finish
+bottom-up, and are serialized to plain nested dicts — the only form that
+crosses process boundaries (worker pools return ``to_dict()`` output, not
+live spans) and the form every exporter consumes.
+
+Timing model: durations come from ``time.perf_counter()`` (monotonic,
+high resolution); absolute timestamps are anchored once per tree — the
+root records ``time.time()`` at birth and every descendant's wall-clock
+start is the root anchor plus its perf-counter offset.  Within a tree
+timestamps are therefore strictly consistent with durations, and across
+processes trees align on the wall clock (good enough for one machine,
+which is the pool's scope).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+#: Process-local span-id sequence; ids embed the pid so ids from pool
+#: workers never collide with the parent process's.
+_ids = itertools.count(1)
+
+
+def new_span_id() -> str:
+    """A process-unique span id, ``<pid hex>-<seq hex>``."""
+    return f"{os.getpid():x}-{next(_ids):x}"
+
+
+class Span:
+    """One traced interval; ``to_dict()`` is the wire/export format."""
+
+    __slots__ = (
+        "span_id",
+        "name",
+        "attrs",
+        "counters",
+        "events",
+        "children",
+        "parent",
+        "root",
+        "pid",
+        "tid",
+        "start_wall",
+        "start_perf",
+        "end_perf",
+        "n_spans",
+        "dropped",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, Any]] = None,
+        parent: Optional["Span"] = None,
+    ) -> None:
+        self.span_id = new_span_id()
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.counters: Dict[str, float] = {}
+        self.events: List[Dict[str, Any]] = []
+        self.children: List["Span"] = []
+        self.parent = parent
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        self.start_perf = time.perf_counter()
+        self.end_perf: Optional[float] = None
+        if parent is None:
+            self.root = self
+            self.start_wall = time.time()
+            self.n_spans = 1
+            self.dropped = 0
+        else:
+            self.root = parent.root
+            self.start_wall = parent.root.start_wall + (
+                self.start_perf - parent.root.start_perf
+            )
+            self.n_spans = 0  # tracked on the root only
+            self.dropped = 0
+
+    # -- recording --------------------------------------------------------
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) an attribute."""
+        self.attrs[key] = value
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        """Add to a per-span rollup counter."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time structured event on this span."""
+        ts = self.root.start_wall + (
+            time.perf_counter() - self.root.start_perf
+        )
+        self.events.append({"name": name, "ts": ts, "attrs": attrs})
+
+    def finish(self) -> None:
+        if self.end_perf is None:
+            self.end_perf = time.perf_counter()
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Cumulative seconds (0.0 while the span is still open)."""
+        if self.end_perf is None:
+            return 0.0
+        return self.end_perf - self.start_perf
+
+    @property
+    def self_time(self) -> float:
+        """Seconds spent in this span excluding (finished) children."""
+        return max(
+            0.0, self.duration - sum(c.duration for c in self.children)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The serialized span tree (plain dicts — picklable, JSON-ready)."""
+        out: Dict[str, Any] = {
+            "id": self.span_id,
+            "name": self.name,
+            "pid": self.pid,
+            "tid": self.tid,
+            "start": self.start_wall,
+            "dur_s": self.duration,
+            "self_s": self.self_time,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.events:
+            out["events"] = list(self.events)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        if self.parent is None and self.dropped:
+            out["dropped_spans"] = self.dropped
+        return out
+
+
+def walk(root: Dict[str, Any]):
+    """Yield every span dict of a serialized tree, depth-first, parents first."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.get("children", ())))
+
+
+def rollup_counters(root: Dict[str, Any]) -> Dict[str, float]:
+    """Recursive counter totals over a serialized tree."""
+    totals: Dict[str, float] = {}
+    for node in walk(root):
+        for name, value in node.get("counters", {}).items():
+            totals[name] = totals.get(name, 0) + value
+    return totals

@@ -1,0 +1,430 @@
+"""The tracer: contextvars-propagated hierarchical decision tracing.
+
+Design constraints, in priority order:
+
+1. **Near-zero cost when off.**  Every instrumentation site calls
+   :func:`span` / :func:`event` / :func:`add`; with tracing off each call
+   is one module-level bool test and (for ``span``) the reuse of a shared
+   no-op handle.  There is no allocation, no lock, no contextvar access.
+2. **No argument threading.**  The active span lives in a ``ContextVar``,
+   so a chase round started five frames below ``contains()`` attaches to
+   the decision tree without any API change to the layers between.
+3. **Bounded.**  Sampling is configurable (``always`` / ``per-job`` /
+   ``off``) and each tree carries a span budget (``max_spans``); once
+   exhausted, further descendants are dropped and counted on the root —
+   a pathological containment check degrades its own trace, never the
+   process.
+
+Completed root spans are appended to a bounded in-process sink
+(:func:`drain` empties it — the CLI's ``--trace`` path), and span/decision
+statistics land in :data:`OBS_METRICS`, the registry merged into
+``BatchEngine.stats()``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextvars import ContextVar
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..engine.metrics import MetricsRegistry
+from ..engine.registry import register_cache
+from .span import Span
+
+#: Bucket bounds (seconds) for the decision-duration histogram.
+_DECISION_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0)
+
+#: The observability subsystem's own registry (span/decision accounting);
+#: merged into the unified ``BatchEngine.stats()["metrics"]`` snapshot.
+OBS_METRICS = MetricsRegistry()
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Tracing policy — picklable, so it ships to pool workers.
+
+    ``mode``:
+
+    * ``"off"`` — every call site is a no-op bool test;
+    * ``"always"`` — every root decision is traced;
+    * ``"per-job"`` — every ``sample_every``-th root decision is traced
+      (non-sampled decisions cost one counter bump at the root site and
+      nothing below it).
+    """
+
+    mode: str = "always"
+    sample_every: int = 1
+    max_spans: int = 50_000
+    #: XRewrite emits one growth event per this many generated queries.
+    growth_stride: int = 100
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("off", "always", "per-job"):
+            raise ValueError(f"unknown tracing mode: {self.mode}")
+        if self.sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+
+
+_OFF = TraceConfig(mode="off")
+
+_config: TraceConfig = _OFF
+#: The fast-path flag: instrumentation sites test only this.
+_enabled: bool = False
+
+_current: ContextVar[Optional[Span]] = ContextVar(
+    "repro_obs_current", default=None
+)
+
+_root_seq = itertools.count(1)
+
+#: Completed root-span trees (serialized), oldest dropped past the cap.
+_sink: "deque[Dict[str, Any]]" = deque(maxlen=1024)
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+
+def configure(
+    mode: str = "always",
+    *,
+    sample_every: int = 1,
+    max_spans: int = 50_000,
+    growth_stride: int = 100,
+) -> TraceConfig:
+    """Set the process-wide tracing policy; returns the active config."""
+    return apply_config(
+        TraceConfig(
+            mode=mode,
+            sample_every=sample_every,
+            max_spans=max_spans,
+            growth_stride=growth_stride,
+        )
+    )
+
+
+def apply_config(config: TraceConfig) -> TraceConfig:
+    """Install *config* (e.g. one shipped to a pool worker)."""
+    global _config, _enabled
+    _config = config
+    _enabled = config.mode != "off"
+    return config
+
+
+def get_config() -> TraceConfig:
+    return _config
+
+
+def is_enabled() -> bool:
+    """True iff tracing is globally on (mode != off)."""
+    return _enabled
+
+
+def is_active() -> bool:
+    """True iff tracing is on *and* a span is currently open here."""
+    if not _enabled:
+        return False
+    current = _current.get()
+    return current is not None and current is not _UNSAMPLED
+
+
+class tracing:
+    """Context manager: install a config, restore the previous one after.
+
+    ``with tracing("always"): ...`` — the test- and CLI-friendly wrapper.
+    """
+
+    def __init__(self, mode_or_config: "str | TraceConfig" = "always", **kw):
+        if isinstance(mode_or_config, TraceConfig):
+            self._config = (
+                replace(mode_or_config, **kw) if kw else mode_or_config
+            )
+        else:
+            self._config = TraceConfig(mode=mode_or_config, **kw)
+        self._saved: Optional[TraceConfig] = None
+
+    def __enter__(self) -> TraceConfig:
+        self._saved = _config
+        return apply_config(self._config)
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._saved is not None
+        apply_config(self._saved)
+
+
+# ---------------------------------------------------------------------------
+# Span handles
+# ---------------------------------------------------------------------------
+
+
+class _NullHandle:
+    """The shared no-op handle returned whenever a span is not recorded."""
+
+    __slots__ = ()
+    active = False
+    span = None
+
+    def __enter__(self) -> "_NullHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        pass
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+
+NULL_HANDLE = _NullHandle()
+
+#: Context marker installed while an *unsampled* decision runs.  Descendant
+#: ``span()``/``add()``/``event()`` calls see it and no-op — a skipped root
+#: skips its whole tree instead of letting each descendant pose as a fresh
+#: root (which would consume sampling slots and fabricate decisions).
+_UNSAMPLED: Any = object()
+
+
+class _UnsampledHandle:
+    """Handle for a skipped root: marks the context so descendants no-op."""
+
+    __slots__ = ("_token",)
+    active = False
+    span = None
+
+    def __enter__(self) -> "_UnsampledHandle":
+        self._token = _current.set(_UNSAMPLED)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        _current.reset(self._token)
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        pass
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+
+class SpanHandle:
+    """A live span plus the contextvar token that makes it current."""
+
+    __slots__ = ("span", "_token")
+    active = True
+
+    def __init__(self, span: Span) -> None:
+        self.span = span
+        self._token = None
+
+    def __enter__(self) -> "SpanHandle":
+        self._token = _current.set(self.span)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self.span
+        span.finish()
+        if exc_type is not None and "error" not in span.attrs:
+            span.attrs["error"] = f"{exc_type.__name__}: {exc}"
+        if self._token is not None:
+            _current.reset(self._token)
+            self._token = None
+        if span.parent is None:
+            _finish_root(span)
+        return False
+
+    # Delegation — the instrumentation sites hold handles, not spans.
+
+    def set(self, key: str, value: Any) -> None:
+        self.span.set(key, value)
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        self.span.add(counter, amount)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.span.event(name, **attrs)
+
+
+def _finish_root(span: Span) -> None:
+    OBS_METRICS.counter("obs.decisions").inc()
+    OBS_METRICS.counter("obs.spans").inc(span.n_spans)
+    if span.dropped:
+        OBS_METRICS.counter("obs.dropped_spans").inc(span.dropped)
+    OBS_METRICS.histogram(
+        "obs.decision.seconds", buckets=_DECISION_BUCKETS
+    ).observe(span.duration)
+    _sink.append(span.to_dict())
+
+
+# ---------------------------------------------------------------------------
+# The instrumentation API
+# ---------------------------------------------------------------------------
+
+
+def span(name: str, **attrs: Any):
+    """Open a span named *name*; returns a context-manager handle.
+
+    With tracing off (or the decision unsampled, or the tree's span budget
+    exhausted) the returned handle is the shared no-op — usable
+    identically, recording nothing.
+    """
+    if not _enabled:
+        return NULL_HANDLE
+    parent = _current.get()
+    if parent is None:
+        cfg = _config
+        if cfg.mode == "per-job":
+            if (next(_root_seq) - 1) % cfg.sample_every != 0:
+                OBS_METRICS.counter("obs.unsampled_decisions").inc()
+                return _UnsampledHandle()
+        return SpanHandle(Span(name, attrs, None))
+    if parent is _UNSAMPLED:
+        return NULL_HANDLE
+    root = parent.root
+    if root.n_spans >= _config.max_spans:
+        root.dropped += 1
+        return NULL_HANDLE
+    root.n_spans += 1
+    child = Span(name, attrs, parent)
+    parent.children.append(child)
+    return SpanHandle(child)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record an event on the current span (no-op when inactive)."""
+    if not _enabled:
+        return
+    current = _current.get()
+    if current is not None and current is not _UNSAMPLED:
+        current.event(name, **attrs)
+
+
+def add(counter: str, amount: float = 1) -> None:
+    """Add to a rollup counter on the current span (no-op when inactive)."""
+    if not _enabled:
+        return
+    current = _current.get()
+    if current is not None and current is not _UNSAMPLED:
+        current.add(counter, amount)
+
+
+def add_many(pairs: Iterable[Tuple[str, float]]) -> None:
+    """Batch-add rollup counters to the current span (one lookup)."""
+    if not _enabled:
+        return
+    current = _current.get()
+    if current is None or current is _UNSAMPLED:
+        return
+    counters = current.counters
+    for name, amount in pairs:
+        counters[name] = counters.get(name, 0) + amount
+
+
+def current_span() -> Optional[Span]:
+    if not _enabled:
+        return None
+    current = _current.get()
+    return None if current is _UNSAMPLED else current
+
+
+def current_decision_id() -> Optional[str]:
+    """The root span id of the active trace, or None.
+
+    This is the *decision id* that cross-links artifacts: explanation
+    objects, ``JobResult.trace`` trees, and exporter output all carry it.
+    """
+    if not _enabled:
+        return None
+    current = _current.get()
+    if current is None or current is _UNSAMPLED:
+        return None
+    return current.root.span_id
+
+
+def growth_stride() -> int:
+    """The configured event-sampling stride for iterative growth loops."""
+    return _config.growth_stride
+
+
+def drain() -> List[Dict[str, Any]]:
+    """Pop every completed root-span tree collected so far."""
+    out: List[Dict[str, Any]] = []
+    while _sink:
+        out.append(_sink.popleft())
+    return out
+
+
+def obs_snapshot() -> Dict[str, Any]:
+    """A plain-dict snapshot of the obs registry."""
+    return OBS_METRICS.snapshot()
+
+
+def _reset() -> None:
+    """Back to defaults: tracing off, sink empty (test isolation)."""
+    apply_config(_OFF)
+    _sink.clear()
+
+
+register_cache("obs.tracer", _reset)
+register_cache("obs.metrics", OBS_METRICS.reset)
+
+
+# ---------------------------------------------------------------------------
+# Cross-process capture
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TracedOutcome:
+    """A task value bundled with its serialized span tree (or None)."""
+
+    value: Any
+    trace: Optional[Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class TracedTask:
+    """Wrap a pool task so its decision trace rides back with the value.
+
+    The wrapper is picklable and self-contained: it carries the tracing
+    config to the worker process, opens the root *job span* around
+    ``task.run()`` (so every instrumented layer below attaches to it),
+    and returns a :class:`TracedOutcome` whose ``trace`` is the serialized
+    tree — populated even for crash-isolated workers, because the tree is
+    part of the result payload, not process-global state.  The previous
+    config is restored afterwards so the in-process serial path does not
+    leak the engine's policy into the host.
+    """
+
+    task: Any
+    config: TraceConfig
+    submitted_wall: float
+
+    def run(self) -> TracedOutcome:
+        saved = _config
+        apply_config(self.config)
+        kind = getattr(self.task, "kind", type(self.task).__name__)
+        attrs = {}
+        trace_attrs = getattr(self.task, "trace_attrs", None)
+        if trace_attrs is not None:
+            attrs = trace_attrs()
+        attrs["queue_wait_s"] = max(0.0, time.time() - self.submitted_wall)
+        try:
+            handle = span(f"job.{kind}", **attrs)
+            with handle:
+                value = self.task.run()
+            trace = handle.span.to_dict() if handle.active else None
+        finally:
+            apply_config(saved)
+        return TracedOutcome(value, trace)

@@ -44,6 +44,7 @@ from ..core.queries import CQ, UCQ
 from ..core.terms import Constant, Term, Variable
 from ..core.tgd import TGD, normalize_single_head
 from ..kernel import KERNEL_METRICS, atom_str
+from .. import obs
 from .unification import mgu
 
 
@@ -292,10 +293,35 @@ def xrewrite_cq(
     seen = index.seen
 
     frontier = deque([entries[0]])
+    run_span = obs.span(
+        "rewrite.xrewrite", query=query.name, rules=len(rules)
+    )
+    stride = obs.growth_stride()
+
+    def note_growth() -> None:
+        # One structured event per `growth_stride` generated queries — the
+        # disjunct-growth curve of Props. 12/14/17 at bounded trace cost.
+        if run_span.active and stats.queries_generated % stride == 0:
+            run_span.event(
+                "growth",
+                generated=stats.queries_generated,
+                total_atoms=stats.total_atoms,
+                frontier=len(frontier),
+            )
+
+    def finish(complete: bool) -> RewritingResult:
+        result = _finalize(data_schema, entries, stats, complete)
+        run_span.set("generated", stats.queries_generated)
+        run_span.set("rewriting_steps", stats.rewriting_steps)
+        run_span.set("factorization_steps", stats.factorization_steps)
+        run_span.set("final_disjuncts", stats.queries_final)
+        run_span.set("complete", complete)
+        return result
+
     # The accumulated wall-clock of rewriting runs lands in the kernel
     # registry next to the hom-search counters (observed on every exit,
     # including budget-exhaustion raises).
-    with KERNEL_METRICS.timer("kernel.xrewrite.seconds").time():
+    with run_span, KERNEL_METRICS.timer("kernel.xrewrite.seconds").time():
         while frontier:
             entry = frontier.popleft()
             if entry.explored:
@@ -325,13 +351,14 @@ def xrewrite_cq(
                         or stats.total_atoms + len(candidate.body)
                         > max_total_atoms
                     ):
-                        result = _finalize(data_schema, entries, stats, complete=False)
+                        result = finish(complete=False)
                         if partial:
                             return result
                         raise RewritingBudgetExceeded(result)
                     stats.rewriting_steps += 1
                     stats.queries_generated += 1
                     stats.total_atoms += len(candidate.body)
+                    note_growth()
                     new_entry = _Entry(candidate, "r")
                     entries.append(new_entry)
                     index.add(new_entry)
@@ -351,18 +378,19 @@ def xrewrite_cq(
                         or stats.total_atoms + len(candidate.body)
                         > max_total_atoms
                     ):
-                        result = _finalize(data_schema, entries, stats, complete=False)
+                        result = finish(complete=False)
                         if partial:
                             return result
                         raise RewritingBudgetExceeded(result)
                     stats.factorization_steps += 1
                     stats.queries_generated += 1
                     stats.total_atoms += len(candidate.body)
+                    note_growth()
                     new_entry = _Entry(candidate, "f")
                     entries.append(new_entry)
                     index.add(new_entry)
                     frontier.append(new_entry)
-        return _finalize(data_schema, entries, stats, complete=True)
+        return finish(complete=True)
 
 
 def _finalize(

@@ -1,0 +1,127 @@
+"""Tests for the engine metrics registry: reset semantics and histograms."""
+
+import pytest
+
+from repro.engine.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestResetInPlace:
+    def test_cached_references_survive_reset(self):
+        """The regression: reset() must zero in place, not orphan objects.
+
+        Call sites cache metric objects (the kernel holds its counters for
+        the lifetime of the process); a reset that cleared the name→object
+        maps would leave those references accumulating into objects no
+        snapshot ever reads again.
+        """
+        registry = MetricsRegistry()
+        counter = registry.counter("kernel.hom.searches")
+        counter.inc(5)
+        registry.reset()
+        assert counter.value == 0
+        counter.inc(3)  # the *old* reference keeps working...
+        assert registry.snapshot() == {"kernel.hom.searches": 3}
+        # ...because it is still the registered object, not an orphan.
+        assert registry.counter("kernel.hom.searches") is counter
+
+    def test_reset_zeroes_every_metric_kind(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        timer = registry.timer("t")
+        hist = registry.histogram("h")
+        gauge.add(4)
+        timer.observe(1.5)
+        hist.observe(0.01)
+        registry.reset()
+        assert gauge.value == 0 and gauge.high_water == 0
+        assert timer.count == 0 and timer.total == 0.0
+        assert hist.count == 0 and hist.sum == 0.0
+        assert registry.snapshot() == {}
+        gauge.add(1)
+        timer.observe(0.5)
+        hist.observe(0.5)
+        snap = registry.snapshot()
+        assert snap["g"] == {"value": 1, "high_water": 1}
+        assert snap["t"]["count"] == 1
+        assert snap["h"]["count"] == 1
+
+    def test_snapshot_omits_untouched_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("never.used")
+        registry.timer("also.idle")
+        registry.histogram("idle.hist")
+        assert registry.snapshot() == {}
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sizes", buckets=(1, 5, 10))
+        for value in (0, 1, 2, 7, 10, 11, 1000):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["buckets"] == {"le_1": 2, "le_5": 1, "le_10": 2, "inf": 2}
+        assert snap["count"] == 7
+        assert snap["max"] == 1000
+        assert snap["mean"] == pytest.approx(1031 / 7)
+
+    def test_buckets_fixed_after_creation(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1, 2))
+        assert registry.histogram("h", buckets=(9, 99)) is hist
+        assert hist.buckets == (1, 2)
+
+    def test_default_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        assert hist.buckets == DEFAULT_BUCKETS
+
+    def test_rejects_unsorted_or_empty_buckets(self):
+        import threading
+
+        lock = threading.RLock()
+        with pytest.raises(ValueError):
+            Histogram("bad", lock, buckets=(5, 1))
+        with pytest.raises(ValueError):
+            Histogram("bad", lock, buckets=())
+
+    def test_memory_is_bounded(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1, 10))
+        for i in range(10_000):
+            hist.observe(i % 50)
+        assert len(hist.snapshot()["buckets"]) == 3
+        assert hist.count == 10_000
+
+
+class TestUnifiedSnapshot:
+    def test_kernel_round_size_histogram_reaches_stats(self):
+        """The chase records round sizes into the kernel registry, and the
+        unified BatchEngine.stats()["metrics"] snapshot surfaces them."""
+        from repro import OMQ, Schema, parse_cq, parse_tgds
+        from repro.engine import BatchEngine
+
+        q1 = OMQ(
+            Schema.of(T=1),
+            parse_tgds("T(x) -> P(x)\nP(x) -> R(x, w)"),
+            parse_cq("q(x) :- R(x, y)"),
+            name="A",
+        )
+        q2 = OMQ(
+            Schema.of(T=1),
+            parse_tgds("T(x) -> P(x)\nP(x) -> R(x, w)"),
+            parse_cq("q(x) :- T(x)"),
+            name="B",
+        )
+        with BatchEngine() as engine:
+            engine.contains(q1, q2)
+            snap = engine.stats()
+        assert snap["metrics"] == {**snap["metrics"]}  # plain dict
+        engine_keys = [k for k in snap["metrics"] if k.startswith("engine.")]
+        assert "engine.containment.runs" in engine_keys
+        # kernel.* keys ride in the same flat namespace and in stats["kernel"].
+        kernel_keys = [k for k in snap["metrics"] if k.startswith("kernel.")]
+        assert kernel_keys
+        assert snap["kernel"] == {
+            k: v for k, v in snap["metrics"].items() if k in snap["kernel"]
+        }

@@ -1,0 +1,361 @@
+"""Tests for repro.obs: spans, sampling, exporters, cross-process capture."""
+
+import json
+import os
+
+import pytest
+
+from repro import OMQ, Schema, obs, parse_cq, parse_database, parse_tgds
+from repro.containment import Verdict, contains
+from repro.engine import BatchEngine, ContainmentJob
+from repro.explain import explain_answer
+from repro.obs import (
+    NULL_HANDLE,
+    TraceConfig,
+    TracedOutcome,
+    TracedTask,
+    rollup_counters,
+    walk,
+)
+
+
+def omq(schema, rules, query, name="Q"):
+    return OMQ(Schema(schema), parse_tgds(rules), parse_cq(query), name=name)
+
+
+LINEAR_A = omq(
+    {"P": 1, "T": 1},
+    "P(x) -> R(x, w)\nR(x, y) -> P(y)\nT(x) -> P(x)",
+    "q(x) :- R(x, y), P(y)",
+    name="A",
+)
+LINEAR_B = omq(
+    {"P": 1, "T": 1},
+    "P(x) -> R(x, w)\nR(x, y) -> P(y)\nT(x) -> P(x)",
+    "q(x) :- P(x)",
+    name="B",
+)
+
+
+class TestSpanTree:
+    def test_nested_spans_build_a_tree(self):
+        with obs.tracing("always"):
+            with obs.span("outer", kind="demo") as outer:
+                outer.add("things", 2)
+                with obs.span("inner.first"):
+                    obs.add("things")
+                with obs.span("inner.second") as inner:
+                    inner.event("tick", n=1)
+            roots = obs.drain()
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["name"] == "outer"
+        assert root["attrs"]["kind"] == "demo"
+        assert [c["name"] for c in root["children"]] == [
+            "inner.first",
+            "inner.second",
+        ]
+        assert root["children"][1]["events"][0]["name"] == "tick"
+        assert rollup_counters(root)["things"] == 3
+        names = [node["name"] for node in walk(root)]
+        assert names == ["outer", "inner.first", "inner.second"]
+
+    def test_durations_are_consistent(self):
+        with obs.tracing("always"):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+            (root,) = obs.drain()
+        child = root["children"][0]
+        assert root["dur_s"] >= child["dur_s"] >= 0
+        assert root["self_s"] == pytest.approx(
+            root["dur_s"] - child["dur_s"], abs=1e-9
+        )
+        assert child["start"] >= root["start"]
+
+    def test_exception_recorded_and_propagated(self):
+        with obs.tracing("always"):
+            with pytest.raises(ValueError):
+                with obs.span("doomed"):
+                    raise ValueError("boom")
+            (root,) = obs.drain()
+        assert root["attrs"]["error"] == "ValueError: boom"
+
+    def test_decision_id_is_the_root_span_id(self):
+        with obs.tracing("always"):
+            with obs.span("root") as h:
+                assert obs.current_decision_id() == h.span.span_id
+                with obs.span("child"):
+                    assert obs.current_decision_id() == h.span.span_id
+        assert obs.current_decision_id() is None
+
+
+class TestSamplingAndBudgets:
+    def test_off_mode_returns_the_shared_null_handle(self):
+        assert not obs.is_enabled()
+        handle = obs.span("anything")
+        assert handle is NULL_HANDLE
+        with handle:
+            handle.set("k", 1)
+            handle.add("c")
+            handle.event("e")
+            obs.add("c")
+            obs.event("e")
+        assert obs.drain() == []
+
+    def test_per_job_sampling_keeps_every_nth_root(self):
+        with obs.tracing("per-job", sample_every=3):
+            for _ in range(9):
+                with obs.span("decision"):
+                    with obs.span("child"):
+                        pass
+            roots = obs.drain()
+        assert len(roots) == 3
+        assert all(r["name"] == "decision" for r in roots)
+        snap = obs.obs_snapshot()
+        assert snap["obs.unsampled_decisions"] == 6
+
+    def test_max_spans_budget_drops_and_counts(self):
+        with obs.tracing("always", max_spans=3):
+            with obs.span("root"):
+                for _ in range(5):
+                    with obs.span("child"):
+                        pass
+            (root,) = obs.drain()
+        assert len(root["children"]) == 2  # root + 2 children = budget 3
+        assert root["dropped_spans"] == 3
+
+    def test_counters_outside_any_span_are_dropped(self):
+        with obs.tracing("always"):
+            obs.add("orphan")
+            obs.add_many([("a", 1), ("b", 2)])
+            obs.event("orphan")
+        assert obs.drain() == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig(mode="sometimes")
+        with pytest.raises(ValueError):
+            TraceConfig(mode="per-job", sample_every=0)
+
+    def test_tracing_restores_previous_config(self):
+        before = obs.get_config()
+        with obs.tracing("always"):
+            assert obs.is_enabled()
+        assert obs.get_config() is before
+        assert not obs.is_enabled()
+
+
+class TestExporters:
+    def _tree(self):
+        with obs.tracing("always"):
+            with obs.span("containment.decide", method="demo") as h:
+                h.add("hom.searches", 4)
+                with obs.span("chase.round", n=1) as r:
+                    r.event("growth", generated=10)
+            (root,) = obs.drain()
+        return root
+
+    def test_jsonl_round_trip(self, tmp_path):
+        root = self._tree()
+        path = str(tmp_path / "t.jsonl")
+        assert obs.write_trace([root], path) == "jsonl"
+        assert obs.load_trace(path) == [root]
+
+    def test_chrome_round_trip_preserves_shape(self, tmp_path):
+        root = self._tree()
+        path = str(tmp_path / "t.json")
+        assert obs.write_trace([root], path) == "chrome"
+        doc = json.loads((tmp_path / "t.json").read_text())
+        assert obs.validate_chrome_trace(doc) == []
+        (rebuilt,) = obs.load_trace(path)
+        assert [n["name"] for n in walk(rebuilt)] == [
+            n["name"] for n in walk(root)
+        ]
+        assert rebuilt["attrs"]["method"] == "demo"
+        assert rebuilt["id"] == root["id"]
+
+    def test_chrome_doc_structure(self):
+        root = self._tree()
+        doc = obs.chrome_trace([root])
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"X", "i", "M"}
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == f"repro pid {os.getpid()}"
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert all(e["dur"] >= 1 for e in xs)
+
+    def test_validator_catches_broken_documents(self):
+        assert obs.validate_chrome_trace([]) != []
+        assert obs.validate_chrome_trace({"traceEvents": [{"ph": "Z"}]}) != []
+        bad_overlap = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": 0, "dur": 10, "pid": 1, "tid": 1},
+                {"name": "b", "ph": "X", "ts": 5, "dur": 10, "pid": 1, "tid": 1},
+            ]
+        }
+        assert any(
+            "overlaps" in e for e in obs.validate_chrome_trace(bad_overlap)
+        )
+        unbalanced = {
+            "traceEvents": [
+                {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+            ]
+        }
+        assert any(
+            "unmatched" in e for e in obs.validate_chrome_trace(unbalanced)
+        )
+
+    def test_format_trace_renders_the_tree(self):
+        root = self._tree()
+        text = obs.format_trace([root])
+        assert f"decision {root['id']}" in text
+        assert "containment.decide" in text
+        assert "  chase.round" in text.replace(root["id"], "")
+        assert "· growth" in text
+        assert "hom.searches = 4" in text
+        assert obs.format_trace([]) == "(no decisions recorded)"
+
+
+class TestInstrumentation:
+    def test_contains_produces_phase_spans(self):
+        with obs.tracing("always"):
+            result = contains(LINEAR_B, LINEAR_A)
+            (root,) = obs.drain()
+        assert root["name"] == "containment.decide"
+        assert root["attrs"]["verdict"] == result.verdict.name
+        assert root["attrs"]["method"] == result.method
+        names = {n["name"] for n in walk(root)}
+        assert "containment.subsumption" in names
+
+    def test_explanation_links_to_the_active_decision(self):
+        q = omq({"T": 1}, "T(x) -> P(x)", "q(x) :- P(x)")
+        db = parse_database("T(a).")
+        from repro.core.terms import Constant
+
+        with obs.tracing("always"):
+            with obs.span("containment.decide") as h:
+                ex = explain_answer(q, db, (Constant("a"),))
+            obs.drain()
+        assert ex is not None
+        assert ex.decision_id == h.span.span_id
+
+    def test_explanation_without_tracing_has_no_decision_id(self):
+        q = omq({"T": 1}, "T(x) -> P(x)", "q(x) :- P(x)")
+        db = parse_database("T(a).")
+        from repro.core.terms import Constant
+
+        ex = explain_answer(q, db, (Constant("a"),))
+        assert ex is not None
+        assert ex.decision_id is None
+
+
+class TestTraceCLI:
+    OMQ_A = (
+        "schema: P/1, T/1\n"
+        "rules:\n"
+        "    P(x) -> R(x, w)\n"
+        "    R(x, y) -> P(y)\n"
+        "    T(x) -> P(x)\n"
+        "query: q(x) :- R(x, y), P(y)\n"
+    )
+    OMQ_B = (
+        "schema: P/1, T/1\n"
+        "rules:\n"
+        "    P(x) -> R(x, w)\n"
+        "    R(x, y) -> P(y)\n"
+        "    T(x) -> P(x)\n"
+        "query: q(x) :- P(x)\n"
+    )
+
+    @pytest.fixture
+    def files(self, tmp_path):
+        a = tmp_path / "a.omq"
+        a.write_text(self.OMQ_A)
+        b = tmp_path / "b.omq"
+        b.write_text(self.OMQ_B)
+        return {"a": str(a), "b": str(b), "dir": tmp_path}
+
+    def test_contains_trace_chrome_then_pretty_print(self, files, capsys):
+        from repro.cli import main
+
+        trace_file = str(files["dir"] / "t.json")
+        assert main(["contains", files["b"], files["a"], "--trace", trace_file]) == 0
+        err = capsys.readouterr().err
+        assert "wrote 1 decision trace(s)" in err
+        doc = json.loads((files["dir"] / "t.json").read_text())
+        assert obs.validate_chrome_trace(doc) == []
+        assert main(["trace", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "containment.decide" in out and "decision " in out
+        # The CLI restored the host's default (off) config afterwards.
+        assert not obs.is_enabled()
+
+    def test_batch_trace_includes_job_spans(self, files, capsys):
+        from repro.cli import main
+
+        manifest = files["dir"] / "batch.txt"
+        manifest.write_text(
+            f"contains {files['b']} {files['a']}\n"
+            f"rewrite {files['a']}\n"
+        )
+        trace_file = str(files["dir"] / "batch.jsonl")
+        assert main(["batch", str(manifest), "--trace", trace_file]) == 0
+        capsys.readouterr()
+        roots = obs.load_trace(trace_file)
+        assert [r["name"] for r in roots] == ["job.containment", "job.rewrite"]
+
+    def test_trace_command_rejects_garbage(self, files, capsys):
+        from repro.cli import main
+
+        bad = files["dir"] / "bad.json"
+        bad.write_text("{not json")
+        assert main(["trace", str(bad)]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+
+class TestCrossProcessCapture:
+    def test_traced_task_bundles_the_tree(self):
+        job = ContainmentJob(LINEAR_B, LINEAR_A)
+        task = TracedTask(job, TraceConfig(mode="always"), 0.0)
+        outcome = task.run()
+        assert isinstance(outcome, TracedOutcome)
+        assert outcome.value.verdict is Verdict.CONTAINED
+        assert outcome.trace["name"] == "job.containment"
+        assert outcome.trace["attrs"]["lhs_rules"] == 3
+        assert "queue_wait_s" in outcome.trace["attrs"]
+        child_names = {n["name"] for n in walk(outcome.trace)}
+        assert "containment.decide" in child_names
+        # The host process's config is restored afterwards.
+        assert not obs.is_enabled()
+
+    def test_engine_serial_traces(self):
+        with BatchEngine(trace="always") as engine:
+            result = engine.contains(LINEAR_B, LINEAR_A)
+            stats = engine.stats()
+        assert result.trace is not None
+        assert result.trace["name"] == "job.containment"
+        assert stats["traces"] == [result.trace]
+        assert stats["metrics"]["obs.decisions"] >= 1
+
+    def test_engine_pool_traces_come_from_the_worker(self):
+        with BatchEngine(workers=2, trace="always") as engine:
+            result = engine.contains(LINEAR_B, LINEAR_A)
+        assert result.trace is not None
+        assert result.trace["pid"] != os.getpid()
+
+    def test_untraced_engine_has_no_traces_key(self):
+        with BatchEngine() as engine:
+            result = engine.contains(LINEAR_B, LINEAR_A)
+            stats = engine.stats()
+        assert result.trace is None
+        assert "traces" not in stats
+
+    def test_cached_results_share_the_original_trace(self):
+        with BatchEngine(trace="always") as engine:
+            first = engine.contains(LINEAR_B, LINEAR_A)
+            second = engine.contains(LINEAR_B, LINEAR_A)
+            traces = engine.traces()
+        assert second.cached
+        assert second.trace is None  # cache stores plain values
+        assert traces == [first.trace]

@@ -135,6 +135,45 @@ class TestExplainAnswer:
         with pytest.raises(ChaseBudgetExceeded):
             explain_answer(q, parse_database("R(a, b)"), max_steps=50)
 
+    def test_facts_used_deduplicated_across_derivations(self):
+        q = omq({"A": 1}, "A(x) -> B(x)", "q(x) :- B(x), A(x)")
+        explanation = explain_answer(
+            q, parse_database("A(a)"), (Constant("a"),)
+        )
+        # Both query atoms rest on the same fact; it is reported once.
+        assert [str(a) for a in explanation.facts_used()] == ["A(a)"]
+
+    def test_derivation_premises_chain(self):
+        q = omq({"A": 1, "C": 1}, "A(x) -> B(x)\nB(x), C(x) -> D(x)",
+                "q(x) :- D(x)")
+        explanation = explain_answer(
+            q, parse_database("A(a). C(a)"), (Constant("a"),)
+        )
+        (d,) = explanation.derivations
+        assert str(d.atom) == "D(a)"
+        premise_atoms = {str(p.atom) for p in d.premises}
+        assert premise_atoms == {"B(a)", "C(a)"}
+        (b,) = [p for p in d.premises if str(p.atom) == "B(a)"]
+        assert not b.is_fact() and b.premises[0].is_fact()
+
+    def test_no_decision_id_outside_a_trace(self):
+        q = omq({"A": 1}, "", "q(x) :- A(x)")
+        explanation = explain_answer(
+            q, parse_database("A(a)"), (Constant("a"),)
+        )
+        assert explanation.decision_id is None
+        assert "decision" not in format_explanation(explanation)
+
+    def test_format_shows_the_decision_link(self):
+        from dataclasses import replace
+
+        q = omq({"A": 1}, "", "q(x) :- A(x)")
+        explanation = explain_answer(
+            q, parse_database("A(a)"), (Constant("a"),)
+        )
+        linked = replace(explanation, decision_id="abc-1")
+        assert "(decision abc-1)" in format_explanation(linked)
+
     def test_explanation_facts_suffice(self):
         # Re-evaluating on just the used facts must still give the answer.
         q = omq({"A": 1, "C": 1}, "A(x) -> B(x)\nB(x), C(x) -> D(x)",
