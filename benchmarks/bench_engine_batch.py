@@ -272,6 +272,167 @@ def test_scheduler_dedup_and_streaming(benchmark, tmp_path):
     benchmark.pedantic(_scenario, rounds=1, iterations=1)
 
 
+CATALOG_PAIRS = 8
+CATALOG_SIZE = 4
+
+
+def test_catalog_cold_vs_warm_session(benchmark, tmp_path):
+    """CAT: the cross-session equivalence catalog — session one proves the
+    pairs equivalent (both directions run the full procedure), session two
+    re-answers every job from the catalog alone: fresh engine, fresh cache
+    directory, only the catalog file carries over."""
+
+    def _scenario():
+        # Each tag yields a pair (P-path under E ⊑ P, plain E-path) that
+        # is equivalent but hash-distinct; both directions per tag.
+        jobs = []
+        for tag in range(200, 200 + CATALOG_PAIRS):
+            forward = _containment_job(tag, CATALOG_SIZE)
+            jobs.append(forward)
+            jobs.append(ContainmentJob(forward.q2, forward.q1))
+        catalog_path = str(tmp_path / "catalog.sqlite")
+
+        clear_caches()
+        with BatchEngine(
+            cache_dir=str(tmp_path / "cold"), workers=1, catalog=catalog_path
+        ) as eng:
+            cold_s, cold_results = _timed_batch(eng, jobs)
+            cold_stats = eng.stats()["catalog"]
+        assert all(
+            r.ok and r.value.verdict is Verdict.CONTAINED
+            for r in cold_results
+        )
+        assert cold_stats["groups"] == CATALOG_PAIRS
+
+        # Session two: nothing cached, but every pair is in the catalog.
+        clear_caches()
+        with BatchEngine(
+            cache_dir=str(tmp_path / "warm"), workers=1, catalog=catalog_path
+        ) as eng:
+            warm_s, warm_results = _timed_batch(eng, jobs)
+            warm_metrics = eng.stats()["metrics"]
+            short_circuits = warm_metrics.get(
+                "engine.catalog.short_circuits", 0
+            )
+        assert all(
+            r.value.verdict is Verdict.CONTAINED for r in warm_results
+        )
+        # Both directions of a pair rewrite to one rep-based key, so the
+        # reverse coalesces onto the forward and each *pair* costs one
+        # catalog lookup — and zero procedure runs.
+        assert short_circuits == CATALOG_PAIRS
+        assert warm_metrics.get("engine.dedup.coalesced", 0) == CATALOG_PAIRS
+        assert warm_metrics.get("engine.containment.runs", 0) == 0
+        assert {r.value.method for r in warm_results} == {
+            "catalog-equivalence"
+        }
+        assert warm_s < cold_s
+
+        catalog_payload = {
+            "pairs": CATALOG_PAIRS,
+            "jobs": len(jobs),
+            "cold_session_s": round(cold_s, 4),
+            "warm_session_s": round(warm_s, 4),
+            "warm_speedup": round(cold_s / warm_s, 3),
+            "short_circuits": short_circuits,
+            "groups": cold_stats["groups"],
+        }
+        try:
+            payload = json.loads(ARTIFACT.read_text())
+        except (OSError, ValueError):
+            payload = {"bench": "engine_batch"}
+        payload["catalog"] = catalog_payload
+        ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+        print_table(
+            f"CAT: equivalence catalog ({CATALOG_PAIRS} pairs, 2 sessions)",
+            ["session", "time (s)", "note"],
+            [
+                ["cold (proves)", f"{cold_s:.3f}", "full procedures"],
+                [
+                    "warm (recalls)",
+                    f"{warm_s:.3f}",
+                    f"{short_circuits} short-circuits, "
+                    f"{cold_s / warm_s:.0f}× faster",
+                ],
+            ],
+        )
+
+    benchmark.pedantic(_scenario, rounds=1, iterations=1)
+
+
+PRIORITY_BACKLOG = 12
+PRIORITY_LOW_SLEEP = 0.15
+PRIORITY_HIGH_SLEEP = 0.05
+
+
+def test_priority_beats_saturating_backlog(benchmark):
+    """PRIO: a HIGH submission lands while a LOW backlog saturates the
+    pool; it must overtake the queue and finish long before the drain."""
+
+    def _scenario():
+        with BatchEngine(workers=2) as eng:
+            start = time.perf_counter()
+            lows = [
+                eng.submit(
+                    SleepJob(PRIORITY_LOW_SLEEP, payload=i), priority="low"
+                )
+                for i in range(PRIORITY_BACKLOG)
+            ]
+            high = eng.submit(
+                SleepJob(PRIORITY_HIGH_SLEEP, payload="high"),
+                priority="high",
+            )
+            high.result(timeout=60)
+            high_latency = time.perf_counter() - start
+            lows_done_first = sum(1 for h in lows if h.done())
+            for h in lows:
+                h.result(timeout=60)
+            total_s = time.perf_counter() - start
+            metrics = eng.stats()["metrics"]
+
+        # The HIGH job waits out at most the in-flight LOWs (the dispatch
+        # window), never the whole backlog.
+        assert high_latency < total_s / 2
+        assert lows_done_first < PRIORITY_BACKLOG / 2
+        assert metrics["engine.scheduler.priority.dispatched.high"] == 1
+
+        priority_payload = {
+            "backlog": PRIORITY_BACKLOG,
+            "low_sleep_s": PRIORITY_LOW_SLEEP,
+            "high_sleep_s": PRIORITY_HIGH_SLEEP,
+            "workers": 2,
+            "high_latency_s": round(high_latency, 4),
+            "total_drain_s": round(total_s, 4),
+            "lows_finished_before_high": lows_done_first,
+        }
+        try:
+            payload = json.loads(ARTIFACT.read_text())
+        except (OSError, ValueError):
+            payload = {"bench": "engine_batch"}
+        payload["priority"] = priority_payload
+        ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+        print_table(
+            f"PRIO: HIGH vs {PRIORITY_BACKLOG}-deep LOW backlog",
+            ["measure", "value", "note"],
+            [
+                [
+                    "HIGH latency",
+                    f"{high_latency:.3f}s",
+                    f"drain {total_s:.3f}s",
+                ],
+                [
+                    "LOWs done first",
+                    str(lows_done_first),
+                    f"of {PRIORITY_BACKLOG}",
+                ],
+            ],
+        )
+
+    benchmark.pedantic(_scenario, rounds=1, iterations=1)
+
+
 def test_parallel_verdicts_match_serial(benchmark):
     """Worker-pool execution is semantics-preserving on a small batch."""
 

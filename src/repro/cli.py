@@ -21,11 +21,17 @@ Commands:
 * ``rewritable OMQ``             — UCQ rewritability verdict
 * ``minimize OMQ``               — containment-powered query minimization
 * ``explain OMQ DATABASE ANSWER``— derivation forest for a certain answer
+* ``catalog FILE``               — inspect an OMQ equivalence catalog
 * ``trace FILE``                 — pretty-print a saved decision trace
 
 ``contains`` and ``rewrite`` accept ``--json`` (the machine-readable
 output contract shared with ``batch``) and ``--cache-dir``/``--workers``
 to route through the :class:`repro.engine.BatchEngine`.
+``--cache-backend {sqlite,sharded,memory}`` picks the disk layer under
+``--cache-dir`` (``sharded`` is the lock-free, NFS-safe layout), and
+``--catalog PATH`` attaches the persistent equivalence catalog: OMQ
+pairs proven equivalent in *any* earlier session answer instantly, even
+after the result cache has been evicted or deleted.
 
 ``batch`` also accepts ``--stream``: results are printed the moment each
 job finishes (completion order) rather than when the whole batch drains.
@@ -124,7 +130,8 @@ def _rewriting_to_json(
 
 
 def _make_engine(args):
-    """A BatchEngine honoring --cache-dir/--workers/--timeout/--trace."""
+    """A BatchEngine honoring --cache-dir/--cache-backend/--catalog/
+    --workers/--timeout/--trace."""
     from .engine import BatchEngine
 
     return BatchEngine(
@@ -132,6 +139,17 @@ def _make_engine(args):
         workers=getattr(args, "workers", 1) or 1,
         task_timeout=getattr(args, "timeout", None),
         trace="always" if getattr(args, "trace", None) else None,
+        cache_backend=getattr(args, "cache_backend", "sqlite") or "sqlite",
+        catalog=getattr(args, "catalog", None),
+    )
+
+
+def _wants_engine(args) -> bool:
+    """Whether the flags ask for the BatchEngine rather than a direct call."""
+    return (
+        getattr(args, "cache_dir", None) is not None
+        or (getattr(args, "workers", 1) or 1) > 1
+        or getattr(args, "catalog", None) is not None
     )
 
 
@@ -160,7 +178,7 @@ def _cmd_rewrite(args) -> int:
     omq = parse_omq(_read(args.omq))
     cached: Optional[bool] = None
     trace_path = getattr(args, "trace", None)
-    if args.cache_dir is not None or (args.workers or 1) > 1:
+    if _wants_engine(args):
         from .engine import RewriteJob
 
         with _make_engine(args) as engine:
@@ -221,7 +239,7 @@ def _cmd_contains(args) -> int:
     q2 = parse_omq(_read(args.omq2), name="Q2")
     cached: Optional[bool] = None
     trace_path = getattr(args, "trace", None)
-    if args.cache_dir is not None or (args.workers or 1) > 1:
+    if _wants_engine(args):
         from .engine import ContainmentJob
 
         with _make_engine(args) as engine:
@@ -476,6 +494,43 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_catalog(args) -> int:
+    """Inspect a cross-session OMQ equivalence catalog."""
+    from .engine.catalog import OMQCatalog
+
+    if not Path(args.catalog_file).exists():
+        print(f"no catalog at {args.catalog_file}", file=sys.stderr)
+        return 2
+    with OMQCatalog(args.catalog_file) as catalog:
+        stats = catalog.stats()
+        groups = catalog.groups()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "stats": stats,
+                    "groups": {
+                        rep: list(members)
+                        for rep, members in groups.items()
+                    },
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"{stats['hashes']} hashes, {stats['edges']} containment edges, "
+        f"{stats['groups']} equivalence group(s) covering "
+        f"{stats['grouped_hashes']} hashes"
+    )
+    for rep, members in groups.items():
+        print(f"group {rep[:16]}… ({len(members)} members):")
+        for member in members:
+            marker = "*" if member == rep else " "
+            print(f"  {marker} {member}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     try:
         roots = obs.load_trace(args.trace_file)
@@ -498,6 +553,23 @@ def _add_trace_flag(p: argparse.ArgumentParser) -> None:
         help="trace every decision and write the span trees to FILE "
         "(.jsonl = JSONL trees; otherwise Chrome trace_event JSON for "
         "chrome://tracing / Perfetto)",
+    )
+
+
+def _add_engine_backend_flags(p: argparse.ArgumentParser) -> None:
+    from .engine.cache import available_backends
+
+    p.add_argument(
+        "--cache-backend", default="sqlite", dest="cache_backend",
+        choices=available_backends(),
+        help="disk layer under --cache-dir: sqlite (WAL, single host), "
+        "sharded (one file per entry, lock-free, NFS-safe), or memory",
+    )
+    p.add_argument(
+        "--catalog", metavar="PATH", default=None,
+        help="persistent OMQ equivalence catalog; proven-equivalent "
+        "queries share cache rows and short-circuit across sessions "
+        "(inspect with: repro catalog PATH)",
     )
 
 
@@ -530,6 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.add_argument("--cache-dir", default=None, help="persistent result cache")
     p.add_argument("--workers", type=int, default=1)
+    _add_engine_backend_flags(p)
     _add_chase_budget_flags(
         p, " (accepted for interface parity; XRewrite never chases)"
     )
@@ -548,6 +621,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.add_argument("--cache-dir", default=None, help="persistent result cache")
     p.add_argument("--workers", type=int, default=1)
+    _add_engine_backend_flags(p)
     _add_chase_budget_flags(p)
     _add_trace_flag(p)
     p.set_defaults(func=_cmd_contains)
@@ -562,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None,
         help="per-task seconds (workers > 1 only)",
     )
+    _add_engine_backend_flags(p)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.add_argument(
         "--stream", action="store_true",
@@ -591,6 +666,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("answer", nargs="*", help="answer constants, in order")
     p.add_argument("--budget", type=int, default=10_000)
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "catalog", help="inspect a cross-session OMQ equivalence catalog"
+    )
+    p.add_argument("catalog_file", help="a --catalog sqlite file")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_catalog)
 
     p = sub.add_parser(
         "trace", help="pretty-print a saved decision trace file"

@@ -5,12 +5,18 @@ A service-shaped layer over the per-call library API:
 * :mod:`~repro.engine.canon` — isomorphism-invariant canonical forms and
   content hashes for CQs, tgd sets, instances, and OMQs (the cache-key
   algebra);
-* :mod:`~repro.engine.cache` — a persistent, corruption-tolerant sqlite
-  store fronted by an in-memory LRU;
+* :mod:`~repro.engine.cache` — a persistent, corruption-tolerant result
+  store fronted by an in-memory LRU, over pluggable byte backends
+  (sqlite WAL, sharded directory, memory — :data:`BACKENDS`);
+* :mod:`~repro.engine.catalog` — the cross-session catalog of
+  proven-equivalent OMQ groups (persistent union-find over canonical
+  hashes) that lets later sessions skip recomputation entirely;
 * :mod:`~repro.engine.pool` — a crash-isolated multiprocessing pool with
   per-task timeouts and a deterministic serial fallback;
 * :mod:`~repro.engine.scheduler` — async submission (:class:`JobHandle`,
-  ``as_completed`` streaming) with canonical-key dedup of in-flight work;
+  ``as_completed`` streaming) with canonical-key dedup of in-flight
+  work, :class:`Priority` classes with starvation-free aging, and
+  weighted fair share across submitters;
 * :mod:`~repro.engine.engine` — the :class:`BatchEngine` façade tying the
   pieces together, with a containment-matrix helper;
 * :mod:`~repro.engine.metrics` — counters/timers behind ``stats()``;
@@ -30,7 +36,16 @@ from importlib import import_module
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
-    from .cache import ResultCache
+    from .cache import (
+        BACKENDS,
+        CacheBackend,
+        ResultCache,
+        ShardedDirBackend,
+        SqliteBackend,
+        available_backends,
+        register_backend,
+    )
+    from .catalog import OMQCatalog
     from .canon import (
         CANON_VERSION,
         CanonicalForm,
@@ -57,7 +72,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from .metrics import MetricsRegistry
     from .pool import PoolTicket, TaskOutcome, WorkerPool
     from .registry import clear_caches, register_cache, registered_caches
-    from .scheduler import JobHandle, Scheduler
+    from .scheduler import JobHandle, Priority, Scheduler
 
 #: export name -> defining submodule (relative to this package)
 _EXPORTS = {
@@ -74,7 +89,14 @@ _EXPORTS = {
     "hash_omq": ".canon",
     "hash_tgds": ".canon",
     "hash_ucq": ".canon",
+    "BACKENDS": ".cache",
+    "CacheBackend": ".cache",
     "ResultCache": ".cache",
+    "ShardedDirBackend": ".cache",
+    "SqliteBackend": ".cache",
+    "available_backends": ".cache",
+    "register_backend": ".cache",
+    "OMQCatalog": ".catalog",
     "BatchEngine": ".engine",
     "ClassificationOutcome": ".jobs",
     "ClassifyJob": ".jobs",
@@ -89,12 +111,14 @@ _EXPORTS = {
     "register_cache": ".registry",
     "registered_caches": ".registry",
     "JobHandle": ".scheduler",
+    "Priority": ".scheduler",
     "Scheduler": ".scheduler",
 }
 
 _SUBMODULES = {
     "cache",
     "canon",
+    "catalog",
     "engine",
     "jobs",
     "metrics",

@@ -34,6 +34,7 @@ from ..core.omq import OMQ
 from ..core.tgd import TGD
 from ..obs import TraceConfig
 from .cache import ResultCache
+from .catalog import OMQCatalog
 from .jobs import (
     ClassificationOutcome,
     ClassifyJob,
@@ -43,7 +44,7 @@ from .jobs import (
 )
 from .metrics import MetricsRegistry
 from .pool import WorkerPool
-from .scheduler import JobHandle, Scheduler
+from .scheduler import JobHandle, Priority, Scheduler
 
 
 class BatchEngine:
@@ -52,13 +53,32 @@ class BatchEngine:
     Parameters
     ----------
     cache_dir:
-        Directory for the persistent sqlite cache; ``None`` keeps results
+        Directory for the persistent result cache; ``None`` keeps results
         in memory only.
     workers:
         Pool width.  ``1`` (the default) executes jobs in-process on the
         scheduler's serial thread — deterministic, no subprocesses.
     task_timeout:
         Per-task wall-clock limit in seconds, enforced when ``workers > 1``.
+    cache_backend:
+        Disk layer under the LRU: a name from
+        :func:`repro.engine.cache.available_backends` (``"sqlite"``,
+        ``"sharded"``, ``"memory"``) or a ready
+        :class:`~repro.engine.cache.CacheBackend` instance.
+    cache:
+        A pre-built :class:`~repro.engine.cache.ResultCache` to use
+        as-is (``cache_dir``/``cache_backend``/``memory_cache_size`` are
+        then ignored).
+    catalog:
+        Cross-session equivalence catalog: a path for a persistent
+        :class:`~repro.engine.catalog.OMQCatalog`, a ready instance, or
+        ``None`` (off).  Containment jobs then share cache rows within
+        proven-equivalent OMQ groups and short-circuit when both sides
+        are in one group.
+    max_inflight / aging_interval:
+        Scheduler tuning: dispatch-window width (default: worker count)
+        and seconds-per-class priority aging (see
+        :class:`~repro.engine.scheduler.Scheduler`).
     trace:
         Decision tracing for every job the engine runs: ``None``/"off"
         disables, a mode string ("always", "per-job") or a full
@@ -77,11 +97,22 @@ class BatchEngine:
         metrics: Optional[MetricsRegistry] = None,
         start_method: Optional[str] = None,
         trace: Union[None, str, TraceConfig] = None,
+        cache_backend: Any = "sqlite",
+        cache: Optional[ResultCache] = None,
+        catalog: Union[None, str, OMQCatalog] = None,
+        max_inflight: Optional[int] = None,
+        aging_interval: Optional[float] = 5.0,
     ) -> None:
         self.metrics = metrics or MetricsRegistry()
-        self.cache = ResultCache(
-            cache_dir, memory_cache_size, metrics=self.metrics
+        self.cache = cache if cache is not None else ResultCache(
+            cache_dir,
+            memory_cache_size,
+            metrics=self.metrics,
+            backend=cache_backend,
         )
+        if isinstance(catalog, (str, bytes)) or hasattr(catalog, "__fspath__"):
+            catalog = OMQCatalog(str(catalog))
+        self.catalog: Optional[OMQCatalog] = catalog
         self.pool = WorkerPool(
             workers=workers,
             task_timeout=task_timeout,
@@ -97,31 +128,54 @@ class BatchEngine:
             self.metrics,
             trace_config=self.trace_config,
             trace_sink=self._traces,
+            catalog=self.catalog,
+            max_inflight=max_inflight,
+            aging_interval=aging_interval,
         )
 
     # -- async submission --------------------------------------------------
 
-    def submit(self, job: Any) -> JobHandle:
-        """Enqueue *job* without blocking; resolves from cache, an
-        α-equivalent in-flight computation, or a worker."""
-        return self.scheduler.submit(job)
+    def submit(
+        self,
+        job: Any,
+        *,
+        priority: Union[Priority, int, str] = Priority.NORMAL,
+        submitter: str = "default",
+    ) -> JobHandle:
+        """Enqueue *job* without blocking; resolves from the catalog,
+        cache, an α-equivalent in-flight computation, or a worker.
+        *priority* and *submitter* feed the scheduler's class-based,
+        weighted-fair-share dispatch order."""
+        return self.scheduler.submit(
+            job, priority=priority, submitter=submitter
+        )
 
-    def submit_batch(self, jobs: Sequence[Any]) -> List[JobHandle]:
+    def submit_batch(
+        self,
+        jobs: Sequence[Any],
+        *,
+        priority: Union[Priority, int, str] = Priority.NORMAL,
+        submitter: str = "default",
+    ) -> List[JobHandle]:
         """Submit all *jobs*; handles are aligned with the input order.
 
         α-equivalent duplicates within the batch are coalesced
         deterministically: only the first copy of each canonical key is
-        scheduled, and the other copies' handles ride on it.
+        scheduled, and the other copies' handles ride on it.  With a
+        catalog attached, keys are group-representative keys, so
+        proven-equivalent (not just α-equivalent) copies coalesce too.
         """
         first_by_key: dict = {}
         handles: List[JobHandle] = []
         for job in jobs:
-            key = job.cache_key()
+            key = self.scheduler.effective_key(job)
             primary = first_by_key.get(key) if key is not None else None
             if primary is not None:
                 handles.append(self.scheduler.attach(primary, job))
                 continue
-            handle = self.scheduler.submit(job)
+            handle = self.scheduler.submit(
+                job, priority=priority, submitter=submitter
+            )
             if key is not None:
                 first_by_key[key] = handle
             handles.append(handle)
@@ -137,10 +191,18 @@ class BatchEngine:
 
     # -- the batch primitive ---------------------------------------------
 
-    def run_batch(self, jobs: Sequence[Any]) -> List[JobResult]:
+    def run_batch(
+        self,
+        jobs: Sequence[Any],
+        *,
+        priority: Union[Priority, int, str] = Priority.NORMAL,
+        submitter: str = "default",
+    ) -> List[JobResult]:
         """Run *jobs*, consulting the cache first; results in input order."""
         with self.metrics.timer("engine.batch").time():
-            handles = self.submit_batch(list(jobs))
+            handles = self.submit_batch(
+                list(jobs), priority=priority, submitter=submitter
+            )
             return [h.result() for h in handles]
 
     # -- one-job conveniences --------------------------------------------
@@ -219,6 +281,8 @@ class BatchEngine:
             },
             "kernel": kernel,
         }
+        if self.catalog is not None:
+            out["catalog"] = self.catalog.stats()
         if self.trace_config is not None:
             out["traces"] = self.traces()
         return out
@@ -226,6 +290,8 @@ class BatchEngine:
     def close(self) -> None:
         self.pool.close()
         self.cache.close()
+        if self.catalog is not None:
+            self.catalog.close()
 
     def __enter__(self) -> "BatchEngine":
         return self

@@ -55,17 +55,42 @@ class ContainmentJob:
     kind = "containment"
 
     @cached_property
-    def _key(self) -> str:
+    def _hashes(self) -> Tuple[str, str]:
         # cached_property writes through the instance __dict__, which is
         # legal on a frozen dataclass and keeps equality field-based.
+        return hash_omq(self.q1), hash_omq(self.q2)
+
+    @cached_property
+    def _key(self) -> str:
+        h1, h2 = self._hashes
         return (
-            f"cont:{hash_omq(self.q1)}:{hash_omq(self.q2)}"
+            f"cont:{h1}:{h2}"
             f":b={self.rewriting_budget}:s={self.chase_max_steps}"
             f":d={self.chase_max_depth}"
         )
 
     def cache_key(self) -> str:
         return self._key
+
+    def content_hashes(self) -> Tuple[str, str]:
+        """The canonical hashes of (q1, q2) — the catalog's vocabulary."""
+        return self._hashes
+
+    def catalog_key(self, rep) -> str:
+        """The cache key with both hashes replaced by their catalog group
+        representatives (*rep* maps hash -> representative hash).
+
+        Sound for containment only: the verdict depends on the OMQs'
+        semantics, so any proven-equivalent member of a group yields the
+        same answer.  Rewriting/classification keys must NOT be rewritten
+        this way — their outputs depend on rule syntax.
+        """
+        h1, h2 = self._hashes
+        return (
+            f"cont:{rep(h1)}:{rep(h2)}"
+            f":b={self.rewriting_budget}:s={self.chase_max_steps}"
+            f":d={self.chase_max_depth}"
+        )
 
     def trace_attrs(self) -> dict:
         """Attributes stamped on the root job span of a traced run."""

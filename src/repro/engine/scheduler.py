@@ -1,21 +1,52 @@
-"""Async job scheduling with canonical deduplication.
+"""Async job scheduling: canonical dedup, priorities, fair share, catalog.
 
 The batch engine's ``run_batch`` answers "run these N jobs and wait";
 this module is the service-shaped layer underneath it and beside it:
 :meth:`Scheduler.submit` enqueues one job *without blocking* and returns
 a :class:`JobHandle` that resolves when the job's result exists — from
-the cache, from a worker, or from somebody else's identical in-flight
-computation.
+the catalog, from the cache, from a worker, or from somebody else's
+identical in-flight computation.
 
-The last case is the point.  Real OMQ catalogs are full of α-equivalent
-queries (renamed variables, reordered atoms/rules — the symmetries the
-semantics ignores), and a containment check is 2EXPTIME-worst-case, so
-computing the same answer twice because two callers spelled the same OMQ
-differently is the most expensive no-op in the system.  Before dispatch,
-every cacheable job is keyed by its canonical cache key
-(:mod:`repro.engine.canon` hashes plus procedure parameters); a submission
-whose key matches an in-flight computation *coalesces* onto it — no new
-pool task — and every attached handle resolves from the single outcome.
+**Dedup** is the original point.  Real OMQ catalogs are full of
+α-equivalent queries (renamed variables, reordered atoms/rules — the
+symmetries the semantics ignores), and a containment check is
+2EXPTIME-worst-case, so computing the same answer twice because two
+callers spelled the same OMQ differently is the most expensive no-op in
+the system.  Before dispatch, every cacheable job is keyed by its
+canonical cache key (:mod:`repro.engine.canon` hashes plus procedure
+parameters); a submission whose key matches an in-flight computation
+*coalesces* onto it — no new pool task — and every attached handle
+resolves from the single outcome.
+
+**Priorities and fairness** make the scheduler safe to share.  Flights
+wait in a ready queue and at most one pool slot's worth of work per
+worker is dispatched at a time (the *dispatch window*), so ordering is
+decided here rather than in the pool's FIFO.  Selection ranks flights by
+
+1. *effective priority* — the submitted :class:`Priority` class, aged
+   toward ``HIGH`` by one class per *aging_interval* seconds in queue,
+   so a saturating high-priority stream cannot starve the backlog;
+2. *submitter pass* — stride scheduling over the per-submitter virtual
+   "pass" clock: each dispatch charges the winning submitter
+   ``1/weight``, so submitters with equal weights alternate and a
+   weight-2 submitter gets twice the slots of a weight-1 one
+   (:meth:`Scheduler.set_weight`);
+3. submission sequence — FIFO among equals, which keeps the default
+   single-submitter, single-priority behaviour exactly the old FIFO.
+
+Coalescing interacts with priority: attaching a higher-priority
+submission to a queued flight *promotes* the flight (a flight runs at
+the most urgent class anyone riding it asked for).  Cancelling the last
+handle of a queued flight retires it without ever touching the pool;
+cancelling a dispatched flight propagates to the pool ticket as before.
+
+**Catalog** (optional): with an :class:`~repro.engine.catalog.OMQCatalog`
+attached, containment jobs are keyed by equivalence-group
+representatives (``ContainmentJob.catalog_key``) so proven-equivalent
+spellings share cache rows, jobs whose two sides are in one group
+short-circuit to CONTAINED without dispatching, and every CONTAINED
+verdict the engine produces (fresh or cached) is fed back as a catalog
+edge.
 
 Accounting (all visible in ``BatchEngine.stats()`` / ``repro batch
 --json``):
@@ -24,9 +55,16 @@ Accounting (all visible in ``BatchEngine.stats()`` / ``repro batch
   ``.cancelled`` — handle lifecycle counters;
 * ``engine.scheduler.inflight`` — gauge of currently scheduled flights
   (with its high-water mark);
+* ``engine.scheduler.priority.queued`` — gauge of flights waiting in the
+  ready queue; ``engine.scheduler.priority.dispatched.{high,normal,low}``
+  — dispatches per effective class; ``engine.scheduler.priority.aged`` —
+  dispatches that ran above their submitted class thanks to aging;
+  ``engine.scheduler.queue_wait`` — time from submit to dispatch;
 * ``engine.dedup.coalesced`` — submissions that were absorbed by an
   existing flight (or, in ``BatchEngine.submit_batch``, by an earlier
-  α-equivalent job in the same batch).
+  α-equivalent job in the same batch);
+* ``engine.catalog.short_circuits`` / ``.noted`` / ``.merges`` — catalog
+  hits, recorded containment facts, and group merges.
 
 Thread model: ``submit``/``cancel`` may be called from any thread; handle
 resolution runs on the pool's coordinator thread via ticket callbacks.
@@ -37,16 +75,41 @@ completion path on the same thread.
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
-from typing import Any, Iterable, Iterator, List, Optional
+from enum import IntEnum
+from typing import Any, Iterable, Iterator, List, Optional, Tuple, Union
 
 from .cache import ResultCache
+from .catalog import OMQCatalog
 from .jobs import JobResult
 from .metrics import MetricsRegistry
-from .pool import CANCELLED, PoolTicket, WorkerPool
-from ..obs import TraceConfig, TracedOutcome, TracedTask
+from .pool import CANCELLED, POOL_CLOSED, PoolTicket, WorkerPool
+from ..obs import TraceConfig, TracedOutcome, TracedTask, span
+
+
+class Priority(IntEnum):
+    """Dispatch classes; lower value dispatches first."""
+
+    HIGH = 0
+    NORMAL = 1
+    LOW = 2
+
+
+def _coerce_priority(value: Union[Priority, int, str]) -> Priority:
+    if isinstance(value, Priority):
+        return value
+    if isinstance(value, str):
+        try:
+            return Priority[value.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown priority {value!r}; choose from "
+                f"{', '.join(p.name.lower() for p in Priority)}"
+            ) from None
+    return Priority(int(value))
 
 
 class JobHandle:
@@ -56,7 +119,8 @@ class JobHandle:
     resolves (raising ``TimeoutError`` on expiry); ``cancel()`` resolves
     the handle with a ``"cancelled"`` error if the computation has not
     produced a value for it yet — and releases the underlying pool task
-    when this was the last handle interested in it.
+    (or the scheduler's queue slot) when this was the last handle
+    interested in it.
     """
 
     __slots__ = ("job", "key", "_scheduler", "_flight", "_event", "_result",
@@ -113,20 +177,48 @@ class JobHandle:
 class _Flight:
     """One scheduled computation and every handle riding on it."""
 
-    __slots__ = ("key", "handles", "ticket")
+    __slots__ = ("key", "handles", "ticket", "priority", "submitter",
+                 "enqueued", "seq", "dispatched")
 
-    def __init__(self, key: Optional[str], handle: JobHandle) -> None:
+    def __init__(
+        self,
+        key: Optional[str],
+        handle: JobHandle,
+        priority: Priority,
+        submitter: str,
+        seq: int,
+    ) -> None:
         self.key = key
         self.handles: List[JobHandle] = [handle]
         self.ticket: Optional[PoolTicket] = None
+        self.priority = priority
+        self.submitter = submitter
+        self.enqueued = time.monotonic()
+        self.seq = seq
+        self.dispatched = False
 
 
 class Scheduler:
-    """Dedup-aware async submission over a :class:`WorkerPool`.
+    """Dedup-aware, priority-aware async submission over a WorkerPool.
 
     Owns no workers and no storage — it composes the pool, the result
-    cache, and the metrics registry handed to it (all shared with the
-    :class:`~repro.engine.engine.BatchEngine` façade).
+    cache, the optional catalog, and the metrics registry handed to it
+    (all shared with the :class:`~repro.engine.engine.BatchEngine`
+    façade).
+
+    Parameters
+    ----------
+    catalog:
+        An :class:`~repro.engine.catalog.OMQCatalog`; enables
+        group-representative cache keys, equivalence short-circuits, and
+        verdict feedback for containment jobs.
+    max_inflight:
+        The dispatch window — how many flights may sit in the pool at
+        once.  Defaults to the pool's worker count, which keeps every
+        worker busy while leaving queue ordering to the scheduler.
+    aging_interval:
+        Seconds in queue per one-class priority boost (starvation
+        guard).  ``None`` or ``0`` disables aging.
     """
 
     def __init__(
@@ -136,9 +228,13 @@ class Scheduler:
         metrics: Optional[MetricsRegistry] = None,
         trace_config: Optional[TraceConfig] = None,
         trace_sink: Optional[List[dict]] = None,
+        catalog: Optional[OMQCatalog] = None,
+        max_inflight: Optional[int] = None,
+        aging_interval: Optional[float] = 5.0,
     ) -> None:
         self.pool = pool
         self.cache = cache
+        self.catalog = catalog
         self.metrics = metrics or MetricsRegistry()
         # With a trace config, every dispatched job is wrapped in a
         # TracedTask: the config ships to the worker, the completed span
@@ -150,51 +246,103 @@ class Scheduler:
             else None
         )
         self.trace_sink = trace_sink
+        self.aging_interval = aging_interval
+        self._window = (
+            max_inflight
+            if max_inflight is not None
+            else max(1, pool.workers)
+        )
         self._lock = threading.RLock()
         self._inflight: dict = {}
+        self._queue: List[_Flight] = []
+        self._dispatched_now = 0
+        self._flight_seq = itertools.count()
+        self._pass: dict = {}
+        self._weights: dict = {}
+
+    # -- fairness configuration -------------------------------------------
+
+    def set_weight(self, submitter: str, weight: float) -> None:
+        """Give *submitter* a fair-share *weight* (default 1.0).  Each
+        dispatch charges the submitter ``1/weight`` on its pass clock, so
+        doubling the weight doubles its share of contended slots."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        with self._lock:
+            self._weights[submitter] = float(weight)
 
     # -- submission -------------------------------------------------------
 
-    def submit(self, job: Any) -> JobHandle:
+    def effective_key(self, job: Any) -> Optional[str]:
+        """*job*'s cache key, with catalog group representatives folded
+        in for containment jobs (equivalent spellings share rows)."""
+        key = job.cache_key()
+        if (
+            key is not None
+            and self.catalog is not None
+            and hasattr(job, "catalog_key")
+        ):
+            return job.catalog_key(self.catalog.rep)
+        return key
+
+    def submit(
+        self,
+        job: Any,
+        *,
+        priority: Union[Priority, int, str] = Priority.NORMAL,
+        submitter: str = "default",
+    ) -> JobHandle:
         """Enqueue *job*; returns immediately with its handle.
 
-        Resolution order: result cache (α-equivalent inputs hit), then
-        coalescing onto an in-flight computation with the same canonical
-        key, then dispatch to the pool.
+        Resolution order: catalog equivalence short-circuit, result
+        cache (α-equivalent inputs hit), coalescing onto an in-flight
+        computation with the same canonical key, then the priority queue
+        and the pool.
         """
+        priority = _coerce_priority(priority)
         self.metrics.counter("engine.scheduler.submitted").inc()
-        key = job.cache_key()
+        if self.catalog is not None:
+            shortcut = self._catalog_shortcut(job)
+            if shortcut is not None:
+                return shortcut
+        key = self.effective_key(job)
         handle = JobHandle(job, key, self)
         if key is not None:
             found, value = self.cache.get(key)
             if found:
                 self.metrics.counter(f"engine.{job.kind}.cache_hits").inc()
+                self._note_verdict(job, value)
                 handle._resolve(JobResult(job, value, cached=True))
                 self.metrics.counter("engine.scheduler.completed").inc()
                 return handle
-            with self._lock:
+        with self._lock:
+            if key is not None:
                 flight = self._inflight.get(key)
                 if flight is not None:
                     handle._flight = flight
                     flight.handles.append(handle)
                     self.metrics.counter("engine.dedup.coalesced").inc()
+                    if priority < flight.priority and not flight.dispatched:
+                        # A flight runs at the most urgent class anyone
+                        # riding it asked for.
+                        flight.priority = priority
                     return handle
-                flight = _Flight(key, handle)
-                handle._flight = flight
-                self._inflight[key] = flight
-        else:
-            flight = _Flight(None, handle)
+            flight = _Flight(
+                key, handle, priority, submitter, next(self._flight_seq)
+            )
             handle._flight = flight
+            if key is not None:
+                self._inflight[key] = flight
+            if submitter not in self._pass:
+                # New submitters join at the current minimum pass so they
+                # neither jump the line nor inherit a historic deficit.
+                self._pass[submitter] = min(
+                    self._pass.values(), default=0.0
+                )
+            self._queue.append(flight)
         self.metrics.gauge("engine.scheduler.inflight").add()
-        task: Any = job
-        if self.trace_config is not None:
-            task = TracedTask(job, self.trace_config, time.time())
-        ticket = self.pool.submit(task)
-        flight.ticket = ticket
-        self.metrics.counter("engine.scheduler.dispatched").inc()
-        ticket.add_done_callback(
-            lambda t, flight=flight: self._on_ticket_done(flight, t)
-        )
+        self.metrics.gauge("engine.scheduler.priority.queued").add()
+        self._dispatch_ready()
         return handle
 
     def attach(self, primary: JobHandle, job: Any) -> JobHandle:
@@ -228,6 +376,145 @@ class Scheduler:
 
         primary._add_done_callback(_forward)
         return handle
+
+    # -- the ready queue ---------------------------------------------------
+
+    def _select_locked(self) -> Tuple[_Flight, Priority]:
+        """Pick the next flight (queue is non-empty; lock held).
+
+        Rank: (effective priority after aging, submitter pass, seq); the
+        winner's submitter is charged 1/weight on its pass clock.
+        """
+        now = time.monotonic()
+        best: Optional[_Flight] = None
+        best_rank: Optional[Tuple[int, float, int]] = None
+        best_eff = Priority.NORMAL
+        for flight in self._queue:
+            eff = int(flight.priority)
+            if self.aging_interval:
+                boost = int((now - flight.enqueued) / self.aging_interval)
+                if boost > 0:
+                    eff = max(int(Priority.HIGH), eff - boost)
+            rank = (eff, self._pass.get(flight.submitter, 0.0), flight.seq)
+            if best_rank is None or rank < best_rank:
+                best, best_rank, best_eff = flight, rank, Priority(eff)
+        assert best is not None
+        weight = self._weights.get(best.submitter, 1.0)
+        self._pass[best.submitter] = (
+            self._pass.get(best.submitter, 0.0) + 1.0 / weight
+        )
+        return best, best_eff
+
+    def _dispatch_ready(self) -> None:
+        """Dispatch queued flights while the window has room."""
+        while True:
+            with self._lock:
+                if self._dispatched_now >= self._window or not self._queue:
+                    return
+                flight, eff = self._select_locked()
+                self._queue.remove(flight)
+                flight.dispatched = True
+                self._dispatched_now += 1
+                if eff < flight.priority:
+                    self.metrics.counter(
+                        "engine.scheduler.priority.aged"
+                    ).inc()
+                waited = time.monotonic() - flight.enqueued
+                job = flight.handles[0].job
+            self.metrics.gauge("engine.scheduler.priority.queued").sub()
+            self.metrics.counter(
+                f"engine.scheduler.priority.dispatched.{eff.name.lower()}"
+            ).inc()
+            self.metrics.timer("engine.scheduler.queue_wait").observe(waited)
+            task: Any = job
+            if self.trace_config is not None:
+                task = TracedTask(job, self.trace_config, time.time())
+            with span(
+                "scheduler.dispatch",
+                kind=getattr(job, "kind", "?"),
+                priority=eff.name.lower(),
+                submitter=flight.submitter,
+                waited_s=round(waited, 6),
+            ):
+                try:
+                    ticket = self.pool.submit(task)
+                except RuntimeError:
+                    self._fail_flight(flight, POOL_CLOSED)
+                    continue
+            self.metrics.counter("engine.scheduler.dispatched").inc()
+            with self._lock:
+                flight.ticket = ticket
+                orphaned = all(h.done() for h in flight.handles)
+            ticket.add_done_callback(
+                lambda t, flight=flight: self._on_ticket_done(flight, t)
+            )
+            if orphaned:
+                # Every rider cancelled during the dispatch gap: release
+                # the pool slot if the task has not started.
+                self.pool.cancel(ticket)
+
+    def _fail_flight(self, flight: _Flight, reason: str) -> None:
+        """Resolve every rider of an undispatchable flight with *reason*."""
+        with self._lock:
+            self._dispatched_now -= 1
+            if flight.key is not None:
+                self._inflight.pop(flight.key, None)
+            handles = list(flight.handles)
+        self.metrics.gauge("engine.scheduler.inflight").sub()
+        for i, h in enumerate(handles):
+            if h.done():
+                continue
+            if h._resolve(
+                JobResult(
+                    h.job,
+                    h.job.failure_result(reason),
+                    error=reason,
+                    coalesced=i > 0,
+                )
+            ):
+                self.metrics.counter("engine.scheduler.completed").inc()
+
+    # -- catalog ----------------------------------------------------------
+
+    def _catalog_shortcut(self, job: Any) -> Optional[JobHandle]:
+        """An already-resolved handle if the catalog proves the answer."""
+        assert self.catalog is not None
+        if getattr(job, "kind", None) != "containment":
+            return None
+        if not hasattr(job, "content_hashes"):
+            return None
+        h1, h2 = job.content_hashes()
+        if not self.catalog.equivalent(h1, h2):
+            return None
+        from ..containment.result import contained
+
+        value = contained(
+            "catalog-equivalence",
+            "both OMQs are members of one proven-equivalent catalog group",
+        )
+        self.metrics.counter("engine.catalog.short_circuits").inc()
+        handle = JobHandle(job, job.cache_key(), self)
+        handle._resolve(JobResult(job, value, cached=True))
+        self.metrics.counter("engine.scheduler.completed").inc()
+        return handle
+
+    def _note_verdict(self, job: Any, value: Any) -> None:
+        """Feed a CONTAINED verdict back into the catalog as an edge."""
+        if self.catalog is None or getattr(job, "kind", None) != "containment":
+            return
+        if not hasattr(job, "content_hashes"):
+            return
+        from ..containment.result import Verdict
+
+        if getattr(value, "verdict", None) is not Verdict.CONTAINED:
+            return
+        h1, h2 = job.content_hashes()
+        if h1 == h2:
+            return
+        merged = self.catalog.note_contained(h1, h2)
+        self.metrics.counter("engine.catalog.noted").inc()
+        if merged:
+            self.metrics.counter("engine.catalog.merges").inc()
 
     # -- streaming --------------------------------------------------------
 
@@ -280,11 +567,30 @@ class Scheduler:
             self.metrics.counter("engine.scheduler.cancelled").inc()
             flight = handle._flight
             if flight is not None and all(h.done() for h in flight.handles):
-                # Nobody is waiting any more: release the pool slot if the
-                # task has not started (completing the ticket re-enters
-                # _on_ticket_done on this thread — the RLock allows it).
+                # Nobody is waiting any more.
                 if flight.ticket is not None:
+                    # Release the pool slot if the task has not started
+                    # (completing the ticket re-enters _on_ticket_done on
+                    # this thread — the RLock allows it).
                     self.pool.cancel(flight.ticket)
+                elif not flight.dispatched:
+                    # Still waiting in the ready queue: retire it without
+                    # the pool ever hearing about it.
+                    try:
+                        self._queue.remove(flight)
+                    except ValueError:
+                        pass
+                    else:
+                        if flight.key is not None:
+                            self._inflight.pop(flight.key, None)
+                        self.metrics.gauge(
+                            "engine.scheduler.inflight"
+                        ).sub()
+                        self.metrics.gauge(
+                            "engine.scheduler.priority.queued"
+                        ).sub()
+                # A flight mid-dispatch (dispatched, no ticket yet) is
+                # handled by the dispatcher's post-submit orphan check.
         return True
 
     # -- completion (runs on the pool's coordinator thread) ---------------
@@ -311,11 +617,13 @@ class Scheduler:
             if outcome.ok:
                 if flight.key is not None:
                     self.cache.put(flight.key, value)
+                self._note_verdict(job, value)
             else:
                 self.metrics.counter(f"engine.{job.kind}.failures").inc()
         # The cache now holds the value (if any), so a submit that races
         # the pop below lands on a cache hit rather than a recompute.
         with self._lock:
+            self._dispatched_now -= 1
             if flight.key is not None:
                 self._inflight.pop(flight.key, None)
             handles = list(flight.handles)
@@ -342,3 +650,5 @@ class Scheduler:
                 )
             if h._resolve(result):
                 self.metrics.counter("engine.scheduler.completed").inc()
+        # A slot opened: pull the next queued flight in priority order.
+        self._dispatch_ready()

@@ -15,8 +15,18 @@ from .ontologies import (
     sticky_arity_family,
     sticky_recursive_family,
 )
+from .random_omqs import (
+    FRAGMENTS,
+    PAIR_MODES,
+    alpha_rename,
+    random_omq,
+    random_omq_pair,
+)
 
 __all__ = [
+    "FRAGMENTS",
+    "PAIR_MODES",
+    "alpha_rename",
     "chain_database",
     "disjoint_union",
     "guarded_acyclic",
@@ -25,6 +35,8 @@ __all__ = [
     "linear_witness_family",
     "non_recursive_doubling",
     "random_database",
+    "random_omq",
+    "random_omq_pair",
     "sticky_arity_family",
     "sticky_recursive_family",
     "star_database",

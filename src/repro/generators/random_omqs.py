@@ -1,0 +1,469 @@
+"""Seeded random OMQ generators for the differential-testing harness.
+
+Unlike :mod:`repro.generators.ontologies` (parameterized *families* whose
+size parameter drives a known complexity source), this module draws
+*random* OMQs inside a requested fragment, for property-based and
+differential testing:
+
+* :func:`random_omq` — one random OMQ whose ontology provably falls in
+  the requested fragment (each draw is re-checked against the library's
+  own classifiers, so generator and classifier cannot drift apart
+  silently);
+* :func:`alpha_rename` — an α-variant (fresh variable names per rule and
+  per query, shuffled atom and rule order) that is semantically — and
+  canonically (:func:`repro.engine.canon.hash_omq`) — equivalent to its
+  input;
+* :func:`random_omq_pair` — a pair ``(Q1, Q2, expected)`` over one shared
+  data schema, where ``expected`` records what is known by construction:
+  ``None`` (independent draws), ``"contained"`` (``Q1 ⊆ Q2`` holds
+  because Q1's query adds conjuncts to Q2's over an α-equivalent
+  ontology), or ``"equivalent"`` (an α-pair).
+
+Determinism: every function takes an explicit :class:`random.Random` and
+touches no other entropy source, so a fixed seed reproduces a failing
+case exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.omq import OMQ
+from ..core.queries import CQ
+from ..core.schema import Schema
+from ..core.terms import Term, Variable
+from ..core.tgd import TGD
+from ..fragments.guarded import is_guarded, is_linear
+from ..fragments.nonrecursive import is_non_recursive
+from ..fragments.sticky import is_sticky
+
+#: Fragments :func:`random_omq` can target.  ``propositional`` draws an
+#: all-0-ary data schema so the exhaustive enumeration procedure applies.
+FRAGMENTS = (
+    "linear",
+    "non_recursive",
+    "sticky",
+    "guarded",
+    "propositional",
+)
+
+#: Pair modes for :func:`random_omq_pair`.
+PAIR_MODES = ("independent", "specialized", "alpha")
+
+_CHECKERS = {
+    "linear": is_linear,
+    "non_recursive": is_non_recursive,
+    "sticky": is_sticky,
+    "guarded": is_guarded,
+}
+
+
+class _Signature:
+    """A shared vocabulary: data predicates S_i and derived predicates D_i."""
+
+    def __init__(
+        self, data: Dict[str, int], derived: Dict[str, int]
+    ) -> None:
+        self.data = data
+        self.derived = derived
+        self.schema = Schema.of(**data)
+
+    def all_predicates(self) -> List[Tuple[str, int]]:
+        return sorted({**self.data, **self.derived}.items())
+
+
+def _random_signature(
+    rng: random.Random,
+    fragment: str,
+    n_data: int,
+    n_derived: int,
+    max_arity: int,
+) -> _Signature:
+    if fragment == "propositional":
+        data = {f"S_{i}": 0 for i in range(max(1, n_data))}
+        derived = {f"D_{i}": 0 for i in range(n_derived)}
+        return _Signature(data, derived)
+    data = {f"S_{i}": rng.randint(1, max_arity) for i in range(max(1, n_data))}
+    # Sticky rule-building pads heads with every body variable, so derived
+    # predicates need headroom: fix their arity at max_arity + 1.
+    if fragment == "sticky":
+        derived = {f"D_{i}": max_arity + 1 for i in range(n_derived)}
+    else:
+        derived = {
+            f"D_{i}": rng.randint(1, max_arity) for i in range(n_derived)
+        }
+    return _Signature(data, derived)
+
+
+def _head_args(
+    rng: random.Random,
+    arity: int,
+    body_vars: Sequence[Variable],
+    fresh: "itertools.count",
+) -> Tuple[Variable, ...]:
+    """Head arguments: frontier variables with a chance of existentials."""
+    args: List[Variable] = []
+    for _ in range(arity):
+        if body_vars and rng.random() < 0.8:
+            args.append(rng.choice(list(body_vars)))
+        else:
+            args.append(Variable(f"z{next(fresh)}"))
+    return tuple(args)
+
+
+def _rules_linear(rng: random.Random, sig: _Signature, n_rules: int):
+    """Single-body-atom rules S/D(x̄) → D(ȳ); linear by construction."""
+    rules: List[TGD] = []
+    fresh = itertools.count()
+    preds = sig.all_predicates()
+    for i in range(n_rules):
+        body_pred, body_arity = rng.choice(preds)
+        body_vars = tuple(
+            Variable(f"x{j}") for j in range(max(body_arity, 1))
+        )
+        body = (Atom(body_pred, body_vars[:body_arity]),)
+        head_pred = rng.choice(sorted(sig.derived))
+        head = (
+            Atom(
+                head_pred,
+                _head_args(
+                    rng, sig.derived[head_pred], body_vars[:body_arity], fresh
+                ),
+            ),
+        )
+        rules.append(TGD(body, head, f"lin_{i}"))
+    return rules
+
+
+def _rules_guarded(rng: random.Random, sig: _Signature, n_rules: int):
+    """Guard atom with distinct variables + side atoms over its variables."""
+    rules: List[TGD] = []
+    fresh = itertools.count()
+    preds = sig.all_predicates()
+    for i in range(n_rules):
+        guard_pred, guard_arity = rng.choice(preds)
+        guard_vars = tuple(
+            Variable(f"x{j}") for j in range(max(guard_arity, 1))
+        )
+        body = [Atom(guard_pred, guard_vars[:guard_arity])]
+        pool = list(guard_vars[:guard_arity]) or [Variable("x0")]
+        if not body[0].args:
+            # A 0-ary guard only guards a variable-free body.
+            pool = []
+        for _ in range(rng.randint(0, 2)):
+            side_pred, side_arity = rng.choice(preds)
+            if side_arity > 0 and not pool:
+                continue
+            body.append(
+                Atom(
+                    side_pred,
+                    tuple(rng.choice(pool) for _ in range(side_arity)),
+                )
+            )
+        head_pred = rng.choice(sorted(sig.derived))
+        head = (
+            Atom(
+                head_pred,
+                _head_args(rng, sig.derived[head_pred], pool, fresh),
+            ),
+        )
+        rules.append(TGD(tuple(body), head, f"grd_{i}"))
+    return rules
+
+
+def _rules_non_recursive(rng: random.Random, sig: _Signature, n_rules: int):
+    """Level-stratified rules: the body of a rule defining D_i only uses
+    data predicates and derived predicates D_j with j < i."""
+    rules: List[TGD] = []
+    fresh = itertools.count()
+    derived = sorted(sig.derived)
+    for i in range(n_rules):
+        level = rng.randrange(len(derived))
+        head_pred = derived[level]
+        allowed = sorted(sig.data.items()) + [
+            (d, sig.derived[d]) for d in derived[:level]
+        ]
+        n_vars = rng.randint(1, 3)
+        pool = [Variable(f"x{j}") for j in range(n_vars)]
+        body = []
+        for _ in range(rng.randint(1, 2)):
+            pred, arity = rng.choice(allowed)
+            body.append(
+                Atom(pred, tuple(rng.choice(pool) for _ in range(arity)))
+            )
+        head = (
+            Atom(
+                head_pred,
+                _head_args(
+                    rng,
+                    sig.derived[head_pred],
+                    sorted(
+                        {v for a in body for v in a.variables()},
+                        key=lambda v: v.name,
+                    ),
+                    fresh,
+                ),
+            ),
+        )
+        rules.append(TGD(tuple(body), head, f"nr_{i}"))
+    return rules
+
+
+def _rules_sticky(rng: random.Random, sig: _Signature, n_rules: int):
+    """Sticky sets, biased toward two shapes that are sticky by design:
+
+    * *lossless* rules — every body variable reappears in the head, so the
+      initial sticky marking is empty and the criterion holds vacuously;
+    * single-atom bodies with distinct variables — a marked variable can
+      then occur at most once in the body.
+
+    The caller still re-checks :func:`~repro.fragments.sticky.is_sticky`,
+    so joins introduced by the second shape can reject a draw.
+    """
+    rules: List[TGD] = []
+    fresh = itertools.count()
+    preds = sig.all_predicates()
+    derived = sorted(sig.derived)
+    for i in range(n_rules):
+        head_pred = rng.choice(derived)
+        head_arity = sig.derived[head_pred]
+        if rng.random() < 0.6:
+            # Lossless: 1-2 body atoms, all body variables kept in the head.
+            n_vars = rng.randint(1, max(1, head_arity - 1))
+            pool = [Variable(f"x{j}") for j in range(n_vars)]
+            body = []
+            for _ in range(rng.randint(1, 2)):
+                pred, arity = rng.choice(preds)
+                body.append(
+                    Atom(pred, tuple(rng.choice(pool) for _ in range(arity)))
+                )
+            used = sorted(
+                {v for a in body for v in a.variables()},
+                key=lambda v: v.name,
+            )
+            args: List[Variable] = list(used)
+            while len(args) < head_arity:
+                args.append(Variable(f"z{next(fresh)}"))
+            rng.shuffle(args)
+            head = (Atom(head_pred, tuple(args[:head_arity])),)
+        else:
+            pred, arity = rng.choice(preds)
+            body_vars = tuple(Variable(f"x{j}") for j in range(arity))
+            body = [Atom(pred, body_vars)]
+            head = (
+                Atom(
+                    head_pred,
+                    _head_args(rng, head_arity, body_vars, fresh),
+                ),
+            )
+        rules.append(TGD(tuple(body), head, f"stk_{i}"))
+    return rules
+
+
+def _rules_propositional(rng: random.Random, sig: _Signature, n_rules: int):
+    """0-ary rules P ∧ Q → D (also trivially guarded and sticky)."""
+    rules: List[TGD] = []
+    preds = sorted({**sig.data, **sig.derived})
+    derived = sorted(sig.derived)
+    for i in range(n_rules):
+        body = tuple(
+            Atom(p, ())
+            for p in rng.sample(preds, rng.randint(1, min(2, len(preds))))
+        )
+        head = (Atom(rng.choice(derived), ()),)
+        rules.append(TGD(body, head, f"prop_{i}"))
+    return rules
+
+
+_RULE_BUILDERS = {
+    "linear": _rules_linear,
+    "guarded": _rules_guarded,
+    "non_recursive": _rules_non_recursive,
+    "sticky": _rules_sticky,
+    "propositional": _rules_propositional,
+}
+
+
+def _random_query(
+    rng: random.Random,
+    sig: _Signature,
+    n_atoms: int,
+    head_arity: Optional[int] = None,
+) -> CQ:
+    """A safe CQ over the signature (data and derived predicates)."""
+    preds = sig.all_predicates()
+    if all(arity == 0 for _, arity in preds):
+        body = tuple(
+            Atom(p, ())
+            for p, _ in rng.sample(preds, rng.randint(1, min(2, len(preds))))
+        )
+        return CQ((), body, "q")
+    pool = [Variable(f"y{j}") for j in range(3)]
+    body: List[Atom] = []
+    for _ in range(max(1, n_atoms)):
+        pred, arity = rng.choice(preds)
+        body.append(Atom(pred, tuple(rng.choice(pool) for _ in range(arity))))
+    body_vars = sorted(
+        {v for a in body for v in a.variables()}, key=lambda v: v.name
+    )
+    if not body_vars:
+        return CQ((), tuple(body), "q")
+    if head_arity is None:
+        head_arity = rng.randint(0, min(2, len(body_vars)))
+    head = tuple(rng.choice(body_vars) for _ in range(head_arity))
+    return CQ(head, tuple(body), "q")
+
+
+def random_omq(
+    fragment: str,
+    rng: random.Random,
+    *,
+    n_data_predicates: int = 2,
+    n_derived_predicates: int = 2,
+    n_rules: int = 3,
+    max_arity: int = 2,
+    n_query_atoms: int = 2,
+    max_attempts: int = 25,
+    _signature: Optional[_Signature] = None,
+    _head_arity: Optional[int] = None,
+) -> OMQ:
+    """One random OMQ whose ontology falls in *fragment*.
+
+    Every draw is validated against the library's own classifier for the
+    fragment (``is_linear`` / ``is_non_recursive`` / ``is_sticky`` /
+    ``is_guarded``); shapes the builders cannot guarantee by construction
+    (sticky joins) are simply redrawn, up to *max_attempts* times.
+    """
+    if fragment not in FRAGMENTS:
+        raise ValueError(
+            f"unknown fragment {fragment!r}; choose from {FRAGMENTS}"
+        )
+    sig = _signature or _random_signature(
+        rng, fragment, n_data_predicates, n_derived_predicates, max_arity
+    )
+    builder = _RULE_BUILDERS[fragment]
+    checker = _CHECKERS.get(fragment)
+    for _ in range(max_attempts):
+        rules = builder(rng, sig, n_rules)
+        if checker is None or checker(rules):
+            break
+    else:  # pragma: no cover - builders converge in practice
+        raise RuntimeError(
+            f"could not draw a {fragment} rule set in {max_attempts} tries"
+        )
+    query = _random_query(rng, sig, n_query_atoms, head_arity=_head_arity)
+    return OMQ(sig.schema, tuple(rules), query, name=f"rand_{fragment}")
+
+
+# -- α-renaming --------------------------------------------------------------
+
+
+def _rename_atoms(
+    atoms: Sequence[Atom], mapping: Dict[Term, Term]
+) -> Tuple[Atom, ...]:
+    return tuple(a.substitute(mapping) for a in atoms)
+
+
+def _fresh_mapping(
+    variables: Sequence[Variable], rng: random.Random, tag: str
+) -> Dict[Term, Term]:
+    offset = rng.randrange(1000)
+    ordered = sorted(variables, key=lambda v: v.name)
+    return {
+        v: Variable(f"{tag}{offset + i}") for i, v in enumerate(ordered)
+    }
+
+
+def alpha_rename(omq: OMQ, rng: random.Random) -> OMQ:
+    """A semantically equivalent α-variant of *omq*.
+
+    Renames every rule's variables (independently per rule — tgd variables
+    are rule-scoped) and the query's variables to fresh names, and shuffles
+    atom order within bodies and rule order within the ontology.  The
+    result has the same canonical hash as the input, but is (almost
+    always) structurally distinct, which defeats syntax-based shortcuts
+    like Σ1 ⊆ Σ2 subsumption.
+    """
+    rules: List[TGD] = []
+    for rule in omq.sigma:
+        mapping = _fresh_mapping(sorted(rule.variables(), key=str), rng, "v")
+        body = list(_rename_atoms(rule.body, mapping))
+        head = list(_rename_atoms(rule.head, mapping))
+        rng.shuffle(body)
+        rng.shuffle(head)
+        rules.append(TGD(tuple(body), tuple(head), rule.name))
+    rng.shuffle(rules)
+    q = omq.query
+    qmap = _fresh_mapping(sorted(q.variables(), key=str), rng, "w")
+    body = list(_rename_atoms(q.body, qmap))
+    rng.shuffle(body)
+    head = tuple(qmap.get(t, t) for t in q.head)
+    query = CQ(head, tuple(body), q.name)
+    return OMQ(omq.data_schema, tuple(rules), query, name=omq.name)
+
+
+# -- pairs -------------------------------------------------------------------
+
+
+def random_omq_pair(
+    fragment: str,
+    rng: random.Random,
+    mode: str = "independent",
+    **kwargs,
+) -> Tuple[OMQ, OMQ, Optional[str]]:
+    """A pair ``(Q1, Q2, expected)`` over one shared data schema.
+
+    * ``independent`` — two independent draws over the same signature and
+      head arity (``expected = None``: nothing is known by construction);
+    * ``specialized`` — Q2 is a random draw; Q1 keeps Q2's head but adds
+      random conjuncts to the query body, over an α-renamed copy of Q2's
+      ontology.  Then ``Q1 ⊆ Q2`` holds semantically (``expected =
+      "contained"``) while ``Σ1 ⊆ Σ2`` fails syntactically, so the
+      full procedures — not the subsumption shortcut — must prove it;
+    * ``alpha`` — Q2 is an α-variant of Q1 (``expected = "equivalent"``).
+    """
+    if mode not in PAIR_MODES:
+        raise ValueError(f"unknown mode {mode!r}; choose from {PAIR_MODES}")
+    max_arity = kwargs.get("max_arity", 2)
+    sig = _random_signature(
+        rng,
+        fragment,
+        kwargs.get("n_data_predicates", 2),
+        kwargs.get("n_derived_predicates", 2),
+        max_arity,
+    )
+    if mode == "independent":
+        head_arity = (
+            0 if fragment == "propositional" else rng.randint(0, 2)
+        )
+        q1 = random_omq(
+            fragment, rng, _signature=sig, _head_arity=head_arity, **kwargs
+        )
+        q2 = random_omq(
+            fragment, rng, _signature=sig, _head_arity=head_arity, **kwargs
+        )
+        return q1, q2, None
+    base = random_omq(fragment, rng, _signature=sig, **kwargs)
+    if mode == "alpha":
+        return base, alpha_rename(base, rng), "equivalent"
+    # specialized: add conjuncts to the query, α-rename the ontology.
+    extra: List[Atom] = []
+    pool = sorted(base.query.variables(), key=str) or [Variable("y0")]
+    pool = list(pool) + [Variable("yx")]
+    preds = sig.all_predicates()
+    for _ in range(rng.randint(1, 2)):
+        pred, arity = rng.choice(preds)
+        extra.append(
+            Atom(pred, tuple(rng.choice(pool) for _ in range(arity)))
+        )
+    specialized_query = CQ(
+        base.query.head, tuple(base.query.body) + tuple(extra), "q_spec"
+    )
+    renamed = alpha_rename(base, rng)
+    q1 = OMQ(
+        sig.schema, renamed.sigma, specialized_query, name="rand_spec"
+    )
+    return q1, base, "contained"

@@ -142,9 +142,12 @@ def _applicable(
     free = set(query.free_variables())
 
     # Occurrences of each variable: total in the query body, and within the
-    # subset at each existential variable's positions.
+    # subset at each existential variable's positions.  The body is a set
+    # of atoms — a CQ tuple may carry value-equal duplicates, and counting
+    # them twice would block rewriting steps the set semantics permits
+    # (`remaining` below is likewise computed over set(q.body)).
     total_occurrences: Dict[Variable, int] = {}
-    for a in query.body:
+    for a in set(query.body):
         for t in a.args:
             if isinstance(t, Variable):
                 total_occurrences[t] = total_occurrences.get(t, 0) + 1

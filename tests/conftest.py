@@ -71,3 +71,44 @@ def figure1_non_sticky():
 def db(text: str):
     """Parse a database literal in tests."""
     return parse_database(text)
+
+
+# -- differential-harness knobs ---------------------------------------------
+
+
+def pytest_addoption(parser):
+    """Knobs for the randomized differential suite (test_differential.py).
+
+    ``--seed`` reproduces a run exactly; ``--diff-cases`` scales the case
+    count (CI smoke jobs sweep a small seed matrix at the default size);
+    ``--diff-time-cap`` bounds wall-clock so a pathological draw degrades
+    the run to fewer cases instead of hanging it.
+    """
+    parser.addoption(
+        "--seed",
+        type=int,
+        default=20260806,
+        help="base RNG seed for randomized differential tests",
+    )
+    parser.addoption(
+        "--diff-cases",
+        type=int,
+        default=200,
+        help="number of random OMQ pairs the differential suite draws",
+    )
+    parser.addoption(
+        "--diff-time-cap",
+        type=float,
+        default=120.0,
+        help="wall-clock cap (seconds) for the differential suite",
+    )
+
+
+@pytest.fixture
+def diff_options(request):
+    """(seed, cases, time_cap) as configured on the command line."""
+    return (
+        request.config.getoption("--seed"),
+        request.config.getoption("--diff-cases"),
+        request.config.getoption("--diff-time-cap"),
+    )

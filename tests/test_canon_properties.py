@@ -1,0 +1,164 @@
+"""Property-based tests for :mod:`repro.engine.canon`.
+
+``test_canon.py`` pins hand-picked (anti-)examples; this module turns the
+two load-bearing contracts into *properties* over randomized inputs:
+
+* **invariance** — canonical hashes are blind to presentation: variable
+  and null renamings, atom reorderings, rule reorderings (α-variants from
+  :func:`repro.generators.alpha_rename`, null permutations of chase
+  outputs) never change a hash;
+* **separation** — structural edits (dropping a rule whose canonical form
+  is unique, adding an atom over a fresh predicate, permuting a head)
+  always change it.
+
+Randomness is driven through hypothesis so shrinking reports minimal
+counterexamples; the OMQ corpus itself comes from the seeded fragment
+generators, keeping the distributions aligned with the differential
+harness (`test_differential.py`).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.atoms import Atom  # noqa: E402
+from repro.core.instance import Instance  # noqa: E402
+from repro.core.omq import OMQ  # noqa: E402
+from repro.core.queries import CQ  # noqa: E402
+from repro.core.terms import Constant, Null, Variable  # noqa: E402
+from repro.engine.canon import (  # noqa: E402
+    canonical_tgd,
+    hash_cq,
+    hash_instance,
+    hash_omq,
+)
+from repro.generators import FRAGMENTS, alpha_rename, random_omq  # noqa: E402
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+# -- strategies --------------------------------------------------------------
+
+
+@st.composite
+def omqs(draw):
+    fragment = draw(st.sampled_from(FRAGMENTS))
+    seed = draw(st.integers(0, 2**31))
+    return random_omq(fragment, random.Random(seed))
+
+
+@st.composite
+def instances(draw):
+    """Instances over a small vocabulary, mixing constants and nulls."""
+    n_atoms = draw(st.integers(1, 8))
+    atoms = []
+    for _ in range(n_atoms):
+        pred = draw(st.sampled_from(("P", "Q", "R")))
+        arity = {"P": 1, "Q": 2, "R": 3}[pred]
+        args = tuple(
+            draw(
+                st.one_of(
+                    st.sampled_from([Constant("a"), Constant("b")]),
+                    st.integers(0, 5).map(Null),
+                )
+            )
+            for _ in range(arity)
+        )
+        atoms.append(Atom(pred, args))
+    return Instance.of(atoms)
+
+
+# -- invariance --------------------------------------------------------------
+
+
+@SETTINGS
+@given(omqs(), st.integers(0, 2**31))
+def test_hash_omq_alpha_invariant(omq, rename_seed):
+    """Renaming every rule's and the query's variables, and shuffling atom
+    and rule order, never moves the canonical hash."""
+    variant = alpha_rename(omq, random.Random(rename_seed))
+    assert hash_omq(variant) == hash_omq(omq)
+
+
+@SETTINGS
+@given(instances(), st.integers(0, 2**31))
+def test_hash_instance_null_renaming_invariant(instance, seed):
+    """Nulls are isomorphism-invariant labels: any injective re-labeling
+    (plus atom reordering — instances are sets) preserves the hash."""
+    rng = random.Random(seed)
+    nulls = sorted(instance.nulls(), key=lambda n: n.ident)
+    offsets = list(range(100, 100 + len(nulls)))
+    rng.shuffle(offsets)
+    mapping = {n: Null(o) for n, o in zip(nulls, offsets)}
+    renamed = instance.rename(mapping)
+    assert hash_instance(renamed) == hash_instance(instance)
+
+
+@SETTINGS
+@given(omqs(), st.integers(0, 2**31))
+def test_hash_cq_variable_renaming_invariant(omq, seed):
+    rng = random.Random(seed)
+    q = omq.query
+    variables = sorted(q.variables(), key=lambda v: v.name)
+    names = [f"u{i}" for i in range(len(variables))]
+    rng.shuffle(names)
+    mapping = {v: Variable(n) for v, n in zip(variables, names)}
+    body = [a.substitute(mapping) for a in q.body]
+    rng.shuffle(body)
+    head = tuple(mapping.get(t, t) for t in q.head)
+    assert hash_cq(CQ(head, tuple(body), q.name)) == hash_cq(q)
+
+
+# -- separation --------------------------------------------------------------
+
+
+@SETTINGS
+@given(omqs())
+def test_dropping_a_distinct_rule_changes_hash(omq):
+    """Removing a rule whose canonical form is unique in Σ changes the
+    OMQ hash (duplicate-modulo-α rules legitimately collapse)."""
+    forms = [canonical_tgd(r) for r in omq.sigma]
+    for i, form in enumerate(forms):
+        if forms.count(form) > 1:
+            continue
+        thinned = omq.sigma[:i] + omq.sigma[i + 1 :]
+        if not thinned:
+            continue
+        smaller = OMQ(omq.data_schema, thinned, omq.query, omq.name)
+        assert hash_omq(smaller) != hash_omq(omq)
+
+
+@SETTINGS
+@given(instances())
+def test_adding_an_atom_changes_instance_hash(instance):
+    extended = Instance.of(
+        list(instance.atoms) + [Atom("FRESH", (Constant("a"),))]
+    )
+    assert hash_instance(extended) != hash_instance(instance)
+
+
+@SETTINGS
+@given(omqs())
+def test_extending_query_body_changes_hash(omq):
+    """A genuinely new conjunct (fresh predicate — never foldable into the
+    existing body) separates the hashes."""
+    q = omq.query
+    variables = sorted(q.variables(), key=lambda v: v.name)
+    anchor = variables[0] if variables else Variable("w")
+    wider = CQ(q.head, tuple(q.body) + (Atom("FRESH", (anchor,)),), q.name)
+    assert hash_cq(wider) != hash_cq(q)
+    assert hash_omq(
+        OMQ(omq.data_schema, omq.sigma, wider, omq.name)
+    ) != hash_omq(omq)
+
+
+def test_head_order_separates():
+    """Canonical forms respect answer-tuple order: q(x,y) ≠ q(y,x)."""
+    x, y = Variable("x"), Variable("y")
+    body = (Atom("Q", (x, y)),)
+    assert hash_cq(CQ((x, y), body)) != hash_cq(CQ((y, x), body))

@@ -1,21 +1,30 @@
-"""The engine's result cache: round-trips, persistence, corruption recovery,
-contention tolerance (shared cache_dir across processes), and the
-process-wide cache registry behind ``repro.clear_caches()``.
+"""The engine's result cache: the front's memory layer, the backend
+registry, sqlite-specific regressions (WAL mode, lock-degrade semantics,
+stale version stamps), and the process-wide cache registry behind
+``repro.clear_caches()``.
+
+Behaviour every backend must share (round-trips, persistence, corruption
+degrade, two-process contention) lives in the parametrized conformance
+suite ``test_cache_backends.py``.
 """
 
-import json
 import sqlite3
-import subprocess
-import sys
-from pathlib import Path
 
 import pytest
 
 import repro
 from repro import OMQ, Schema, parse_cq, parse_tgds
-from repro.containment.result import ContainmentResult, Verdict, contained
 from repro.engine import cache as cache_module
-from repro.engine.cache import _DB_NAME, SCHEMA_VERSION, ResultCache
+from repro.engine.cache import (
+    _DB_NAME,
+    BACKENDS,
+    CacheBackend,
+    ResultCache,
+    ShardedDirBackend,
+    SqliteBackend,
+    available_backends,
+    register_backend,
+)
 from repro.evaluation import cached_rewriting, evaluate_omq
 
 
@@ -48,34 +57,93 @@ class TestMemoryLayer:
         assert stats["memory_hits"] == 1
         assert stats["misses"] == 1
         assert stats["hit_rate"] == 0.5
+        assert stats["backend"] == "memory"
 
 
-class TestDiskLayer:
-    def test_survives_reopen(self, tmp_path):
-        c1 = ResultCache(str(tmp_path))
-        c1.put("k", contained("test-method", "detail"))
-        c1.close()
-        c2 = ResultCache(str(tmp_path))
-        found, value = c2.get("k")
-        assert found
-        assert isinstance(value, ContainmentResult)
-        assert value.verdict is Verdict.CONTAINED
-        assert value.method == "test-method"
-        c2.close()
+class TestBackendRegistry:
+    def test_builtins_registered(self):
+        assert BACKENDS["sqlite"] is SqliteBackend
+        assert BACKENDS["sharded"] is ShardedDirBackend
+        assert available_backends() == ("memory", "sharded", "sqlite")
 
-    def test_clear_memory_keeps_disk(self, tmp_path):
-        cache = ResultCache(str(tmp_path))
-        cache.put("k", "v")
-        cache.clear_memory()
-        assert cache.get("k") == (True, "v")  # reloaded from disk
-        assert cache.stats()["disk_hits"] == 1
+    def test_unknown_backend_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="sharded"):
+            ResultCache(str(tmp_path), backend="bogus")
+
+    def test_non_string_non_backend_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            ResultCache(str(tmp_path), backend=42)
+
+    def test_memory_name_means_no_disk(self, tmp_path):
+        cache = ResultCache(str(tmp_path), backend="memory")
+        assert not cache.persistent
+        assert cache.backend_name == "memory"
         cache.close()
 
-    def test_clear_empties_both_layers(self, tmp_path):
-        cache = ResultCache(str(tmp_path))
+    def test_no_cache_dir_means_no_disk(self):
+        cache = ResultCache(None, backend="sqlite")
+        assert not cache.persistent
+        cache.close()
+
+    def test_backend_instance_used_as_is(self, tmp_path):
+        backend = ShardedDirBackend(str(tmp_path))
+        cache = ResultCache(str(tmp_path), backend=backend)
+        assert cache._backend is backend
+        assert cache.backend_name == "sharded"
         cache.put("k", "v")
-        cache.clear()
-        assert cache.get("k") == (False, None)
+        cache.clear_memory()
+        assert cache.get("k") == (True, "v")
+        cache.close()
+
+    def test_register_backend_plugs_into_names(self, tmp_path, monkeypatch):
+        class NullBackend(CacheBackend):
+            name = "null"
+            persistent = False
+
+            def __init__(self, cache_dir):
+                super().__init__()
+
+            def load(self, key):
+                return None
+
+            def store(self, key, payload):
+                pass
+
+            def delete(self, key):
+                pass
+
+            def clear(self):
+                pass
+
+            def count(self):
+                return 0
+
+        monkeypatch.setitem(cache_module.BACKENDS, "null", NullBackend)
+        assert "null" in available_backends()
+        cache = ResultCache(str(tmp_path), backend="null")
+        cache.put("k", "v")
+        cache.clear_memory()
+        assert cache.get("k") == (False, None)  # NullBackend drops bytes
+        cache.close()
+
+    def test_register_backend_function(self, monkeypatch):
+        registered = dict(cache_module.BACKENDS)
+        monkeypatch.setattr(cache_module, "BACKENDS", registered)
+
+        class Dummy(CacheBackend):
+            name = "dummy"
+
+        register_backend("dummy", Dummy)
+        assert registered["dummy"] is Dummy
+
+
+class TestSqliteRegressions:
+    def test_disk_layer_opens_in_wal_mode(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        mode = (
+            cache._backend._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        )
+        assert mode == "wal"
         cache.close()
 
     def test_corrupted_file_is_rebuilt(self, tmp_path):
@@ -107,38 +175,6 @@ class TestDiskLayer:
         assert c2.recoveries == 1
         assert c2.get("k") == (False, None)  # old rows gone
         c2.close()
-
-    def test_corrupt_pickle_row_degrades_to_miss(self, tmp_path):
-        c1 = ResultCache(str(tmp_path))
-        c1.put("k", "v")
-        c1.close()
-        conn = sqlite3.connect(str(tmp_path / _DB_NAME))
-        conn.execute(
-            "UPDATE results SET payload = ? WHERE key = 'k'",
-            (b"not a pickle",),
-        )
-        conn.commit()
-        conn.close()
-        c2 = ResultCache(str(tmp_path))
-        assert c2.get("k") == (False, None)
-        c2.close()
-
-    def test_unpicklable_value_stays_in_memory(self, tmp_path):
-        cache = ResultCache(str(tmp_path))
-        value = lambda: None  # noqa: E731 - deliberately unpicklable
-        cache.put("k", value)
-        assert cache.get("k") == (True, value)
-        cache.clear_memory()
-        assert cache.get("k") == (False, None)  # never reached disk
-        cache.close()
-
-
-class TestContentionTolerance:
-    def test_disk_layer_opens_in_wal_mode(self, tmp_path):
-        cache = ResultCache(str(tmp_path))
-        mode = cache._conn.execute("PRAGMA journal_mode").fetchone()[0]
-        assert mode == "wal"
-        cache.close()
 
     def test_locked_database_degrades_without_deletion(
         self, tmp_path, monkeypatch
@@ -175,49 +211,24 @@ class TestContentionTolerance:
         assert cache.recoveries == 0
         cache.close()
 
-    def test_two_processes_share_one_cache_dir(self, tmp_path):
-        # Two concurrent writers hammer one cache_dir.  WAL + busy_timeout
-        # must absorb the contention: neither process may "recover" (i.e.
-        # delete) the shared file, and every row must survive.
-        script = (
-            "import json, sys\n"
-            "from repro.engine.cache import ResultCache\n"
-            "tag, cache_dir = sys.argv[1], sys.argv[2]\n"
-            "cache = ResultCache(cache_dir)\n"
-            "for i in range(40):\n"
-            "    cache.put(f'{tag}:{i}', {'tag': tag, 'i': i})\n"
-            "    cache.get(f'{tag}:{i}')\n"
-            "stats = cache.stats()\n"
-            "cache.close()\n"
-            "print(json.dumps({'recoveries': stats['recoveries'],\n"
-            "                  'persistent': stats['persistent']}))\n"
-        )
-        repo_root = Path(__file__).resolve().parent.parent
-        procs = [
-            subprocess.Popen(
-                [sys.executable, "-c", script, tag, str(tmp_path)],
-                stdout=subprocess.PIPE,
-                stderr=subprocess.PIPE,
-                text=True,
-                cwd=repo_root,
-                env={"PYTHONPATH": str(repo_root / "src")},
-            )
-            for tag in ("a", "b")
-        ]
-        reports = []
-        for proc in procs:
-            out, err = proc.communicate(timeout=120)
-            assert proc.returncode == 0, err
-            reports.append(json.loads(out))
-        assert [r["recoveries"] for r in reports] == [0, 0]
-        assert all(r["persistent"] for r in reports)
 
-        survivor = ResultCache(str(tmp_path))
-        assert survivor.stats()["disk_entries"] == 80
-        assert survivor.get("a:0") == (True, {"tag": "a", "i": 0})
-        assert survivor.get("b:39") == (True, {"tag": "b", "i": 39})
-        assert survivor.recoveries == 0
-        survivor.close()
+class TestShardedLayout:
+    def test_version_stamped_directory(self, tmp_path):
+        cache = ResultCache(str(tmp_path), backend="sharded")
+        cache.put("k", "v")
+        roots = [p.name for p in tmp_path.iterdir() if p.is_dir()]
+        assert len(roots) == 1
+        assert roots[0].startswith("repro-cache-shards-v")
+        cache.close()
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(str(tmp_path), backend="sharded")
+        for i in range(10):
+            cache.put(f"k{i}", i)
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+        assert cache.stats()["disk_entries"] == 10
+        cache.close()
 
 
 class TestCacheRegistry:

@@ -16,7 +16,7 @@ import pytest
 
 from repro import OMQ, Schema, parse_cq, parse_tgds
 from repro.containment import Verdict
-from repro.engine import BatchEngine, ContainmentJob
+from repro.engine import BatchEngine, ContainmentJob, Priority
 from repro.engine.jobs import SleepJob
 
 START_METHODS = [
@@ -260,3 +260,168 @@ class TestCancellation:
             assert second.result(timeout=1).error == "cancelled"
             # The primary handle still gets the real value.
             assert first.result(timeout=10).value == "value:shared"
+
+    def test_cancelling_a_queued_flight_skips_the_pool(self):
+        # A flight cancelled while still in the ready queue is retired
+        # without the pool ever hearing about it: dispatched stays at 1.
+        with BatchEngine(workers=1, max_inflight=1) as engine:
+            blocker = engine.submit(SleepJob(0.3, "blocker"))
+            doomed = engine.submit(SleepJob(30.0, "doomed"), priority="low")
+            assert doomed.cancel()
+            assert doomed.result(timeout=1).error == "cancelled"
+            assert blocker.result(timeout=10).value == "blocker"
+            snap = engine.stats()["metrics"]
+        assert snap["engine.scheduler.dispatched"] == 1
+        assert snap["engine.scheduler.cancelled"] == 1
+        assert snap["engine.scheduler.priority.queued"]["value"] == 0
+        assert snap["engine.scheduler.inflight"]["value"] == 0
+
+
+class TestPriorityScheduling:
+    """Class-based priorities, weighted fair share, and aging.
+
+    Every test pins ``workers=1, max_inflight=1`` so exactly one flight
+    occupies the dispatch window while the rest wait in the ready queue —
+    with a single worker, completion order *is* dispatch order, which
+    makes the scheduler's ranking directly observable.
+    """
+
+    def test_high_overtakes_queued_low_backlog(self):
+        with BatchEngine(
+            workers=1, max_inflight=1, aging_interval=None
+        ) as engine:
+            blocker = engine.submit(SleepJob(0.5, "blocker"))
+            lows = [
+                engine.submit(SleepJob(0.02, f"low{i}"), priority="low")
+                for i in range(3)
+            ]
+            high = engine.submit(
+                SleepJob(0.02, "high"), priority=Priority.HIGH
+            )
+            order = [
+                h.result().value
+                for h in engine.as_completed(
+                    [blocker, *lows, high], timeout=60
+                )
+            ]
+            snap = engine.stats()["metrics"]
+        assert order[0] == "blocker"
+        # HIGH jumps the whole LOW backlog; LOWs stay FIFO among equals.
+        assert order[1] == "high"
+        assert order[2:] == ["low0", "low1", "low2"]
+        assert snap["engine.scheduler.priority.dispatched.high"] == 1
+        assert snap["engine.scheduler.priority.dispatched.normal"] == 1
+        assert snap["engine.scheduler.priority.dispatched.low"] == 3
+        assert snap["engine.scheduler.priority.queued"]["value"] == 0
+        assert "engine.scheduler.queue_wait" in snap
+
+    def test_priority_spellings(self):
+        with BatchEngine(workers=1, max_inflight=1) as engine:
+            assert (
+                engine.submit(SleepJob(0.0, "s"), priority="high")
+                .result(timeout=10).value == "s"
+            )
+            assert (
+                engine.submit(SleepJob(0.0, "i"), priority=2)
+                .result(timeout=10).value == "i"
+            )
+            with pytest.raises(ValueError, match="urgent"):
+                engine.submit(SleepJob(0.0), priority="urgent")
+
+    def test_weighted_fair_share_between_submitters(self):
+        # Stride scheduling: each dispatch charges the winner 1/weight on
+        # its pass clock, so weight 2 earns two slots per weight-1 slot.
+        with BatchEngine(
+            workers=1, max_inflight=1, aging_interval=None
+        ) as engine:
+            engine.scheduler.set_weight("a", 2.0)
+            blocker = engine.submit(SleepJob(0.5, "blocker"))
+            handles = [
+                engine.submit(SleepJob(0.01, f"a{i}"), submitter="a")
+                for i in range(4)
+            ] + [
+                engine.submit(SleepJob(0.01, f"b{i}"), submitter="b")
+                for i in range(4)
+            ]
+            order = [
+                h.result().value
+                for h in engine.as_completed([blocker] + handles, timeout=60)
+            ]
+        assert order[0] == "blocker"
+        assert order[1:] == ["a0", "b0", "a1", "a2", "b1", "a3", "b2", "b3"]
+
+    def test_equal_weights_alternate(self):
+        with BatchEngine(
+            workers=1, max_inflight=1, aging_interval=None
+        ) as engine:
+            blocker = engine.submit(SleepJob(0.5, "blocker"))
+            handles = [
+                engine.submit(SleepJob(0.01, f"a{i}"), submitter="a")
+                for i in range(3)
+            ] + [
+                engine.submit(SleepJob(0.01, f"b{i}"), submitter="b")
+                for i in range(3)
+            ]
+            order = [
+                h.result().value
+                for h in engine.as_completed([blocker] + handles, timeout=60)
+            ]
+        assert order[1:] == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_weight_must_be_positive(self):
+        with BatchEngine(workers=1) as engine:
+            with pytest.raises(ValueError, match="positive"):
+                engine.scheduler.set_weight("a", 0.0)
+            with pytest.raises(ValueError, match="positive"):
+                engine.scheduler.set_weight("a", -1.0)
+
+    def test_aging_rescues_a_starved_low_flight(self):
+        # A LOW flight that has waited long enough is promoted one class
+        # per aging_interval — here all the way to HIGH — so a later HIGH
+        # submission cannot jump it (FIFO breaks the tie among equals).
+        with BatchEngine(
+            workers=1, max_inflight=1, aging_interval=0.05
+        ) as engine:
+            blocker = engine.submit(SleepJob(0.4, "blocker"))
+            low = engine.submit(SleepJob(0.01, "low"), priority="low")
+            time.sleep(0.25)
+            high = engine.submit(SleepJob(0.01, "high"), priority="high")
+            order = [
+                h.result().value
+                for h in engine.as_completed([blocker, low, high], timeout=60)
+            ]
+            snap = engine.stats()["metrics"]
+        assert order == ["blocker", "low", "high"]
+        assert snap["engine.scheduler.priority.aged"] >= 1
+        # The aged LOW dispatch is accounted under its *effective* class.
+        assert snap["engine.scheduler.priority.dispatched.high"] == 2
+
+    def test_coalescing_promotes_a_queued_flight(self):
+        # A HIGH rider attaching to a queued LOW flight promotes it: the
+        # flight runs at the most urgent class anyone riding it asked for.
+        with BatchEngine(
+            workers=1, max_inflight=1, aging_interval=None
+        ) as engine:
+            blocker = engine.submit(SleepJob(0.5, "blocker"))
+            other = engine.submit(
+                _SlowKeyedJob("other", 0.01), priority="low"
+            )
+            shared = engine.submit(
+                _SlowKeyedJob("shared", 0.01), priority="low"
+            )
+            rider = engine.submit(
+                _SlowKeyedJob("shared", 0.01), priority="high"
+            )
+            order = [
+                h.result().value
+                for h in engine.as_completed(
+                    [blocker, other, shared, rider], timeout=60
+                )
+            ]
+            snap = engine.stats()["metrics"]
+        # Without promotion "other" (earlier seq, same class) runs first.
+        assert order == [
+            "blocker", "value:shared", "value:shared", "value:other"
+        ]
+        assert snap["engine.dedup.coalesced"] == 1
+        assert snap["engine.slowkeyed.runs"] == 2

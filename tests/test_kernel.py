@@ -412,3 +412,112 @@ class TestBudgets:
         code = main(["rewrite", str(q), "--max-steps", "5", "--json"])
         capsys.readouterr()
         assert code == 0
+
+
+class TestChaseFuzzParity:
+    """Randomized delta/naive parity over the random fragment generators.
+
+    ``TestChaseParity`` pins the curated families; here the tgd sets are
+    drawn from :func:`repro.generators.random_omq` across every fragment,
+    and the step budget is swept through its edge values — including
+    budgets that bind, where both strategies must degrade identically
+    (same partial instance, same honest non-termination report, and the
+    same UNKNOWN at the evaluation layer).
+    """
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_sets_agree(self, seed):
+        from repro.generators import FRAGMENTS, random_omq
+
+        rng = random.Random(seed)
+        omq = random_omq(rng.choice(FRAGMENTS), rng)
+        db = random_database(
+            omq.data_schema, n_constants=3, n_atoms=5, seed=seed
+        )
+        kwargs = dict(max_steps=300, partial=True)
+        delta = chase(db, omq.sigma, strategy="delta", **kwargs)
+        naive = chase(db, omq.sigma, strategy="naive", **kwargs)
+        assert delta.instance == naive.instance
+        assert delta.steps == naive.steps
+        assert delta.terminated == naive.terminated
+
+    @pytest.mark.parametrize("budget", [0, 1, 2, 3, 7, 50])
+    def test_budget_edges_agree(self, budget):
+        """On a diverging rule set every budget binds: partial runs match
+        atom-for-atom and strict runs raise with matching partials."""
+        from repro.core.parser import parse_database, parse_tgds
+
+        sigma = parse_tgds("P(x) -> R(x, w)\nR(x, y) -> R(y, z)")
+        db = parse_database("P(a).")
+        partials = {}
+        for strategy in ("delta", "naive"):
+            result = chase(
+                db, sigma, strategy=strategy, max_steps=budget, partial=True
+            )
+            assert not result.terminated
+            assert result.steps <= budget
+            partials[strategy] = result
+        assert partials["delta"].instance == partials["naive"].instance
+        assert partials["delta"].steps == partials["naive"].steps
+        from repro.chase.engine import ChaseBudgetExceeded
+
+        for strategy in ("delta", "naive"):
+            with pytest.raises(ChaseBudgetExceeded) as exc:
+                chase(db, sigma, strategy=strategy, max_steps=budget)
+            assert (
+                exc.value.partial.instance
+                == partials[strategy].instance
+            )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_budget_exceeded_is_strategy_independent(self, seed):
+        """Whether a random set exhausts a tiny budget never depends on
+        the strategy, and the partial frontiers coincide."""
+        from repro.chase.engine import ChaseBudgetExceeded
+        from repro.generators import FRAGMENTS, random_omq
+
+        rng = random.Random(1000 + seed)
+        omq = random_omq(rng.choice(FRAGMENTS), rng)
+        db = random_database(
+            omq.data_schema, n_constants=2, n_atoms=4, seed=seed
+        )
+        for budget in (0, 1, 3):
+            outcomes = {}
+            for strategy in ("delta", "naive"):
+                try:
+                    result = chase(
+                        db, omq.sigma, strategy=strategy, max_steps=budget
+                    )
+                    outcomes[strategy] = ("done", result.instance)
+                except ChaseBudgetExceeded as exc:
+                    outcomes[strategy] = (
+                        "exceeded", exc.partial.instance
+                    )
+            assert outcomes["delta"] == outcomes["naive"]
+
+    def test_unknown_degradation_matches_across_strategies(self, monkeypatch):
+        """The evaluation layer reports the same inexact 'chase-partial'
+        answer set whichever chase strategy runs underneath."""
+        import functools
+
+        import repro.evaluation as evaluation
+        from repro.core.parser import parse_database, parse_omq
+
+        omq = parse_omq(DIVERGING_OMQ)
+        db = parse_database("P(a).")
+        delta_result = evaluate_omq(
+            omq, db, method="chase", chase_max_steps=3
+        )
+        repro.clear_caches()
+        monkeypatch.setattr(
+            evaluation,
+            "chase",
+            functools.partial(chase, strategy="naive"),
+        )
+        naive_result = evaluate_omq(
+            omq, db, method="chase", chase_max_steps=3
+        )
+        for result in (delta_result, naive_result):
+            assert not result.exact
+            assert result.method == "chase-partial"
+        assert delta_result.answers == naive_result.answers
