@@ -1,0 +1,251 @@
+"""SERVE: request latency and throughput of the HTTP serving tier.
+
+Boots one in-process :class:`repro.serve.ReproServer` replica
+(``allow_test_jobs`` on) and drives it with closed-loop client threads
+over a mixed workload:
+
+* **cheap** — a containment pair answered from the warm result cache
+  (the steady state of a production replica: rung 2 of the ladder);
+* **expensive** — ``kind: "sleep"`` jobs with a known 25ms service time,
+  submitted with unique payloads so they cannot cache or coalesce
+  (a stand-in for fresh decision-procedure runs with a *controlled*
+  duration — real containment times would drown the serving overhead
+  this benchmark isolates).
+
+Reports per-request p50/p95/p99 latency and sustained throughput at two
+concurrency levels, plus the deadline-degradation fast path (how quickly
+a hopeless budget is refused).  Results land in ``BENCH_serve.json``.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py          # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick  # CI smoke
+"""
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.serve import ReproServer, ServeClient, ServeConfig
+
+OMQ_A = """
+schema: R/2, P/1
+rules:
+    P(x) -> R(x, w)
+    R(x, y) -> P(y)
+query: q(x) :- R(x, y), P(y)
+"""
+OMQ_B = """
+schema: R/2, P/1
+query: q(x) :- R(x, y)
+"""
+
+SLEEP_S = 0.025
+CONCURRENCY_LEVELS = (1, 8)
+
+
+class _Replica:
+    """The server on its own event-loop thread (same shape as the tests)."""
+
+    def __init__(self) -> None:
+        self.server = ReproServer(
+            ServeConfig(port=0, allow_test_jobs=True)
+        )
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self.loop.run_forever()
+
+    def __enter__(self) -> "_Replica":
+        self.thread.start()
+        assert self._ready.wait(10)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(drain=False), self.loop
+        )
+        future.result(30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+
+def percentiles(samples) -> dict:
+    ordered = sorted(samples)
+
+    def pct(p: float) -> float:
+        index = min(len(ordered) - 1, int(round(p * (len(ordered) - 1))))
+        return ordered[index]
+
+    return {
+        "p50_ms": round(pct(0.50) * 1000, 3),
+        "p95_ms": round(pct(0.95) * 1000, 3),
+        "p99_ms": round(pct(0.99) * 1000, 3),
+        "max_ms": round(ordered[-1] * 1000, 3),
+        "mean_ms": round(statistics.fmean(ordered) * 1000, 3),
+    }
+
+
+def drive(port: int, concurrency: int, requests_per_client: int) -> dict:
+    """Closed-loop clients, 3 cheap cached reads per 1 fresh sleep job."""
+    cheap_lat, fresh_lat = [], []
+    errors = []
+
+    def worker(client_id: int) -> None:
+        try:
+            with ServeClient(port=port, timeout=60) as client:
+                for i in range(requests_per_client):
+                    fresh = i % 4 == 3
+                    started = time.perf_counter()
+                    if fresh:
+                        client.run(
+                            {
+                                "kind": "sleep",
+                                "seconds": SLEEP_S,
+                                "payload": f"c{client_id}-r{i}",
+                                "tenant": f"tenant{client_id}",
+                            },
+                            timeout=120,
+                        )
+                    else:
+                        client.run(
+                            {
+                                "kind": "containment",
+                                "q1": OMQ_A,
+                                "q2": OMQ_B,
+                                "tenant": f"tenant{client_id}",
+                            },
+                            timeout=120,
+                        )
+                    elapsed = time.perf_counter() - started
+                    (fresh_lat if fresh else cheap_lat).append(elapsed)
+        except Exception as exc:  # pragma: no cover - reported below
+            errors.append(f"client {client_id}: {exc!r}")
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, args=(c,))
+        for c in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise RuntimeError("; ".join(errors))
+    total = len(cheap_lat) + len(fresh_lat)
+    return {
+        "concurrency": concurrency,
+        "requests": total,
+        "wall_s": round(wall, 3),
+        "throughput_rps": round(total / wall, 1),
+        "cached_containment": percentiles(cheap_lat),
+        "fresh_sleep_25ms": percentiles(fresh_lat),
+    }
+
+
+def deadline_fast_path(port: int, rounds: int) -> dict:
+    """How quickly a hopeless ``deadline_ms`` budget is refused."""
+    lat = []
+    with ServeClient(port=port, timeout=60) as client:
+        for i in range(rounds):
+            # A structurally distinct body each round (chain length i+2),
+            # so no earlier rung of the ladder can answer: every request
+            # exercises the upfront refusal itself.
+            chain = ", ".join(
+                f"R(y{j}, y{j + 1})" for j in range(i + 2)
+            )
+            q1 = (
+                "schema: R/2, P/1\n"
+                "rules:\n    P(x) -> R(x, w)\n"
+                f"query: q(y0) :- {chain}, P(y{i + 2})\n"
+            )
+            started = time.perf_counter()
+            record = client.submit(
+                {
+                    "kind": "containment",
+                    "q1": q1,
+                    "q2": OMQ_B,
+                    "tenant": "impatient",
+                    "deadline_ms": 1,
+                }
+            )
+            lat.append(time.perf_counter() - started)
+            assert record["error"] == "deadline", record
+    return {"rounds": rounds, **percentiles(lat)}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    ap.add_argument(
+        "--requests", type=int, default=None,
+        help="requests per client (default 80, quick 12)",
+    )
+    ap.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+        ),
+    )
+    args = ap.parse_args()
+    per_client = args.requests or (12 if args.quick else 80)
+
+    report = {
+        "bench": "serve",
+        "sleep_service_time_ms": SLEEP_S * 1000,
+        "mix": "3 cached containment : 1 fresh sleep",
+        "levels": [],
+    }
+    with _Replica() as replica:
+        port = replica.server.port
+        # Warm the cache so "cheap" requests measure rung 2, not rung 4.
+        with ServeClient(port=port, timeout=60) as client:
+            client.run(
+                {"kind": "containment", "q1": OMQ_A, "q2": OMQ_B},
+                timeout=120,
+            )
+        for concurrency in CONCURRENCY_LEVELS:
+            level = drive(port, concurrency, per_client)
+            report["levels"].append(level)
+            print(
+                f"concurrency {concurrency}: "
+                f"{level['throughput_rps']} req/s, cached p50 "
+                f"{level['cached_containment']['p50_ms']}ms / p99 "
+                f"{level['cached_containment']['p99_ms']}ms",
+                file=sys.stderr,
+            )
+        report["deadline_degrade"] = deadline_fast_path(
+            port, 10 if args.quick else 50
+        )
+
+    Path(args.out).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(report, indent=2))
+
+    # Sanity floor, not a performance gate: the serving tier must not
+    # add whole-second overheads to sub-30ms work.
+    worst = max(
+        level["cached_containment"]["p99_ms"] for level in report["levels"]
+    )
+    if worst > 2000:
+        print(f"FAIL: cached p99 {worst}ms is pathological", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

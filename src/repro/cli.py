@@ -23,6 +23,8 @@ Commands:
 * ``explain OMQ DATABASE ANSWER``— derivation forest for a certain answer
 * ``catalog FILE``               — inspect an OMQ equivalence catalog
 * ``trace FILE``                 — pretty-print a saved decision trace
+* ``serve``                      — containment-as-a-service HTTP server
+* ``submit OMQ1 OMQ2``           — send a containment job to a server
 
 ``contains`` and ``rewrite`` accept ``--json`` (the machine-readable
 output contract shared with ``batch``) and ``--cache-dir``/``--workers``
@@ -67,6 +69,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -74,7 +77,7 @@ from typing import Any, Dict, List, Optional
 from .applications import distributes_over_components, is_ucq_rewritable
 from .containment import ContainmentResult, Verdict, contains
 from .core.parser import parse_database, parse_omq, parse_tgds
-from .core.serialize import omq_to_document
+from .core.serialize import containment_result_to_json, omq_to_document
 from .core.terms import Constant
 from .evaluation import evaluate_omq
 from .explain import explain_answer, format_explanation
@@ -96,18 +99,7 @@ def _read(path: str) -> str:
 def _containment_to_json(
     result: ContainmentResult, cached: Optional[bool] = None
 ) -> Dict[str, Any]:
-    witness = None
-    if result.witness is not None:
-        witness = {
-            "database": [str(a) for a in result.witness.database],
-            "answer": [t.name for t in result.witness.answer],
-        }
-    out: Dict[str, Any] = {
-        "verdict": str(result.verdict),
-        "method": result.method,
-        "detail": result.detail,
-        "witness": witness,
-    }
+    out = containment_result_to_json(result)
     if cached is not None:
         out["cached"] = cached
     return out
@@ -547,6 +539,82 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve.server import ServeConfig
+    from .serve.server import run as serve_run
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        task_timeout=args.timeout,
+        cache_dir=args.cache_dir,
+        cache_backend=args.cache_backend,
+        catalog=args.catalog,
+        tenants_file=args.tenants,
+        deadline_floor_s=args.deadline_floor,
+        drain_grace_s=args.drain_grace,
+        allow_test_jobs=args.allow_test_jobs,
+    )
+    return serve_run(config)
+
+
+def _cmd_submit(args) -> int:
+    from .serve.client import ServeClient, ServeError
+
+    try:
+        q1_text = Path(args.omq1).read_text(encoding="utf-8")
+        q2_text = Path(args.omq2).read_text(encoding="utf-8")
+    except OSError as exc:
+        print(f"cannot read OMQ file: {exc}", file=sys.stderr)
+        return 2
+    doc: dict = {"kind": "containment", "q1": q1_text, "q2": q2_text,
+                 "tenant": args.tenant}
+    if args.deadline_ms is not None:
+        doc["deadline_ms"] = args.deadline_ms
+    if args.priority is not None:
+        doc["priority"] = args.priority
+    if args.budget is not None:
+        doc["rewriting_budget"] = args.budget
+    try:
+        with ServeClient.from_url(args.url) as client:
+            if args.no_wait:
+                record = client.submit(doc)
+            else:
+                record = client.run(doc, timeout=args.wait_timeout)
+    except (ServeError, OSError, TimeoutError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(record, indent=2))
+        return 0
+    print(f"job {record['id']} [{record['tenant']}] {record['label']}")
+    if record.get("state") != "done":
+        print(f"  state: {record['state']} (poll GET /v1/jobs/{record['id']})")
+        return 0
+    flags = []
+    if record.get("cached"):
+        flags.append("cached")
+    if record.get("coalesced"):
+        flags.append("coalesced")
+    if record.get("error"):
+        flags.append(f"error={record['error']}")
+    result = record.get("result") or {}
+    verdict = result.get("verdict", "?")
+    print(
+        f"  {verdict} via {result.get('method', '?')} "
+        f"in {record.get('duration_ms', 0.0):.1f}ms"
+        + (f"  [{', '.join(flags)}]" if flags else "")
+    )
+    if result.get("detail"):
+        print(f"  {result['detail']}")
+    return 0 if not record.get("error") else 1
+
+
 def _add_trace_flag(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--trace", metavar="FILE", default=None,
@@ -673,6 +741,71 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("catalog_file", help="a --catalog sqlite file")
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_catalog)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the containment-as-a-service HTTP server",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8718,
+        help="listen port (0 picks a free port)",
+    )
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-task seconds (workers > 1 only)",
+    )
+    p.add_argument("--cache-dir", default=None, help="persistent result cache")
+    _add_engine_backend_flags(p)
+    p.add_argument(
+        "--tenants", metavar="FILE", default=None,
+        help="JSON tenant policies: {name: {weight, priority, "
+        "default_deadline_ms}} (editable live via PUT /v1/tenants)",
+    )
+    p.add_argument(
+        "--deadline-floor", type=float, default=0.25, dest="deadline_floor",
+        help="seconds below which no fresh decision is attempted — "
+        "tighter deadlines degrade to UNKNOWN('deadline') immediately",
+    )
+    p.add_argument(
+        "--drain-grace", type=float, default=5.0, dest="drain_grace",
+        help="seconds to wait for in-flight requests on SIGTERM",
+    )
+    p.add_argument(
+        "--allow-test-jobs", action="store_true", dest="allow_test_jobs",
+        help="admit kind:'sleep' jobs (load tests and benchmarks only)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a containment job to a running server"
+    )
+    p.add_argument("omq1")
+    p.add_argument("omq2")
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8718",
+        help="server base URL (default %(default)s)",
+    )
+    p.add_argument("--tenant", default="default")
+    p.add_argument(
+        "--deadline-ms", type=int, default=None, dest="deadline_ms",
+        help="latency budget; misses answer UNKNOWN('deadline')",
+    )
+    p.add_argument(
+        "--priority", choices=("high", "normal", "low"), default=None
+    )
+    p.add_argument("--budget", type=int, default=None)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--no-wait", action="store_true", dest="no_wait",
+        help="return the job id immediately instead of polling",
+    )
+    p.add_argument(
+        "--wait-timeout", type=float, default=120.0, dest="wait_timeout",
+        help="seconds to poll before giving up",
+    )
+    p.set_defaults(func=_cmd_submit)
 
     p = sub.add_parser(
         "trace", help="pretty-print a saved decision trace file"

@@ -13,18 +13,25 @@ are always constants) mean emission must be context-aware:
 
 ``omq_to_document`` emits the sectioned OMQ file format consumed by
 ``parse_omq`` and the CLI.
+
+The ``*_to_json`` / ``*_from_json`` family is the *structured* (lossless)
+serialization used by the batch CLI and the ``repro.serve`` wire
+protocol: terms, atoms, instances, witnesses, and full
+:class:`~repro.containment.result.ContainmentResult` values round-trip
+exactly — including labeled nulls, which the text format cannot carry
+through rule/query context.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, List
+from typing import Any, Dict, Iterable, List
 
 from .atoms import Atom
 from .instance import Instance
 from .omq import OMQ
 from .queries import CQ, UCQ
-from .terms import Constant, Term, Variable
+from .terms import Constant, Null, Term, Variable
 from .tgd import TGD
 
 _SAFE_VARIABLE = re.compile(r"[a-z][A-Za-z0-9_]*$")
@@ -117,6 +124,107 @@ def database_to_text(db: Instance) -> str:
                 args.append(f"'{t.name}'")
         lines.append(f"{a.predicate}({', '.join(args)})" if args else f"{a.predicate}()")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Structured (lossless) JSON round-trips
+# ---------------------------------------------------------------------------
+
+
+def term_to_json(t: Term) -> Dict[str, Any]:
+    """A lossless JSON form for a ground term (constant or null)."""
+    if isinstance(t, Constant):
+        return {"const": t.name}
+    if isinstance(t, Null):
+        return {"null": t.ident}
+    raise ValueError(f"cannot serialize a variable as a ground term: {t}")
+
+
+def term_from_json(doc: Dict[str, Any]) -> Term:
+    if "const" in doc:
+        return Constant(str(doc["const"]))
+    if "null" in doc:
+        return Null(int(doc["null"]))
+    raise ValueError(f"not a term document: {doc!r}")
+
+
+def atom_to_json(a: Atom) -> Dict[str, Any]:
+    return {
+        "predicate": a.predicate,
+        "args": [term_to_json(t) for t in a.args],
+    }
+
+
+def atom_from_json(doc: Dict[str, Any]) -> Atom:
+    return Atom(
+        str(doc["predicate"]),
+        tuple(term_from_json(t) for t in doc.get("args", ())),
+    )
+
+
+def instance_to_json(instance: Instance) -> List[Dict[str, Any]]:
+    """A deterministic (sorted) atom list; nulls survive the round-trip."""
+    return [atom_to_json(a) for a in sorted(instance, key=str)]
+
+
+def instance_from_json(doc: Iterable[Dict[str, Any]]) -> Instance:
+    return Instance.of(atom_from_json(a) for a in doc)
+
+
+def witness_to_json(witness) -> Dict[str, Any]:
+    """JSON for a :class:`~repro.containment.result.Witness`.
+
+    ``database``/``answer`` carry the structured terms; ``database_text``
+    is a readable rendering for humans and for consumers of the old
+    stringly CLI shape.
+    """
+    return {
+        "database": instance_to_json(witness.database),
+        "database_text": [
+            str(a) for a in sorted(witness.database, key=str)
+        ],
+        "answer": [term_to_json(t) for t in witness.answer],
+    }
+
+
+def witness_from_json(doc: Dict[str, Any]):
+    from ..containment.result import Witness
+
+    return Witness(
+        database=instance_from_json(doc.get("database", ())),
+        answer=tuple(term_from_json(t) for t in doc.get("answer", ())),
+    )
+
+
+def containment_result_to_json(result) -> Dict[str, Any]:
+    """The one canonical JSON form for a containment verdict.
+
+    Shared by ``repro contains --json``, ``repro batch --json``, and the
+    ``repro.serve`` wire protocol; :func:`containment_result_from_json`
+    inverts it exactly (witness database included).
+    """
+    return {
+        "verdict": str(result.verdict),
+        "method": result.method,
+        "detail": result.detail,
+        "witness": (
+            witness_to_json(result.witness)
+            if result.witness is not None
+            else None
+        ),
+    }
+
+
+def containment_result_from_json(doc: Dict[str, Any]):
+    from ..containment.result import ContainmentResult, Verdict
+
+    witness = doc.get("witness")
+    return ContainmentResult(
+        verdict=Verdict(doc["verdict"]),
+        method=str(doc.get("method", "")),
+        witness=witness_from_json(witness) if witness else None,
+        detail=str(doc.get("detail", "")),
+    )
 
 
 def omq_to_document(omq: OMQ) -> str:

@@ -69,10 +69,16 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         JobResult,
         RewriteJob,
     )
-    from .metrics import MetricsRegistry
+    from .metrics import MetricsRegistry, render_prometheus
     from .pool import PoolTicket, TaskOutcome, WorkerPool
     from .registry import clear_caches, register_cache, registered_caches
-    from .scheduler import JobHandle, Priority, Scheduler
+    from .scheduler import (
+        DEADLINE,
+        DeadlinePolicy,
+        JobHandle,
+        Priority,
+        Scheduler,
+    )
 
 #: export name -> defining submodule (relative to this package)
 _EXPORTS = {
@@ -104,12 +110,15 @@ _EXPORTS = {
     "JobResult": ".jobs",
     "RewriteJob": ".jobs",
     "MetricsRegistry": ".metrics",
+    "render_prometheus": ".metrics",
     "PoolTicket": ".pool",
     "TaskOutcome": ".pool",
     "WorkerPool": ".pool",
     "clear_caches": ".registry",
     "register_cache": ".registry",
     "registered_caches": ".registry",
+    "DEADLINE": ".scheduler",
+    "DeadlinePolicy": ".scheduler",
     "JobHandle": ".scheduler",
     "Priority": ".scheduler",
     "Scheduler": ".scheduler",

@@ -44,7 +44,7 @@ from .jobs import (
 )
 from .metrics import MetricsRegistry
 from .pool import WorkerPool
-from .scheduler import JobHandle, Priority, Scheduler
+from .scheduler import DeadlinePolicy, JobHandle, Priority, Scheduler
 
 
 class BatchEngine:
@@ -79,6 +79,10 @@ class BatchEngine:
         Scheduler tuning: dispatch-window width (default: worker count)
         and seconds-per-class priority aging (see
         :class:`~repro.engine.scheduler.Scheduler`).
+    deadline_policy:
+        Admission/expiry policy for deadline-carrying submissions
+        (:class:`~repro.engine.scheduler.DeadlinePolicy`); the serving
+        tier tunes ``floor_s`` per deployment.
     trace:
         Decision tracing for every job the engine runs: ``None``/"off"
         disables, a mode string ("always", "per-job") or a full
@@ -102,6 +106,7 @@ class BatchEngine:
         catalog: Union[None, str, OMQCatalog] = None,
         max_inflight: Optional[int] = None,
         aging_interval: Optional[float] = 5.0,
+        deadline_policy: Optional[DeadlinePolicy] = None,
     ) -> None:
         self.metrics = metrics or MetricsRegistry()
         self.cache = cache if cache is not None else ResultCache(
@@ -131,6 +136,7 @@ class BatchEngine:
             catalog=self.catalog,
             max_inflight=max_inflight,
             aging_interval=aging_interval,
+            deadline_policy=deadline_policy,
         )
 
     # -- async submission --------------------------------------------------
@@ -141,13 +147,15 @@ class BatchEngine:
         *,
         priority: Union[Priority, int, str] = Priority.NORMAL,
         submitter: str = "default",
+        deadline: Optional[float] = None,
     ) -> JobHandle:
         """Enqueue *job* without blocking; resolves from the catalog,
         cache, an α-equivalent in-flight computation, or a worker.
         *priority* and *submitter* feed the scheduler's class-based,
-        weighted-fair-share dispatch order."""
+        weighted-fair-share dispatch order; *deadline* (seconds) arms
+        the scheduler's degradation policy."""
         return self.scheduler.submit(
-            job, priority=priority, submitter=submitter
+            job, priority=priority, submitter=submitter, deadline=deadline
         )
 
     def submit_batch(

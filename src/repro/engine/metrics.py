@@ -23,6 +23,7 @@ Two registry-wide conventions keep long-lived references safe:
 
 from __future__ import annotations
 
+import re
 import time
 from bisect import bisect_left
 from contextlib import contextmanager
@@ -211,6 +212,58 @@ class Histogram:
         self._sum = 0.0
         self._count = 0
         self._max = 0.0
+
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    out = _PROM_NAME.sub("_", f"{prefix}_{name}" if prefix else name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def render_prometheus(snapshot: Dict[str, object], prefix: str = "repro") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in Prometheus text format.
+
+    The snapshot's value shapes identify the metric families: plain ints
+    are counters, ``{value, high_water}`` dicts are gauges (the high-water
+    mark becomes a sibling gauge), timers become ``summary`` sum/count
+    pairs in seconds, and bounded-bucket histograms render with cumulative
+    ``le`` buckets ending at ``+Inf``.  Dots and other illegal characters
+    in metric names become underscores (``engine.dedup.coalesced`` →
+    ``repro_engine_dedup_coalesced``).
+    """
+    lines: list = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        metric = _prom_name(name, prefix)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value}")
+            continue
+        if not isinstance(value, dict):
+            continue
+        if set(value) >= {"value", "high_water"}:
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {value['value']}")
+            lines.append(f"# TYPE {metric}_high_water gauge")
+            lines.append(f"{metric}_high_water {value['high_water']}")
+        elif set(value) >= {"total_s", "count"}:
+            lines.append(f"# TYPE {metric}_seconds summary")
+            lines.append(f"{metric}_seconds_sum {value['total_s']}")
+            lines.append(f"{metric}_seconds_count {value['count']}")
+        elif "buckets" in value:
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for label, count in value["buckets"].items():
+                cumulative += count
+                le = "+Inf" if label == "inf" else label[len("le_"):]
+                lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{metric}_sum {value['sum']}")
+            lines.append(f"{metric}_count {value['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 class MetricsRegistry:

@@ -63,6 +63,10 @@ Accounting (all visible in ``BatchEngine.stats()`` / ``repro batch
 * ``engine.dedup.coalesced`` — submissions that were absorbed by an
   existing flight (or, in ``BatchEngine.submit_batch``, by an earlier
   α-equivalent job in the same batch);
+* ``engine.scheduler.deadline.degraded`` / ``.expired`` — deadline-policy
+  outcomes: submissions refused upfront because the budget could not
+  cover a fresh decision, and admitted handles abandoned at expiry
+  (:class:`DeadlinePolicy`);
 * ``engine.catalog.short_circuits`` / ``.noted`` / ``.merges`` — catalog
   hits, recorded containment facts, and group merges.
 
@@ -79,6 +83,7 @@ import itertools
 import queue
 import threading
 import time
+from dataclasses import dataclass
 from enum import IntEnum
 from typing import Any, Iterable, Iterator, List, Optional, Tuple, Union
 
@@ -112,6 +117,40 @@ def _coerce_priority(value: Union[Priority, int, str]) -> Priority:
     return Priority(int(value))
 
 
+#: Failure/`JobResult.error` string for handles abandoned by the deadline
+#: policy (refused upfront or expired mid-flight).
+DEADLINE = "deadline"
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """How the scheduler spends a caller's latency budget.
+
+    A submission carrying ``deadline`` (seconds of budget) walks the cheap
+    ladder first — catalog equivalence, then the result cache, then
+    coalescing onto an identical in-flight computation — all of which are
+    (near-)free.  Only when the ladder misses does the policy decide
+    whether a *fresh* decision procedure fits the budget:
+
+    * the estimated cost of a fresh run is the per-kind EWMA of observed
+      run durations (``ewma_alpha``), but never below ``floor_s`` — the
+      paper's procedures are up to 2ExpTime, so a tiny budget can never
+      honestly cover a fresh decision no matter how fast recent inputs
+      happened to be;
+    * a budget below the estimate **degrades immediately**: the handle
+      resolves to the job's failure result with reason ``"deadline"``
+      without ever occupying a queue slot or pool worker;
+    * a budget above the estimate dispatches normally, with a timer that
+      abandons the handle (same ``"deadline"`` result) if the computation
+      has not produced a value by the deadline.  Co-riders of the flight
+      are unaffected; a sole-rider queued flight is retired without the
+      pool ever hearing about it.
+    """
+
+    floor_s: float = 0.25
+    ewma_alpha: float = 0.2
+
+
 class JobHandle:
     """One submitted job's future result.
 
@@ -124,7 +163,7 @@ class JobHandle:
     """
 
     __slots__ = ("job", "key", "_scheduler", "_flight", "_event", "_result",
-                 "_lock", "_callbacks")
+                 "_lock", "_callbacks", "_primary")
 
     def __init__(
         self, job: Any, key: Optional[str], scheduler: "Scheduler"
@@ -137,9 +176,23 @@ class JobHandle:
         self._result: Optional[JobResult] = None
         self._lock = threading.Lock()
         self._callbacks: List[Any] = []
+        self._primary: Optional["JobHandle"] = None
 
     def done(self) -> bool:
         return self._event.is_set()
+
+    @property
+    def coalesced_onto(self) -> Optional["JobHandle"]:
+        """The handle whose computation this one rides on, or ``None``.
+
+        Set when a submission coalesces onto an α-equivalent in-flight
+        flight (or is attached within a batch): the returned handle is the
+        flight's *primary* — the submission that actually got scheduled.
+        Cancelling this handle never cancels the primary; a caller that
+        wants to report *which* computation keeps running (the serve
+        tier's DELETE handler) reads it here.
+        """
+        return self._primary
 
     def result(self, timeout: Optional[float] = None) -> JobResult:
         if not self._event.wait(timeout):
@@ -149,6 +202,16 @@ class JobHandle:
 
     def cancel(self) -> bool:
         return self._scheduler._cancel(self)
+
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback(handle)`` when the handle resolves (now if done).
+
+        Callbacks fire on whichever thread resolves the handle — the pool
+        coordinator, a deadline timer, or the canceller — so keep them
+        short and non-blocking (the serve tier uses this to hop results
+        onto its asyncio loop via ``call_soon_threadsafe``).
+        """
+        self._add_done_callback(callback)
 
     # -- internal ---------------------------------------------------------
 
@@ -219,6 +282,10 @@ class Scheduler:
     aging_interval:
         Seconds in queue per one-class priority boost (starvation
         guard).  ``None`` or ``0`` disables aging.
+    deadline_policy:
+        How deadline-carrying submissions are admitted and expired; see
+        :class:`DeadlinePolicy`.  Always present (defaults apply when
+        ``None`` is passed).
     """
 
     def __init__(
@@ -231,6 +298,7 @@ class Scheduler:
         catalog: Optional[OMQCatalog] = None,
         max_inflight: Optional[int] = None,
         aging_interval: Optional[float] = 5.0,
+        deadline_policy: Optional[DeadlinePolicy] = None,
     ) -> None:
         self.pool = pool
         self.cache = cache
@@ -259,6 +327,8 @@ class Scheduler:
         self._flight_seq = itertools.count()
         self._pass: dict = {}
         self._weights: dict = {}
+        self.deadline_policy = deadline_policy or DeadlinePolicy()
+        self._cost_ewma: dict = {}
 
     # -- fairness configuration -------------------------------------------
 
@@ -291,6 +361,7 @@ class Scheduler:
         *,
         priority: Union[Priority, int, str] = Priority.NORMAL,
         submitter: str = "default",
+        deadline: Optional[float] = None,
     ) -> JobHandle:
         """Enqueue *job*; returns immediately with its handle.
 
@@ -298,6 +369,13 @@ class Scheduler:
         cache (α-equivalent inputs hit), coalescing onto an in-flight
         computation with the same canonical key, then the priority queue
         and the pool.
+
+        *deadline* is a latency budget in seconds.  The cheap rungs above
+        always run; a fresh dispatch is admitted only when the budget
+        covers the estimated cost of a full decision procedure, and an
+        admitted-but-unlucky handle is abandoned with reason
+        ``"deadline"`` when the budget runs out (see
+        :class:`DeadlinePolicy`).
         """
         priority = _coerce_priority(priority)
         self.metrics.counter("engine.scheduler.submitted").inc()
@@ -315,35 +393,111 @@ class Scheduler:
                 handle._resolve(JobResult(job, value, cached=True))
                 self.metrics.counter("engine.scheduler.completed").inc()
                 return handle
+        coalesced = False
+        degraded = False
         with self._lock:
             if key is not None:
                 flight = self._inflight.get(key)
                 if flight is not None:
                     handle._flight = flight
+                    handle._primary = flight.handles[0]
                     flight.handles.append(handle)
                     self.metrics.counter("engine.dedup.coalesced").inc()
                     if priority < flight.priority and not flight.dispatched:
                         # A flight runs at the most urgent class anyone
                         # riding it asked for.
                         flight.priority = priority
-                    return handle
-            flight = _Flight(
-                key, handle, priority, submitter, next(self._flight_seq)
-            )
-            handle._flight = flight
-            if key is not None:
-                self._inflight[key] = flight
-            if submitter not in self._pass:
-                # New submitters join at the current minimum pass so they
-                # neither jump the line nor inherit a historic deficit.
-                self._pass[submitter] = min(
-                    self._pass.values(), default=0.0
+                    coalesced = True
+            if not coalesced:
+                if (
+                    deadline is not None
+                    and deadline < self._estimated_cost_locked(
+                        getattr(job, "kind", "?")
+                    )
+                ):
+                    # The budget cannot honestly cover a fresh decision
+                    # procedure: degrade now, occupy nothing.
+                    degraded = True
+                else:
+                    flight = _Flight(
+                        key, handle, priority, submitter,
+                        next(self._flight_seq),
+                    )
+                    handle._flight = flight
+                    if key is not None:
+                        self._inflight[key] = flight
+                    if submitter not in self._pass:
+                        # New submitters join at the current minimum pass
+                        # so they neither jump the line nor inherit a
+                        # historic deficit.
+                        self._pass[submitter] = min(
+                            self._pass.values(), default=0.0
+                        )
+                    self._queue.append(flight)
+        if degraded:
+            self.metrics.counter("engine.scheduler.deadline.degraded").inc()
+            handle._resolve(
+                JobResult(
+                    job, job.failure_result(DEADLINE), error=DEADLINE
                 )
-            self._queue.append(flight)
+            )
+            self.metrics.counter("engine.scheduler.completed").inc()
+            return handle
+        if deadline is not None:
+            self._arm_deadline(handle, deadline)
+        if coalesced:
+            return handle
         self.metrics.gauge("engine.scheduler.inflight").add()
         self.metrics.gauge("engine.scheduler.priority.queued").add()
         self._dispatch_ready()
         return handle
+
+    # -- deadlines ---------------------------------------------------------
+
+    def _estimated_cost_locked(self, kind: str) -> float:
+        est = self._cost_ewma.get(kind)
+        floor = self.deadline_policy.floor_s
+        return floor if est is None else max(est, floor)
+
+    def estimated_cost(self, kind: str) -> float:
+        """The policy's current estimate (seconds) of a fresh *kind* run."""
+        with self._lock:
+            return self._estimated_cost_locked(kind)
+
+    def _observe_cost(self, kind: str, duration: float) -> None:
+        alpha = self.deadline_policy.ewma_alpha
+        with self._lock:
+            prev = self._cost_ewma.get(kind)
+            self._cost_ewma[kind] = (
+                duration
+                if prev is None
+                else (1.0 - alpha) * prev + alpha * duration
+            )
+
+    def _arm_deadline(self, handle: JobHandle, budget: float) -> None:
+        """Expire *handle* with a ``"deadline"`` result after *budget* s."""
+        timer = threading.Timer(budget, self._expire_deadline, args=(handle,))
+        timer.daemon = True
+        # Resolution through any path (worker, cache race, cancel) defuses
+        # the timer; registering first means a handle that is already done
+        # cancels before start, which Timer supports.
+        handle._add_done_callback(lambda _h: timer.cancel())
+        timer.start()
+
+    def _expire_deadline(self, handle: JobHandle) -> None:
+        with self._lock:
+            if handle.done():
+                return
+            job = handle.job
+            if not handle._resolve(
+                JobResult(
+                    job, job.failure_result(DEADLINE), error=DEADLINE
+                )
+            ):
+                return
+            self.metrics.counter("engine.scheduler.deadline.expired").inc()
+            self.metrics.counter("engine.scheduler.completed").inc()
+            self._retire_if_abandoned_locked(handle._flight)
 
     def attach(self, primary: JobHandle, job: Any) -> JobHandle:
         """A handle for *job* that rides on *primary*'s computation.
@@ -355,6 +509,7 @@ class Scheduler:
         cache hit by the time the second is submitted).
         """
         handle = JobHandle(job, primary.key, self)
+        handle._primary = primary
         self.metrics.counter("engine.scheduler.submitted").inc()
         self.metrics.counter("engine.dedup.coalesced").inc()
 
@@ -565,33 +720,32 @@ class Scheduler:
             if not resolved:
                 return False
             self.metrics.counter("engine.scheduler.cancelled").inc()
-            flight = handle._flight
-            if flight is not None and all(h.done() for h in flight.handles):
-                # Nobody is waiting any more.
-                if flight.ticket is not None:
-                    # Release the pool slot if the task has not started
-                    # (completing the ticket re-enters _on_ticket_done on
-                    # this thread — the RLock allows it).
-                    self.pool.cancel(flight.ticket)
-                elif not flight.dispatched:
-                    # Still waiting in the ready queue: retire it without
-                    # the pool ever hearing about it.
-                    try:
-                        self._queue.remove(flight)
-                    except ValueError:
-                        pass
-                    else:
-                        if flight.key is not None:
-                            self._inflight.pop(flight.key, None)
-                        self.metrics.gauge(
-                            "engine.scheduler.inflight"
-                        ).sub()
-                        self.metrics.gauge(
-                            "engine.scheduler.priority.queued"
-                        ).sub()
-                # A flight mid-dispatch (dispatched, no ticket yet) is
-                # handled by the dispatcher's post-submit orphan check.
+            self._retire_if_abandoned_locked(handle._flight)
         return True
+
+    def _retire_if_abandoned_locked(self, flight: Optional[_Flight]) -> None:
+        """Release *flight*'s resources if no rider is waiting any more."""
+        if flight is None or not all(h.done() for h in flight.handles):
+            return
+        if flight.ticket is not None:
+            # Release the pool slot if the task has not started
+            # (completing the ticket re-enters _on_ticket_done on
+            # this thread — the RLock allows it).
+            self.pool.cancel(flight.ticket)
+        elif not flight.dispatched:
+            # Still waiting in the ready queue: retire it without
+            # the pool ever hearing about it.
+            try:
+                self._queue.remove(flight)
+            except ValueError:
+                pass
+            else:
+                if flight.key is not None:
+                    self._inflight.pop(flight.key, None)
+                self.metrics.gauge("engine.scheduler.inflight").sub()
+                self.metrics.gauge("engine.scheduler.priority.queued").sub()
+        # A flight mid-dispatch (dispatched, no ticket yet) is
+        # handled by the dispatcher's post-submit orphan check.
 
     # -- completion (runs on the pool's coordinator thread) ---------------
 
@@ -614,6 +768,7 @@ class Scheduler:
             self.metrics.timer(f"engine.{job.kind}.time").observe(
                 outcome.duration
             )
+            self._observe_cost(job.kind, outcome.duration)
             if outcome.ok:
                 if flight.key is not None:
                     self.cache.put(flight.key, value)

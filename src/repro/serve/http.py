@@ -1,0 +1,251 @@
+"""A minimal HTTP/1.1 layer over asyncio streams.
+
+The serving tier deliberately runs on the stdlib alone (ROADMAP: no new
+runtime dependencies), so this module implements exactly the slice of
+HTTP/1.1 the :mod:`repro.serve` protocol needs and nothing more:
+
+* request parsing — request line, headers, ``Content-Length`` bodies,
+  with hard caps on line and body sizes (an oversized or malformed
+  request is a :class:`ProtocolError` carrying the right status code,
+  never an exception escaping the connection handler);
+* response rendering — keep-alive by default, ``Content-Length`` framed;
+* streaming responses — a :class:`Response` may carry an async byte
+  iterator instead of a body; the connection is then ``close``-framed
+  (no chunked encoding needed) which is exactly what Server-Sent Events
+  want.
+
+No routing, no TLS, no chunked *request* bodies, no HTTP/2.  Callers who
+need those should put a real proxy in front; this layer's job is to make
+a single replica correct and debuggable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Hard caps, kept deliberately small: the wire protocol's documents are
+#: OMQ texts, not data uploads.
+MAX_REQUEST_LINE = 8192
+MAX_HEADERS = 100
+MAX_BODY = 4 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    415: "Unsupported Media Type",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """A malformed or oversized request; maps onto one 4xx response."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> dict:
+        """The body parsed as a JSON object (400 on anything else)."""
+        if not self.body:
+            raise ProtocolError(400, "empty_body", "expected a JSON body")
+        try:
+            doc = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                400, "bad_json", f"request body is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(doc, dict):
+            raise ProtocolError(
+                400, "bad_json", "request body must be a JSON object"
+            )
+        return doc
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class Response:
+    """One response: a framed body or a ``close``-framed byte stream."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+    stream: Optional[AsyncIterator[bytes]] = None
+
+    @classmethod
+    def json(
+        cls, doc: object, status: int = 200, **kwargs
+    ) -> "Response":
+        payload = (json.dumps(doc, indent=2) + "\n").encode("utf-8")
+        return cls(status=status, body=payload, **kwargs)
+
+    @classmethod
+    def error(
+        cls, status: int, code: str, message: str
+    ) -> "Response":
+        return cls.json(
+            {"error": {"code": code, "message": message}}, status=status
+        )
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise ProtocolError(
+            431, "line_too_long", "request line or header too long"
+        ) from None
+    if len(line) > MAX_REQUEST_LINE:
+        raise ProtocolError(
+            431, "line_too_long", "request line or header too long"
+        )
+    return line
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = MAX_BODY
+) -> Optional[Request]:
+    """Parse one request; ``None`` on a clean EOF before the first byte.
+
+    Malformed input raises :class:`ProtocolError` — the connection
+    handler turns it into the 4xx it names and closes the connection.
+    """
+    line = await _read_line(reader)
+    if not line:
+        return None
+    try:
+        method, target, version = line.decode("ascii").split()
+    except (UnicodeDecodeError, ValueError):
+        raise ProtocolError(
+            400, "bad_request_line", f"malformed request line: {line[:64]!r}"
+        ) from None
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(
+            400, "bad_version", f"unsupported protocol version {version!r}"
+        )
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS):
+        line = await _read_line(reader)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        try:
+            name, _, value = line.decode("latin-1").partition(":")
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+            raise ProtocolError(400, "bad_header", "undecodable header")
+        if not _:
+            raise ProtocolError(
+                400, "bad_header", f"malformed header line: {line[:64]!r}"
+            )
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise ProtocolError(431, "too_many_headers", "too many headers")
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise ProtocolError(
+                400, "bad_content_length",
+                f"bad Content-Length: {length!r}",
+            ) from None
+        if n < 0 or n > max_body:
+            raise ProtocolError(
+                413, "body_too_large",
+                f"body of {n} bytes exceeds the {max_body} byte cap",
+            )
+        try:
+            body = await reader.readexactly(n)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(
+                400, "truncated_body", "connection closed mid-body"
+            ) from None
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError(
+            415, "chunked_request",
+            "chunked request bodies are not supported",
+        )
+    parts = urlsplit(target)
+    query = {k: v for k, v in parse_qsl(parts.query)}
+    return Request(
+        method=method.upper(),
+        path=unquote(parts.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_head(
+    response: Response, *, keep_alive: bool
+) -> Tuple[bytes, bool]:
+    """The status line + headers; returns (bytes, connection_stays_open)."""
+    status = response.status
+    reason = REASONS.get(status, "Unknown")
+    streaming = response.stream is not None
+    persistent = keep_alive and not streaming
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.append(f"Content-Type: {response.content_type}")
+    if streaming:
+        lines.append("Connection: close")
+        lines.append("Cache-Control: no-cache")
+    else:
+        lines.append(f"Content-Length: {len(response.body)}")
+        lines.append(
+            "Connection: " + ("keep-alive" if persistent else "close")
+        )
+    for name, value in response.headers.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"), persistent
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response, *, keep_alive: bool
+) -> bool:
+    """Send *response*; returns whether the connection stays open."""
+    head, persistent = render_head(response, keep_alive=keep_alive)
+    writer.write(head)
+    if response.stream is not None:
+        await writer.drain()
+        async for chunk in response.stream:
+            writer.write(chunk)
+            await writer.drain()
+        return False
+    writer.write(response.body)
+    await writer.drain()
+    return persistent
+
+
+def sse_event(event: str, doc: object) -> bytes:
+    """One Server-Sent Events frame carrying a JSON payload."""
+    data = json.dumps(doc)
+    return f"event: {event}\ndata: {data}\n\n".encode("utf-8")

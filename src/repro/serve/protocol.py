@@ -1,0 +1,313 @@
+"""The versioned JSON wire schema of the serving tier.
+
+Everything a byte crosses the wire as lives here, so `app.py`,
+`client.py`, the CLI, and the tests agree by construction:
+
+* **job submissions** — :func:`parse_job_spec` turns a request document
+  into an engine job plus its scheduling envelope (tenant, priority,
+  deadline).  OMQs travel as the sectioned text format of
+  :func:`repro.core.parser.parse_omq` (``q1``/``q2`` fields), the same
+  documents the CLI reads from disk, so any existing ``.omq`` file can be
+  POSTed verbatim;
+* **results** — :func:`result_to_json` renders a
+  :class:`~repro.engine.jobs.JobResult` value; containment verdicts use
+  the lossless witness round-trip of
+  :mod:`repro.core.serialize` (``containment_result_to_json``);
+* **tenants** — :class:`TenantPolicy` / :class:`TenantTable`: per-tenant
+  fair-share weight, priority class, and default deadline, loadable from
+  a JSON config file and editable live via ``PUT /v1/tenants``.
+
+Every response envelope carries ``"protocol": PROTOCOL_VERSION``; a
+client seeing a higher major version than it understands should refuse
+rather than guess.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from threading import RLock
+from typing import Any, Dict, Optional
+
+from ..core.parser import parse_omq
+from ..core.serialize import containment_result_to_json
+from ..engine.jobs import ContainmentJob, SleepJob
+from ..engine.scheduler import Priority, _coerce_priority
+from .http import ProtocolError
+
+#: Version stamp on every response envelope.  Bump on breaking changes to
+#: the job/result/tenant document shapes.
+PROTOCOL_VERSION = 1
+
+#: Error codes the server emits (stable — clients may switch on them).
+ERR_BAD_JSON = "bad_json"
+ERR_BAD_OMQ = "bad_omq"
+ERR_BAD_FIELD = "bad_field"
+ERR_NOT_FOUND = "not_found"
+ERR_METHOD = "method_not_allowed"
+ERR_DRAINING = "draining"
+
+
+def envelope(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Stamp the protocol version onto a response document."""
+    return {"protocol": PROTOCOL_VERSION, **doc}
+
+
+# ---------------------------------------------------------------------------
+# Tenants
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TenantPolicy:
+    """How one tenant's submissions are scheduled.
+
+    ``weight`` feeds :meth:`repro.engine.scheduler.Scheduler.set_weight`
+    (stride fair share: weight 2 gets twice the contended slots of
+    weight 1); ``priority`` is the submitted dispatch class; and
+    ``default_deadline_ms`` applies when a request carries no explicit
+    ``deadline_ms`` — the knob that makes an interactive tenant degrade
+    rather than queue behind a 2ExpTime chase.
+    """
+
+    weight: float = 1.0
+    priority: Priority = Priority.NORMAL
+    default_deadline_ms: Optional[int] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "weight": self.weight,
+            "priority": self.priority.name.lower(),
+            "default_deadline_ms": self.default_deadline_ms,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "TenantPolicy":
+        if not isinstance(doc, dict):
+            raise ProtocolError(
+                400, ERR_BAD_FIELD, "tenant policy must be an object"
+            )
+        try:
+            weight = float(doc.get("weight", 1.0))
+            priority = _coerce_priority(doc.get("priority", "normal"))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(400, ERR_BAD_FIELD, str(exc)) from None
+        if weight <= 0:
+            raise ProtocolError(
+                400, ERR_BAD_FIELD,
+                f"tenant weight must be positive, got {weight}",
+            )
+        deadline = doc.get("default_deadline_ms")
+        if deadline is not None:
+            try:
+                deadline = int(deadline)
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    400, ERR_BAD_FIELD,
+                    f"default_deadline_ms must be an integer, "
+                    f"got {doc.get('default_deadline_ms')!r}",
+                ) from None
+            if deadline <= 0:
+                raise ProtocolError(
+                    400, ERR_BAD_FIELD,
+                    "default_deadline_ms must be positive",
+                )
+        return cls(
+            weight=weight, priority=priority, default_deadline_ms=deadline
+        )
+
+
+class TenantTable:
+    """The live tenant registry (thread-safe; the app mutates it via PUT).
+
+    Unknown tenants get a fresh default policy on first sight, so the
+    server never rejects a new tenant id — it just schedules it at
+    weight 1 / NORMAL until an operator says otherwise.
+    """
+
+    def __init__(
+        self, policies: Optional[Dict[str, TenantPolicy]] = None
+    ) -> None:
+        self._lock = RLock()
+        self._policies: Dict[str, TenantPolicy] = dict(policies or {})
+
+    def get(self, tenant: str) -> TenantPolicy:
+        with self._lock:
+            policy = self._policies.get(tenant)
+            if policy is None:
+                policy = self._policies[tenant] = TenantPolicy()
+            return policy
+
+    def names(self) -> list:
+        with self._lock:
+            return sorted(self._policies)
+
+    def update_from_json(
+        self, doc: Dict[str, Any]
+    ) -> Dict[str, TenantPolicy]:
+        """Merge *doc* (``name -> policy``); returns the changed entries."""
+        if not isinstance(doc, dict):
+            raise ProtocolError(
+                400, ERR_BAD_FIELD, "tenants must be an object"
+            )
+        changed = {
+            str(name): TenantPolicy.from_json(policy)
+            for name, policy in doc.items()
+        }
+        with self._lock:
+            self._policies.update(changed)
+        return changed
+
+    def to_json(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                name: policy.to_json()
+                for name, policy in sorted(self._policies.items())
+            }
+
+    @classmethod
+    def load(cls, path: str) -> "TenantTable":
+        """Read a ``{"tenants": {name: policy}}`` (or bare map) JSON file."""
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        if isinstance(doc, dict) and isinstance(doc.get("tenants"), dict):
+            doc = doc["tenants"]
+        table = cls()
+        table.update_from_json(doc)
+        return table
+
+
+# ---------------------------------------------------------------------------
+# Job submissions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JobSpec:
+    """One parsed submission: the engine job plus its scheduling envelope."""
+
+    job: Any
+    tenant: str = "default"
+    deadline_ms: Optional[int] = None
+    priority: Optional[Priority] = None
+    label: str = ""
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+
+def _parse_omq_field(doc: Dict[str, Any], name: str):
+    text = doc.get(name)
+    if not isinstance(text, str) or not text.strip():
+        raise ProtocolError(
+            400, ERR_BAD_FIELD,
+            f"field {name!r} must be an OMQ document string",
+        )
+    try:
+        return parse_omq(text, name=name)
+    except Exception as exc:
+        raise ProtocolError(
+            422, ERR_BAD_OMQ, f"field {name!r} does not parse: {exc}"
+        ) from None
+
+
+def _optional_int(doc: Dict[str, Any], name: str) -> Optional[int]:
+    value = doc.get(name)
+    if value is None:
+        return None
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise ProtocolError(
+            400, ERR_BAD_FIELD, f"field {name!r} must be an integer"
+        ) from None
+    if value <= 0:
+        raise ProtocolError(
+            400, ERR_BAD_FIELD, f"field {name!r} must be positive"
+        )
+    return value
+
+
+def parse_job_spec(
+    doc: Dict[str, Any], *, allow_test_jobs: bool = False
+) -> JobSpec:
+    """Turn one submission document into a :class:`JobSpec`.
+
+    ``kind`` defaults to ``"containment"`` (fields ``q1``/``q2`` as OMQ
+    documents, optional ``rewriting_budget``/``max_steps``/``max_depth``).
+    ``kind: "sleep"`` — a job with a known duration, for load tests and
+    benchmarks — is only admitted when the server opts in
+    (``allow_test_jobs``).
+    """
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            400, ERR_BAD_JSON, "job submission must be a JSON object"
+        )
+    kind = doc.get("kind", "containment")
+    tenant = doc.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError(
+            400, ERR_BAD_FIELD, "field 'tenant' must be a non-empty string"
+        )
+    deadline_ms = _optional_int(doc, "deadline_ms")
+    priority: Optional[Priority] = None
+    if doc.get("priority") is not None:
+        try:
+            priority = _coerce_priority(doc["priority"])
+        except ValueError as exc:
+            raise ProtocolError(400, ERR_BAD_FIELD, str(exc)) from None
+    if kind == "containment":
+        q1 = _parse_omq_field(doc, "q1")
+        q2 = _parse_omq_field(doc, "q2")
+        job = ContainmentJob(
+            q1,
+            q2,
+            rewriting_budget=_optional_int(doc, "rewriting_budget"),
+            chase_max_steps=_optional_int(doc, "max_steps") or 200_000,
+            chase_max_depth=_optional_int(doc, "max_depth"),
+        )
+        label = f"{q1.name} ⊆ {q2.name}"
+    elif kind == "sleep":
+        if not allow_test_jobs:
+            raise ProtocolError(
+                400, ERR_BAD_FIELD,
+                "kind 'sleep' requires the server's allow_test_jobs flag",
+            )
+        try:
+            seconds = float(doc.get("seconds", 0.0))
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                400, ERR_BAD_FIELD, "field 'seconds' must be a number"
+            ) from None
+        if seconds < 0 or seconds > 60:
+            raise ProtocolError(
+                400, ERR_BAD_FIELD, "field 'seconds' must be in [0, 60]"
+            )
+        job = SleepJob(seconds, payload=doc.get("payload"))
+        label = f"sleep {seconds}s"
+    else:
+        raise ProtocolError(
+            400, ERR_BAD_FIELD, f"unknown job kind {kind!r}"
+        )
+    return JobSpec(
+        job=job,
+        tenant=tenant,
+        deadline_ms=deadline_ms,
+        priority=priority,
+        label=label,
+        fields={
+            k: doc[k]
+            for k in ("deadline_ms", "priority")
+            if doc.get(k) is not None
+        },
+    )
+
+
+def result_to_json(job: Any, value: Any) -> Optional[Dict[str, Any]]:
+    """The JSON form of one job's result value."""
+    if value is None:
+        return None
+    kind = getattr(job, "kind", None)
+    if kind == "containment":
+        return containment_result_to_json(value)
+    if kind == "sleep":
+        return {"payload": value}
+    return {"repr": repr(value)}

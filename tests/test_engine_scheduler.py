@@ -425,3 +425,124 @@ class TestPriorityScheduling:
         ]
         assert snap["engine.dedup.coalesced"] == 1
         assert snap["engine.slowkeyed.runs"] == 2
+
+
+class TestCoalescedOnto:
+    """`JobHandle.coalesced_onto`: who a rider's computation belongs to."""
+
+    def test_primary_handle_has_no_primary(self):
+        with BatchEngine() as engine:
+            handle = engine.submit(SleepJob(0.01, "x"))
+            assert handle.coalesced_onto is None
+            handle.result(timeout=10)
+
+    def test_rider_points_at_the_primary(self):
+        with BatchEngine() as engine:
+            blocker = engine.submit(SleepJob(0.3, "blocker"))
+            primary = engine.submit(_SlowKeyedJob("shared", 0.01))
+            rider = engine.submit(_SlowKeyedJob("shared", 0.01))
+            assert rider.coalesced_onto is primary
+            assert primary.coalesced_onto is None
+            # The link survives resolution (useful for post-hoc audit).
+            rider.result(timeout=10)
+            assert rider.coalesced_onto is primary
+            blocker.result(timeout=10)
+
+    def test_batch_attach_riders_point_at_their_primary(self):
+        q = _alpha_variants()
+        target = _omq("q(x) :- P(x)")
+        with BatchEngine() as engine:
+            handles = engine.submit_batch(
+                [ContainmentJob(v, target) for v in q]
+            )
+            primary = handles[0]
+            assert primary.coalesced_onto is None
+            for rider in handles[1:]:
+                assert rider.coalesced_onto is primary
+            for h in handles:
+                assert h.result(timeout=60).ok
+
+
+class TestDeadlinePolicy:
+    """Budgets: upfront degradation, in-flight expiry, EWMA estimates."""
+
+    def test_budget_below_floor_degrades_immediately(self):
+        with BatchEngine() as engine:
+            handle = engine.submit(
+                ContainmentJob(
+                    _omq("q(x) :- R(x, y), P(y)"), _omq("q(x) :- P(x)")
+                ),
+                deadline=0.05,
+            )
+            # Resolved inline — no queueing, no pool dispatch.
+            assert handle.done()
+            result = handle.result(0)
+            assert result.error == "deadline"
+            assert result.value.verdict is Verdict.UNKNOWN
+            snap = engine.stats()["metrics"]
+        assert snap["engine.scheduler.deadline.degraded"] == 1
+        assert snap.get("engine.containment.runs", 0) == 0
+        assert snap.get("engine.scheduler.dispatched", 0) == 0
+
+    def test_cheap_ladder_still_answers_under_any_budget(self):
+        q1, q2 = _omq("q(x) :- R(x, y), P(y)"), _omq("q(x) :- P(x)")
+        with BatchEngine() as engine:
+            first = engine.submit(ContainmentJob(q1, q2))
+            assert first.result(timeout=60).ok
+            # A hopeless budget is irrelevant when the cache already
+            # has the verdict: rung 2 answers before the policy is asked.
+            again = engine.submit(ContainmentJob(q1, q2), deadline=0.001)
+            result = again.result(timeout=1)
+            assert result.cached
+            assert result.error is None
+            snap = engine.stats()["metrics"]
+        assert "engine.scheduler.deadline.degraded" not in snap
+
+    def test_generous_budget_runs_normally(self):
+        with BatchEngine() as engine:
+            handle = engine.submit(SleepJob(0.01, "fast"), deadline=30.0)
+            result = handle.result(timeout=10)
+            assert result.ok
+            assert result.value == "fast"
+            snap = engine.stats()["metrics"]
+        assert "engine.scheduler.deadline.expired" not in snap
+
+    def test_admitted_budget_expires_in_flight(self):
+        # Sleep estimates start at the floor; a 0.3s budget admits the
+        # job, but the 30s sleep blows it: the handle is abandoned with
+        # the deadline result while the worker keeps going.
+        with BatchEngine() as engine:
+            blocker = engine.submit(SleepJob(0.2, "blocker"))
+            doomed = engine.submit(SleepJob(30.0, "doomed"), deadline=0.3)
+            result = doomed.result(timeout=5)
+            assert result.error == "deadline"
+            assert blocker.result(timeout=10).value == "blocker"
+            snap = engine.stats()["metrics"]
+        assert snap["engine.scheduler.deadline.expired"] == 1
+
+    def test_ewma_learns_observed_durations(self):
+        with BatchEngine() as engine:
+            scheduler = engine.scheduler
+            floor = scheduler.deadline_policy.floor_s
+            assert scheduler.estimated_cost("sleep") == floor
+            engine.submit(SleepJob(0.01, "a")).result(timeout=10)
+            # Fast observations never pull the estimate below the floor.
+            assert scheduler.estimated_cost("sleep") == floor
+            scheduler._observe_cost("sleep", 10.0)
+            assert scheduler.estimated_cost("sleep") > floor
+
+    def test_estimate_gates_admission(self):
+        from repro.engine import DeadlinePolicy
+
+        with BatchEngine(
+            deadline_policy=DeadlinePolicy(floor_s=0.01)
+        ) as engine:
+            scheduler = engine.scheduler
+            scheduler._observe_cost("sleep", 5.0)
+            # Budget below the learned estimate: refused upfront.
+            refused = engine.submit(SleepJob(0.01, "x"), deadline=1.0)
+            assert refused.done()
+            assert refused.result(0).error == "deadline"
+            # Budget above it: admitted and completed.
+            admitted = engine.submit(SleepJob(0.01, "y"), deadline=30.0)
+            assert admitted.result(timeout=10).value == "y"

@@ -153,3 +153,114 @@ class TestOMQDocument:
         assert (
             evaluate_omq(omq, db).answers == evaluate_omq(reparsed, db).answers
         )
+
+
+class TestStructuredJSON:
+    """Lossless JSON round-trips for terms, atoms, instances, and
+    containment results — the serving tier's wire shapes."""
+
+    def test_term_round_trip(self):
+        from repro.core.serialize import term_from_json, term_to_json
+        from repro.core.terms import Null
+
+        for term in (Constant("a"), Constant("odd name!"), Null(7)):
+            assert term_from_json(term_to_json(term)) == term
+
+    def test_variables_are_rejected(self):
+        from repro.core.serialize import term_from_json, term_to_json
+
+        with pytest.raises(ValueError):
+            term_to_json(Variable("x"))
+        with pytest.raises(ValueError):
+            term_from_json({"variable": "x"})
+
+    def test_atom_and_instance_round_trip(self):
+        from repro.core.atoms import Atom
+        from repro.core.serialize import (
+            instance_from_json,
+            instance_to_json,
+        )
+        from repro.core.terms import Null
+
+        instance = Instance(
+            frozenset(
+                {
+                    Atom("R", (Constant("a"), Null(1))),
+                    Atom("P", (Null(1),)),
+                    Atom("S", ()),
+                }
+            )
+        )
+        doc = instance_to_json(instance)
+        assert instance_from_json(doc) == instance
+        # Deterministic: serialization order is sorted, not set order.
+        assert doc == instance_to_json(Instance(frozenset(instance.atoms)))
+
+    def test_containment_result_round_trip_with_witness(self):
+        from repro.containment.result import not_contained
+        from repro.core.atoms import fact as mk_fact
+        from repro.core.serialize import (
+            containment_result_from_json,
+            containment_result_to_json,
+        )
+
+        witnessed = not_contained(
+            "ucq-rewriting",
+            Instance(frozenset({mk_fact("R", "a", "b")})),
+            (Constant("a"),),
+            detail="rewriting disjunct 3",
+        )
+        doc = containment_result_to_json(witnessed)
+        assert doc["verdict"] == "not-contained"
+        assert doc["witness"]["database_text"]  # human-readable mirror
+        restored = containment_result_from_json(doc)
+        assert restored == witnessed
+
+    def test_containment_result_round_trip_without_witness(self):
+        from repro.containment.result import contained, unknown
+        from repro.core.serialize import (
+            containment_result_from_json,
+            containment_result_to_json,
+        )
+
+        for result in (
+            contained("tree-witness", detail="by chase termination"),
+            unknown("engine-pool", detail="deadline"),
+        ):
+            doc = containment_result_to_json(result)
+            assert containment_result_from_json(doc) == result
+
+    def test_witness_with_nulls_survives(self):
+        from repro.containment.result import not_contained
+        from repro.core.atoms import Atom
+        from repro.core.serialize import (
+            containment_result_from_json,
+            containment_result_to_json,
+        )
+        from repro.core.terms import Null
+
+        # database_to_text cannot express nulls (it round-trips through
+        # the fact parser); the structured JSON form must.
+        witnessed = not_contained(
+            "chase",
+            Instance(frozenset({Atom("R", (Constant("a"), Null(3)))})),
+            (Constant("a"), Null(3)),
+        )
+        restored = containment_result_from_json(
+            containment_result_to_json(witnessed)
+        )
+        assert restored == witnessed
+
+    def test_json_is_actually_json(self):
+        import json as _json
+
+        from repro.containment.result import not_contained
+        from repro.core.atoms import fact as mk_fact
+        from repro.core.serialize import containment_result_to_json
+
+        doc = containment_result_to_json(
+            not_contained(
+                "m", Instance(frozenset({mk_fact("R", "a")})), (Constant("a"),)
+            )
+        )
+        assert _json.loads(_json.dumps(doc)) == doc
