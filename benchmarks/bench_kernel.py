@@ -1,11 +1,24 @@
-"""Kernel benchmark: delta-driven vs naive chase trigger discovery.
+"""Kernel benchmark: delta vs naive chase, and cost vs greedy join planning.
 
-Measures the restricted chase under ``strategy="naive"`` (the pre-kernel
-algorithm: every round re-enumerates every rule body over the whole
-instance) against ``strategy="delta"`` (semi-naive discovery over the
-kernel's :class:`~repro.kernel.WorkingInstance` windows) on the largest
-linear and guarded workloads, asserting canonically identical outputs
-(``hash_instance``) before trusting any timing.
+Two claims are measured, each against the in-repo baseline that preceded
+it, with canonical-output identity asserted before any timing is trusted:
+
+* **delta vs naive** — the semi-naive chase over the kernel's
+  :class:`~repro.kernel.WorkingInstance` windows against the pre-kernel
+  re-enumerating chase, on the largest linear and guarded workloads;
+* **cost vs greedy planning** — the cost-based join-order planner
+  (:mod:`repro.kernel.plan`) against the seed's syntax-driven greedy
+  ordering: no regression on the linear/guarded chase workloads (they are
+  low-skew; the gate is "within 5%"), a required win on the
+  ``skewed_join`` family (a huge binary relation joined with a tiny
+  high-arity one — the shape where fewest-unbound-first picks the huge
+  relation first), and a plan-cache hit-rate check on a repeated-batch
+  scenario (the same OMQ evaluated over the same database again and
+  again, as the batch engine does).
+
+Planned-vs-greedy *output parity* is additionally asserted across every
+random-OMQ generator fragment (step-identical chase runs), so a planner
+bug cannot hide behind a fast wrong answer.
 
 Run as a script — not through pytest::
 
@@ -13,32 +26,49 @@ Run as a script — not through pytest::
     PYTHONPATH=src python benchmarks/bench_kernel.py --quick  # CI smoke
 
 Writes ``BENCH_kernel.json`` (see ``--out``) with per-workload timings,
-speedups, step counts, and the kernel counter deltas of the delta run.
-Exits non-zero if any workload's outputs diverge or its speedup falls
-below ``--min-speedup`` (relaxed to 1.0 in ``--quick`` mode: CI boxes are
-noisy; the ratio claim is made by the full run).
+speedups, step counts, and kernel counter deltas.  ``--trace-out PATH``
+re-runs one untimed pass of each chase workload under ``obs`` tracing and
+writes the per-phase Chrome trace there (the CI ``perf-profile`` artifact).
+Exits non-zero if outputs diverge, a speedup falls below its floor
+(relaxed in ``--quick`` mode: CI boxes are noisy; ratio claims are made by
+the full run), or the repeated-batch plan-cache hit rate is zero (enforced
+in both modes).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+import repro  # noqa: E402
+from repro import obs  # noqa: E402
 from repro.chase.engine import chase  # noqa: E402
-from repro.core.atoms import fact  # noqa: E402
+from repro.core.atoms import atom, fact  # noqa: E402
 from repro.core.instance import Instance  # noqa: E402
+from repro.core.terms import Variable  # noqa: E402
 from repro.engine.canon import hash_instance  # noqa: E402
-from repro.generators.databases import chain_database  # noqa: E402
+from repro.evaluation import evaluate_omq  # noqa: E402
+from repro.generators.databases import chain_database, random_database  # noqa: E402
 from repro.generators.ontologies import (  # noqa: E402
     guarded_reachability,
     linear_chain,
 )
-from repro.kernel import KERNEL_METRICS, kernel_snapshot  # noqa: E402
+from repro.generators.random_omqs import FRAGMENTS, random_omq  # noqa: E402
+from repro.kernel import (  # noqa: E402
+    KERNEL_METRICS,
+    WorkingInstance,
+    compiled_search,
+    kernel_snapshot,
+    use_planner,
+)
+from repro.kernel.plan import COST, GREEDY  # noqa: E402
+from repro.obs.export import write_chrome_trace  # noqa: E402
 
 
 def linear_workload(length: int, chain: int):
@@ -54,36 +84,67 @@ def guarded_workload(chain: int):
     return f"guarded_reach_db{chain}", Instance.of(atoms), omq.sigma
 
 
-def time_chase(db, sigma, strategy: str, repeats: int):
+def skewed_instance(n_big: int, n_wide: int) -> WorkingInstance:
+    """The planner's target family: huge binary × tiny 4-ary relation.
+
+    ``Big`` has *n_big* facts whose second column is low-cardinality;
+    ``Wide`` has *n_wide* facts sharing ``Big``'s join column.  The greedy
+    ordering (fewest unbound slots first) starts at ``Big`` and scans it
+    whole; the cost planner starts at ``Wide`` and drives the join through
+    the positional index.
+    """
+    atoms = [fact("Big", f"a{i}", f"b{i % 5}") for i in range(n_big)]
+    atoms += [
+        fact("Wide", f"a{i * (n_big // max(n_wide, 1))}", f"p{i}", f"q{i}", f"r{i}")
+        for i in range(n_wide)
+    ]
+    return WorkingInstance(atoms)
+
+
+SKEWED_BODY = (
+    atom("Big", Variable("x"), Variable("y")),
+    atom(
+        "Wide", Variable("x"), Variable("w1"), Variable("w2"), Variable("w3")
+    ),
+)
+
+
+def time_chase(db, sigma, strategy: str, repeats: int, planner: str = GREEDY):
     """Best-of-*repeats* wall time plus the (identical) chase result."""
     best = float("inf")
     result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = chase(db, sigma, strategy=strategy, max_steps=1_000_000)
-        best = min(best, time.perf_counter() - t0)
+    with use_planner(planner):
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = chase(db, sigma, strategy=strategy, max_steps=1_000_000)
+            best = min(best, time.perf_counter() - t0)
     return best, result
 
 
-def run_workload(name, db, sigma, repeats: int):
+def run_chase_workload(name, db, sigma, repeats: int):
+    """Delta-vs-naive and cost-vs-greedy timings for one chase workload."""
     naive_s, naive = time_chase(db, sigma, "naive", repeats)
+    greedy_s, greedy = time_chase(db, sigma, "delta", repeats, planner=GREEDY)
     KERNEL_METRICS.reset()
-    delta_s, delta = time_chase(db, sigma, "delta", repeats)
+    cost_s, planned = time_chase(db, sigma, "delta", repeats, planner=COST)
     counters = kernel_snapshot()
     naive_hash = hash_instance(naive.instance)
-    delta_hash = hash_instance(delta.instance)
+    planned_hash = hash_instance(planned.instance)
     row = {
         "workload": name,
         "db_atoms": len(db.atoms),
-        "chase_atoms": len(delta.instance.atoms),
-        "steps": delta.steps,
+        "chase_atoms": len(planned.instance.atoms),
+        "steps": planned.steps,
         "naive_s": round(naive_s, 6),
-        "delta_s": round(delta_s, 6),
-        "speedup": round(naive_s / delta_s, 2) if delta_s else float("inf"),
-        "outputs_identical": naive_hash == delta_hash
-        and naive.instance == delta.instance
-        and naive.steps == delta.steps,
-        "instance_hash": delta_hash,
+        "delta_greedy_s": round(greedy_s, 6),
+        "delta_cost_s": round(cost_s, 6),
+        "speedup": round(naive_s / cost_s, 2) if cost_s else float("inf"),
+        "planner_ratio": round(greedy_s / cost_s, 3) if cost_s else float("inf"),
+        "outputs_identical": naive_hash == planned_hash
+        and naive.instance == planned.instance
+        and naive.steps == planned.steps == greedy.steps
+        and planned.log == greedy.log,
+        "instance_hash": planned_hash,
         "kernel_counters": {
             k: v for k, v in counters.items() if isinstance(v, int)
         },
@@ -91,11 +152,110 @@ def run_workload(name, db, sigma, repeats: int):
     return row
 
 
+def run_skewed_workload(n_big: int, n_wide: int, repeats: int):
+    """Full join enumeration under each planner over the skewed family."""
+    work = skewed_instance(n_big, n_wide)
+    search = compiled_search(SKEWED_BODY)
+    results = {}
+    timings = {}
+    for mode in (GREEDY, COST):
+        best = float("inf")
+        with use_planner(mode):
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                hits = sorted(
+                    tuple(sorted((str(k), str(v)) for k, v in h.items()))
+                    for h in search.search(work)
+                )
+                best = min(best, time.perf_counter() - t0)
+        results[mode] = hits
+        timings[mode] = best
+    return {
+        "workload": f"skewed_join_big{n_big}_wide{n_wide}",
+        "db_atoms": len(work),
+        "matches": len(results[COST]),
+        "greedy_s": round(timings[GREEDY], 6),
+        "cost_s": round(timings[COST], 6),
+        "planner_speedup": round(timings[GREEDY] / timings[COST], 2)
+        if timings[COST]
+        else float("inf"),
+        "outputs_identical": results[GREEDY] == results[COST],
+    }
+
+
+def run_repeated_batch(repeats: int):
+    """The plan-cache scenario: one OMQ evaluated over one database N times.
+
+    This is the batch engine's steady state — same bodies, same statistics
+    regime — so after the first evaluation every join order must come from
+    the plan cache.  Reports the cost-planner hit rate.
+    """
+    rng = random.Random(20_18)
+    omq = random_omq("linear", rng, n_rules=4, n_query_atoms=3)
+    db = random_database(omq.data_schema, 8, 30, seed=4)
+    repro.clear_caches()
+    answers = None
+    with use_planner(COST):
+        for _ in range(repeats):
+            got = evaluate_omq(omq, db).answers
+            assert answers is None or got == answers
+            answers = got
+    snap = KERNEL_METRICS.snapshot()
+    hits = snap.get("kernel.plan.hits", 0)
+    misses = snap.get("kernel.plan.misses", 0)
+    return {
+        "workload": f"repeated_batch_x{repeats}",
+        "plan_hits": hits,
+        "plan_misses": misses,
+        "plan_hit_rate": round(hits / (hits + misses), 4)
+        if hits + misses
+        else 0.0,
+    }
+
+
+def run_fragment_parity(trials: int):
+    """Step-identical planned-vs-greedy chase across every generator family."""
+    rows = []
+    for fragment in FRAGMENTS:
+        rng = random.Random(sum(map(ord, fragment)))
+        identical = True
+        for trial in range(trials):
+            omq = random_omq(fragment, rng)
+            db = random_database(omq.data_schema, 5, 12, seed=trial)
+            repro.clear_caches()
+            with use_planner(COST):
+                planned = chase(db, omq.sigma, max_steps=20_000)
+            repro.clear_caches()
+            with use_planner(GREEDY):
+                greedy = chase(db, omq.sigma, max_steps=20_000)
+            identical = (
+                identical
+                and planned.steps == greedy.steps
+                and planned.log == greedy.log
+                and planned.instance == greedy.instance
+            )
+        rows.append(
+            {"fragment": fragment, "trials": trials, "step_identical": identical}
+        )
+    return rows
+
+
+def write_trace(workloads, path: str) -> None:
+    """One untimed traced pass per chase workload → Chrome trace JSON."""
+    obs.drain()
+    with obs.tracing("always"):
+        for name, db, sigma in workloads:
+            with obs.span("bench.workload", workload=name):
+                with use_planner(COST):
+                    chase(db, sigma, strategy="delta", max_steps=1_000_000)
+    write_chrome_trace(obs.drain(), path)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true",
-        help="small workloads, one repeat, no speedup floor (CI smoke)",
+        help="small workloads, one repeat, no speedup floors (CI smoke)",
     )
     parser.add_argument(
         "--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_kernel.json"),
@@ -105,6 +265,20 @@ def main(argv=None) -> int:
         "--min-speedup", type=float, default=3.0,
         help="fail below this delta-vs-naive ratio (full mode only)",
     )
+    parser.add_argument(
+        "--min-plan-speedup", type=float, default=1.5,
+        help="fail below this cost-vs-greedy ratio on the skewed family "
+        "(full mode only)",
+    )
+    parser.add_argument(
+        "--max-plan-regression", type=float, default=0.95,
+        help="fail if cost planning is slower than greedy by more than this "
+        "factor on the chase workloads (full mode only)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None,
+        help="also write a Chrome trace of one traced pass per workload",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -112,21 +286,38 @@ def main(argv=None) -> int:
             linear_workload(8, 20),
             guarded_workload(60),
         ]
+        skewed = (4_000, 6)
         repeats, floor = 1, 1.0
+        plan_floor, regression_floor = 1.0, 0.0
+        batch_repeats, parity_trials = 4, 1
     else:
         workloads = [
             linear_workload(16, 40),
             guarded_workload(150),
         ]
+        skewed = (40_000, 8)
         repeats, floor = 3, args.min_speedup
+        plan_floor, regression_floor = (
+            args.min_plan_speedup,
+            args.max_plan_regression,
+        )
+        batch_repeats, parity_trials = 6, 3
 
-    rows = [run_workload(*w, repeats=repeats) for w in workloads]
+    rows = [run_chase_workload(*w, repeats=repeats) for w in workloads]
+    skewed_row = run_skewed_workload(*skewed, repeats=repeats)
+    batch_row = run_repeated_batch(batch_repeats)
+    parity_rows = run_fragment_parity(parity_trials)
     report = {
         "benchmark": "bench_kernel",
         "mode": "quick" if args.quick else "full",
         "repeats": repeats,
         "min_speedup": floor,
+        "min_plan_speedup": plan_floor,
+        "max_plan_regression": regression_floor,
         "workloads": rows,
+        "skewed": skewed_row,
+        "repeated_batch": batch_row,
+        "fragment_parity": parity_rows,
     }
     Path(args.out).write_text(
         json.dumps(report, indent=2) + "\n", encoding="utf-8"
@@ -139,11 +330,46 @@ def main(argv=None) -> int:
             status, ok = "OUTPUT MISMATCH", False
         elif row["speedup"] < floor:
             status, ok = f"speedup < {floor}", False
+        elif row["planner_ratio"] < regression_floor:
+            status, ok = f"cost regressed > {regression_floor}", False
         print(
             f"{row['workload']:>28}: naive {row['naive_s']*1000:8.1f} ms  "
-            f"delta {row['delta_s']*1000:7.1f} ms  "
+            f"delta/greedy {row['delta_greedy_s']*1000:7.1f} ms  "
+            f"delta/cost {row['delta_cost_s']*1000:7.1f} ms  "
             f"speedup {row['speedup']:6.1f}x  [{status}]"
         )
+
+    status = "ok"
+    if not skewed_row["outputs_identical"]:
+        status, ok = "OUTPUT MISMATCH", False
+    elif skewed_row["planner_speedup"] < plan_floor:
+        status, ok = f"plan speedup < {plan_floor}", False
+    print(
+        f"{skewed_row['workload']:>28}: greedy {skewed_row['greedy_s']*1000:8.1f} ms  "
+        f"cost {skewed_row['cost_s']*1000:7.1f} ms  "
+        f"speedup {skewed_row['planner_speedup']:6.1f}x  [{status}]"
+    )
+
+    status = "ok"
+    if batch_row["plan_hit_rate"] <= 0.0:
+        # Enforced in every mode: this is the CI perf-profile guard.
+        status, ok = "plan cache never hit", False
+    print(
+        f"{batch_row['workload']:>28}: hits {batch_row['plan_hits']:5d}  "
+        f"misses {batch_row['plan_misses']:5d}  "
+        f"hit rate {batch_row['plan_hit_rate']:.2%}  [{status}]"
+    )
+
+    for row in parity_rows:
+        status = "ok" if row["step_identical"] else "PARITY MISMATCH"
+        ok = ok and row["step_identical"]
+        print(
+            f"{'parity ' + row['fragment']:>28}: {row['trials']} trial(s)  [{status}]"
+        )
+
+    if args.trace_out:
+        write_trace(workloads, args.trace_out)
+        print(f"chrome trace written to {args.trace_out}")
     print(f"report written to {args.out}")
     return 0 if ok else 1
 

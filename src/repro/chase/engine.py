@@ -50,7 +50,13 @@ from ..core.homomorphism import find_homomorphism, homomorphisms
 from ..core.instance import Instance
 from ..core.terms import NullFactory, Term, Variable
 from ..core.tgd import TGD
-from ..kernel import KERNEL_METRICS, WorkingInstance, compiled_search, delta_triggers
+from ..kernel import (
+    KERNEL_METRICS,
+    WorkingInstance,
+    compiled_search,
+    delta_triggers,
+    flush_cardinality,
+)
 from .. import obs
 
 #: Buckets for the per-round new-fact-count histogram (counts, not seconds).
@@ -203,6 +209,9 @@ def _chase_delta(
         def make_result(terminated: bool) -> ChaseResult:
             run_span.set("steps", steps)
             run_span.set("terminated", terminated)
+            # One counter bump per predicate per run: /metrics shows the
+            # cardinality regime the join planner saw.
+            flush_cardinality(work.cardinality_stats())
             return ChaseResult(work.snapshot(), steps, terminated, levels, log)
 
         old_mark = 0

@@ -53,6 +53,7 @@ from ..core.queries import CQ, UCQ
 from ..core.schema import Schema
 from ..core.terms import Constant, Null, Term, Variable
 from ..core.tgd import TGD
+from ..kernel.intern import INTERN
 
 #: Version tag mixed into every digest; bump on any rendering change.
 CANON_VERSION = "1"
@@ -111,48 +112,103 @@ def _refine_colours(
     pins: Mapping[Variable, int],
     free: Sequence[Variable],
 ) -> Dict[Variable, int]:
-    """Iterated colour refinement; returns each free variable's colour rank."""
+    """Iterated colour refinement; returns each free variable's colour rank.
+
+    The inner loop runs entirely over integers.  Before iterating, every
+    symbol the refinement compares is replaced by an *order-preserving
+    rank* of the string the pre-interned refinement would have built — tag
+    ranks, predicate ranks, one rank per distinct fixed-slot rendering
+    (``c:``/``h:``/``n:``, all of which sort below ``w:``), and a
+    ``strrank`` table mapping each colour number to the rank of its
+    decimal rendering (``"w:10" < "w:2"`` lexicographically, so numeric
+    colour order is *not* string order).  Rank order equals string order,
+    so the colour classes — and, critically, their rank order, which fixes
+    the admissible labeling set downstream — are byte-for-byte the same as
+    the string-based refinement's; strings themselves are only rendered at
+    the final labeling.  Terms are keyed by their kernel intern ids
+    (:data:`~repro.kernel.intern.INTERN`), so the compile pass hashes ints,
+    not dataclasses.
+    """
     if not free:
         return {}
-    # Initial colour: the multiset of (tag, predicate, position) occurrences.
-    occurrences: Dict[Variable, List[Tuple]] = {v: [] for v in free}
-    for tag, a in tagged_atoms:
-        for pos, t in enumerate(a.args):
-            if isinstance(t, Variable) and t not in pins:
-                occurrences[t].append((tag, a.predicate, a.arity, pos))
-    colours: Dict[Variable, int] = {}
-    keys = {v: tuple(sorted(occ)) for v, occ in occurrences.items()}
-    for rank, key in enumerate(sorted(set(keys.values()))):
-        for v in free:
-            if keys[v] == key:
-                colours[v] = rank
+    n = len(free)
+    var_ix = {INTERN.term_id(v): i for i, v in enumerate(free)}
+    tag_rank = {
+        t: r for r, t in enumerate(sorted({tag for tag, _ in tagged_atoms}))
+    }
+    pred_rank = {
+        p: r
+        for r, p in enumerate(sorted({a.predicate for _, a in tagged_atoms}))
+    }
 
-    for _ in range(len(free)):
-        views: Dict[Variable, List[Tuple]] = {v: [] for v in free}
-        for tag, a in tagged_atoms:
+    # Compile each atom once: (tag rank, predicate rank, arity, arg codes)
+    # where a free variable is ``-var_index - 1`` and a fixed term is a
+    # placeholder resolved to its string rank below.
+    fixed_strs: Dict[int, str] = {}
+    compiled: List[Tuple[int, int, int, List[int]]] = []
+    for tag, a in tagged_atoms:
+        codes: List[int] = []
+        for t in a.args:
+            tid = INTERN.term_id(t)
+            i = var_ix.get(tid)
+            if i is not None:
+                codes.append(-i - 1)
+            else:
+                if tid not in fixed_strs:
+                    if isinstance(t, Constant):
+                        fixed_strs[tid] = f"c:{t.name}"
+                    elif isinstance(t, Null):
+                        fixed_strs[tid] = f"n:{t.ident}"
+                    else:
+                        fixed_strs[tid] = f"h:{pins[t]}"
+                codes.append(tid)
+        compiled.append((tag_rank[tag], pred_rank[a.predicate], a.arity, codes))
+    fixed_rank = {
+        s: r for r, s in enumerate(sorted(set(fixed_strs.values())))
+    }
+    for entry in compiled:
+        codes = entry[3]
+        for pos, code in enumerate(codes):
+            if code >= 0:
+                codes[pos] = fixed_rank[fixed_strs[code]]
+    base = len(fixed_rank)
+    # Rank of each colour number's decimal string ("w:..." slots compare
+    # as strings); colours are always < n.
+    strrank = [0] * n
+    for r, colour in enumerate(sorted(range(n), key=str)):
+        strrank[colour] = r
+
+    # Initial colour: the multiset of (tag, predicate, arity, position)
+    # occurrences, via their ranks.
+    occurrences: List[List[Tuple[int, int, int, int]]] = [[] for _ in range(n)]
+    for trk, prk, arity, codes in compiled:
+        for pos, code in enumerate(codes):
+            if code < 0:
+                occurrences[-code - 1].append((trk, prk, arity, pos))
+    keys = [tuple(sorted(occ)) for occ in occurrences]
+    init_rank = {k: r for r, k in enumerate(sorted(set(keys)))}
+    colours = [init_rank[k] for k in keys]
+
+    for _ in range(n):
+        views: List[List[Tuple]] = [[] for _ in range(n)]
+        for trk, prk, _arity, codes in compiled:
             slots = tuple(
-                f"c:{t.name}" if isinstance(t, Constant)
-                else f"n:{t.ident}" if isinstance(t, Null)
-                else f"h:{pins[t]}" if t in pins
-                else f"w:{colours[t]}"
-                for t in a.args
+                code if code >= 0 else base + strrank[colours[-code - 1]]
+                for code in codes
             )
-            for pos, t in enumerate(a.args):
-                if isinstance(t, Variable) and t not in pins:
-                    views[t].append((tag, a.predicate, pos, slots))
-        new_keys = {
-            v: (colours[v], tuple(sorted(views[v]))) for v in free
-        }
-        new_colours: Dict[Variable, int] = {}
-        for rank, key in enumerate(sorted(set(new_keys.values()))):
-            for v in free:
-                if new_keys[v] == key:
-                    new_colours[v] = rank
-        if len(set(new_colours.values())) == len(set(colours.values())):
+            for pos, code in enumerate(codes):
+                if code < 0:
+                    views[-code - 1].append((trk, prk, pos, slots))
+        new_keys = [
+            (colours[i], tuple(sorted(views[i]))) for i in range(n)
+        ]
+        ranks = {k: r for r, k in enumerate(sorted(set(new_keys)))}
+        new_colours = [ranks[k] for k in new_keys]
+        if len(ranks) == len(set(colours)):
             colours = new_colours
             break
         colours = new_colours
-    return colours
+    return {free[i]: colours[i] for i in range(n)}
 
 
 # ---------------------------------------------------------------------------

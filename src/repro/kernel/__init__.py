@@ -5,8 +5,14 @@ Merlin containment, chase applicability, the small-witness test, XRewrite
 factorisation) reduces to homomorphism search.  This package is that
 search, built once and shared:
 
+* :mod:`repro.kernel.intern` — the process-wide symbol table mapping
+  predicates and terms to dense integer ids (:data:`INTERN`);
 * :mod:`repro.kernel.instance` — :class:`WorkingInstance` (mutable,
-  append-only, incrementally indexed) and the frozen-instance adapter;
+  append-only, incrementally indexed over int-tuple facts, with live
+  per-(predicate, position) cardinality statistics) and the
+  frozen-instance adapter;
+* :mod:`repro.kernel.plan` — the cost-based join-order planner and its
+  bounded plan cache (:func:`use_planner` switches cost/greedy modes);
 * :mod:`repro.kernel.search` — the compiled, index-driven backtracking
   :class:`HomSearch` plus the memoizing :func:`compiled_search` factory;
 * :mod:`repro.kernel.delta` — semi-naive (delta-driven) trigger discovery
@@ -19,7 +25,17 @@ this package.
 
 from .delta import delta_triggers
 from .instance import WorkingInstance, trusted_instance, view_of
-from .metrics import KERNEL_METRICS, kernel_snapshot
+from .intern import INTERN, InternTable
+from .metrics import KERNEL_METRICS, flush_cardinality, kernel_snapshot
+from .plan import (
+    COST,
+    GREEDY,
+    PLANS,
+    default_planner,
+    plan_cache_stats,
+    set_default_planner,
+    use_planner,
+)
 from .search import (
     HomSearch,
     atom_str,
@@ -34,6 +50,8 @@ __all__ = [
     "WorkingInstance",
     "trusted_instance",
     "view_of",
+    "INTERN",
+    "InternTable",
     "HomSearch",
     "compiled_search",
     "homomorphisms",
@@ -44,4 +62,12 @@ __all__ = [
     "delta_triggers",
     "KERNEL_METRICS",
     "kernel_snapshot",
+    "flush_cardinality",
+    "COST",
+    "GREEDY",
+    "PLANS",
+    "default_planner",
+    "set_default_planner",
+    "use_planner",
+    "plan_cache_stats",
 ]

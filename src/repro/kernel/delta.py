@@ -14,8 +14,9 @@ partition:
 
 Every new homomorphism has a unique minimal body index mapped into the
 delta, so the union over pivots is exact and duplicate-free.  The pivot
-atom is matched first (its bindings seed the join), and the remaining body
-is searched through the compiled kernel with per-atom windows.
+atom is matched first against the interned delta window (int-tuple facts
+against the pivot's compiled codes — see :mod:`repro.kernel.search`), and
+its bindings seed the remaining body's windowed search.
 
 On the first round (``old_mark == 0``) there is no "old" part and the
 discovery degenerates to a plain full enumeration bounded by the
@@ -25,32 +26,14 @@ homomorphism exists only then.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..core.atoms import Atom
 from ..core.terms import Term
 from .instance import WorkingInstance
+from .intern import INTERN
 from .metrics import KERNEL_METRICS
-from .search import compiled_search, is_mappable
-
-
-def _match_pivot(
-    src: Atom, candidate: Atom, fixed: Dict[Term, Term]
-) -> Optional[Dict[Term, Term]]:
-    """Extend *fixed* so that the pivot atom maps onto *candidate*."""
-    if len(candidate.args) != len(src.args):
-        return None
-    extension = dict(fixed)
-    for s, t in zip(src.args, candidate.args):
-        if is_mappable(s):
-            current = extension.get(s)
-            if current is None:
-                extension[s] = t
-            elif current != t:
-                return None
-        elif s != t:
-            return None
-    return extension
+from .search import compiled_search
 
 
 def delta_triggers(
@@ -77,6 +60,7 @@ def delta_triggers(
     if old_mark >= new_mark:
         return
     discovered = 0
+    term_of = INTERN.term
     for j, pivot in enumerate(body):
         rest = body[:j] + body[j + 1 :]
         rest_search = compiled_search(rest)
@@ -86,13 +70,46 @@ def delta_triggers(
             (0, old_mark) if k < j else (0, new_mark)
             for k in range(len(rest))
         )
-        atoms, start, end = target.pred_candidates(
-            pivot.predicate, old_mark, new_mark
+        # The pivot is matched directly over the interned delta window: the
+        # single-atom compiled search supplies its codes, and the base
+        # assignment carries any pivot slots *fixed* already binds.
+        psearch = compiled_search((pivot,))
+        psearch.ensure_compiled()
+        codes = psearch.codes[0]
+        arity = len(codes)
+        slot_terms = psearch.slot_terms
+        base = [-1] * len(slot_terms)
+        for s, t in enumerate(slot_terms):
+            v = initial.get(t)
+            if v is not None:
+                base[s] = INTERN.term_id(v)
+        facts, start, end = target.pred_candidates(
+            psearch.pred_ids[0], old_mark, new_mark
         )
         for ci in range(start, end):
-            seeded = _match_pivot(pivot, atoms[ci], initial)
-            if seeded is None:
+            candidate = facts[ci]
+            if len(candidate) != arity:
                 continue
+            assign = base[:]
+            matched = True
+            for pos in range(arity):
+                code = codes[pos]
+                tid = candidate[pos]
+                if code >= 0:
+                    current = assign[code]
+                    if current < 0:
+                        assign[code] = tid
+                    elif current != tid:
+                        matched = False
+                        break
+                elif code != -tid - 1:
+                    matched = False
+                    break
+            if not matched:
+                continue
+            seeded = dict(initial)
+            for s, t in enumerate(slot_terms):
+                seeded[t] = term_of(assign[s])
             for h in rest_search.search(target, seeded, ranges=windows):
                 discovered += 1
                 yield h

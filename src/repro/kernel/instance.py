@@ -1,6 +1,7 @@
 """The kernel's instance representations and their indexes.
 
-Two views back every homomorphism search:
+Two views back every homomorphism search, both storing facts as
+**tuples of interned ints** (see :mod:`repro.kernel.intern`):
 
 * :class:`WorkingInstance` — a *mutable, append-only* instance whose
   per-predicate and (predicate, position, term) indexes are maintained
@@ -9,27 +10,35 @@ Two views back every homomorphism search:
   possible: "the atoms added since watermark ``m``" is the contiguous
   suffix ``seq >= m``, and every index list is seq-sorted, so restricting a
   search to a watermark (or to a delta window) is a binary search, not a
-  filter.
-* frozen :class:`~repro.core.instance.Instance` — adapted through the
-  one-shot cached indexes :meth:`Instance.by_predicate` /
-  :meth:`Instance.by_position` (see :mod:`repro.core.instance`).
+  filter.  Alongside the indexes it maintains the per-(predicate, position)
+  cardinality statistics (fact counts and distinct-value counts) that feed
+  the cost-based join planner in :mod:`repro.kernel.plan`.
+* frozen :class:`~repro.core.instance.Instance` — adapted through
+  :class:`_FrozenView`, which interns the instance's memoized sorted
+  indexes once and is itself memoized on the instance, so repeated
+  searches against the same frozen target share one interned view.
 
-Both are wrapped by :func:`view_of` into the small duck-typed interface
-(`pred_candidates` / `pos_candidates`) the search consumes.
+Both expose the small duck-typed interface the search consumes:
+``pred_candidates`` / ``pos_candidates`` (windows of int-tuple facts) plus
+``pred_count`` / ``distinct_count`` (the planner's statistics).  Candidate
+order is seq order for a :class:`WorkingInstance` and the instance's
+deterministic sorted order for a frozen view — interning never changes
+which facts are enumerated or in what order, only how they are stored.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.atoms import Atom
 from ..core.instance import Instance, _atom_sort_key
-from ..core.terms import Term
+from .intern import INTERN
 
-#: A candidate window: (atoms, start, end) — iterate atoms[start:end]
-#: without copying the (potentially large) index list.
-Window = Tuple[Sequence[Atom], int, int]
+#: A candidate window: (facts, start, end) — iterate facts[start:end]
+#: without copying the (potentially large) index list.  Each fact is a
+#: tuple of interned term ids.
+Window = Tuple[Sequence[Tuple[int, ...]], int, int]
 
 _EMPTY_WINDOW: Window = ((), 0, 0)
 
@@ -48,48 +57,56 @@ def trusted_instance(atoms: Iterable[Atom]) -> Instance:
 
 
 class _IndexList:
-    """A seq-sorted candidate list: parallel (seqs, atoms) arrays."""
+    """A seq-sorted candidate list: parallel (seqs, facts) arrays."""
 
-    __slots__ = ("seqs", "atoms")
+    __slots__ = ("seqs", "facts")
 
     def __init__(self) -> None:
         self.seqs: List[int] = []
-        self.atoms: List[Atom] = []
+        self.facts: List[Tuple[int, ...]] = []
 
-    def append(self, seq: int, atom: Atom) -> None:
+    def append(self, seq: int, fact: Tuple[int, ...]) -> None:
         self.seqs.append(seq)
-        self.atoms.append(atom)
+        self.facts.append(fact)
 
     def window(self, lo: int, hi: Optional[int]) -> Window:
-        """The sub-window of atoms with ``lo <= seq < hi``."""
+        """The sub-window of facts with ``lo <= seq < hi``."""
         start = bisect_left(self.seqs, lo) if lo > 0 else 0
         end = len(self.seqs) if hi is None else bisect_right(self.seqs, hi - 1)
-        return (self.atoms, start, end)
+        return (self.facts, start, end)
 
 
 class WorkingInstance:
-    """A mutable, append-only set of ground atoms with live indexes.
+    """A mutable, append-only set of ground atoms with live interned indexes.
 
     Supports exactly what the kernel's consumers need: O(1) amortized
-    :meth:`add` with incremental index maintenance, watermark/delta
-    windows for semi-naive evaluation, and cheap conversion to/from the
-    frozen :class:`Instance`.
+    :meth:`add` with incremental index and statistics maintenance,
+    watermark/delta windows for semi-naive evaluation, and cheap
+    conversion to/from the frozen :class:`Instance`.
     """
 
     __slots__ = (
         "_seq_of",
+        "_atoms",
+        "_facts",
         "_by_predicate",
         "_by_position",
+        "_distinct",
         "_snapshot",
         "_snapshot_len",
+        "_generation",
     )
 
     def __init__(self, atoms: Iterable[Atom] = ()) -> None:
         self._seq_of: Dict[Atom, int] = {}
-        self._by_predicate: Dict[str, _IndexList] = {}
-        self._by_position: Dict[Tuple[str, int, Term], _IndexList] = {}
+        self._atoms: List[Atom] = []
+        self._facts: List[Tuple[int, ...]] = []
+        self._by_predicate: Dict[int, _IndexList] = {}
+        self._by_position: Dict[Tuple[int, int, int], _IndexList] = {}
+        self._distinct: Dict[Tuple[int, int], int] = {}
         self._snapshot: Optional[Instance] = None
         self._snapshot_len = -1
+        self._generation = INTERN.generation
         for a in atoms:
             self.add(a)
 
@@ -115,68 +132,120 @@ class WorkingInstance:
         return True
 
     def _add_trusted(self, atom: Atom) -> None:
-        seq = len(self._seq_of)
+        self._ensure_current()
+        seq = len(self._atoms)
         self._seq_of[atom] = seq
-        pred_list = self._by_predicate.get(atom.predicate)
+        self._atoms.append(atom)
+        pid = INTERN.pred_id(atom.predicate)
+        fact = INTERN.term_ids(atom.args)
+        self._facts.append(fact)
+        pred_list = self._by_predicate.get(pid)
         if pred_list is None:
-            pred_list = self._by_predicate[atom.predicate] = _IndexList()
-        pred_list.append(seq, atom)
-        for pos, term in enumerate(atom.args):
-            key = (atom.predicate, pos, term)
+            pred_list = self._by_predicate[pid] = _IndexList()
+        pred_list.append(seq, fact)
+        for pos, tid in enumerate(fact):
+            key = (pid, pos, tid)
             pos_list = self._by_position.get(key)
             if pos_list is None:
                 pos_list = self._by_position[key] = _IndexList()
-            pos_list.append(seq, atom)
+                stat_key = (pid, pos)
+                self._distinct[stat_key] = self._distinct.get(stat_key, 0) + 1
+            pos_list.append(seq, fact)
         self._snapshot = None
+
+    def _ensure_current(self) -> None:
+        """Rebuild interned state if the intern table was cleared under us."""
+        if self._generation == INTERN.generation:
+            return
+        atoms = self._atoms
+        self._seq_of = {}
+        self._atoms = []
+        self._facts = []
+        self._by_predicate = {}
+        self._by_position = {}
+        self._distinct = {}
+        self._generation = INTERN.generation
+        for a in atoms:
+            if a not in self._seq_of:
+                self._add_trusted(a)
 
     # -- windows (the search interface) ----------------------------------
 
     def pred_candidates(
-        self, predicate: str, lo: int = 0, hi: Optional[int] = None
+        self, pid: int, lo: int = 0, hi: Optional[int] = None
     ) -> Window:
-        """Atoms over *predicate* with seq in ``[lo, hi)``."""
-        entry = self._by_predicate.get(predicate)
+        """Facts over predicate id *pid* with seq in ``[lo, hi)``."""
+        entry = self._by_predicate.get(pid)
         if entry is None:
             return _EMPTY_WINDOW
         return entry.window(lo, hi)
 
     def pos_candidates(
         self,
-        predicate: str,
+        pid: int,
         position: int,
-        term: Term,
+        tid: int,
         lo: int = 0,
         hi: Optional[int] = None,
     ) -> Optional[Window]:
-        """Atoms with *term* at *position*, seq in ``[lo, hi)``.
+        """Facts with term id *tid* at *position*, seq in ``[lo, hi)``.
 
         Returns ``None`` (not an empty window) when the key has never been
         indexed — callers treat both as "no candidates", but ``None`` is
         free while a window costs two bisects.
         """
-        entry = self._by_position.get((predicate, position, term))
+        entry = self._by_position.get((pid, position, tid))
         if entry is None:
             return None
         return entry.window(lo, hi)
+
+    # -- planner statistics ----------------------------------------------
+
+    def pred_count(self, pid: int) -> int:
+        """How many facts the instance holds over predicate id *pid*."""
+        entry = self._by_predicate.get(pid)
+        return len(entry.seqs) if entry is not None else 0
+
+    def distinct_count(self, pid: int, position: int) -> int:
+        """Distinct term count at (predicate id, position) — live stats."""
+        return self._distinct.get((pid, position), 0)
+
+    def cardinality_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-predicate-name cardinality statistics (count + distincts).
+
+        For metrics surfacing and debugging; the planner reads the
+        id-keyed accessors above directly.
+        """
+        self._ensure_current()
+        out: Dict[str, Dict[str, object]] = {}
+        for pid, entry in self._by_predicate.items():
+            name = INTERN.pred(pid)
+            arity = len(entry.facts[0]) if entry.facts else 0
+            out[name] = {
+                "count": len(entry.seqs),
+                "distinct": [
+                    self.distinct_count(pid, pos) for pos in range(arity)
+                ],
+            }
+        return out
 
     # -- watermarks & snapshots ------------------------------------------
 
     def watermark(self) -> int:
         """The current sequence high-water mark (== ``len(self)``)."""
-        return len(self._seq_of)
+        return len(self._atoms)
 
     def atoms_since(self, mark: int) -> List[Atom]:
         """The atoms added at or after *mark*, in insertion order."""
         if mark <= 0:
-            return list(self._seq_of)
-        atoms = list(self._seq_of)
-        return atoms[mark:]
+            return list(self._atoms)
+        return self._atoms[mark:]
 
     def snapshot(self) -> Instance:
         """A frozen :class:`Instance` of the current atoms (memoized)."""
-        if self._snapshot is None or self._snapshot_len != len(self._seq_of):
-            self._snapshot = trusted_instance(self._seq_of)
-            self._snapshot_len = len(self._seq_of)
+        if self._snapshot is None or self._snapshot_len != len(self._atoms):
+            self._snapshot = trusted_instance(self._atoms)
+            self._snapshot_len = len(self._atoms)
         return self._snapshot
 
     # -- dunder ----------------------------------------------------------
@@ -185,13 +254,13 @@ class WorkingInstance:
         return atom in self._seq_of
 
     def __len__(self) -> int:
-        return len(self._seq_of)
+        return len(self._atoms)
 
     def __iter__(self) -> Iterator[Atom]:
-        return iter(self._seq_of)
+        return iter(self._atoms)
 
     def __repr__(self) -> str:
-        return f"WorkingInstance({len(self._seq_of)} atoms)"
+        return f"WorkingInstance({len(self._atoms)} atoms)"
 
 
 class _FrozenView:
@@ -201,31 +270,59 @@ class _FrozenView:
     order the pre-kernel search iterated), so search results and their
     enumeration order are unchanged.  Watermarks/deltas are meaningless on
     an immutable instance; windows always span the full index.
+
+    The view is built once per (instance, intern generation) and memoized
+    on the instance itself (see :func:`view_of`), so repeated searches
+    against the same target — the common case for query evaluation over a
+    chased instance — pay the interning pass exactly once.
     """
 
-    __slots__ = ("_by_predicate", "_by_position")
+    __slots__ = (
+        "_by_predicate",
+        "_by_position",
+        "_distinct",
+        "generation",
+    )
 
     def __init__(self, instance: Instance) -> None:
-        self._by_predicate = instance.by_predicate()
-        self._by_position = instance.by_position()
+        self.generation = INTERN.generation
+        self._by_predicate: Dict[int, List[Tuple[int, ...]]] = {}
+        self._by_position: Dict[Tuple[int, int, int], List[Tuple[int, ...]]] = {}
+        self._distinct: Dict[Tuple[int, int], int] = {}
+        by_position = self._by_position
+        distinct = self._distinct
+        for predicate, atoms in instance.by_predicate().items():
+            pid = INTERN.pred_id(predicate)
+            facts = [INTERN.term_ids(a.args) for a in atoms]
+            self._by_predicate[pid] = facts
+            for fact in facts:
+                for pos, tid in enumerate(fact):
+                    key = (pid, pos, tid)
+                    bucket = by_position.get(key)
+                    if bucket is None:
+                        by_position[key] = [fact]
+                        stat_key = (pid, pos)
+                        distinct[stat_key] = distinct.get(stat_key, 0) + 1
+                    else:
+                        bucket.append(fact)
 
     def pred_candidates(
-        self, predicate: str, lo: int = 0, hi: Optional[int] = None
+        self, pid: int, lo: int = 0, hi: Optional[int] = None
     ) -> Window:
         if lo or hi is not None:
             raise ValueError(
                 "sequence windows require a WorkingInstance target"
             )
-        atoms = self._by_predicate.get(predicate)
-        if atoms is None:
+        facts = self._by_predicate.get(pid)
+        if facts is None:
             return _EMPTY_WINDOW
-        return (atoms, 0, len(atoms))
+        return (facts, 0, len(facts))
 
     def pos_candidates(
         self,
-        predicate: str,
+        pid: int,
         position: int,
-        term: Term,
+        tid: int,
         lo: int = 0,
         hi: Optional[int] = None,
     ) -> Optional[Window]:
@@ -233,18 +330,35 @@ class _FrozenView:
             raise ValueError(
                 "sequence windows require a WorkingInstance target"
             )
-        atoms = self._by_position.get((predicate, position, term))
-        if atoms is None:
+        facts = self._by_position.get((pid, position, tid))
+        if facts is None:
             return None
-        return (atoms, 0, len(atoms))
+        return (facts, 0, len(facts))
+
+    def pred_count(self, pid: int) -> int:
+        facts = self._by_predicate.get(pid)
+        return len(facts) if facts is not None else 0
+
+    def distinct_count(self, pid: int, position: int) -> int:
+        return self._distinct.get((pid, position), 0)
 
 
 def view_of(target) -> object:
-    """The search view of *target* (WorkingInstance or frozen Instance)."""
+    """The search view of *target* (WorkingInstance or frozen Instance).
+
+    Frozen instances memoize their interned view (keyed by the intern
+    generation) the same way they memoize ``by_predicate``; working
+    instances are their own view and revalidate their generation inline.
+    """
     if isinstance(target, WorkingInstance):
+        target._ensure_current()
         return target
     if isinstance(target, Instance):
-        return _FrozenView(target)
+        view = target.__dict__.get("_kernel_view_memo")
+        if view is None or view.generation != INTERN.generation:
+            view = _FrozenView(target)
+            object.__setattr__(target, "_kernel_view_memo", view)
+        return view
     raise TypeError(
         f"hom-search target must be an Instance or WorkingInstance, "
         f"got {type(target).__name__}"

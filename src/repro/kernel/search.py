@@ -1,41 +1,51 @@
-"""The indexed backtracking homomorphism search.
+"""The interned, planned backtracking homomorphism search.
 
 This is the paper's single semantic primitive (CQ evaluation, Chandra–
 Merlin containment, chase applicability, the small-witness test) compiled
 into one engine.  Compared with the pre-kernel search in
-``core/homomorphism.py`` it adds, without changing the answer set or the
-deterministic enumeration order:
+``core/homomorphism.py`` it adds, without changing the answer set:
 
-* **compiled sources** — a :class:`HomSearch` is built once per body
-  (atom-string sort keys precomputed, greedy join orders memoized per
-  bound-variable set) and reused across targets; :func:`compiled_search`
-  memoizes compilation per body tuple, so the chase and repeated CQ
-  evaluation never re-derive the plan;
+* **interned compilation** — a :class:`HomSearch` is compiled once per
+  body into integer codes against the process intern table
+  (:mod:`repro.kernel.intern`): each source atom becomes a predicate id
+  plus a tuple of argument codes, where ``code >= 0`` is a *slot* (a
+  mappable variable/null, numbered by first occurrence across the body)
+  and ``code < 0`` encodes a fixed constant (``-term_id - 1``).  The
+  match loop then compares machine ints against the target's int-tuple
+  facts, and the partial assignment is a flat slot array with an undo
+  trail instead of per-candidate dict copies;
+* **cost-based join orders** — the per-call atom order comes from the
+  planner (:mod:`repro.kernel.plan`): estimated candidate counts from the
+  target's live cardinality statistics, cached per (body, bound set,
+  stats fingerprint), with the seed's greedy ordering kept behind
+  ``planner="greedy"`` as the baseline.  Enumeration order follows the
+  plan (see the contract pinned in :mod:`repro.kernel.plan`); within an
+  atom, candidates are always visited in the target's deterministic index
+  order;
 * **positional candidate selection** — when a source atom has a bound
-  position (a constant, or a term the partial assignment already maps),
+  position (a constant, or a slot the partial assignment already binds),
   candidates come from the target's (predicate, position, term) index
   instead of the whole predicate column; the most selective bound position
-  wins.  Filtering a candidate list a priori visits the same successful
-  candidates in the same relative order as filtering inside the match
-  loop, which is why enumeration order is preserved;
+  wins at runtime;
 * **windows** — per-source-atom ``(lo, hi)`` sequence ranges against a
   :class:`~repro.kernel.instance.WorkingInstance`, the primitive under
   semi-naive (delta) trigger discovery;
-* **instrumentation** — candidates scanned / matches / backtracks are
-  accumulated locally and flushed to :data:`~repro.kernel.metrics.KERNEL_METRICS`
-  once per search (also when a caller abandons the generator early).
+* **instrumentation** — candidates scanned / matches / backtracks and
+  plan-cache hits/misses are accumulated locally and flushed to
+  :data:`~repro.kernel.metrics.KERNEL_METRICS` once per search (also when
+  a caller abandons the generator early).
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
+from itertools import count as _counter
 from time import perf_counter
 from typing import (
     Dict,
     FrozenSet,
     Iterable,
     Iterator,
-    List,
     Mapping,
     Optional,
     Sequence,
@@ -47,10 +57,16 @@ from ..core.terms import Null, Term, Variable
 from ..engine.registry import register_cache
 from .. import obs
 from .instance import view_of
+from .intern import INTERN
 from .metrics import flush_search_counts
+from . import plan as _plan
 
 #: A per-source-atom sequence window; ``None`` means unconstrained.
 Ranges = Optional[Sequence[Tuple[int, Optional[int]]]]
+
+#: Monotonic source of plan-cache keys: every (re)compile gets a fresh
+#: one, so plans for a stale compilation are simply never hit again.
+_PLAN_KEYS = _counter()
 
 
 def is_mappable(term: Term) -> bool:
@@ -68,52 +84,74 @@ def atom_str(a: Atom) -> str:
 class HomSearch:
     """A compiled homomorphism search for a fixed tuple of source atoms."""
 
-    __slots__ = ("source", "_strs", "_orders")
+    __slots__ = (
+        "source",
+        "_strs",
+        "_orders",
+        "_gen",
+        "pred_ids",
+        "codes",
+        "slot_terms",
+        "slot_of",
+        "plan_key",
+    )
 
     def __init__(self, source: Sequence[Atom]) -> None:
         self.source: Tuple[Atom, ...] = tuple(source)
         # Precomputed once: the string sort keys (the pre-kernel code
         # recomputed str(a) inside a min() key on every comparison).
         self._strs: Tuple[str, ...] = tuple(atom_str(a) for a in self.source)
-        self._orders: Dict[FrozenSet[Term], Tuple[int, ...]] = {}
+        self._gen = -1
+        self._compile()
+
+    # -- compilation -------------------------------------------------------
+
+    def _compile(self) -> None:
+        """Intern the body against the current table generation."""
+        slot_of: Dict[Term, int] = {}
+        pred_ids = []
+        codes = []
+        for a in self.source:
+            pred_ids.append(INTERN.pred_id(a.predicate))
+            atom_codes = []
+            for t in a.args:
+                if is_mappable(t):
+                    s = slot_of.get(t)
+                    if s is None:
+                        s = slot_of[t] = len(slot_of)
+                    atom_codes.append(s)
+                else:
+                    atom_codes.append(-INTERN.term_id(t) - 1)
+            codes.append(tuple(atom_codes))
+        self.pred_ids: Tuple[int, ...] = tuple(pred_ids)
+        self.codes: Tuple[Tuple[int, ...], ...] = tuple(codes)
+        self.slot_of = slot_of
+        self.slot_terms: Tuple[Term, ...] = tuple(slot_of)
+        self._orders: Dict[FrozenSet[int], Tuple[int, ...]] = {}
+        self.plan_key = next(_PLAN_KEYS)
+        self._gen = INTERN.generation
+
+    def ensure_compiled(self) -> None:
+        """Recompile if the intern table was cleared since the last compile."""
+        if self._gen != INTERN.generation:
+            self._compile()
 
     # -- join ordering ----------------------------------------------------
 
     def order(self, bound: Iterable[Term]) -> Tuple[int, ...]:
-        """Greedy join order (indexes into ``source``) for a bound-term set.
+        """The seed greedy join order (indexes into ``source``).
 
-        Same strategy as the classic search: repeatedly pick the atom with
-        the fewest unbound mappable terms, ties broken by the atom's string
+        Kept as the stats-free baseline: repeatedly pick the atom with the
+        fewest unbound mappable terms, ties broken by the atom's string
         form; memoized per bound set since the order is a pure function of
-        it.
+        it.  The cost-based planner supersedes this on the search path.
         """
-        key = frozenset(t for t in bound if is_mappable(t))
-        cached = self._orders.get(key)
-        if cached is not None:
-            return cached
-        remaining = sorted(range(len(self.source)), key=lambda i: self._strs[i])
-        bound_terms = set(key)
-        ordered: List[int] = []
-        while remaining:
-            best = min(
-                remaining,
-                key=lambda i: (
-                    sum(
-                        1
-                        for t in set(self.source[i].args)
-                        if is_mappable(t) and t not in bound_terms
-                    ),
-                    self._strs[i],
-                ),
-            )
-            remaining.remove(best)
-            ordered.append(best)
-            bound_terms.update(
-                t for t in self.source[best].args if is_mappable(t)
-            )
-        result = tuple(ordered)
-        self._orders[key] = result
-        return result
+        self.ensure_compiled()
+        key = frozenset(
+            s for t, s in self.slot_of.items() if t in set(bound)
+        )
+        order, _ = _plan.order_for(self, None, key, _plan.GREEDY)
+        return order
 
     # -- the search -------------------------------------------------------
 
@@ -124,43 +162,64 @@ class HomSearch:
         *,
         limit: Optional[int] = None,
         ranges: Ranges = None,
+        planner: Optional[str] = None,
     ) -> Iterator[Dict[Term, Term]]:
         """Yield every homomorphism of ``source`` into *target*.
 
-        *fixed* pre-binds source terms.  *limit* restricts every candidate
-        to sequence numbers below it (a :class:`WorkingInstance` watermark:
+        *fixed* pre-binds source terms (bindings for terms not in the body
+        pass through to every yielded assignment unchanged, matching the
+        pre-interned behaviour).  *limit* restricts every candidate to
+        sequence numbers below it (a :class:`WorkingInstance` watermark:
         "the instance as of mark m").  *ranges*, aligned with ``source``,
         gives each source atom its own ``(lo, hi)`` window — the delta
         chase's semi-naive pivots.  Windows other than the full index
-        require a WorkingInstance target.
+        require a WorkingInstance target.  *planner* overrides the process
+        default plan mode for this call (``"cost"`` or ``"greedy"``).
         """
-        initial: Dict[Term, Term] = dict(fixed) if fixed else {}
         view = view_of(target)
-        order = self.order(initial.keys())
-        source = self.source
+        self.ensure_compiled()
+        source_codes = self.codes
+        pred_ids = self.pred_ids
+        slot_terms = self.slot_terms
+        n_slots = len(slot_terms)
+        assign = [-1] * n_slots
+        passthrough: Dict[Term, Term] = {}
+        if fixed:
+            slot_of = self.slot_of
+            for k, v in fixed.items():
+                s = slot_of.get(k)
+                if s is None or not is_mappable(k):
+                    passthrough[k] = v
+                else:
+                    assign[s] = INTERN.term_id(v)
+        bound_key = frozenset(s for s in range(n_slots) if assign[s] >= 0)
+        mode = planner or _plan.default_planner()
+        order, plan_hit = _plan.order_for(self, view, bound_key, mode)
         n = len(order)
+        term_of = INTERN.term
         # Per-search instrumentation, flushed once (see finally below).
         counts = [0, 0, 0]  # candidates, matches, backtracks
 
-        def window_for(src_index: int, assignment: Dict[Term, Term]):
-            src = source[src_index]
+        def window_for(src_index: int):
+            codes = source_codes[src_index]
             if ranges is not None:
                 lo, hi = ranges[src_index]
             else:
                 lo, hi = 0, None
             if limit is not None:
                 hi = limit if hi is None else min(hi, limit)
+            pid = pred_ids[src_index]
             # Most selective bound position, if any.
             best = None
             best_size = None
-            for pos, t in enumerate(src.args):
-                if is_mappable(t):
-                    value = assignment.get(t)
-                    if value is None:
+            for pos, code in enumerate(codes):
+                if code >= 0:
+                    tid = assign[code]
+                    if tid < 0:
                         continue
                 else:
-                    value = t
-                w = view.pos_candidates(src.predicate, pos, value, lo, hi)
+                    tid = -code - 1
+                w = view.pos_candidates(pid, pos, tid, lo, hi)
                 if w is None:
                     return None  # value never occurs there: no candidates
                 size = w[2] - w[1]
@@ -170,50 +229,58 @@ class HomSearch:
                         return best
             if best is not None:
                 return best
-            return view.pred_candidates(src.predicate, lo, hi)
+            return view.pred_candidates(pid, lo, hi)
 
-        def extend(k: int, assignment: Dict[Term, Term]):
+        def emit() -> Dict[Term, Term]:
+            out = dict(passthrough)
+            for s in range(n_slots):
+                out[slot_terms[s]] = term_of(assign[s])
+            return out
+
+        def extend(k: int):
             if k == n:
-                yield dict(assignment)
+                yield emit()
                 return
             src_index = order[k]
-            src = source[src_index]
-            window = window_for(src_index, assignment)
+            codes = source_codes[src_index]
+            arity = len(codes)
+            window = window_for(src_index)
             produced = False
             if window is not None:
-                atoms, start, end = window
-                src_args = src.args
-                arity = len(src_args)
+                facts, start, end = window
                 counts[0] += end - start
                 for ci in range(start, end):
-                    candidate = atoms[ci]
-                    if len(candidate.args) != arity:
+                    candidate = facts[ci]
+                    if len(candidate) != arity:
                         continue
-                    # Inlined atom match: extend assignment or skip.
-                    extension = None
-                    for s, t in zip(src_args, candidate.args):
-                        if is_mappable(s):
-                            if extension is None:
-                                current = assignment.get(s)
-                            else:
-                                current = extension.get(s)
-                            if current is None:
-                                if extension is None:
-                                    extension = dict(assignment)
-                                extension[s] = t
-                            elif current != t:
-                                extension = False
+                    # Inlined interned match: bind slots or skip, undoing
+                    # via the trail instead of copying the assignment.
+                    trail = None
+                    matched = True
+                    for pos in range(arity):
+                        code = codes[pos]
+                        tid = candidate[pos]
+                        if code >= 0:
+                            current = assign[code]
+                            if current < 0:
+                                assign[code] = tid
+                                if trail is None:
+                                    trail = [code]
+                                else:
+                                    trail.append(code)
+                            elif current != tid:
+                                matched = False
                                 break
-                        elif s != t:
-                            extension = False
+                        elif code != -tid - 1:
+                            matched = False
                             break
-                    if extension is False:
-                        continue
-                    counts[1] += 1
-                    produced = True
-                    yield from extend(
-                        k + 1, assignment if extension is None else extension
-                    )
+                    if matched:
+                        counts[1] += 1
+                        produced = True
+                        yield from extend(k + 1)
+                    if trail:
+                        for s in trail:
+                            assign[s] = -1
             if not produced:
                 counts[2] += 1
 
@@ -224,11 +291,18 @@ class HomSearch:
         if timed:
             t0 = perf_counter()
         try:
-            yield from extend(0, initial)
+            yield from extend(0)
         finally:
             if timed:
                 obs.add("hom.seconds", perf_counter() - t0)
-            flush_search_counts(1, counts[0], counts[1], counts[2])
+            flush_search_counts(
+                1,
+                counts[0],
+                counts[1],
+                counts[2],
+                1 if plan_hit else 0,
+                0 if plan_hit else 1,
+            )
 
     def find(
         self,
@@ -237,9 +311,13 @@ class HomSearch:
         *,
         limit: Optional[int] = None,
         ranges: Ranges = None,
+        planner: Optional[str] = None,
     ) -> Optional[Dict[Term, Term]]:
         """The first homomorphism, or None."""
-        return next(self.search(target, fixed, limit=limit, ranges=ranges), None)
+        return next(
+            self.search(target, fixed, limit=limit, ranges=ranges, planner=planner),
+            None,
+        )
 
 
 @lru_cache(maxsize=4096)
@@ -247,8 +325,8 @@ def compiled_search(source: Tuple[Atom, ...]) -> HomSearch:
     """The memoized compiled search for a body tuple.
 
     Chase rules, CQ bodies, and tgd heads recur across thousands of
-    searches; compiling once per distinct tuple makes the join-order cache
-    and the precomputed sort keys shared state.
+    searches; compiling once per distinct tuple makes the interned codes,
+    the join-order caches, and the precomputed sort keys shared state.
     """
     return HomSearch(source)
 

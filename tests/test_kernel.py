@@ -33,6 +33,7 @@ from repro.generators.ontologies import (
     sticky_recursive_family,
 )
 from repro.kernel import (
+    INTERN,
     KERNEL_METRICS,
     WorkingInstance,
     delta_triggers,
@@ -251,18 +252,50 @@ class TestWorkingInstance:
         work = WorkingInstance([fact("R", "a", "b")])
         work.add(fact("R", "b", "c"))
         work.add(fact("P", "a"))
-        all_r, lo, hi = work.pred_candidates("R")
-        assert list(all_r[lo:hi]) == [fact("R", "a", "b"), fact("R", "b", "c")]
-        new_r, lo, hi = work.pred_candidates("R", lo=1)
-        assert list(new_r[lo:hi]) == [fact("R", "b", "c")]
+
+        def ids(*names):
+            return INTERN.term_ids(tuple(Constant(n) for n in names))
+
+        pid = INTERN.pred_id("R")
+        all_r, lo, hi = work.pred_candidates(pid)
+        assert list(all_r[lo:hi]) == [ids("a", "b"), ids("b", "c")]
+        new_r, lo, hi = work.pred_candidates(pid, lo=1)
+        assert list(new_r[lo:hi]) == [ids("b", "c")]
 
     def test_pos_candidates(self):
         work = WorkingInstance(
             [fact("R", "a", "b"), fact("R", "a", "c"), fact("R", "b", "c")]
         )
-        atoms, lo, hi = work.pos_candidates("R", 0, Constant("a"))
-        assert list(atoms[lo:hi]) == [fact("R", "a", "b"), fact("R", "a", "c")]
-        assert work.pos_candidates("S", 0, Constant("a")) is None
+
+        def ids(*names):
+            return INTERN.term_ids(tuple(Constant(n) for n in names))
+
+        pid = INTERN.pred_id("R")
+        a_id = INTERN.term_id(Constant("a"))
+        facts, lo, hi = work.pos_candidates(pid, 0, a_id)
+        assert list(facts[lo:hi]) == [ids("a", "b"), ids("a", "c")]
+        assert work.pos_candidates(INTERN.pred_id("S"), 0, a_id) is None
+
+    def test_cardinality_stats_track_live_counts(self):
+        work = WorkingInstance(
+            [fact("R", "a", "b"), fact("R", "a", "c"), fact("P", "a")]
+        )
+        stats = work.cardinality_stats()
+        assert stats["R"] == {"count": 2, "distinct": [1, 2]}
+        assert stats["P"] == {"count": 1, "distinct": [1]}
+        pid = INTERN.pred_id("R")
+        assert work.pred_count(pid) == 2
+        assert work.distinct_count(pid, 0) == 1
+        assert work.distinct_count(pid, 1) == 2
+
+    def test_interned_state_rebuilds_after_table_clear(self):
+        work = WorkingInstance([fact("R", "a", "b"), fact("R", "b", "c")])
+        body = (atom("R", x, y),)
+        before = sorted(str(h) for h in homomorphisms(body, work))
+        INTERN.clear()
+        after = sorted(str(h) for h in homomorphisms(body, work))
+        assert after == before
+        assert work.pred_count(INTERN.pred_id("R")) == 2
 
     def test_trusted_instance_equals_validated(self):
         atoms = frozenset([fact("R", "a", "b")])
