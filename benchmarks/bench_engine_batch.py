@@ -361,6 +361,107 @@ def test_catalog_cold_vs_warm_session(benchmark, tmp_path):
     benchmark.pedantic(_scenario, rounds=1, iterations=1)
 
 
+WITNESS_PAIRS = 8
+WITNESS_SIZE = 4
+
+
+def _refuted_job(tag: int, size: int) -> ContainmentJob:
+    """One NOT_CONTAINED check: q1 is a ``P``-path of *size* hops under
+    ``E ⊑ P``, q2 the plain ``E``-path one hop longer.  A ``size``-hop
+    path database has no ``size+1``-hop match, so the cold run rewrites
+    q1 and then refutes via small-witness — producing a witness the
+    store can replay."""
+    e, p = f"E{tag}", f"P{tag}"
+    schema = Schema.of(**{e: 2})
+    sigma = tuple(parse_tgds(f"{e}(x, y) -> {p}(x, y)"))
+    p_body = ", ".join(
+        f"{p}(v{i}, v{i + 1})" for i in range(size)
+    )
+    e_body = ", ".join(
+        f"{e}(v{i}, v{i + 1})" for i in range(size + 1)
+    )
+    q1 = OMQ(schema, sigma, parse_cq(f"q() :- {p_body}"), f"wpath_{tag}")
+    q2 = OMQ(schema, (), parse_cq(f"q() :- {e_body}"), f"wlong_{tag}")
+    return ContainmentJob(q1, q2)
+
+
+def test_witness_store_cold_vs_warm_session(benchmark, tmp_path):
+    """WIT: the negative-witness store — session one refutes the pairs
+    with the full procedure and persists each counterexample; session two
+    re-answers every job by replaying the stored witness: fresh engine,
+    fresh cache directory, only the witness file carries over."""
+
+    def _scenario():
+        jobs = [
+            _refuted_job(tag, WITNESS_SIZE)
+            for tag in range(300, 300 + WITNESS_PAIRS)
+        ]
+        store_path = str(tmp_path / "witnesses.sqlite")
+
+        clear_caches()
+        with BatchEngine(
+            cache_dir=str(tmp_path / "wcold"),
+            workers=1,
+            witness_store=store_path,
+        ) as eng:
+            cold_s, cold_results = _timed_batch(eng, jobs)
+            cold_metrics = eng.stats()["metrics"]
+        assert all(
+            r.ok and r.value.verdict is Verdict.NOT_CONTAINED
+            for r in cold_results
+        )
+        assert cold_metrics["engine.witness.stored"] == WITNESS_PAIRS
+
+        # Session two: nothing cached, but every refutation is on file.
+        clear_caches()
+        with BatchEngine(
+            cache_dir=str(tmp_path / "wwarm"),
+            workers=1,
+            witness_store=store_path,
+        ) as eng:
+            warm_s, warm_results = _timed_batch(eng, jobs)
+            warm_metrics = eng.stats()["metrics"]
+        assert all(
+            r.value.verdict is Verdict.NOT_CONTAINED for r in warm_results
+        )
+        assert {r.value.method for r in warm_results} == {"witness-replay"}
+        assert warm_metrics.get("engine.witness.hits", 0) == WITNESS_PAIRS
+        assert warm_metrics.get("engine.containment.runs", 0) == 0
+        # The acceptance gate: replay beats the full procedure by ≥10×.
+        assert warm_s * 10 <= cold_s
+
+        witness_payload = {
+            "pairs": WITNESS_PAIRS,
+            "cold_session_s": round(cold_s, 4),
+            "warm_session_s": round(warm_s, 4),
+            "warm_speedup": round(cold_s / warm_s, 3),
+            "replay_hits": warm_metrics.get("engine.witness.hits", 0),
+            "stored": cold_metrics["engine.witness.stored"],
+        }
+        try:
+            payload = json.loads(ARTIFACT.read_text())
+        except (OSError, ValueError):
+            payload = {"bench": "engine_batch"}
+        payload["witness"] = witness_payload
+        ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+        print_table(
+            f"WIT: witness store ({WITNESS_PAIRS} refuted pairs, 2 sessions)",
+            ["session", "time (s)", "note"],
+            [
+                ["cold (refutes)", f"{cold_s:.3f}", "full procedures"],
+                [
+                    "warm (replays)",
+                    f"{warm_s:.3f}",
+                    f"{witness_payload['replay_hits']} replay hits, "
+                    f"{cold_s / warm_s:.0f}× faster",
+                ],
+            ],
+        )
+
+    benchmark.pedantic(_scenario, rounds=1, iterations=1)
+
+
 PRIORITY_BACKLOG = 12
 PRIORITY_LOW_SLEEP = 0.15
 PRIORITY_HIGH_SLEEP = 0.05

@@ -22,6 +22,7 @@ Commands:
 * ``minimize OMQ``               — containment-powered query minimization
 * ``explain OMQ DATABASE ANSWER``— derivation forest for a certain answer
 * ``catalog FILE``               — inspect an OMQ equivalence catalog
+* ``witnesses FILE``             — inspect a NOT_CONTAINED witness store
 * ``trace FILE``                 — pretty-print a saved decision trace
 * ``serve``                      — containment-as-a-service HTTP server
 * ``submit OMQ1 OMQ2``           — send a containment job to a server
@@ -34,6 +35,10 @@ to route through the :class:`repro.engine.BatchEngine`.
 ``--catalog PATH`` attaches the persistent equivalence catalog: OMQ
 pairs proven equivalent in *any* earlier session answer instantly, even
 after the result cache has been evicted or deleted.
+``--witness-store PATH`` attaches the catalog's negative dual: every
+NOT_CONTAINED verdict persists its counterexample database, and future
+sessions replay stored witnesses as single hom-checks ahead of the full
+decision procedures (inspect with ``repro witnesses PATH``).
 
 ``batch`` also accepts ``--stream``: results are printed the moment each
 job finishes (completion order) rather than when the whole batch drains.
@@ -133,6 +138,7 @@ def _make_engine(args):
         trace="always" if getattr(args, "trace", None) else None,
         cache_backend=getattr(args, "cache_backend", "sqlite") or "sqlite",
         catalog=getattr(args, "catalog", None),
+        witness_store=getattr(args, "witness_store", None),
     )
 
 
@@ -142,6 +148,7 @@ def _wants_engine(args) -> bool:
         getattr(args, "cache_dir", None) is not None
         or (getattr(args, "workers", 1) or 1) > 1
         or getattr(args, "catalog", None) is not None
+        or getattr(args, "witness_store", None) is not None
     )
 
 
@@ -523,6 +530,38 @@ def _cmd_catalog(args) -> int:
     return 0
 
 
+def _cmd_witnesses(args) -> int:
+    """Inspect a cross-session NOT_CONTAINED witness store."""
+    from .engine.witness_store import WitnessStore
+
+    if not Path(args.witness_file).exists():
+        print(f"no witness store at {args.witness_file}", file=sys.stderr)
+        return 2
+    with WitnessStore(args.witness_file) as store:
+        stats = store.stats()
+        entries = store.entries()
+    if args.json:
+        print(json.dumps({"stats": stats, "witnesses": entries}, indent=2))
+        return 0
+    print(
+        f"{stats['entries']} stored witness(es) over "
+        f"{stats['lhs_keys']} LHS / {stats['rhs_keys']} RHS canonical "
+        f"hash(es)"
+        + (
+            f"; {stats['skipped_rows']} corrupt row(s) skipped"
+            if stats["skipped_rows"]
+            else ""
+        )
+    )
+    for entry in entries:
+        answer = ", ".join(entry["answer"])
+        print(
+            f"  {entry['lhs'][:16]}… ⊄ {entry['rhs'][:16]}…  "
+            f"D: {entry['atoms']} atom(s), c̄ = ({answer})"
+        )
+    return 0
+
+
 def _cmd_trace(args) -> int:
     try:
         roots = obs.load_trace(args.trace_file)
@@ -555,6 +594,7 @@ def _cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         cache_backend=args.cache_backend,
         catalog=args.catalog,
+        witness_store=args.witness_store,
         tenants_file=args.tenants,
         deadline_floor_s=args.deadline_floor,
         drain_grace_s=args.drain_grace,
@@ -638,6 +678,13 @@ def _add_engine_backend_flags(p: argparse.ArgumentParser) -> None:
         help="persistent OMQ equivalence catalog; proven-equivalent "
         "queries share cache rows and short-circuit across sessions "
         "(inspect with: repro catalog PATH)",
+    )
+    p.add_argument(
+        "--witness-store", metavar="PATH", default=None,
+        dest="witness_store",
+        help="persistent NOT_CONTAINED witness store; stored "
+        "counterexamples are replayed as cheap hom-checks ahead of the "
+        "full decision procedures (inspect with: repro witnesses PATH)",
     )
 
 
@@ -741,6 +788,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("catalog_file", help="a --catalog sqlite file")
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_catalog)
+
+    p = sub.add_parser(
+        "witnesses",
+        help="inspect a cross-session NOT_CONTAINED witness store",
+    )
+    p.add_argument("witness_file", help="a --witness-store sqlite file")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_witnesses)
 
     p = sub.add_parser(
         "serve",

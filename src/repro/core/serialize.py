@@ -131,6 +131,28 @@ def database_to_text(db: Instance) -> str:
 # ---------------------------------------------------------------------------
 
 
+def _term_order(t: Term) -> tuple:
+    """A total order on ground terms that never conflates distinct terms.
+
+    Sorting atoms by ``str`` is ambiguous: ``Null(1)`` renders as
+    ``_:n1``, which a :class:`Constant` named ``"_:n1"`` matches exactly,
+    so two distinct atoms can compare equal and the listing order then
+    depends on set iteration order (nondeterministic across processes).
+    The type tag keeps constants, nulls, and (defensively) variables in
+    disjoint bands, and within a band the term's own identity decides.
+    """
+    if isinstance(t, Constant):
+        return (0, t.name)
+    if isinstance(t, Null):
+        return (1, t.ident)
+    return (2, getattr(t, "name", str(t)))
+
+
+def _atom_order(a: Atom) -> tuple:
+    """Canonical sort key for ground atoms (see :func:`_term_order`)."""
+    return (a.predicate, len(a.args), tuple(_term_order(t) for t in a.args))
+
+
 def term_to_json(t: Term) -> Dict[str, Any]:
     """A lossless JSON form for a ground term (constant or null)."""
     if isinstance(t, Constant):
@@ -164,7 +186,7 @@ def atom_from_json(doc: Dict[str, Any]) -> Atom:
 
 def instance_to_json(instance: Instance) -> List[Dict[str, Any]]:
     """A deterministic (sorted) atom list; nulls survive the round-trip."""
-    return [atom_to_json(a) for a in sorted(instance, key=str)]
+    return [atom_to_json(a) for a in sorted(instance, key=_atom_order)]
 
 
 def instance_from_json(doc: Iterable[Dict[str, Any]]) -> Instance:
@@ -176,12 +198,15 @@ def witness_to_json(witness) -> Dict[str, Any]:
 
     ``database``/``answer`` carry the structured terms; ``database_text``
     is a readable rendering for humans and for consumers of the old
-    stringly CLI shape.
+    stringly CLI shape.  Both listings use the same canonical atom order
+    (:func:`_atom_order`), so line *i* of the text always describes entry
+    *i* of the structured list, even in null-heavy databases whose string
+    renderings collide.
     """
     return {
         "database": instance_to_json(witness.database),
         "database_text": [
-            str(a) for a in sorted(witness.database, key=str)
+            str(a) for a in sorted(witness.database, key=_atom_order)
         ],
         "answer": [term_to_json(t) for t in witness.answer],
     }

@@ -11,6 +11,9 @@ A service-shaped layer over the per-call library API:
 * :mod:`~repro.engine.catalog` — the cross-session catalog of
   proven-equivalent OMQ groups (persistent union-find over canonical
   hashes) that lets later sessions skip recomputation entirely;
+* :mod:`~repro.engine.witness_store` — the catalog's negative dual: a
+  persistent store of NOT_CONTAINED counterexamples, replayed as single
+  hom-checks ahead of the full decision procedures;
 * :mod:`~repro.engine.pool` — a crash-isolated multiprocessing pool with
   per-task timeouts and a deterministic serial fallback;
 * :mod:`~repro.engine.scheduler` — async submission (:class:`JobHandle`,
@@ -79,6 +82,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         Priority,
         Scheduler,
     )
+    from .witness_store import WITNESS_SCHEMA_VERSION, WitnessStore
 
 #: export name -> defining submodule (relative to this package)
 _EXPORTS = {
@@ -122,6 +126,8 @@ _EXPORTS = {
     "JobHandle": ".scheduler",
     "Priority": ".scheduler",
     "Scheduler": ".scheduler",
+    "WITNESS_SCHEMA_VERSION": ".witness_store",
+    "WitnessStore": ".witness_store",
 }
 
 _SUBMODULES = {
@@ -134,6 +140,7 @@ _SUBMODULES = {
     "pool",
     "registry",
     "scheduler",
+    "witness_store",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -45,6 +45,7 @@ from .jobs import (
 from .metrics import MetricsRegistry
 from .pool import WorkerPool
 from .scheduler import DeadlinePolicy, JobHandle, Priority, Scheduler
+from .witness_store import WitnessStore
 
 
 class BatchEngine:
@@ -75,6 +76,13 @@ class BatchEngine:
         ``None`` (off).  Containment jobs then share cache rows within
         proven-equivalent OMQ groups and short-circuit when both sides
         are in one group.
+    witness_store:
+        Cross-session store of NOT_CONTAINED counterexamples: a path for
+        a persistent :class:`~repro.engine.witness_store.WitnessStore`, a
+        ready instance, or ``None`` (off).  Containment jobs then replay
+        stored witnesses (one cheap hom-check) ahead of the catalog and
+        the full decision procedure, and every NOT_CONTAINED verdict
+        deposits its witness for future sessions.
     max_inflight / aging_interval:
         Scheduler tuning: dispatch-window width (default: worker count)
         and seconds-per-class priority aging (see
@@ -104,6 +112,7 @@ class BatchEngine:
         cache_backend: Any = "sqlite",
         cache: Optional[ResultCache] = None,
         catalog: Union[None, str, OMQCatalog] = None,
+        witness_store: Union[None, str, WitnessStore] = None,
         max_inflight: Optional[int] = None,
         aging_interval: Optional[float] = 5.0,
         deadline_policy: Optional[DeadlinePolicy] = None,
@@ -118,6 +127,17 @@ class BatchEngine:
         if isinstance(catalog, (str, bytes)) or hasattr(catalog, "__fspath__"):
             catalog = OMQCatalog(str(catalog))
         self.catalog: Optional[OMQCatalog] = catalog
+        if isinstance(witness_store, (str, bytes)) or hasattr(
+            witness_store, "__fspath__"
+        ):
+            witness_store = WitnessStore(
+                str(witness_store), metrics=self.metrics
+            )
+        elif witness_store is not None and witness_store.metrics is None:
+            # Adopt the engine's registry so engine.witness.* counters
+            # surface in stats() and the serve tier's /metrics.
+            witness_store.metrics = self.metrics
+        self.witness_store: Optional[WitnessStore] = witness_store
         self.pool = WorkerPool(
             workers=workers,
             task_timeout=task_timeout,
@@ -134,6 +154,7 @@ class BatchEngine:
             trace_config=self.trace_config,
             trace_sink=self._traces,
             catalog=self.catalog,
+            witness_store=self.witness_store,
             max_inflight=max_inflight,
             aging_interval=aging_interval,
             deadline_policy=deadline_policy,
@@ -291,6 +312,8 @@ class BatchEngine:
         }
         if self.catalog is not None:
             out["catalog"] = self.catalog.stats()
+        if self.witness_store is not None:
+            out["witness_store"] = self.witness_store.stats()
         if self.trace_config is not None:
             out["traces"] = self.traces()
         return out
@@ -300,6 +323,8 @@ class BatchEngine:
         self.cache.close()
         if self.catalog is not None:
             self.catalog.close()
+        if self.witness_store is not None:
+            self.witness_store.close()
 
     def __enter__(self) -> "BatchEngine":
         return self

@@ -90,6 +90,7 @@ from typing import Any, Iterable, Iterator, List, Optional, Tuple, Union
 from .cache import ResultCache
 from .catalog import OMQCatalog
 from .jobs import JobResult
+from .witness_store import WitnessStore
 from .metrics import MetricsRegistry
 from .pool import CANCELLED, POOL_CLOSED, PoolTicket, WorkerPool
 from ..obs import TraceConfig, TracedOutcome, TracedTask, span
@@ -275,6 +276,11 @@ class Scheduler:
         An :class:`~repro.engine.catalog.OMQCatalog`; enables
         group-representative cache keys, equivalence short-circuits, and
         verdict feedback for containment jobs.
+    witness_store:
+        A :class:`~repro.engine.witness_store.WitnessStore`; containment
+        submissions first try to *replay* a stored NOT_CONTAINED witness
+        (ahead of the catalog short-circuit), and every fresh or cached
+        NOT_CONTAINED verdict deposits its witness for future sessions.
     max_inflight:
         The dispatch window — how many flights may sit in the pool at
         once.  Defaults to the pool's worker count, which keeps every
@@ -296,6 +302,7 @@ class Scheduler:
         trace_config: Optional[TraceConfig] = None,
         trace_sink: Optional[List[dict]] = None,
         catalog: Optional[OMQCatalog] = None,
+        witness_store: Optional[WitnessStore] = None,
         max_inflight: Optional[int] = None,
         aging_interval: Optional[float] = 5.0,
         deadline_policy: Optional[DeadlinePolicy] = None,
@@ -303,6 +310,7 @@ class Scheduler:
         self.pool = pool
         self.cache = cache
         self.catalog = catalog
+        self.witness_store = witness_store
         self.metrics = metrics or MetricsRegistry()
         # With a trace config, every dispatched job is wrapped in a
         # TracedTask: the config ships to the worker, the completed span
@@ -379,6 +387,10 @@ class Scheduler:
         """
         priority = _coerce_priority(priority)
         self.metrics.counter("engine.scheduler.submitted").inc()
+        if self.witness_store is not None:
+            shortcut = self._witness_shortcut(job)
+            if shortcut is not None:
+                return shortcut
         if self.catalog is not None:
             shortcut = self._catalog_shortcut(job)
             if shortcut is not None:
@@ -653,15 +665,47 @@ class Scheduler:
         self.metrics.counter("engine.scheduler.completed").inc()
         return handle
 
+    def _witness_shortcut(self, job: Any) -> Optional[JobHandle]:
+        """An already-resolved handle if a stored witness refutes *job*.
+
+        Runs ahead of the catalog short-circuit: an exact-pair replay is
+        one dict probe, and a cross-pair replay is at most ``scan_limit``
+        single-side evaluations — both far cheaper than the full decision
+        procedure the miss path would eventually dispatch.
+        """
+        assert self.witness_store is not None
+        value = self.witness_store.replay(job)
+        if value is None:
+            return None
+        handle = JobHandle(job, job.cache_key(), self)
+        handle._resolve(JobResult(job, value, cached=True))
+        self.metrics.counter("engine.scheduler.completed").inc()
+        return handle
+
     def _note_verdict(self, job: Any, value: Any) -> None:
-        """Feed a CONTAINED verdict back into the catalog as an edge."""
-        if self.catalog is None or getattr(job, "kind", None) != "containment":
+        """Feed a decided verdict back into the durable layers.
+
+        CONTAINED becomes a catalog edge; NOT_CONTAINED deposits its
+        witness in the witness store.  Only genuinely decided results
+        reach this point: deadline-degraded and pool-failure results are
+        UNKNOWN and carry no witness, so neither store can absorb them
+        (the regression tests in ``test_witness_store.py`` pin this).
+        """
+        if getattr(job, "kind", None) != "containment":
             return
         if not hasattr(job, "content_hashes"):
             return
         from ..containment.result import Verdict
 
-        if getattr(value, "verdict", None) is not Verdict.CONTAINED:
+        verdict = getattr(value, "verdict", None)
+        if (
+            self.witness_store is not None
+            and verdict is Verdict.NOT_CONTAINED
+            and getattr(value, "witness", None) is not None
+        ):
+            h1, h2 = job.content_hashes()
+            self.witness_store.record(h1, h2, value.witness)
+        if self.catalog is None or verdict is not Verdict.CONTAINED:
             return
         h1, h2 = job.content_hashes()
         if h1 == h2:

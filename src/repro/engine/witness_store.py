@@ -1,0 +1,548 @@
+"""Cross-session store of NOT_CONTAINED counterexamples, replayed cheaply.
+
+The catalog (:mod:`repro.engine.catalog`) compounds *positive* verdicts:
+proven-equivalent OMQs short-circuit to CONTAINED.  This module is its
+negative dual.  A NOT_CONTAINED verdict is self-certifying — it carries a
+witness database ``D`` and a tuple ``c̄`` with ``c̄ ∈ Q1(D) \\ Q2(D)`` —
+so persisting ``(hash(Q1), hash(Q2)) → (D, c̄)`` turns every future
+re-decision of that pair (and of many syntactically different pairs) into
+at most one homomorphism-search evaluation instead of a full 2EXPTIME
+decision procedure.
+
+Replay order for a candidate pair ``(h1, h2)``:
+
+1. **Exact pair** — a stored witness under exactly ``(h1, h2)`` is
+   returned with *zero* evaluations.  Canonical hashes are isomorphism
+   invariant and NOT_CONTAINED verdicts are only ever produced exactly
+   (budget exhaustion yields UNKNOWN, never NOT_CONTAINED), so the stored
+   fact ``c̄ ∈ Q1(D)`` and ``c̄ ∉ Q2(D)`` is a semantic fact about this
+   very pair — independent of the chase/rewriting budgets either session
+   used.
+2. **Same LHS** (bounded scan): a witness stored for ``(h1, h2')`` already
+   proves ``c̄ ∈ Q1(D)``; only ``c̄ ∉ Q2(D)`` needs checking, and only an
+   *exact* negative evaluation counts (inexact evaluation
+   under-approximates, mirroring ``small_witness.py``).
+3. **Same RHS** (bounded scan): a witness stored for ``(h1', h2)`` already
+   proves ``c̄ ∉ Q2(D)``; only membership ``c̄ ∈ Q1(D)`` needs checking,
+   which is sound even from an inexact (under-approximating) evaluation.
+
+A cross-pair hit is re-recorded under the candidate pair, so the second
+time around it is an exact hit.  Any failure during a candidate check —
+schema mismatch, budget blow-up, a corrupted row — degrades that
+candidate to a miss; replay never raises.
+
+Persistence mirrors the catalog's robustness contract: sqlite WAL +
+busy timeout, ``meta`` stamps (schema version + canon version — a canon
+bump makes every stored hash a dead dialect, so the file is discarded and
+rebuilt), transient errors degrade to memory-only operation, genuine
+corruption discards and rebuilds, and undecodable rows are skipped, never
+fatal.  The in-memory index follows the kernel intern table's
+generation-stamped rebuild contract (PR 7): ``repro.clear_caches()`` and
+any :meth:`InternTable.clear` bump trigger a lazy :meth:`reload` from the
+serialized documents, so no deserialized object outlives an invalidation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from threading import RLock
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..containment.result import ContainmentResult, Witness, not_contained
+from ..core.serialize import witness_from_json, witness_to_json
+from ..kernel.intern import INTERN
+from .canon import CANON_VERSION
+from .metrics import MetricsRegistry
+from .registry import register_instance_cache, unregister_cache
+
+#: Bump when the witness store's sqlite layout changes.
+WITNESS_SCHEMA_VERSION = "1"
+
+#: How long a connection waits on a locked store before giving up.
+_BUSY_TIMEOUT_MS = 5_000
+
+
+@dataclass(frozen=True)
+class StoredWitness:
+    """One persisted counterexample: the pair it refutes and its witness.
+
+    ``doc`` is the canonical JSON document the witness was stored as; it
+    is kept alongside the deserialized form so a generation-stamped
+    :meth:`WitnessStore.reload` can rebuild every in-memory object from
+    scratch without touching the disk file.
+    """
+
+    lhs: str
+    rhs: str
+    doc: str
+    witness: Witness
+
+
+class WitnessStore:
+    """Persistent, canonically-keyed store of NOT_CONTAINED witnesses.
+
+    ``path=None`` keeps the store in memory (still useful within one
+    long-lived engine: witnesses survive result-cache eviction).  All
+    operations are total — storage failures cost durability, never
+    correctness, and :meth:`replay` degrades to a miss on any anomaly.
+
+    Parameters
+    ----------
+    max_entries:
+        Cap on stored witnesses; the oldest entry is evicted first
+        (``engine.witness.evictions``).
+    scan_limit:
+        How many same-LHS/same-RHS candidates one :meth:`replay` may
+        hom-check after the exact-pair probe misses.  Bounds the inline
+        work a submission can spend before falling through to the full
+        decision procedure.
+    metrics:
+        The registry the ``engine.witness.*`` counters land in; the
+        :class:`~repro.engine.engine.BatchEngine` shares its own registry
+        so the counters surface in ``stats()`` and ``/metrics``.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        max_entries: int = 4096,
+        scan_limit: int = 8,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._lock = RLock()
+        self.metrics = metrics
+        self.max_entries = max(1, int(max_entries))
+        self.scan_limit = max(0, int(scan_limit))
+        #: (lhs, rhs) -> StoredWitness, insertion-ordered for eviction.
+        self._records: "OrderedDict[Tuple[str, str], StoredWitness]" = (
+            OrderedDict()
+        )
+        self._by_lhs: Dict[str, List[Tuple[str, str]]] = {}
+        self._by_rhs: Dict[str, List[Tuple[str, str]]] = {}
+        self.recoveries = 0
+        self.transient_errors = 0
+        self.skipped_rows = 0
+        self.replay_errors = 0
+        self._generation = INTERN.generation
+        self._path = Path(path) if path is not None else None
+        self._conn: Optional[sqlite3.Connection] = None
+        if self._path is not None:
+            self._open()
+        # clear_caches() reloads (re-deserializes) the in-memory index; it
+        # never discards the durable facts.  Weakly registered, so a
+        # closed-and-dropped store unregisters itself.
+        self._registry_key = register_instance_cache(
+            "engine.witness_store", self, "reload"
+        )
+
+    # -- metrics ----------------------------------------------------------
+
+    def _count(self, name: str, value: int = 1) -> None:
+        if self.metrics is not None and value:
+            self.metrics.counter(name).inc(value)
+
+    # -- persistence ------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        assert self._path is not None
+        conn = sqlite3.connect(str(self._path), check_same_thread=False)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute(f"PRAGMA busy_timeout={int(_BUSY_TIMEOUT_MS)}")
+        return conn
+
+    def _create_tables(self, conn: sqlite3.Connection) -> None:
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta "
+            "(key TEXT PRIMARY KEY, value TEXT)"
+        )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS witnesses "
+            "(lhs TEXT, rhs TEXT, doc TEXT, PRIMARY KEY (lhs, rhs))"
+        )
+
+    def _expected_stamps(self) -> Dict[str, str]:
+        return {
+            "schema_version": WITNESS_SCHEMA_VERSION,
+            "canon_version": CANON_VERSION,
+        }
+
+    def _open(self) -> None:
+        """Open (or rebuild) the store file and load it; never raises."""
+        assert self._path is not None
+        try:
+            if self._path.parent != Path(""):
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+            conn = self._connect()
+            self._create_tables(conn)
+            stamps = dict(conn.execute("SELECT key, value FROM meta"))
+            if stamps and stamps != self._expected_stamps():
+                # A canon bump means every stored hash speaks a dead
+                # dialect: discard, don't migrate.
+                conn.close()
+                self._discard_file()
+                conn = self._connect()
+                self._create_tables(conn)
+                stamps = {}
+            if not stamps:
+                conn.executemany(
+                    "INSERT OR REPLACE INTO meta VALUES (?, ?)",
+                    sorted(self._expected_stamps().items()),
+                )
+                conn.commit()
+            for lhs, rhs, doc in conn.execute(
+                "SELECT lhs, rhs, doc FROM witnesses ORDER BY rowid"
+            ):
+                record = self._decode(str(lhs), str(rhs), str(doc))
+                if record is not None:
+                    self._index_locked(record)
+            self._conn = conn
+        except sqlite3.OperationalError:
+            self.transient_errors += 1
+            self._conn = None
+        except (sqlite3.Error, OSError):
+            self._recover()
+
+    def _decode(self, lhs: str, rhs: str, doc: str) -> Optional[StoredWitness]:
+        """Parse one stored row; a bad row is skipped, never fatal."""
+        try:
+            witness = witness_from_json(json.loads(doc))
+        except Exception:
+            self.skipped_rows += 1
+            return None
+        return StoredWitness(lhs, rhs, doc, witness)
+
+    def _discard_file(self) -> None:
+        assert self._path is not None
+        self.recoveries += 1
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(str(self._path) + suffix)
+            except OSError:
+                pass
+
+    def _degrade(self) -> None:
+        self.transient_errors += 1
+        if self._conn is not None:
+            try:
+                self._conn.rollback()
+            except sqlite3.Error:
+                pass
+
+    def _recover(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        if self._path is None:
+            return
+        self._discard_file()
+        try:
+            conn = self._connect()
+            self._create_tables(conn)
+            conn.executemany(
+                "INSERT OR REPLACE INTO meta VALUES (?, ?)",
+                sorted(self._expected_stamps().items()),
+            )
+            conn.commit()
+            self._conn = conn
+        except (sqlite3.Error, OSError):
+            self._conn = None  # memory-only from here on
+
+    def _persist(self, sql: str, rows: List[tuple]) -> None:
+        """Best-effort write-through of one statement over *rows*."""
+        if self._conn is None:
+            return
+        try:
+            self._conn.executemany(sql, rows)
+            self._conn.commit()
+        except sqlite3.OperationalError:
+            self._degrade()
+        except sqlite3.Error:
+            self._recover()
+
+    # -- the in-memory index ----------------------------------------------
+
+    def _index_locked(self, record: StoredWitness) -> None:
+        key = (record.lhs, record.rhs)
+        if key in self._records:
+            return
+        self._records[key] = record
+        self._by_lhs.setdefault(record.lhs, []).append(key)
+        self._by_rhs.setdefault(record.rhs, []).append(key)
+
+    def _unindex_locked(self, key: Tuple[str, str]) -> None:
+        record = self._records.pop(key, None)
+        if record is None:
+            return
+        for index, hash_ in (
+            (self._by_lhs, record.lhs),
+            (self._by_rhs, record.rhs),
+        ):
+            keys = index.get(hash_)
+            if keys is not None:
+                try:
+                    keys.remove(key)
+                except ValueError:
+                    pass
+                if not keys:
+                    del index[hash_]
+
+    def _maybe_reload_locked(self) -> None:
+        if INTERN.generation != self._generation:
+            self._reload_locked()
+
+    def _reload_locked(self) -> None:
+        """Rebuild every in-memory object from the serialized documents.
+
+        This is the generation-stamped invalidation contract: after an
+        intern-table clear (``repro.clear_caches()`` or a direct
+        ``INTERN.clear()``), nothing deserialized before the bump
+        survives — each witness is re-parsed from its canonical JSON doc,
+        so instances re-enter the (new) intern world lazily like any
+        other fresh object.
+        """
+        old = list(self._records.values())
+        self._records = OrderedDict()
+        self._by_lhs = {}
+        self._by_rhs = {}
+        for stale in old:
+            record = self._decode(stale.lhs, stale.rhs, stale.doc)
+            if record is not None:
+                self._index_locked(record)
+        self._generation = INTERN.generation
+
+    # -- public API -------------------------------------------------------
+
+    @property
+    def persistent(self) -> bool:
+        return self._conn is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def record(self, h1: str, h2: str, witness: Witness) -> bool:
+        """Persist *witness* as a counterexample to ``hash h1 ⊆ hash h2``.
+
+        Returns True iff the pair was new.  The first witness for a pair
+        wins (any stored witness refutes the pair; churning rows buys
+        nothing).  Serialization failures drop the witness silently —
+        durability is best-effort, correctness never depends on it.
+        """
+        with self._lock:
+            self._maybe_reload_locked()
+            key = (h1, h2)
+            if key in self._records:
+                return False
+            try:
+                doc = json.dumps(
+                    witness_to_json(witness),
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            except Exception:
+                return False
+            self._index_locked(StoredWitness(h1, h2, doc, witness))
+            self._count("engine.witness.stored")
+            self._persist(
+                "INSERT OR REPLACE INTO witnesses VALUES (?, ?, ?)",
+                [(h1, h2, doc)],
+            )
+            evicted: List[tuple] = []
+            while len(self._records) > self.max_entries:
+                oldest = next(iter(self._records))
+                self._unindex_locked(oldest)
+                evicted.append(oldest)
+            if evicted:
+                self._count("engine.witness.evictions", len(evicted))
+                self._persist(
+                    "DELETE FROM witnesses WHERE lhs = ? AND rhs = ?",
+                    evicted,
+                )
+            return True
+
+    def _candidates_locked(
+        self, h1: str, h2: str
+    ) -> List[StoredWitness]:
+        """The bounded scan list: same-LHS first, then same-RHS."""
+        out: List[StoredWitness] = []
+        seen = set()
+        for key in self._by_lhs.get(h1, ()):
+            if len(out) >= self.scan_limit:
+                return out
+            out.append(self._records[key])
+            seen.add(key)
+        for key in self._by_rhs.get(h2, ()):
+            if len(out) >= self.scan_limit:
+                break
+            if key not in seen:
+                out.append(self._records[key])
+        return out
+
+    def replay(self, job: Any) -> Optional[ContainmentResult]:
+        """Try to refute *job* (a ContainmentJob) from stored witnesses.
+
+        Returns a NOT_CONTAINED result with the replayed witness attached,
+        or ``None`` (a miss — including every anomaly: schema mismatch,
+        evaluation failure, inexact negative evidence).
+        """
+        if getattr(job, "kind", None) != "containment":
+            return None
+        if not hasattr(job, "content_hashes"):
+            return None
+        h1, h2 = job.content_hashes()
+        with self._lock:
+            self._maybe_reload_locked()
+            exact = self._records.get((h1, h2))
+            if exact is not None:
+                self._count("engine.witness.hits")
+                return not_contained(
+                    "witness-replay",
+                    exact.witness.database,
+                    exact.witness.answer,
+                    "stored witness for this exact canonical pair",
+                )
+            candidates = self._candidates_locked(h1, h2)
+        # Evaluations run outside the lock: a hom-check is cheap but not
+        # free, and replay must never serialize concurrent submitters.
+        for candidate in candidates:
+            self._count("engine.witness.replays")
+            result = self._check_candidate(job, h1, h2, candidate)
+            if result is not None:
+                # Re-record under the candidate pair: next time it is an
+                # exact (zero-evaluation) hit.
+                self.record(h1, h2, result.witness)
+                self._count("engine.witness.hits")
+                return result
+        self._count("engine.witness.misses")
+        return None
+
+    def _check_candidate(
+        self, job: Any, h1: str, h2: str, candidate: StoredWitness
+    ) -> Optional[ContainmentResult]:
+        """One hom-check: does *candidate*'s witness refute *job*'s pair?
+
+        The side whose canonical hash matches the stored side needs no
+        re-check (NOT_CONTAINED verdicts are exact, so the stored
+        membership/non-membership is a semantic fact about that hash);
+        only the other side is evaluated, with the candidate job's own
+        budgets.
+        """
+        from ..evaluation import evaluate_omq
+
+        witness = candidate.witness
+        kwargs: Dict[str, Any] = {
+            "chase_max_steps": getattr(job, "chase_max_steps", 200_000),
+            "chase_max_depth": getattr(job, "chase_max_depth", None),
+        }
+        budget = getattr(job, "rewriting_budget", None)
+        if budget is not None:
+            kwargs["rewriting_budget"] = budget
+        try:
+            if candidate.lhs == h1:
+                # c̄ ∈ Q1(D) is stored fact; need c̄ ∉ Q2(D), exactly.
+                evaluation = evaluate_omq(job.q2, witness.database, **kwargs)
+                if (
+                    witness.answer not in evaluation.answers
+                    and evaluation.exact
+                ):
+                    return not_contained(
+                        "witness-replay",
+                        witness.database,
+                        witness.answer,
+                        f"stored witness for lhs {h1[:12]} replayed "
+                        "against the candidate RHS",
+                    )
+            elif candidate.rhs == h2:
+                # c̄ ∉ Q2(D) is stored fact; need c̄ ∈ Q1(D) — membership
+                # is sound even from an inexact (under-approximating)
+                # evaluation.
+                evaluation = evaluate_omq(job.q1, witness.database, **kwargs)
+                if witness.answer in evaluation.answers:
+                    return not_contained(
+                        "witness-replay",
+                        witness.database,
+                        witness.answer,
+                        f"stored witness for rhs {h2[:12]} replayed "
+                        "against the candidate LHS",
+                    )
+        except Exception:
+            # Anything — schema mismatch, arity mismatch, a budget
+            # exception — degrades this candidate to a miss.
+            self.replay_errors += 1
+        return None
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """A listing for inspection (``repro witnesses``): one dict per
+        stored pair, insertion order preserved."""
+        with self._lock:
+            self._maybe_reload_locked()
+            return [
+                {
+                    "lhs": record.lhs,
+                    "rhs": record.rhs,
+                    "atoms": len(record.witness.database.atoms),
+                    "answer": [str(t) for t in record.witness.answer],
+                }
+                for record in self._records.values()
+            ]
+
+    def reload(self) -> None:
+        """Drop and rebuild the in-memory index from serialized docs."""
+        with self._lock:
+            self._reload_locked()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._records),
+                "lhs_keys": len(self._by_lhs),
+                "rhs_keys": len(self._by_rhs),
+                "max_entries": self.max_entries,
+                "scan_limit": self.scan_limit,
+                "persistent": self.persistent,
+                "generation": self._generation,
+                "recoveries": self.recoveries,
+                "transient_errors": self.transient_errors,
+                "skipped_rows": self.skipped_rows,
+                "replay_errors": self.replay_errors,
+            }
+
+    def clear(self) -> None:
+        """Forget every witness (memory and disk)."""
+        with self._lock:
+            self._records = OrderedDict()
+            self._by_lhs = {}
+            self._by_rhs = {}
+            if self._conn is not None:
+                try:
+                    self._conn.execute("DELETE FROM witnesses")
+                    self._conn.commit()
+                except sqlite3.OperationalError:
+                    self._degrade()
+                except sqlite3.Error:
+                    self._recover()
+
+    def close(self) -> None:
+        with self._lock:
+            unregister_cache(self._registry_key)
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+                self._conn = None
+
+    def __enter__(self) -> "WitnessStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -355,6 +355,7 @@ class ServeApp:
                     "metrics": snapshot,
                     "cache": stats["cache"],
                     "catalog": stats.get("catalog"),
+                    "witness_store": stats.get("witness_store"),
                 }
             )
         )

@@ -54,6 +54,7 @@ class ServeConfig:
     cache_dir: Optional[str] = None
     cache_backend: str = "sqlite"
     catalog: Optional[str] = None
+    witness_store: Optional[str] = None
     tenants_file: Optional[str] = None
     deadline_floor_s: float = 0.25
     drain_grace_s: float = 5.0
@@ -68,6 +69,7 @@ class ServeConfig:
             task_timeout=self.task_timeout,
             cache_backend=self.cache_backend,
             catalog=self.catalog,
+            witness_store=self.witness_store,
             deadline_policy=DeadlinePolicy(floor_s=self.deadline_floor_s),
         )
 
