@@ -21,7 +21,10 @@ Run as a script — not through pytest::
 
 Writes ``BENCH_obs.json`` (see ``--out``).  Exits non-zero when the
 estimated disabled-mode overhead exceeds ``--max-disabled-pct`` (default
-5%) — the CI guard for accidental work on the off path.
+5%) — the CI guard for accidental work on the off path — or when the
+measured traced-mode overhead exceeds ``--max-traced-pct`` (default 75%,
+deliberately generous: tracing is allowed to cost, but instrumentation
+bloat that doubles the workload should be caught, not just logged).
 """
 
 from __future__ import annotations
@@ -119,6 +122,12 @@ def main() -> int:
         help="fail if the estimated disabled overhead exceeds this %%",
     )
     ap.add_argument(
+        "--max-traced-pct", type=float, default=75.0,
+        help="fail if the measured traced-mode overhead exceeds this %% "
+        "(generous: catches instrumentation bloat, not tracing's "
+        "expected cost)",
+    )
+    ap.add_argument(
         "--out",
         default=str(
             Path(__file__).resolve().parent.parent / "BENCH_obs.json"
@@ -156,21 +165,35 @@ def main() -> int:
         "disabled_call_cost_ns": round(per_call * 1e9, 1),
         "disabled_overhead_est_pct": round(disabled_est_pct, 3),
         "max_disabled_pct": args.max_disabled_pct,
+        "max_traced_pct": args.max_traced_pct,
     }
     Path(args.out).write_text(
         json.dumps(report, indent=2) + "\n", encoding="utf-8"
     )
     print(json.dumps(report, indent=2))
 
+    failed = False
     if disabled_est_pct > args.max_disabled_pct:
         print(
             f"FAIL: disabled-mode overhead estimate "
             f"{disabled_est_pct:.2f}% > {args.max_disabled_pct}%",
             file=sys.stderr,
         )
+        failed = True
+    # Traced mode is compared net of the measured noise floor, so a
+    # noisy runner can't trip the ceiling on timing jitter alone.
+    if traced_pct - noise_pct > args.max_traced_pct:
+        print(
+            f"FAIL: traced-mode overhead {traced_pct:.1f}% "
+            f"(noise floor {noise_pct:.2f}%) > {args.max_traced_pct}%",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
         return 1
     print(
-        f"OK: disabled-mode overhead estimate {disabled_est_pct:.3f}% "
+        f"OK: disabled-mode overhead estimate {disabled_est_pct:.3f}%, "
+        f"traced-mode overhead {traced_pct:.1f}% "
         f"(noise floor {noise_pct:.2f}%)"
     )
     return 0

@@ -24,6 +24,8 @@ Commands:
 * ``catalog FILE``               — inspect an OMQ equivalence catalog
 * ``witnesses FILE``             — inspect a NOT_CONTAINED witness store
 * ``trace FILE``                 — pretty-print a saved decision trace
+* ``profile TRACE...``           — aggregate traces into a phase profile
+* ``profile diff OLD NEW``       — compare two profiles (noise-gated)
 * ``serve``                      — containment-as-a-service HTTP server
 * ``submit OMQ1 OMQ2``           — send a containment job to a server
 
@@ -53,6 +55,17 @@ extension selects the lossless JSONL tree format; anything else writes
 Chrome ``trace_event`` JSON that opens directly in ``chrome://tracing``
 or Perfetto.  ``repro trace FILE`` renders either format as an indented
 phase tree with self/cumulative times.
+
+``profile`` closes the loop on those trace files: ``repro profile
+TRACE...`` aggregates any mix of trace files into one versioned profile
+document (per-phase call counts, total/self-time percentiles, counter
+rollups, fragment/verdict/method breakdowns — see
+:mod:`repro.obs.profile`), and ``repro profile diff OLD NEW`` compares
+two profiles with noise-floor-aware significance gating.  ``OLD``/``NEW``
+may each be a profile JSON *or* a raw trace file (profiled on the fly).
+``--fail-on-regression PCT`` exits 1 when any phase regresses at least
+PCT per cent beyond the significance threshold's verdict — the CI gate
+against ``BENCH_profile_baseline.json``.
 
 ``contains``, ``rewrite`` and ``batch`` accept ``--max-steps`` and
 ``--max-depth`` chase budgets.  Exhausting a budget never diverges or
@@ -578,6 +591,79 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """``repro profile TRACE...`` / ``repro profile diff OLD NEW``."""
+    inputs = list(args.inputs)
+    if inputs and inputs[0] == "diff":
+        return _profile_diff(args, inputs[1:])
+    acc = obs.ProfileAccumulator()
+    for path in inputs:
+        try:
+            acc.add_roots(obs.load_trace(path))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot load trace {path}: {exc}", file=sys.stderr)
+            return 2
+    meta: Dict[str, Any] = {"sources": inputs}
+    if args.workload:
+        meta["workload"] = args.workload
+    if args.noise_floor is not None:
+        meta["noise_floor_pct"] = args.noise_floor
+    profile = acc.profile(meta=meta)
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(profile, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"% wrote profile to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(profile, indent=2))
+    else:
+        print(obs.format_profile(profile, top=args.top))
+    return 0
+
+
+def _profile_diff(args, operands: List[str]) -> int:
+    if len(operands) != 2:
+        print("usage: repro profile diff OLD NEW", file=sys.stderr)
+        return 2
+    try:
+        old = obs.load_profile(operands[0])
+        new = obs.load_profile(operands[1])
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot load profile: {exc}", file=sys.stderr)
+        return 2
+    diff = obs.profile_diff(
+        old,
+        new,
+        metric=args.metric,
+        noise_floor_pct=args.noise_floor,
+        min_change_pct=args.min_change,
+    )
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(diff, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"% wrote diff report to {args.report}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(diff, indent=2))
+    else:
+        print(obs.format_diff(diff))
+    if args.fail_on_regression is not None:
+        failures = obs.diff_regressions(diff, args.fail_on_regression)
+        if failures:
+            for name, change in failures:
+                print(
+                    f"FAIL: phase {name!r} regressed {change:+.1f}% "
+                    f"(gate: {args.fail_on_regression:g}%)",
+                    file=sys.stderr,
+                )
+            return 1
+        print(
+            f"% no phase regressed beyond {args.fail_on_regression:g}%",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .serve.server import ServeConfig
     from .serve.server import run as serve_run
@@ -599,6 +685,9 @@ def _cmd_serve(args) -> int:
         deadline_floor_s=args.deadline_floor,
         drain_grace_s=args.drain_grace,
         allow_test_jobs=args.allow_test_jobs,
+        trace_mode=args.trace_mode,
+        trace_sample=args.trace_sample,
+        max_traces=args.max_traces,
     )
     return serve_run(config)
 
@@ -831,6 +920,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--allow-test-jobs", action="store_true", dest="allow_test_jobs",
         help="admit kind:'sleep' jobs (load tests and benchmarks only)",
     )
+    p.add_argument(
+        "--trace-mode", choices=("off", "always", "per-job"),
+        default="off", dest="trace_mode",
+        help="span-trace served decisions; traced spans feed the live "
+        "GET /v1/debug/profile telemetry",
+    )
+    p.add_argument(
+        "--trace-sample", type=int, default=10, dest="trace_sample",
+        help="with --trace-mode per-job, trace every Nth submission",
+    )
+    p.add_argument(
+        "--max-traces", type=int, default=512, dest="max_traces",
+        help="bound on retained span trees (oldest dropped first)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -873,6 +976,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-rollup", action="store_true", help="hide the counter rollup"
     )
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="aggregate span traces into a per-phase profile, or diff "
+        "two profiles with noise-gated verdicts",
+    )
+    p.add_argument(
+        "inputs", nargs="+", metavar="TRACE",
+        help="trace files (.jsonl or Chrome JSON) to aggregate — or "
+        "'diff OLD NEW' where OLD/NEW are profile JSON or trace files",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="also write the profile document to FILE (JSON)",
+    )
+    p.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="diff mode: also write the diff report to FILE (JSON)",
+    )
+    p.add_argument(
+        "--top", type=int, default=0,
+        help="show only the N phases with the most self time",
+    )
+    p.add_argument(
+        "--workload", default=None,
+        help="workload tag recorded in the profile's meta block",
+    )
+    p.add_argument(
+        "--metric", choices=obs.profile.DIFF_METRICS, default="self_share",
+        help="diff mode: phase metric to compare — self_share (share of "
+        "all self time; machine-portable, the default), self_mean, or "
+        "total_mean (wall clock; same-machine A/B only)",
+    )
+    p.add_argument(
+        "--noise-floor", type=float, default=None, dest="noise_floor",
+        help="measured machine noise floor in %% (bench_obs_overhead's "
+        "noise_floor_pct); default: the profiles' recorded floor, else "
+        f"{obs.profile.DEFAULT_NOISE_FLOOR_PCT:g}",
+    )
+    p.add_argument(
+        "--min-change", type=float, dest="min_change",
+        default=obs.profile.DEFAULT_MIN_CHANGE_PCT,
+        help="changes below this %% are never significant (default "
+        "%(default)s); the significance threshold is "
+        "max(2 x noise floor, this)",
+    )
+    p.add_argument(
+        "--fail-on-regression", type=float, default=None,
+        dest="fail_on_regression", metavar="PCT",
+        help="diff mode: exit 1 if any phase's verdict is 'regressed' "
+        "with a change of at least PCT %% (the CI gate)",
+    )
+    p.set_defaults(func=_cmd_profile)
     return parser
 
 

@@ -28,6 +28,7 @@ job, so the matrix parallelizes and warm re-runs are nearly free).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core.omq import OMQ
@@ -98,6 +99,11 @@ class BatchEngine:
         workers with each task, completed span trees ride back with the
         results (``JobResult.trace``), and :meth:`traces` /
         ``stats()["traces"]`` collect them engine-wide.
+    max_traces:
+        Bound on the engine-wide trace sink (oldest trees dropped past
+        it).  ``None`` (the default) keeps every tree — right for batch
+        runs that export a trace file on exit; long-lived servers that
+        trace continuously must set a bound.
     """
 
     def __init__(
@@ -116,6 +122,7 @@ class BatchEngine:
         max_inflight: Optional[int] = None,
         aging_interval: Optional[float] = 5.0,
         deadline_policy: Optional[DeadlinePolicy] = None,
+        max_traces: Optional[int] = None,
     ) -> None:
         self.metrics = metrics or MetricsRegistry()
         self.cache = cache if cache is not None else ResultCache(
@@ -146,7 +153,11 @@ class BatchEngine:
         if isinstance(trace, str):
             trace = None if trace == "off" else TraceConfig(mode=trace)
         self.trace_config: Optional[TraceConfig] = trace
-        self._traces: List[dict] = []
+        # deque(maxlen) drops the *oldest* tree on overflow — the bound a
+        # continuously-tracing server wants; appends stay O(1) either way.
+        self._traces: Any = (
+            deque(maxlen=max_traces) if max_traces else []
+        )
         self.scheduler = Scheduler(
             self.pool,
             self.cache,

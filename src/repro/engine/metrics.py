@@ -141,6 +141,14 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.0001, 0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0,
 )
 
+#: Request/job latency buckets (seconds) shared by the scheduler's
+#: per-kind ``engine.job.seconds.*`` and the serve tier's per-tenant
+#: ``serve.latency.*`` histograms — tighter low end than the span-duration
+#: defaults because served latencies cluster under the deadline floor.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
 
 class Histogram:
     """A bounded-bucket histogram: counts per upper bound plus sum/max.
@@ -149,9 +157,18 @@ class Histogram:
     catches the tail, so memory is fixed regardless of how many values are
     observed — safe for hot paths like span durations and chase round
     sizes.
+
+    Each bucket can additionally hold one **exemplar** — an opaque
+    reference (the serving tier passes decision ids) attached to the most
+    recent observation that landed in the bucket.  A slow bucket then
+    links straight back to a concrete span tree instead of being an
+    anonymous count.
     """
 
-    __slots__ = ("name", "buckets", "_counts", "_sum", "_count", "_max", "_lock")
+    __slots__ = (
+        "name", "buckets", "_counts", "_sum", "_count", "_max", "_lock",
+        "_exemplars",
+    )
 
     def __init__(
         self,
@@ -169,8 +186,9 @@ class Histogram:
         self._count = 0
         self._max = 0.0
         self._lock = lock
+        self._exemplars: Dict[int, Tuple[str, float]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         # bisect_left makes the bounds inclusive, as the ``le_`` labels say.
         index = bisect_left(self.buckets, value)
         with self._lock:
@@ -179,6 +197,8 @@ class Histogram:
             self._count += 1
             if value > self._max:
                 self._max = value
+            if exemplar is not None:
+                self._exemplars[index] = (exemplar, value)
 
     @property
     def count(self) -> int:
@@ -205,6 +225,11 @@ class Histogram:
             }
             labels = [f"le_{b:g}" for b in self.buckets] + ["inf"]
             out["buckets"] = dict(zip(labels, self._counts))
+            if self._exemplars:
+                out["exemplars"] = {
+                    labels[i]: {"ref": ref, "value": value}
+                    for i, (ref, value) in sorted(self._exemplars.items())
+                }
             return out
 
     def _zero(self) -> None:
@@ -212,6 +237,48 @@ class Histogram:
         self._sum = 0.0
         self._count = 0
         self._max = 0.0
+        self._exemplars = {}
+
+
+def histogram_quantiles(
+    snapshot: Dict[str, object], qs: Sequence[float] = (0.5, 0.95, 0.99)
+) -> Dict[float, float]:
+    """Quantile estimates from a :meth:`Histogram.snapshot` dict.
+
+    Standard cumulative-bucket linear interpolation (what Prometheus's
+    ``histogram_quantile`` does): find the bucket the target rank falls
+    in, interpolate between its lower and upper bound.  The first bucket
+    interpolates from 0 and the overflow bucket is clamped to the
+    recorded ``max``, so estimates never exceed an observed value.
+    Returns ``{q: estimate}``; an empty histogram estimates 0.0.
+    """
+    buckets: Dict[str, int] = snapshot.get("buckets", {})  # type: ignore
+    count = int(snapshot.get("count", 0) or 0)
+    out: Dict[float, float] = {}
+    if not count or not buckets:
+        return {q: 0.0 for q in qs}
+    bounds: list = []
+    for label in buckets:
+        bounds.append(
+            float("inf") if label == "inf" else float(label[len("le_"):])
+        )
+    counts = list(buckets.values())
+    hist_max = float(snapshot.get("max", 0.0) or 0.0)
+    for q in qs:
+        rank = q * count
+        cumulative = 0
+        estimate = hist_max
+        lower = 0.0
+        for bound, in_bucket in zip(bounds, counts):
+            upper = min(bound, hist_max) if bound != float("inf") else hist_max
+            if cumulative + in_bucket >= rank and in_bucket:
+                fraction = (rank - cumulative) / in_bucket
+                estimate = lower + (upper - lower) * max(0.0, fraction)
+                break
+            cumulative += in_bucket
+            lower = upper
+        out[q] = min(estimate, hist_max)
+    return out
 
 
 _PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")

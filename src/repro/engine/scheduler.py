@@ -91,7 +91,7 @@ from .cache import ResultCache
 from .catalog import OMQCatalog
 from .jobs import JobResult
 from .witness_store import WitnessStore
-from .metrics import MetricsRegistry
+from .metrics import LATENCY_BUCKETS, MetricsRegistry
 from .pool import CANCELLED, POOL_CLOSED, PoolTicket, WorkerPool
 from ..obs import TraceConfig, TracedOutcome, TracedTask, span
 
@@ -811,6 +811,15 @@ class Scheduler:
             self.metrics.counter(f"engine.{job.kind}.runs").inc()
             self.metrics.timer(f"engine.{job.kind}.time").observe(
                 outcome.duration
+            )
+            # Per-kind latency distribution; a traced run leaves its
+            # decision id as the bucket exemplar, so a slow bucket in
+            # /metrics points at a concrete span tree.
+            self.metrics.histogram(
+                f"engine.job.seconds.{job.kind}", buckets=LATENCY_BUCKETS
+            ).observe(
+                outcome.duration,
+                exemplar=trace["id"] if trace is not None else None,
             )
             self._observe_cost(job.kind, outcome.duration)
             if outcome.ok:

@@ -51,10 +51,24 @@ from .export import (
     write_trace,
 )
 from .format import format_trace
+from .profile import (
+    PROFILE_VERSION,
+    ProfileAccumulator,
+    build_profile,
+    diff_regressions,
+    format_diff,
+    format_profile,
+    inflate_phase,
+    load_profile,
+    profile_diff,
+    resolve_noise_floor,
+)
 
 __all__ = [
     "NULL_HANDLE",
     "OBS_METRICS",
+    "PROFILE_VERSION",
+    "ProfileAccumulator",
     "Span",
     "TraceConfig",
     "TracedOutcome",
@@ -62,21 +76,29 @@ __all__ = [
     "add",
     "add_many",
     "apply_config",
+    "build_profile",
     "chrome_trace",
     "configure",
+    "diff_regressions",
     "current_decision_id",
     "current_span",
     "drain",
     "event",
+    "format_diff",
+    "format_profile",
     "format_trace",
     "get_config",
     "growth_stride",
+    "inflate_phase",
     "is_active",
     "is_enabled",
     "load_jsonl",
+    "load_profile",
     "load_trace",
     "new_span_id",
     "obs_snapshot",
+    "profile_diff",
+    "resolve_noise_floor",
     "rollup_counters",
     "roots_from_chrome",
     "span",

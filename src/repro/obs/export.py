@@ -37,10 +37,15 @@ _KNOWN_PHASES = {"X", "i", "I", "B", "E", "M"}
 
 
 def _span_events(node: Dict[str, Any], out: List[Dict[str, Any]]) -> None:
+    # attrs and counters ride in separate args sub-dicts so
+    # roots_from_chrome can tell them apart on the way back (a flat
+    # merge can't distinguish an attr from a counter, which made the
+    # round trip lossy; the loader still accepts the old flat layout).
     args: Dict[str, Any] = {"span_id": node["id"]}
-    args.update(node.get("attrs", {}))
-    for name, value in node.get("counters", {}).items():
-        args[name] = value
+    if node.get("attrs"):
+        args["attrs"] = dict(node["attrs"])
+    if node.get("counters"):
+        args["counters"] = dict(node["counters"])
     ts = int(node["start"] * 1e6)
     out.append(
         {
@@ -79,6 +84,10 @@ def chrome_trace(roots: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     for root in roots:
         _span_events(root, events)
         pids.add(root["pid"])
+    # DFS emission order is not ts order (a parent's instant events can
+    # postdate an earlier-starting child); sort so ts is monotonic per
+    # track, which the validator and some viewers require.
+    events.sort(key=lambda e: (e["ts"], -e.get("dur", 0), e["ph"] != "X"))
     for pid in sorted(pids):
         events.append(
             {
@@ -188,15 +197,42 @@ def roots_from_chrome(doc: Dict[str, Any]) -> List[Dict[str, Any]]:
     """
     by_track: Dict[Tuple[Any, Any], List[Dict[str, Any]]] = {}
     for ev in doc.get("traceEvents", ()):
-        if ev.get("ph") == "X":
+        if ev.get("ph") in ("X", "i", "I"):
             by_track.setdefault((ev["pid"], ev["tid"]), []).append(ev)
     roots: List[Dict[str, Any]] = []
     for (pid, tid), events in sorted(by_track.items(), key=str):
-        events.sort(key=lambda e: (e["ts"], -e.get("dur", 0)))
+        # X before instants at equal ts so a span opens before the
+        # instant events it emitted at its own start attach to it.
+        events.sort(
+            key=lambda e: (e["ts"], -e.get("dur", 0), e["ph"] != "X")
+        )
         stack: List[Dict[str, Any]] = []  # open span nodes
         for ev in events:
             args = dict(ev.get("args", {}))
+            if ev["ph"] != "X":
+                # Instant event: reattach to the innermost open span.
+                # Strictly-greater comparison gives 1 µs of slack — ts
+                # and dur truncate independently to µs, so an event at
+                # the very end of its span can land on the boundary.
+                while stack and ev["ts"] > stack[-1]["_end"]:
+                    stack.pop()
+                if stack:
+                    stack[-1].setdefault("events", []).append(
+                        {
+                            "name": ev["name"],
+                            "ts": ev["ts"] / 1e6,
+                            "attrs": args,
+                        }
+                    )
+                continue
             span_id = args.pop("span_id", None)
+            if "attrs" in args or "counters" in args:
+                attrs = dict(args.get("attrs") or {})
+                counters = dict(args.get("counters") or {})
+            else:
+                # Legacy flat args: attrs and counters merged; treat
+                # everything as attrs (counters are unrecoverable).
+                attrs, counters = args, {}
             node: Dict[str, Any] = {
                 "id": span_id or f"{pid:x}-?",
                 "name": ev["name"],
@@ -204,8 +240,11 @@ def roots_from_chrome(doc: Dict[str, Any]) -> List[Dict[str, Any]]:
                 "tid": tid,
                 "start": ev["ts"] / 1e6,
                 "dur_s": ev.get("dur", 0) / 1e6,
-                "attrs": args,
             }
+            if attrs:
+                node["attrs"] = attrs
+            if counters:
+                node["counters"] = counters
             node["_end"] = ev["ts"] + ev.get("dur", 0)
             while stack and ev["ts"] >= stack[-1]["_end"]:
                 stack.pop()
@@ -260,19 +299,52 @@ def write_trace(roots: Sequence[Dict[str, Any]], path: str) -> str:
     return "chrome"
 
 
+def _looks_like_span(doc: Any) -> bool:
+    return isinstance(doc, dict) and "name" in doc and (
+        "dur_s" in doc or "children" in doc
+    )
+
+
 def load_trace(path: str) -> List[Dict[str, Any]]:
-    """Load root span trees from either on-disk format (sniffed)."""
+    """Load root span trees from *path*, sniffing the format from content.
+
+    Accepted layouts, regardless of file extension:
+
+    * JSONL — one span tree per line (each line a span dict);
+    * a Chrome ``{"traceEvents": [...]}`` document (pretty-printed or
+      compact), rebuilt via :func:`roots_from_chrome`;
+    * a single span-tree dict, or a JSON array of span trees (what some
+      callers dump with plain ``json.dump``).
+
+    Anything else raises ``ValueError`` naming what was found.
+    """
     text = Path(path).read_text(encoding="utf-8").strip()
     if not text:
         return []
-    first_line = text.splitlines()[0]
+    lines = [line for line in text.splitlines() if line.strip()]
     try:
-        head = json.loads(first_line)
+        head = json.loads(lines[0])
     except json.JSONDecodeError:
         head = None
-    if isinstance(head, dict) and "traceEvents" not in head:
-        return [json.loads(line) for line in text.splitlines() if line.strip()]
-    doc = json.loads(text)
+    if _looks_like_span(head) and "traceEvents" not in head:
+        return [json.loads(line) for line in lines]
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path}: neither JSONL span trees nor a JSON document "
+            f"({exc})"
+        ) from None
     if isinstance(doc, dict) and "traceEvents" in doc:
         return roots_from_chrome(doc)
-    raise ValueError(f"{path}: not a repro trace file")
+    if _looks_like_span(doc):
+        return [doc]
+    if isinstance(doc, list) and all(_looks_like_span(r) for r in doc):
+        return doc
+    found = type(doc).__name__
+    if isinstance(doc, dict):
+        found = f"object with keys {sorted(doc)[:5]}"
+    raise ValueError(
+        f"{path}: not a repro trace (expected JSONL span trees, a Chrome "
+        f"traceEvents document, or span-tree JSON; found {found})"
+    )

@@ -1,0 +1,594 @@
+"""The profile ledger: statistical per-phase profiles of span traces.
+
+A *profile* turns one or many decision traces (the serialized span trees
+of :mod:`repro.obs.span`) into a versioned summary document: per
+span-name call counts, total- and self-time distributions (mean, min,
+max, p50/p95/p99), each phase's share of all self time, rolled-up
+counters, and per-fragment/per-verdict/per-method breakdowns keyed by
+the attributes the instrumentation already stamps
+(``containment.decide`` carries ``fragment``/``verdict``/``method``).
+
+:func:`profile_diff` compares two profiles phase by phase and labels
+each one ``improved`` / ``regressed`` / ``unchanged`` — *noise-gated*:
+a change only counts when it exceeds a significance threshold derived
+from the measured machine noise floor (the ``noise_floor_pct``
+methodology of ``benchmarks/bench_obs_overhead.py``, which times
+identical runs back to back and records their spread).  The default
+comparison metric is each phase's **share of total self time**, which is
+invariant under uniform machine-speed differences — the property that
+lets CI diff a fresh run against a baseline committed from another
+machine.  Wall-clock metrics (``self_mean``, ``total_mean``) are there
+for same-machine A/B comparisons.
+
+The consumers:
+
+* ``repro profile TRACE... [--out P]`` — aggregate trace files into a
+  profile document;
+* ``repro profile diff OLD NEW [--fail-on-regression X]`` — the CI gate
+  (``BENCH_profile_baseline.json`` is the committed baseline);
+* the serve tier's ``GET /v1/debug/profile`` — a live
+  :class:`ProfileAccumulator` fed by per-job traces.
+
+Aggregation is streaming and bounded: per-phase duration samples are
+kept in a deterministic decimating reservoir (once past the cap, every
+other sample is dropped and the acceptance stride doubles), so
+percentiles stay accurate on small runs and memory stays fixed on
+month-long serving windows.  Counts, sums, min and max are always exact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .span import walk
+
+#: Version stamp on every profile and diff document.  Bump on breaking
+#: changes to the document shape.
+PROFILE_VERSION = 1
+
+#: Fallback machine noise floor (per cent) when neither the caller nor a
+#: profile's ``meta.noise_floor_pct`` provides a measured one.  Matches
+#: the order of magnitude ``bench_obs_overhead.py`` records on shared CI
+#: runners.
+DEFAULT_NOISE_FLOOR_PCT = 5.0
+
+#: A change smaller than this (per cent) is never significant, however
+#: quiet the machine claims to be.
+DEFAULT_MIN_CHANGE_PCT = 10.0
+
+#: Phases whose self time stays under this (seconds) on both sides are
+#: labelled ``negligible`` and never gate: timer resolution and
+#: scheduling jitter dominate real signal down there.
+DEFAULT_MIN_TIME_S = 0.002
+
+#: The span attributes that feed the breakdown tables.
+BREAKDOWN_ATTRS = ("fragment", "verdict", "method")
+
+#: Diff metrics: profile field + aggregation the ratio is computed over.
+DIFF_METRICS = ("self_share", "self_mean", "total_mean")
+
+_QS = (0.5, 0.95, 0.99)
+
+
+def _percentile(sorted_samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(0, min(len(sorted_samples) - 1,
+                      int(round(q * len(sorted_samples) + 0.5)) - 1))
+    return sorted_samples[rank]
+
+
+class _Reservoir:
+    """Bounded duration samples: exact until *cap*, then deterministic
+    stride decimation (keep every other kept sample, double the stride).
+    """
+
+    __slots__ = ("cap", "stride", "seen", "samples")
+
+    def __init__(self, cap: int) -> None:
+        self.cap = max(2, cap)
+        self.stride = 1
+        self.seen = 0
+        self.samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        if self.seen % self.stride == 0:
+            self.samples.append(value)
+            if len(self.samples) >= self.cap:
+                self.samples = self.samples[::2]
+                self.stride *= 2
+        self.seen += 1
+
+
+class _PhaseStats:
+    """Streaming per-span-name statistics."""
+
+    __slots__ = (
+        "count", "total_sum", "total_min", "total_max",
+        "self_sum", "self_min", "self_max", "total_samples", "self_samples",
+    )
+
+    def __init__(self, sample_cap: int) -> None:
+        self.count = 0
+        self.total_sum = 0.0
+        self.total_min = float("inf")
+        self.total_max = 0.0
+        self.self_sum = 0.0
+        self.self_min = float("inf")
+        self.self_max = 0.0
+        self.total_samples = _Reservoir(sample_cap)
+        self.self_samples = _Reservoir(sample_cap)
+
+    def add(self, total: float, self_time: float) -> None:
+        self.count += 1
+        self.total_sum += total
+        self.total_min = min(self.total_min, total)
+        self.total_max = max(self.total_max, total)
+        self.self_sum += self_time
+        self.self_min = min(self.self_min, self_time)
+        self.self_max = max(self.self_max, self_time)
+        self.total_samples.add(total)
+        self.self_samples.add(self_time)
+
+    @staticmethod
+    def _block(count, sum_s, min_s, max_s, reservoir) -> Dict[str, float]:
+        samples = sorted(reservoir.samples)
+        return {
+            "sum_s": sum_s,
+            "mean_s": sum_s / count if count else 0.0,
+            "min_s": 0.0 if min_s == float("inf") else min_s,
+            "max_s": max_s,
+            "p50_s": _percentile(samples, 0.50),
+            "p95_s": _percentile(samples, 0.95),
+            "p99_s": _percentile(samples, 0.99),
+        }
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self._block(
+                self.count, self.total_sum, self.total_min, self.total_max,
+                self.total_samples,
+            ),
+            "self": self._block(
+                self.count, self.self_sum, self.self_min, self.self_max,
+                self.self_samples,
+            ),
+        }
+
+
+class ProfileAccumulator:
+    """Aggregate span trees into a profile document, incrementally.
+
+    Feed it serialized root-span dicts (:func:`add_root` /
+    :func:`add_roots`); read :func:`profile` at any time.  Not
+    thread-safe — callers that feed it from completion callbacks (the
+    serve tier) hold their own lock.
+    """
+
+    def __init__(self, max_samples_per_name: int = 4096) -> None:
+        self._cap = max_samples_per_name
+        self._phases: Dict[str, _PhaseStats] = {}
+        self._counters: Dict[str, float] = {}
+        self._breakdowns: Dict[str, Dict[str, Dict[str, float]]] = {}
+        self._decisions = _PhaseStats(max_samples_per_name)
+        self._trees = 0
+
+    @property
+    def decisions(self) -> int:
+        return self._trees
+
+    def add_root(self, root: Dict[str, Any]) -> None:
+        """Fold one serialized span tree into the profile."""
+        self._trees += 1
+        self._decisions.add(
+            float(root.get("dur_s", 0.0)), float(root.get("self_s", 0.0))
+        )
+        for node in walk(root):
+            dur = float(node.get("dur_s", 0.0))
+            self_s = float(node.get("self_s", dur))
+            stats = self._phases.get(node["name"])
+            if stats is None:
+                stats = self._phases[node["name"]] = _PhaseStats(self._cap)
+            stats.add(dur, self_s)
+            for name, value in node.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            attrs = node.get("attrs")
+            if attrs:
+                for key in BREAKDOWN_ATTRS:
+                    value = attrs.get(key)
+                    if value is None:
+                        continue
+                    table = self._breakdowns.setdefault(key, {})
+                    cell = table.setdefault(
+                        str(value), {"count": 0, "sum_s": 0.0}
+                    )
+                    cell["count"] += 1
+                    cell["sum_s"] += dur
+
+    def add_roots(self, roots: Iterable[Dict[str, Any]]) -> None:
+        for root in roots:
+            self.add_root(root)
+
+    def profile(self, meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """The profile document (phases ordered by self-time share)."""
+        total_self = sum(p.self_sum for p in self._phases.values()) or 1.0
+        ordered = sorted(
+            self._phases.items(), key=lambda kv: -kv[1].self_sum
+        )
+        spans: Dict[str, Any] = {}
+        for name, stats in ordered:
+            doc = stats.to_json()
+            doc["self_share"] = stats.self_sum / total_self
+            spans[name] = doc
+        out: Dict[str, Any] = {
+            "profile_version": PROFILE_VERSION,
+            "decisions": self._trees,
+            "total_self_s": sum(p.self_sum for p in self._phases.values()),
+            "spans": spans,
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "breakdowns": {
+                key: {
+                    value: {
+                        "count": cell["count"],
+                        "sum_s": cell["sum_s"],
+                        "mean_s": cell["sum_s"] / cell["count"],
+                    }
+                    for value, cell in sorted(table.items())
+                }
+                for key, table in sorted(self._breakdowns.items())
+            },
+        }
+        if self._trees:
+            out["decision"] = self._decisions.to_json()
+        if meta:
+            out["meta"] = dict(meta)
+        return out
+
+
+def build_profile(
+    roots: Iterable[Dict[str, Any]], meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """One-shot :class:`ProfileAccumulator` over *roots*."""
+    acc = ProfileAccumulator()
+    acc.add_roots(roots)
+    return acc.profile(meta=meta)
+
+
+def load_profile(path: str) -> Dict[str, Any]:
+    """Load *path* as a profile document, building one if it is a trace.
+
+    Accepts an already-built profile (a JSON object carrying
+    ``profile_version``) or any trace format
+    :func:`repro.obs.export.load_trace` understands (JSONL span trees,
+    Chrome ``traceEvents``); raises ``ValueError`` for neither.
+    """
+    import json
+    from pathlib import Path
+
+    from .export import load_trace
+
+    text = Path(path).read_text(encoding="utf-8").strip()
+    if text.startswith("{"):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            doc = None
+        if isinstance(doc, dict) and "profile_version" in doc:
+            version = doc["profile_version"]
+            if version != PROFILE_VERSION:
+                raise ValueError(
+                    f"{path}: profile version {version} "
+                    f"(this build reads {PROFILE_VERSION})"
+                )
+            return doc
+    return build_profile(
+        load_trace(path), meta={"source": str(path)}
+    )
+
+
+# ---------------------------------------------------------------------------
+# Diffing
+# ---------------------------------------------------------------------------
+
+
+def _phase_metric(doc: Dict[str, Any], metric: str) -> float:
+    if metric == "self_share":
+        return float(doc.get("self_share", 0.0))
+    if metric == "self_mean":
+        return float(doc["self"]["mean_s"])
+    if metric == "total_mean":
+        return float(doc["total"]["mean_s"])
+    raise ValueError(f"unknown diff metric {metric!r} (use {DIFF_METRICS})")
+
+
+def resolve_noise_floor(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    noise_floor_pct: Optional[float] = None,
+) -> float:
+    """The noise floor to gate with: explicit > profile meta > default.
+
+    When both profiles carry a measured floor the *larger* one wins — a
+    diff is only as trustworthy as its noisiest side.
+    """
+    if noise_floor_pct is not None:
+        return float(noise_floor_pct)
+    measured = [
+        p.get("meta", {}).get("noise_floor_pct")
+        for p in (old, new)
+        if isinstance(p.get("meta"), dict)
+    ]
+    measured = [float(m) for m in measured if m is not None]
+    if measured:
+        return max(measured)
+    return DEFAULT_NOISE_FLOOR_PCT
+
+
+def profile_diff(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    *,
+    metric: str = "self_share",
+    noise_floor_pct: Optional[float] = None,
+    min_change_pct: float = DEFAULT_MIN_CHANGE_PCT,
+    min_time_s: float = DEFAULT_MIN_TIME_S,
+) -> Dict[str, Any]:
+    """Compare two profiles; label every phase with a noise-gated verdict.
+
+    Verdicts: ``regressed`` / ``improved`` (ratio beyond the significance
+    threshold), ``unchanged`` (within it), ``negligible`` (too little
+    self time on both sides to measure), ``added`` / ``removed`` (phase
+    present on one side only).  The significance threshold is
+    ``max(2 × noise floor, min_change_pct)`` — twice the floor because
+    the floor itself is the spread of *identical* runs, so a real change
+    must clear it with margin.
+    """
+    if metric not in DIFF_METRICS:
+        raise ValueError(f"unknown diff metric {metric!r} (use {DIFF_METRICS})")
+    floor = resolve_noise_floor(old, new, noise_floor_pct)
+    threshold = max(2.0 * floor, min_change_pct)
+    old_spans: Dict[str, Any] = old.get("spans", {})
+    new_spans: Dict[str, Any] = new.get("spans", {})
+    phases: Dict[str, Any] = {}
+    summary: Dict[str, List[str]] = {
+        "regressed": [], "improved": [], "added": [], "removed": [],
+    }
+    unchanged = negligible = 0
+    for name in sorted(set(old_spans) | set(new_spans)):
+        o, n = old_spans.get(name), new_spans.get(name)
+        entry: Dict[str, Any] = {}
+        if o is not None:
+            entry["old"] = {
+                "count": o["count"],
+                "self_mean_s": o["self"]["mean_s"],
+                "self_sum_s": o["self"]["sum_s"],
+                "self_share": o.get("self_share", 0.0),
+            }
+        if n is not None:
+            entry["new"] = {
+                "count": n["count"],
+                "self_mean_s": n["self"]["mean_s"],
+                "self_sum_s": n["self"]["sum_s"],
+                "self_share": n.get("self_share", 0.0),
+            }
+        if o is None:
+            entry["verdict"] = "added"
+            summary["added"].append(name)
+        elif n is None:
+            entry["verdict"] = "removed"
+            summary["removed"].append(name)
+        else:
+            entry["count_ratio"] = (
+                n["count"] / o["count"] if o["count"] else float("inf")
+            )
+            for m in DIFF_METRICS:
+                ov, nv = _phase_metric(o, m), _phase_metric(n, m)
+                entry[f"{m}_ratio"] = nv / ov if ov else (
+                    float("inf") if nv else 1.0
+                )
+            ratio = entry[f"{metric}_ratio"]
+            change_pct = (ratio - 1.0) * 100.0
+            entry["change_pct"] = round(change_pct, 2)
+            if (
+                o["self"]["sum_s"] < min_time_s
+                and n["self"]["sum_s"] < min_time_s
+            ):
+                entry["verdict"] = "negligible"
+                negligible += 1
+            elif abs(change_pct) <= threshold:
+                entry["verdict"] = "unchanged"
+                unchanged += 1
+            elif change_pct > 0:
+                entry["verdict"] = "regressed"
+                summary["regressed"].append(name)
+            else:
+                entry["verdict"] = "improved"
+                summary["improved"].append(name)
+        phases[name] = entry
+    old_counters: Dict[str, float] = old.get("counters", {})
+    new_counters: Dict[str, float] = new.get("counters", {})
+    counters: Dict[str, Any] = {}
+    for name in sorted(set(old_counters) | set(new_counters)):
+        ov = old_counters.get(name, 0)
+        nv = new_counters.get(name, 0)
+        ratio = nv / ov if ov else (float("inf") if nv else 1.0)
+        counters[name] = {
+            "old": ov,
+            "new": nv,
+            "ratio": round(ratio, 4) if ratio != float("inf") else "inf",
+            # Counters are (near-)deterministic — tolerance is 1%, not
+            # the timing noise floor.
+            "verdict": "unchanged" if abs(ratio - 1.0) <= 0.01 else "changed",
+        }
+    regress_pcts = [
+        phases[name]["change_pct"] for name in summary["regressed"]
+    ]
+    return {
+        "profile_version": PROFILE_VERSION,
+        "metric": metric,
+        "noise_floor_pct": floor,
+        "threshold_pct": threshold,
+        "min_time_s": min_time_s,
+        "decisions": {
+            "old": old.get("decisions", 0),
+            "new": new.get("decisions", 0),
+        },
+        "phases": phases,
+        "counters": counters,
+        "summary": {
+            **summary,
+            "unchanged": unchanged,
+            "negligible": negligible,
+            "max_regression_pct": max(regress_pcts) if regress_pcts else 0.0,
+        },
+    }
+
+
+def diff_regressions(
+    diff: Dict[str, Any], fail_threshold_pct: Optional[float] = None
+) -> List[Tuple[str, float]]:
+    """The ``(phase, change_pct)`` pairs that should fail a CI gate.
+
+    A phase gates when its verdict is ``regressed`` and its change
+    exceeds *fail_threshold_pct* (``None``: any significant regression).
+    """
+    out: List[Tuple[str, float]] = []
+    for name in diff["summary"]["regressed"]:
+        change = diff["phases"][name]["change_pct"]
+        if fail_threshold_pct is None or change >= fail_threshold_pct:
+            out.append((name, change))
+    return out
+
+
+def inflate_phase(
+    profile: Dict[str, Any], name: str, factor: float
+) -> Dict[str, Any]:
+    """A copy of *profile* with phase *name* slowed down *factor*-fold.
+
+    The synthetic-regression helper: CI inflates one phase of the freshly
+    measured profile and asserts the diff gate trips on it — proving the
+    gate fails for real regressions, not just on the happy path.  All
+    ``self_share`` values are recomputed, so the injected regression
+    shows up under every diff metric.
+    """
+    import copy
+
+    if name not in profile.get("spans", {}):
+        raise ValueError(f"profile has no phase named {name!r}")
+    out = copy.deepcopy(profile)
+    span = out["spans"][name]
+    for block in ("total", "self"):
+        for key in span[block]:
+            span[block][key] *= factor
+    total_self = sum(s["self"]["sum_s"] for s in out["spans"].values()) or 1.0
+    for s in out["spans"].values():
+        s["self_share"] = s["self"]["sum_s"] / total_self
+    out["total_self_s"] = total_self
+    meta = dict(out.get("meta") or {})
+    meta["synthetic_regression"] = {"phase": name, "factor": factor}
+    out["meta"] = meta
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def _ms(seconds: float) -> str:
+    ms = seconds * 1e3
+    if ms >= 100:
+        return f"{ms:.0f}ms"
+    if ms >= 1:
+        return f"{ms:.2f}ms"
+    return f"{ms:.3f}ms"
+
+
+def format_profile(profile: Dict[str, Any], top: int = 0) -> str:
+    """A per-phase table: count, self sum/mean/p95, share of self time."""
+    lines: List[str] = []
+    lines.append(
+        f"profile v{profile['profile_version']}: "
+        f"{profile.get('decisions', 0)} decision(s), "
+        f"{_ms(profile.get('total_self_s', 0.0))} total self time"
+    )
+    spans = list(profile.get("spans", {}).items())
+    if top:
+        spans = spans[:top]
+    if spans:
+        width = max(len(name) for name, _ in spans)
+        lines.append(
+            f"  {'phase'.ljust(width)}  {'count':>7}  {'self sum':>10}  "
+            f"{'self mean':>10}  {'self p95':>10}  {'share':>6}"
+        )
+        for name, doc in spans:
+            lines.append(
+                f"  {name.ljust(width)}  {doc['count']:>7}  "
+                f"{_ms(doc['self']['sum_s']):>10}  "
+                f"{_ms(doc['self']['mean_s']):>10}  "
+                f"{_ms(doc['self']['p95_s']):>10}  "
+                f"{doc['self_share']:>6.1%}"
+            )
+    for key, table in profile.get("breakdowns", {}).items():
+        cells = ", ".join(
+            f"{value}={cell['count']}×{_ms(cell['mean_s'])}"
+            for value, cell in table.items()
+        )
+        lines.append(f"  by {key}: {cells}")
+    return "\n".join(lines)
+
+
+def format_diff(diff: Dict[str, Any]) -> str:
+    """Human-readable diff: one line per phase, significant first."""
+    order = {"regressed": 0, "improved": 1, "added": 2, "removed": 3,
+             "unchanged": 4, "negligible": 5}
+    marks = {"regressed": "▲", "improved": "▼", "added": "+",
+             "removed": "-", "unchanged": "=", "negligible": "·"}
+    lines = [
+        f"profile diff ({diff['metric']}; noise floor "
+        f"{diff['noise_floor_pct']:g}% → significance threshold "
+        f"±{diff['threshold_pct']:g}%)"
+    ]
+    phases = sorted(
+        diff["phases"].items(),
+        key=lambda kv: (
+            order[kv[1]["verdict"]], -abs(kv[1].get("change_pct", 0.0))
+        ),
+    )
+    for name, entry in phases:
+        verdict = entry["verdict"]
+        if verdict in ("added", "removed"):
+            side = entry.get("new") or entry.get("old") or {}
+            lines.append(
+                f"  {marks[verdict]} {name}: {verdict} "
+                f"({side.get('count', 0)} call(s), "
+                f"{_ms(side.get('self_sum_s', 0.0))} self)"
+            )
+            continue
+        lines.append(
+            f"  {marks[verdict]} {name}: {verdict} "
+            f"{entry['change_pct']:+.1f}% "
+            f"(self {_ms(entry['old']['self_mean_s'])} → "
+            f"{_ms(entry['new']['self_mean_s'])}, "
+            f"share {entry['old']['self_share']:.1%} → "
+            f"{entry['new']['self_share']:.1%}, "
+            f"×{entry['count_ratio']:.2f} calls)"
+        )
+    changed = [
+        (name, c) for name, c in diff.get("counters", {}).items()
+        if c["verdict"] == "changed"
+    ]
+    if changed:
+        lines.append("  counters:")
+        for name, c in changed:
+            lines.append(f"    {name}: {c['old']:g} → {c['new']:g}")
+    s = diff["summary"]
+    lines.append(
+        f"  summary: {len(s['regressed'])} regressed, "
+        f"{len(s['improved'])} improved, {s['unchanged']} unchanged, "
+        f"{s['negligible']} negligible, {len(s['added'])} added, "
+        f"{len(s['removed'])} removed"
+    )
+    return "\n".join(lines)

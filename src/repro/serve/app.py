@@ -17,6 +17,7 @@ Endpoints::
     PUT    /v1/tenants       merge tenant policies (weights apply live)
     GET    /healthz          liveness + drain state
     GET    /metrics          unified snapshot (JSON | Prometheus text)
+    GET    /v1/debug/profile    live latency percentiles + span profile
 
 Scheduling semantics: the submitting tenant is the scheduler's
 *submitter* (so per-tenant weighted fair share applies), the tenant's
@@ -29,7 +30,11 @@ reason ``"deadline"`` instead of queueing behind an expensive chase.
 Accounting: every tenant gets ``serve.requests.<tenant>.{submitted,
 completed,cached,coalesced,cancelled,deadline,failed}`` counters in the
 engine's registry, so ``/metrics`` exposes them alongside the
-engine/kernel/obs families in both formats.
+engine/kernel/obs families in both formats.  Completions additionally
+feed a per-``(tenant, kind)`` latency :class:`Histogram` (each bucket
+keeps the decision id of its latest hit as an exemplar) and — when the
+engine traces — a live :class:`~repro.obs.profile.ProfileAccumulator`;
+``GET /v1/debug/profile`` serves both.
 """
 
 from __future__ import annotations
@@ -43,9 +48,10 @@ from dataclasses import dataclass
 from typing import Any, AsyncIterator, Dict, Optional
 
 from ..engine.engine import BatchEngine
-from ..engine.metrics import render_prometheus
+from ..engine.metrics import LATENCY_BUCKETS, render_prometheus
 from ..engine.pool import CANCELLED
 from ..engine.scheduler import DEADLINE, JobHandle
+from ..obs.profile import ProfileAccumulator
 from .http import ProtocolError, Request, Response, sse_event
 from .protocol import (
     ERR_METHOD,
@@ -53,6 +59,7 @@ from .protocol import (
     JobSpec,
     TenantTable,
     envelope,
+    latency_to_json,
     parse_job_spec,
     result_to_json,
 )
@@ -94,6 +101,12 @@ class ServeApp:
         self._order: list = []
         self._seq = itertools.count(1)
         self._instance = uuid.uuid4().hex[:8]
+        # Latency histograms are keyed by (tenant, kind) tuple here —
+        # never parsed back out of the registry name, since tenant ids
+        # may contain dots.
+        self._latency: Dict[Any, Any] = {}
+        self._profile = ProfileAccumulator()
+        self._profile_lock = threading.Lock()
         for name in self.tenants.names():
             self._apply_policy(name)
 
@@ -169,12 +182,13 @@ class ServeApp:
         )
         self._remember(record)
         handle.add_done_callback(
-            lambda h, tenant=tenant: self._account_done(tenant, h)
+            lambda h, record=record: self._account_done(record, h)
         )
         return record
 
-    def _account_done(self, tenant: str, handle: JobHandle) -> None:
+    def _account_done(self, record: JobRecord, handle: JobHandle) -> None:
         result = handle.result(0)
+        tenant = record.spec.tenant
         if result.error == CANCELLED:
             event = "cancelled"
         elif result.error == DEADLINE:
@@ -188,6 +202,22 @@ class ServeApp:
         else:
             event = "completed"
         self._tenant_counter(tenant, event).inc()
+        kind = getattr(record.spec.job, "kind", "?")
+        key = (tenant, kind)
+        with self._lock:
+            hist = self._latency.get(key)
+            if hist is None:
+                hist = self._latency[key] = self.metrics.histogram(
+                    f"serve.latency.{tenant}.{kind}", buckets=LATENCY_BUCKETS
+                )
+        trace = result.trace
+        hist.observe(
+            result.duration,
+            exemplar=trace["id"] if trace is not None else record.id,
+        )
+        if trace is not None:
+            with self._profile_lock:
+                self._profile.add_root(trace)
 
     def job_to_json(self, record: JobRecord) -> dict:
         handle = record.handle
@@ -233,6 +263,8 @@ class ServeApp:
             return self._metrics(request, method)
         if path == "/v1/tenants":
             return self._tenants(request, method)
+        if path == "/v1/debug/profile":
+            return self._debug_profile(method)
         if path == "/v1/jobs" and method == "POST":
             self._refuse_if_draining()
             return self._submit_response(self.submit(request.json()))
@@ -356,6 +388,36 @@ class ServeApp:
                     "cache": stats["cache"],
                     "catalog": stats.get("catalog"),
                     "witness_store": stats.get("witness_store"),
+                }
+            )
+        )
+
+    def _debug_profile(self, method: str) -> Response:
+        """Live telemetry: per-tenant/kind latency summaries (count,
+        mean, p50/p95/p99, bucket exemplars) plus the span profile
+        aggregated from every traced decision since startup."""
+        if method != "GET":
+            raise ProtocolError(405, ERR_METHOD, "use GET /v1/debug/profile")
+        with self._lock:
+            latencies = dict(self._latency)
+        trace_config = self.engine.trace_config
+        with self._profile_lock:
+            decisions = self._profile.decisions
+            profile = self._profile.profile(
+                meta={
+                    "source": "serve.live",
+                    "trace_mode": (
+                        trace_config.mode if trace_config is not None
+                        else "off"
+                    ),
+                }
+            )
+        return Response.json(
+            envelope(
+                {
+                    "latency": latency_to_json(latencies),
+                    "traced_decisions": decisions,
+                    "profile": profile,
                 }
             )
         )

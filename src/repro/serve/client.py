@@ -193,6 +193,10 @@ class ServeClient:
             raise ServeError(response.status, "metrics", payload[:200])
         return payload
 
+    def debug_profile(self) -> dict:
+        """Live latency/profile telemetry (``GET /v1/debug/profile``)."""
+        return self.request("GET", "/v1/debug/profile")
+
     def tenants(self) -> dict:
         return self.request("GET", "/v1/tenants")["tenants"]
 

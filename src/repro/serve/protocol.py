@@ -33,6 +33,7 @@ from typing import Any, Dict, Optional
 from ..core.parser import parse_omq
 from ..core.serialize import containment_result_to_json
 from ..engine.jobs import ContainmentJob, SleepJob
+from ..engine.metrics import histogram_quantiles
 from ..engine.scheduler import Priority, _coerce_priority
 from .http import ProtocolError
 
@@ -299,6 +300,36 @@ def parse_job_spec(
             if doc.get(k) is not None
         },
     )
+
+
+def latency_to_json(latencies: Dict[Any, Any]) -> Dict[str, Any]:
+    """``tenant -> kind -> summary`` from per-``(tenant, kind)`` histograms.
+
+    Each summary carries the call count, mean/max, interpolated
+    p50/p95/p99 (:func:`repro.engine.metrics.histogram_quantiles`), and —
+    when the histogram recorded any — per-bucket decision-id exemplars,
+    so a slow bucket links straight back to its span tree.  Latencies are
+    keyed by tuple, not parsed out of metric names, because tenant ids
+    may themselves contain dots.
+    """
+    out: Dict[str, Any] = {}
+    for (tenant, kind), hist in sorted(latencies.items()):
+        snap = hist.snapshot()
+        if not snap.get("count"):
+            continue
+        quantiles = histogram_quantiles(snap)
+        doc: Dict[str, Any] = {
+            "count": snap["count"],
+            "mean_s": snap["mean"],
+            "max_s": snap["max"],
+            "p50_s": quantiles[0.5],
+            "p95_s": quantiles[0.95],
+            "p99_s": quantiles[0.99],
+        }
+        if "exemplars" in snap:
+            doc["exemplars"] = snap["exemplars"]
+        out.setdefault(tenant, {})[kind] = doc
+    return out
 
 
 def result_to_json(job: Any, value: Any) -> Optional[Dict[str, Any]]:

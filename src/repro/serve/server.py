@@ -33,6 +33,7 @@ from typing import Optional
 
 from ..engine.engine import BatchEngine
 from ..engine.scheduler import DeadlinePolicy
+from ..obs import TraceConfig
 from . import http
 from .app import ServeApp
 from .protocol import TenantTable
@@ -61,6 +62,13 @@ class ServeConfig:
     heartbeat_s: float = 0.25
     allow_test_jobs: bool = False
     max_body: int = http.MAX_BODY
+    #: Span tracing for served jobs: "off", "always", or "per-job"
+    #: (sampled — every ``trace_sample``-th submission).  Traced
+    #: decisions feed ``GET /v1/debug/profile``; ``max_traces`` bounds
+    #: the engine's trace sink so a long-lived replica can't leak.
+    trace_mode: str = "off"
+    trace_sample: int = 10
+    max_traces: int = 512
 
     def build_engine(self) -> BatchEngine:
         return BatchEngine(
@@ -71,6 +79,14 @@ class ServeConfig:
             catalog=self.catalog,
             witness_store=self.witness_store,
             deadline_policy=DeadlinePolicy(floor_s=self.deadline_floor_s),
+            trace=(
+                None
+                if self.trace_mode == "off"
+                else TraceConfig(
+                    mode=self.trace_mode, sample_every=self.trace_sample
+                )
+            ),
+            max_traces=self.max_traces,
         )
 
     def build_tenants(self) -> TenantTable:

@@ -94,6 +94,91 @@ class TestHistogram:
         assert hist.count == 10_000
 
 
+class TestExemplars:
+    def test_exemplar_recorded_per_bucket_last_wins(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1, 10))
+        hist.observe(0.5, exemplar="job-a")
+        hist.observe(0.7, exemplar="job-b")  # same bucket: replaces job-a
+        hist.observe(50.0, exemplar="trace-z")
+        hist.observe(5.0)  # no exemplar: bucket le_10 stays bare
+        snap = hist.snapshot()
+        assert snap["exemplars"] == {
+            "le_1": {"ref": "job-b", "value": 0.7},
+            "inf": {"ref": "trace-z", "value": 50.0},
+        }
+
+    def test_snapshot_omits_exemplars_when_none_recorded(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1,))
+        hist.observe(0.5)
+        assert "exemplars" not in hist.snapshot()
+
+    def test_reset_clears_exemplars(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1,))
+        hist.observe(0.5, exemplar="j1")
+        registry.reset()
+        hist.observe(0.4)
+        assert "exemplars" not in hist.snapshot()
+
+    def test_render_prometheus_tolerates_exemplars(self):
+        from repro.engine.metrics import render_prometheus
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1, 10))
+        hist.observe(0.5, exemplar="j1")
+        hist.observe(3.0, exemplar="j2")
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_lat histogram" in text
+        assert 'repro_lat_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_count 2" in text
+        # Exemplar refs are JSON-surface only, never leak into the text.
+        assert "j1" not in text and "exemplar" not in text
+
+
+class TestHistogramQuantiles:
+    def test_interpolates_within_buckets(self):
+        from repro.engine.metrics import histogram_quantiles
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 2.5, 3.5):
+            hist.observe(value)
+        q = histogram_quantiles(hist.snapshot(), (0.5, 0.99))
+        assert 1.0 <= q[0.5] <= 2.0
+        assert q[0.99] <= 4.0
+
+    def test_overflow_clamped_to_observed_max(self):
+        from repro.engine.metrics import histogram_quantiles
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0,))
+        for value in (5.0, 7.0, 9.0):
+            hist.observe(value)
+        q = histogram_quantiles(hist.snapshot(), (0.99,))
+        assert q[0.99] <= 9.0
+
+    def test_empty_histogram_estimates_zero(self):
+        from repro.engine.metrics import histogram_quantiles
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0,))
+        assert histogram_quantiles(hist.snapshot()) == {
+            0.5: 0.0, 0.95: 0.0, 0.99: 0.0,
+        }
+
+    def test_quantiles_monotone(self):
+        from repro.engine.metrics import histogram_quantiles
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(0.01, 0.1, 1.0, 10.0))
+        for i in range(200):
+            hist.observe((i + 1) / 40.0)  # 0.025 .. 5.0
+        q = histogram_quantiles(hist.snapshot(), (0.5, 0.95, 0.99))
+        assert 0.0 < q[0.5] <= q[0.95] <= q[0.99]
+
+
 class TestUnifiedSnapshot:
     def test_kernel_round_size_histogram_reaches_stats(self):
         """The chase records round sizes into the kernel registry, and the

@@ -175,6 +175,95 @@ class TestExporters:
         assert rebuilt["attrs"]["method"] == "demo"
         assert rebuilt["id"] == root["id"]
 
+    def test_chrome_round_trip_preserves_counters_and_events(self):
+        root = self._tree()
+        doc = obs.chrome_trace([root])
+        assert obs.validate_chrome_trace(doc) == []
+        (rebuilt,) = obs.roots_from_chrome(doc)
+        assert rebuilt["counters"] == {"hom.searches": 4}
+        assert rebuilt["attrs"]["method"] == "demo"
+        child = rebuilt["children"][0]
+        assert child["attrs"] == {"n": 1}
+        assert [e["name"] for e in child["events"]] == ["growth"]
+        assert child["events"][0]["attrs"] == {"generated": 10}
+
+    def test_chrome_round_trip_synthetic_tree_is_exact(self):
+        # Hand-built timestamps, well clear of µs truncation edges.
+        root = {
+            "id": "d1", "name": "containment.decide", "pid": 9, "tid": 2,
+            "start": 100.0, "dur_s": 0.5, "self_s": 0.1,
+            "attrs": {"fragment": "guarded", "verdict": "CONTAINED"},
+            "counters": {"chase.facts": 12},
+            "events": [
+                {"name": "cache.miss", "ts": 100.05, "attrs": {"key": "q"}}
+            ],
+            "children": [
+                {
+                    "id": "c1", "name": "chase.run", "pid": 9, "tid": 2,
+                    "start": 100.1, "dur_s": 0.4, "self_s": 0.4,
+                    "counters": {"chase.rounds": 3},
+                    "events": [{"name": "round", "ts": 100.2, "attrs": {}}],
+                }
+            ],
+        }
+        doc = obs.chrome_trace([root])
+        assert obs.validate_chrome_trace(doc) == []
+        (rebuilt,) = obs.roots_from_chrome(doc)
+        assert rebuilt["id"] == "d1"
+        assert rebuilt["attrs"] == root["attrs"]
+        assert rebuilt["counters"] == root["counters"]
+        assert [e["name"] for e in rebuilt["events"]] == ["cache.miss"]
+        assert rebuilt["events"][0]["attrs"] == {"key": "q"}
+        child = rebuilt["children"][0]
+        assert child["counters"] == {"chase.rounds": 3}
+        assert [e["name"] for e in child["events"]] == ["round"]
+        assert rebuilt["self_s"] == pytest.approx(0.1, abs=1e-5)
+        assert child["self_s"] == pytest.approx(0.4, abs=1e-5)
+
+    def test_chrome_legacy_flat_args_still_load(self):
+        # Traces written before attrs/counters were nested carry a flat
+        # args dict; everything loads back as attrs.
+        doc = {
+            "traceEvents": [
+                {
+                    "name": "old", "ph": "X", "ts": 0, "dur": 10,
+                    "pid": 1, "tid": 1,
+                    "args": {"span_id": "s1", "method": "demo"},
+                }
+            ]
+        }
+        (rebuilt,) = obs.roots_from_chrome(doc)
+        assert rebuilt["id"] == "s1"
+        assert rebuilt["attrs"] == {"method": "demo"}
+
+    def test_load_trace_sniffs_content_not_extension(self, tmp_path):
+        root = self._tree()
+        # Chrome document under a .jsonl name.
+        chrome = tmp_path / "misnamed.jsonl"
+        chrome.write_text(json.dumps(obs.chrome_trace([root]), indent=2))
+        assert obs.load_trace(str(chrome))[0]["name"] == root["name"]
+        # JSONL under a .json name.
+        jsonl = tmp_path / "misnamed.json"
+        jsonl.write_text(json.dumps(root) + "\n")
+        assert obs.load_trace(str(jsonl)) == [root]
+        # A bare span dict and an array of span trees.
+        single = tmp_path / "single.json"
+        single.write_text(json.dumps(root, indent=2))
+        assert obs.load_trace(str(single)) == [root]
+        array = tmp_path / "array.json"
+        array.write_text(json.dumps([root, root], indent=1))
+        assert len(obs.load_trace(str(array))) == 2
+
+    def test_load_trace_clear_error_for_neither(self, tmp_path):
+        not_a_trace = tmp_path / "nope.json"
+        not_a_trace.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="not a repro trace"):
+            obs.load_trace(str(not_a_trace))
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("definitely not json")
+        with pytest.raises(ValueError, match="neither JSONL"):
+            obs.load_trace(str(garbage))
+
     def test_chrome_doc_structure(self):
         root = self._tree()
         doc = obs.chrome_trace([root])
@@ -350,6 +439,40 @@ class TestCrossProcessCapture:
             stats = engine.stats()
         assert result.trace is None
         assert "traces" not in stats
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_pool_trace_chrome_round_trip_fidelity(self, start_method):
+        import multiprocessing as mp
+
+        if start_method not in mp.get_all_start_methods():
+            pytest.skip(f"{start_method} unavailable on this platform")
+        with BatchEngine(
+            workers=2, trace="always", start_method=start_method
+        ) as engine:
+            result = engine.contains(LINEAR_B, LINEAR_A)
+        trace = result.trace
+        assert trace is not None and trace["pid"] != os.getpid()
+        doc = obs.chrome_trace([trace])
+        assert obs.validate_chrome_trace(doc) == []
+        (rebuilt,) = obs.roots_from_chrome(doc)
+        assert [n["name"] for n in walk(rebuilt)] == [
+            n["name"] for n in walk(trace)
+        ]
+        assert rebuilt["pid"] == trace["pid"]
+        # Counters survive the round trip at every node, and every
+        # original instant event reappears somewhere in the tree.
+        originals = {n["id"]: n for n in walk(trace)}
+        for node in walk(rebuilt):
+            assert node.get("counters", {}) == originals[node["id"]].get(
+                "counters", {}
+            )
+        rebuilt_events = sorted(
+            e["name"] for n in walk(rebuilt) for e in n.get("events", ())
+        )
+        original_events = sorted(
+            e["name"] for n in walk(trace) for e in n.get("events", ())
+        )
+        assert rebuilt_events == original_events
 
     def test_cached_results_share_the_original_trace(self):
         with BatchEngine(trace="always") as engine:

@@ -1,0 +1,403 @@
+"""Tests for repro.obs.profile: aggregation, diffing, gating, CLI."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import (
+    DEFAULT_MIN_CHANGE_PCT,
+    DEFAULT_NOISE_FLOOR_PCT,
+    PROFILE_VERSION,
+    ProfileAccumulator,
+    _Reservoir,
+    build_profile,
+    diff_regressions,
+    format_diff,
+    format_profile,
+    inflate_phase,
+    load_profile,
+    profile_diff,
+    resolve_noise_floor,
+)
+
+
+def span(name, start, dur, self_s=None, attrs=None, counters=None,
+         children=(), span_id=None):
+    node = {
+        "id": span_id or f"{name}-{start}",
+        "name": name,
+        "pid": 1,
+        "tid": 1,
+        "start": float(start),
+        "dur_s": float(dur),
+        "self_s": float(dur if self_s is None else self_s),
+    }
+    if attrs:
+        node["attrs"] = dict(attrs)
+    if counters:
+        node["counters"] = dict(counters)
+    if children:
+        node["children"] = list(children)
+    return node
+
+
+def decision(i, decide_s=0.1, chase_s=0.4, verdict="CONTAINED"):
+    return span(
+        "containment.decide", 10 * i, decide_s + chase_s, self_s=decide_s,
+        attrs={"fragment": "guarded", "verdict": verdict, "method": "chase"},
+        counters={"chase.facts": 10},
+        children=[span("chase.run", 10 * i + decide_s / 2, chase_s)],
+        span_id=f"d{i}",
+    )
+
+
+class TestAccumulator:
+    def test_counts_sums_and_shares(self):
+        profile = build_profile([decision(i) for i in range(4)])
+        assert profile["profile_version"] == PROFILE_VERSION
+        assert profile["decisions"] == 4
+        spans = profile["spans"]
+        assert spans["containment.decide"]["count"] == 4
+        assert spans["chase.run"]["self"]["sum_s"] == pytest.approx(1.6)
+        assert spans["chase.run"]["self_share"] == pytest.approx(0.8)
+        assert spans["containment.decide"]["self_share"] == pytest.approx(0.2)
+        # Ordered hottest-first by self time.
+        assert list(spans) == ["chase.run", "containment.decide"]
+        assert profile["counters"] == {"chase.facts": 40}
+
+    def test_total_vs_self_blocks(self):
+        profile = build_profile([decision(0)])
+        decide = profile["spans"]["containment.decide"]
+        assert decide["total"]["sum_s"] == pytest.approx(0.5)
+        assert decide["self"]["sum_s"] == pytest.approx(0.1)
+        assert decide["total"]["min_s"] == decide["total"]["max_s"]
+
+    def test_breakdowns_keyed_on_existing_attrs(self):
+        roots = [decision(0), decision(1, verdict="NOT_CONTAINED")]
+        profile = build_profile(roots)
+        verdicts = profile["breakdowns"]["verdict"]
+        assert verdicts["CONTAINED"]["count"] == 1
+        assert verdicts["NOT_CONTAINED"]["count"] == 1
+        assert profile["breakdowns"]["fragment"]["guarded"]["count"] == 2
+        assert profile["breakdowns"]["method"]["chase"][
+            "mean_s"
+        ] == pytest.approx(0.5)
+
+    def test_decision_block_covers_root_durations(self):
+        profile = build_profile([decision(0), decision(1, chase_s=0.9)])
+        assert profile["decision"]["count"] == 2
+        assert profile["decision"]["total"]["max_s"] == pytest.approx(1.0)
+
+    def test_percentiles_from_samples(self):
+        acc = ProfileAccumulator()
+        for i in range(100):
+            acc.add_root(span("phase", i, (i + 1) / 100.0))
+        doc = acc.profile()["spans"]["phase"]
+        assert doc["self"]["p50_s"] == pytest.approx(0.5, abs=0.02)
+        assert doc["self"]["p95_s"] == pytest.approx(0.95, abs=0.02)
+        assert doc["self"]["p99_s"] == pytest.approx(0.99, abs=0.02)
+
+    def test_reservoir_decimation_bounds_memory(self):
+        res = _Reservoir(64)
+        for i in range(100_000):
+            res.add(float(i))
+        assert len(res.samples) < 64
+        assert res.seen == 100_000
+        # Decimation is deterministic and keeps the spread.
+        assert min(res.samples) < 10_000 and max(res.samples) > 90_000
+
+    def test_percentiles_stay_sane_after_decimation(self):
+        acc = ProfileAccumulator(max_samples_per_name=32)
+        for i in range(10_000):
+            acc.add_root(span("phase", i, (i % 100 + 1) / 100.0))
+        doc = acc.profile()["spans"]["phase"]
+        assert doc["count"] == 10_000  # counts stay exact
+        assert 0.3 <= doc["self"]["p50_s"] <= 0.7
+
+    def test_meta_rides_on_the_document(self):
+        profile = build_profile([decision(0)], meta={"workload": "w"})
+        assert profile["meta"]["workload"] == "w"
+
+    def test_empty_profile(self):
+        profile = build_profile([])
+        assert profile["decisions"] == 0
+        assert profile["spans"] == {}
+        assert "decision" not in profile
+
+
+class TestDiff:
+    def _profiles(self, old_chase=0.4, new_chase=0.4, floor=None):
+        meta = {"noise_floor_pct": floor} if floor is not None else None
+        old = build_profile(
+            [decision(i, chase_s=old_chase) for i in range(4)], meta=meta
+        )
+        new = build_profile(
+            [decision(i, chase_s=new_chase) for i in range(4)], meta=meta
+        )
+        return old, new
+
+    def test_identical_profiles_have_no_significant_changes(self):
+        old, new = self._profiles()
+        diff = profile_diff(old, new)
+        assert diff["summary"]["regressed"] == []
+        assert diff["summary"]["improved"] == []
+        for entry in diff["phases"].values():
+            assert entry["verdict"] in ("unchanged", "negligible")
+
+    def test_regression_beyond_threshold_is_flagged(self):
+        old, new = self._profiles(old_chase=0.4, new_chase=1.2)
+        diff = profile_diff(old, new, metric="self_mean")
+        entry = diff["phases"]["chase.run"]
+        assert entry["verdict"] == "regressed"
+        assert entry["change_pct"] == pytest.approx(200.0, abs=0.5)
+        assert entry["self_mean_ratio"] == pytest.approx(3.0, rel=1e-6)
+        assert "chase.run" in diff["summary"]["regressed"]
+
+    def test_improvement_is_flagged(self):
+        old, new = self._profiles(old_chase=1.2, new_chase=0.4)
+        diff = profile_diff(old, new, metric="self_mean")
+        assert diff["phases"]["chase.run"]["verdict"] == "improved"
+
+    def test_noise_floor_widens_the_gate(self):
+        # +30% on the chase: significant at a quiet 5% floor, gated out
+        # when the measured floor is 20% (threshold 2×20 = 40%).
+        old, new = self._profiles(old_chase=0.4, new_chase=0.52)
+        quiet = profile_diff(old, new, metric="self_mean",
+                             noise_floor_pct=5.0)
+        noisy = profile_diff(old, new, metric="self_mean",
+                             noise_floor_pct=20.0)
+        assert quiet["phases"]["chase.run"]["verdict"] == "regressed"
+        assert noisy["phases"]["chase.run"]["verdict"] == "unchanged"
+        assert noisy["threshold_pct"] == pytest.approx(40.0)
+
+    def test_noise_floor_resolution_order(self):
+        old, new = self._profiles(floor=7.0)
+        assert resolve_noise_floor(old, new) == pytest.approx(7.0)
+        assert resolve_noise_floor(old, new, 3.0) == pytest.approx(3.0)
+        bare_old, bare_new = self._profiles()
+        assert resolve_noise_floor(bare_old, bare_new) == pytest.approx(
+            DEFAULT_NOISE_FLOOR_PCT
+        )
+        # The noisier side wins when both profiles measured a floor.
+        noisy = build_profile([decision(0)], meta={"noise_floor_pct": 12.0})
+        assert resolve_noise_floor(old, noisy) == pytest.approx(12.0)
+
+    def test_min_change_floor_applies_on_quiet_machines(self):
+        old, new = self._profiles()
+        diff = profile_diff(old, new, noise_floor_pct=0.5)
+        assert diff["threshold_pct"] == pytest.approx(DEFAULT_MIN_CHANGE_PCT)
+
+    def test_added_and_removed_phases(self):
+        old = build_profile([decision(0)])
+        new = build_profile(
+            [decision(0), span("guarded.refutation", 50, 0.3)]
+        )
+        diff = profile_diff(old, new)
+        assert diff["phases"]["guarded.refutation"]["verdict"] == "added"
+        reverse = profile_diff(new, old)
+        assert reverse["phases"]["guarded.refutation"]["verdict"] == "removed"
+
+    def test_negligible_phases_never_gate(self):
+        old = build_profile([span("tiny", 0, 0.0004)])
+        new = build_profile([span("tiny", 0, 0.0016)])  # 4x, but sub-2ms
+        diff = profile_diff(old, new, metric="self_mean")
+        assert diff["phases"]["tiny"]["verdict"] == "negligible"
+        assert diff_regressions(diff) == []
+
+    def test_self_share_is_machine_speed_invariant(self):
+        # The same workload on a 3x slower machine: every wall-time
+        # metric triples, shares do not move.
+        old = build_profile([decision(i) for i in range(4)])
+        slow = build_profile(
+            [decision(i, decide_s=0.3, chase_s=1.2) for i in range(4)]
+        )
+        diff = profile_diff(old, slow)  # default metric: self_share
+        assert diff["summary"]["regressed"] == []
+        wall = profile_diff(old, slow, metric="self_mean")
+        assert set(wall["summary"]["regressed"]) == {
+            "chase.run", "containment.decide",
+        }
+
+    def test_counter_changes_use_tight_tolerance(self):
+        old = build_profile([decision(0)])
+        new = build_profile([decision(0, verdict="NOT_CONTAINED")])
+        new["counters"]["chase.facts"] = 15
+        diff = profile_diff(old, new)
+        assert diff["counters"]["chase.facts"]["verdict"] == "changed"
+        same = profile_diff(old, old)
+        assert same["counters"]["chase.facts"]["verdict"] == "unchanged"
+
+    def test_unknown_metric_rejected(self):
+        old, new = self._profiles()
+        with pytest.raises(ValueError, match="unknown diff metric"):
+            profile_diff(old, new, metric="wall_clock")
+
+    def test_diff_regressions_gate_threshold(self):
+        old, new = self._profiles(old_chase=0.4, new_chase=1.2)  # +200%
+        diff = profile_diff(old, new, metric="self_mean")
+        assert diff_regressions(diff, 75.0) == [
+            ("chase.run", pytest.approx(200.0, abs=0.5))
+        ]
+        assert diff_regressions(diff, 500.0) == []
+
+
+class TestInflatePhase:
+    def test_inflation_recomputes_shares(self):
+        profile = build_profile([decision(i) for i in range(4)])
+        bad = inflate_phase(profile, "chase.run", 10.0)
+        assert bad["spans"]["chase.run"]["self"]["mean_s"] == pytest.approx(
+            10 * profile["spans"]["chase.run"]["self"]["mean_s"]
+        )
+        shares = [s["self_share"] for s in bad["spans"].values()]
+        assert sum(shares) == pytest.approx(1.0)
+        assert bad["meta"]["synthetic_regression"]["factor"] == 10.0
+        # The original is untouched.
+        assert profile["spans"]["chase.run"]["self_share"] == pytest.approx(
+            0.8
+        )
+
+    def test_inflated_profile_trips_every_metric(self):
+        profile = build_profile([decision(i) for i in range(4)])
+        bad = inflate_phase(profile, "containment.decide", 10.0)
+        for metric in ("self_share", "self_mean", "total_mean"):
+            diff = profile_diff(profile, bad, metric=metric)
+            assert "containment.decide" in diff["summary"]["regressed"], (
+                metric
+            )
+
+    def test_unknown_phase_rejected(self):
+        profile = build_profile([decision(0)])
+        with pytest.raises(ValueError, match="no phase"):
+            inflate_phase(profile, "nonexistent", 2.0)
+
+
+class TestLoadProfile:
+    def test_loads_profile_document(self, tmp_path):
+        profile = build_profile([decision(0)])
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps(profile))
+        assert load_profile(str(path))["spans"].keys() == profile[
+            "spans"
+        ].keys()
+
+    def test_builds_from_trace_files(self, tmp_path):
+        roots = [decision(i) for i in range(2)]
+        jsonl = tmp_path / "t.jsonl"
+        obs.write_jsonl(roots, str(jsonl))
+        profile = load_profile(str(jsonl))
+        assert profile["decisions"] == 2
+        assert profile["meta"]["source"] == str(jsonl)
+        chrome = tmp_path / "t.json"
+        obs.write_chrome_trace(roots, str(chrome))
+        assert load_profile(str(chrome))["decisions"] == 2
+
+    def test_rejects_future_versions(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"profile_version": 99, "spans": {}}))
+        with pytest.raises(ValueError, match="profile version 99"):
+            load_profile(str(path))
+
+
+class TestRendering:
+    def test_format_profile_lists_phases_and_breakdowns(self):
+        profile = build_profile([decision(i) for i in range(3)])
+        text = format_profile(profile)
+        assert "3 decision(s)" in text
+        assert "chase.run" in text and "containment.decide" in text
+        assert "80.0%" in text
+        assert "by verdict: CONTAINED" in text
+
+    def test_format_profile_top_limits_rows(self):
+        profile = build_profile([decision(0)])
+        text = format_profile(profile, top=1)
+        assert "chase.run" in text
+        assert "containment.decide\n" not in text
+
+    def test_format_diff_orders_significant_first(self):
+        old = build_profile([decision(i) for i in range(4)])
+        bad = inflate_phase(old, "containment.decide", 10.0)
+        text = format_diff(profile_diff(old, bad, metric="self_mean"))
+        assert text.index("containment.decide") < text.index("chase.run")
+        assert "regressed" in text and "significance threshold" in text
+
+
+class TestProfileCLI:
+    def _trace(self, tmp_path, chase_s=0.4, name="t.jsonl"):
+        path = tmp_path / name
+        obs.write_jsonl(
+            [decision(i, chase_s=chase_s) for i in range(3)], str(path)
+        )
+        return str(path)
+
+    def test_profile_builds_and_writes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = self._trace(tmp_path)
+        out = tmp_path / "p.json"
+        rc = main([
+            "profile", trace, "--out", str(out), "--workload", "demo",
+            "--noise-floor", "3",
+        ])
+        assert rc == 0
+        assert "chase.run" in capsys.readouterr().out
+        profile = json.loads(out.read_text())
+        assert profile["decisions"] == 3
+        assert profile["meta"]["workload"] == "demo"
+        assert profile["meta"]["noise_floor_pct"] == 3
+
+    def test_profile_json_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["profile", self._trace(tmp_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["profile_version"] == PROFILE_VERSION
+
+    def test_profile_rejects_garbage_input(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["profile", str(bad)]) == 2
+        assert "cannot load trace" in capsys.readouterr().err
+
+    def test_diff_passes_on_identical_traces(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = self._trace(tmp_path)
+        rc = main([
+            "profile", "diff", trace, trace, "--fail-on-regression", "75",
+        ])
+        assert rc == 0
+        assert "no phase regressed" in capsys.readouterr().err
+
+    def test_diff_gate_trips_on_regression(self, tmp_path, capsys):
+        from repro.cli import main
+
+        old = self._trace(tmp_path, chase_s=0.4, name="old.jsonl")
+        new = self._trace(tmp_path, chase_s=1.6, name="new.jsonl")
+        report = tmp_path / "diff.json"
+        rc = main([
+            "profile", "diff", old, new, "--metric", "self_mean",
+            "--report", str(report), "--fail-on-regression", "75",
+        ])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "FAIL: phase 'chase.run' regressed" in captured.err
+        doc = json.loads(report.read_text())
+        assert "chase.run" in doc["summary"]["regressed"]
+
+    def test_diff_without_gate_reports_and_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        old = self._trace(tmp_path, chase_s=0.4, name="old.jsonl")
+        new = self._trace(tmp_path, chase_s=1.6, name="new.jsonl")
+        rc = main(["profile", "diff", old, new, "--metric", "self_mean"])
+        assert rc == 0
+        assert "regressed" in capsys.readouterr().out
+
+    def test_diff_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "diff", "only-one"]) == 2
+        assert "usage" in capsys.readouterr().err

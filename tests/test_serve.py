@@ -13,6 +13,7 @@ Three layers of coverage mirroring the module layering:
 import asyncio
 import json
 import os
+import re
 import signal
 import socket
 import subprocess
@@ -338,6 +339,48 @@ class TestLiveServer:
             assert "# TYPE repro_serve_requests_acme_submitted counter" in text
             assert "repro_serve_requests_acme_submitted 1" in text
             assert "repro_serve_http_requests" in text
+
+    def test_debug_profile_reports_latency_and_live_profile(self):
+        with _Replica(trace_mode="always") as replica:
+            with replica.client() as client:
+                done = client.run(
+                    containment_doc(OMQ_A, OMQ_A2, tenant="acme.eu")
+                )
+                body = client.debug_profile()
+                # Tenant ids may contain dots, so latency is nested by
+                # tenant then kind — never parsed back out of a flat name.
+                lat = body["latency"]["acme.eu"]["containment"]
+                assert lat["count"] == 1
+                assert 0.0 < lat["p50_s"] <= lat["p95_s"] <= lat["p99_s"]
+                assert lat["max_s"] >= lat["mean_s"] > 0.0
+                # Exemplars link the bucket to the decision's trace id
+                # ("<pid>-<n>"), not the job id, when tracing is on.
+                refs = [ex["ref"] for ex in lat["exemplars"].values()]
+                assert len(refs) == 1
+                assert refs[0] != done["id"]
+                assert re.fullmatch(r"[0-9a-f]+-\d+", refs[0])
+                # The live profile aggregates the captured span trees.
+                assert body["traced_decisions"] == 1
+                profile = body["profile"]
+                assert profile["decisions"] == 1
+                assert profile["meta"]["source"] == "serve.live"
+                assert profile["meta"]["trace_mode"] == "always"
+                assert any(
+                    name.startswith("containment") or name.startswith("job")
+                    for name in profile["spans"]
+                )
+
+    def test_debug_profile_untraced_uses_job_id_exemplars(self):
+        with _Replica() as replica, replica.client() as client:
+            done = client.run(containment_doc(OMQ_A, OMQ_B, tenant="plain"))
+            body = client.debug_profile()
+            lat = body["latency"]["plain"]["containment"]
+            assert lat["count"] == 1
+            refs = [ex["ref"] for ex in lat["exemplars"].values()]
+            assert done["id"] in refs
+            # No tracing configured: nothing accumulates into the profile.
+            assert body["traced_decisions"] == 0
+            assert body["profile"]["spans"] == {}
 
     def test_tenants_roundtrip_and_live_weight(self):
         with _Replica() as replica, replica.client() as client:
