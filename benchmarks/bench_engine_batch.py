@@ -462,6 +462,126 @@ def test_witness_store_cold_vs_warm_session(benchmark, tmp_path):
     benchmark.pedantic(_scenario, rounds=1, iterations=1)
 
 
+def _perturbed_refuted_job(tag: int, size: int) -> ContainmentJob:
+    """The structurally perturbed spelling of ``_refuted_job(tag, size)``:
+    a homomorphically redundant atom on *both* sides (fresh variables,
+    folds onto an existing body atom), so neither side's canonical hash
+    matches the base pair — only the predicate-signature key does."""
+    e, p = f"E{tag}", f"P{tag}"
+    schema = Schema.of(**{e: 2})
+    sigma = tuple(parse_tgds(f"{e}(x, y) -> {p}(x, y)"))
+    p_body = ", ".join(
+        f"{p}(v{i}, v{i + 1})" for i in range(size)
+    ) + f", {p}(r0, r1)"
+    e_body = ", ".join(
+        f"{e}(v{i}, v{i + 1})" for i in range(size + 1)
+    ) + f", {e}(r0, r1)"
+    q1 = OMQ(schema, sigma, parse_cq(f"q() :- {p_body}"), f"wppath_{tag}")
+    q2 = OMQ(schema, (), parse_cq(f"q() :- {e_body}"), f"wplong_{tag}")
+    return ContainmentJob(q1, q2)
+
+
+def test_witness_store_structural_replay(benchmark, tmp_path):
+    """WIT-S: structural (subsumption-based) replay — session one refutes
+    the *base* pairs and persists their witnesses; session two answers a
+    perturbed, non-hash-equal spelling of every pair purely from the
+    signature index: two budgeted hom-checks per job instead of a full
+    rewriting + small-witness run, with zero exact-pair hits."""
+
+    def _scenario():
+        base_jobs = [
+            _refuted_job(tag, WITNESS_SIZE)
+            for tag in range(400, 400 + WITNESS_PAIRS)
+        ]
+        perturbed_jobs = [
+            _perturbed_refuted_job(tag, WITNESS_SIZE)
+            for tag in range(400, 400 + WITNESS_PAIRS)
+        ]
+        store_path = str(tmp_path / "swit.sqlite")
+
+        # Baseline: the perturbed jobs decided by the full procedure.
+        clear_caches()
+        with BatchEngine(
+            cache_dir=str(tmp_path / "scold"), workers=1
+        ) as eng:
+            cold_s, cold_results = _timed_batch(eng, perturbed_jobs)
+        assert all(
+            r.ok and r.value.verdict is Verdict.NOT_CONTAINED
+            for r in cold_results
+        )
+
+        # Session one: refute the base pairs, populating the store.
+        clear_caches()
+        with BatchEngine(
+            cache_dir=str(tmp_path / "sbase"),
+            workers=1,
+            witness_store=store_path,
+        ) as eng:
+            _, base_results = _timed_batch(eng, base_jobs)
+            base_metrics = eng.stats()["metrics"]
+        assert all(
+            r.value.verdict is Verdict.NOT_CONTAINED for r in base_results
+        )
+        assert base_metrics["engine.witness.stored"] == WITNESS_PAIRS
+
+        # Session two: every perturbed job replays structurally — no
+        # canonical hash in the store matches either side.
+        clear_caches()
+        with BatchEngine(
+            cache_dir=str(tmp_path / "swarm"),
+            workers=1,
+            witness_store=store_path,
+        ) as eng:
+            warm_s, warm_results = _timed_batch(eng, perturbed_jobs)
+            warm_metrics = eng.stats()["metrics"]
+        assert all(
+            r.value.verdict is Verdict.NOT_CONTAINED for r in warm_results
+        )
+        assert {r.value.method for r in warm_results} == {"witness-replay"}
+        structural_hits = warm_metrics.get(
+            "engine.witness.structural.hits", 0
+        )
+        assert structural_hits == WITNESS_PAIRS
+        assert warm_metrics.get("engine.witness.exact_hits", 0) == 0
+        assert warm_metrics.get("engine.containment.runs", 0) == 0
+        # The acceptance gate: structural replay beats the full run ≥5×.
+        assert warm_s * 5 <= cold_s
+
+        structural_payload = {
+            "pairs": WITNESS_PAIRS,
+            "cold_session_s": round(cold_s, 4),
+            "warm_session_s": round(warm_s, 4),
+            "warm_speedup": round(cold_s / warm_s, 3),
+            "structural_hits": structural_hits,
+            "exact_hits": warm_metrics.get("engine.witness.exact_hits", 0),
+            "attempts": warm_metrics.get(
+                "engine.witness.structural.attempts", 0
+            ),
+        }
+        try:
+            payload = json.loads(ARTIFACT.read_text())
+        except (OSError, ValueError):
+            payload = {"bench": "engine_batch"}
+        payload["witness_structural"] = structural_payload
+        ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+        print_table(
+            f"WIT-S: structural replay ({WITNESS_PAIRS} perturbed pairs)",
+            ["session", "time (s)", "note"],
+            [
+                ["cold (full run)", f"{cold_s:.3f}", "no store"],
+                [
+                    "warm (structural)",
+                    f"{warm_s:.3f}",
+                    f"{structural_hits} structural hits, 0 exact, "
+                    f"{cold_s / warm_s:.0f}× faster",
+                ],
+            ],
+        )
+
+    benchmark.pedantic(_scenario, rounds=1, iterations=1)
+
+
 PRIORITY_BACKLOG = 12
 PRIORITY_LOW_SLEEP = 0.15
 PRIORITY_HIGH_SLEEP = 0.05

@@ -152,6 +152,7 @@ def _make_engine(args):
         cache_backend=getattr(args, "cache_backend", "sqlite") or "sqlite",
         catalog=getattr(args, "catalog", None),
         witness_store=getattr(args, "witness_store", None),
+        witness_replay=getattr(args, "witness_replay", None),
     )
 
 
@@ -544,34 +545,57 @@ def _cmd_catalog(args) -> int:
 
 
 def _cmd_witnesses(args) -> int:
-    """Inspect a cross-session NOT_CONTAINED witness store."""
+    """Inspect a cross-session NOT_CONTAINED witness store.
+
+    Streams rows straight off the sqlite file (read-only, bounded by
+    ``--limit``): a store with a million rows costs O(limit) memory, and
+    a version-mismatched file is listed, not discarded.
+    """
     from .engine.witness_store import WitnessStore
 
     if not Path(args.witness_file).exists():
         print(f"no witness store at {args.witness_file}", file=sys.stderr)
         return 2
-    with WitnessStore(args.witness_file) as store:
-        stats = store.stats()
-        entries = store.entries()
+    try:
+        stats, rows = WitnessStore.scan(args.witness_file, limit=args.limit)
+    except ValueError as exc:
+        print(
+            f"cannot read witness store {args.witness_file}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
     if args.json:
-        print(json.dumps({"stats": stats, "witnesses": entries}, indent=2))
+        # Materializes at most --limit rows; the store itself is never
+        # loaded wholesale.
+        print(
+            json.dumps({"stats": stats, "witnesses": list(rows)}, indent=2)
+        )
         return 0
     print(
         f"{stats['entries']} stored witness(es) over "
         f"{stats['lhs_keys']} LHS / {stats['rhs_keys']} RHS canonical "
         f"hash(es)"
         + (
-            f"; {stats['skipped_rows']} corrupt row(s) skipped"
-            if stats["skipped_rows"]
-            else ""
+            ""
+            if stats["current"]
+            else f" [stale stamps: schema={stats['schema_version'] or '?'}"
+            f" canon={stats['canon_version'] or '?'} — replay would"
+            " rebuild this file]"
         )
     )
-    for entry in entries:
+    shown = 0
+    for entry in rows:
+        shown += 1
         answer = ", ".join(entry["answer"])
+        origin = entry["origin"]
+        sig = entry["lhs_sig"] or entry["db_sig"] or "?"
         print(
             f"  {entry['lhs'][:16]}… ⊄ {entry['rhs'][:16]}…  "
-            f"D: {entry['atoms']} atom(s), c̄ = ({answer})"
+            f"D: {entry['atoms']} atom(s), c̄ = ({answer})  "
+            f"[{origin}; sig {sig}]"
         )
+    if args.limit is not None and stats["entries"] > shown:
+        print(f"  … {stats['entries'] - shown} more (raise --limit)")
     return 0
 
 
@@ -681,6 +705,7 @@ def _cmd_serve(args) -> int:
         cache_backend=args.cache_backend,
         catalog=args.catalog,
         witness_store=args.witness_store,
+        witness_replay=args.witness_replay,
         tenants_file=args.tenants,
         deadline_floor_s=args.deadline_floor,
         drain_grace_s=args.drain_grace,
@@ -774,6 +799,14 @@ def _add_engine_backend_flags(p: argparse.ArgumentParser) -> None:
         help="persistent NOT_CONTAINED witness store; stored "
         "counterexamples are replayed as cheap hom-checks ahead of the "
         "full decision procedures (inspect with: repro witnesses PATH)",
+    )
+    p.add_argument(
+        "--witness-replay", default="structural", dest="witness_replay",
+        choices=("exact", "structural", "off"),
+        help="witness replay ladder: exact = hash-equal rungs only, "
+        "structural (default) = also replay signature-compatible "
+        "witnesses via two fresh hom-checks, off = record but never "
+        "replay",
     )
 
 
@@ -883,6 +916,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="inspect a cross-session NOT_CONTAINED witness store",
     )
     p.add_argument("witness_file", help="a --witness-store sqlite file")
+    p.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="list at most N rows (the stats still cover the whole store)",
+    )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_witnesses)
 

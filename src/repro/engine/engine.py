@@ -46,7 +46,7 @@ from .jobs import (
 from .metrics import MetricsRegistry
 from .pool import WorkerPool
 from .scheduler import DeadlinePolicy, JobHandle, Priority, Scheduler
-from .witness_store import WitnessStore
+from .witness_store import REPLAY_MODES, WitnessStore
 
 
 class BatchEngine:
@@ -81,9 +81,14 @@ class BatchEngine:
         Cross-session store of NOT_CONTAINED counterexamples: a path for
         a persistent :class:`~repro.engine.witness_store.WitnessStore`, a
         ready instance, or ``None`` (off).  Containment jobs then replay
-        stored witnesses (one cheap hom-check) ahead of the catalog and
-        the full decision procedure, and every NOT_CONTAINED verdict
-        deposits its witness for future sessions.
+        stored witnesses (at most two cheap hom-checks) ahead of the
+        catalog and the full decision procedure, and every NOT_CONTAINED
+        verdict deposits its signature-keyed witness for future sessions.
+    witness_replay:
+        Replay-mode override for the store — ``"exact"`` (hash-equal
+        rungs only), ``"structural"`` (adds signature-keyed subsumption
+        replay; the default for path-built stores), or ``"off"``.
+        ``None`` leaves a ready store instance's own mode untouched.
     max_inflight / aging_interval:
         Scheduler tuning: dispatch-window width (default: worker count)
         and seconds-per-class priority aging (see
@@ -119,6 +124,7 @@ class BatchEngine:
         cache: Optional[ResultCache] = None,
         catalog: Union[None, str, OMQCatalog] = None,
         witness_store: Union[None, str, WitnessStore] = None,
+        witness_replay: Optional[str] = None,
         max_inflight: Optional[int] = None,
         aging_interval: Optional[float] = 5.0,
         deadline_policy: Optional[DeadlinePolicy] = None,
@@ -134,16 +140,26 @@ class BatchEngine:
         if isinstance(catalog, (str, bytes)) or hasattr(catalog, "__fspath__"):
             catalog = OMQCatalog(str(catalog))
         self.catalog: Optional[OMQCatalog] = catalog
+        if witness_replay is not None and witness_replay not in REPLAY_MODES:
+            raise ValueError(
+                f"unknown witness_replay {witness_replay!r}; "
+                f"choose from {REPLAY_MODES}"
+            )
         if isinstance(witness_store, (str, bytes)) or hasattr(
             witness_store, "__fspath__"
         ):
             witness_store = WitnessStore(
-                str(witness_store), metrics=self.metrics
+                str(witness_store),
+                replay_mode=witness_replay or "structural",
+                metrics=self.metrics,
             )
-        elif witness_store is not None and witness_store.metrics is None:
-            # Adopt the engine's registry so engine.witness.* counters
-            # surface in stats() and the serve tier's /metrics.
-            witness_store.metrics = self.metrics
+        elif witness_store is not None:
+            if witness_store.metrics is None:
+                # Adopt the engine's registry so engine.witness.* counters
+                # surface in stats() and the serve tier's /metrics.
+                witness_store.metrics = self.metrics
+            if witness_replay is not None:
+                witness_store.replay_mode = witness_replay
         self.witness_store: Optional[WitnessStore] = witness_store
         self.pool = WorkerPool(
             workers=workers,

@@ -668,10 +668,13 @@ class Scheduler:
     def _witness_shortcut(self, job: Any) -> Optional[JobHandle]:
         """An already-resolved handle if a stored witness refutes *job*.
 
-        Runs ahead of the catalog short-circuit: an exact-pair replay is
-        one dict probe, and a cross-pair replay is at most ``scan_limit``
-        single-side evaluations — both far cheaper than the full decision
-        procedure the miss path would eventually dispatch.
+        Runs ahead of the catalog short-circuit, fixing the shortcut
+        ladder at exact → structural → catalog → cache: an exact-pair
+        replay is one dict probe, a hash-rung cross-pair replay is at
+        most ``scan_limit`` single-side evaluations, and a structural
+        (signature-keyed) replay is at most ``scan_limit`` budget-capped
+        two-side re-confirmations — all far cheaper than the full
+        decision procedure the miss path would eventually dispatch.
         """
         assert self.witness_store is not None
         value = self.witness_store.replay(job)
@@ -704,7 +707,15 @@ class Scheduler:
             and getattr(value, "witness", None) is not None
         ):
             h1, h2 = job.content_hashes()
-            self.witness_store.record(h1, h2, value.witness)
+            # The OMQs ride along so the row is signature-keyed and can
+            # serve structural (non-hash-equal) replays.
+            self.witness_store.record(
+                h1,
+                h2,
+                value.witness,
+                q1=getattr(job, "q1", None),
+                q2=getattr(job, "q2", None),
+            )
         if self.catalog is None or verdict is not Verdict.CONTAINED:
             return
         h1, h2 = job.content_hashes()

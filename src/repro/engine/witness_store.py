@@ -1,15 +1,16 @@
-"""Cross-session store of NOT_CONTAINED counterexamples, replayed cheaply.
+"""Cross-session index of NOT_CONTAINED counterexamples, replayed cheaply.
 
 The catalog (:mod:`repro.engine.catalog`) compounds *positive* verdicts:
 proven-equivalent OMQs short-circuit to CONTAINED.  This module is its
 negative dual.  A NOT_CONTAINED verdict is self-certifying — it carries a
 witness database ``D`` and a tuple ``c̄`` with ``c̄ ∈ Q1(D) \\ Q2(D)`` —
 so persisting ``(hash(Q1), hash(Q2)) → (D, c̄)`` turns every future
-re-decision of that pair (and of many syntactically different pairs) into
-at most one homomorphism-search evaluation instead of a full 2EXPTIME
+re-decision of that pair (and of many structurally different pairs) into
+at most two homomorphism-search evaluations instead of a full 2EXPTIME
 decision procedure.
 
-Replay order for a candidate pair ``(h1, h2)``:
+Replay ladder for a candidate pair ``(h1, h2)`` (mirrored by the
+scheduler's own ordering exact → structural → catalog → cache):
 
 1. **Exact pair** — a stored witness under exactly ``(h1, h2)`` is
    returned with *zero* evaluations.  Canonical hashes are isomorphism
@@ -25,6 +26,23 @@ Replay order for a candidate pair ``(h1, h2)``:
 3. **Same RHS** (bounded scan): a witness stored for ``(h1', h2)`` already
    proves ``c̄ ∉ Q2(D)``; only membership ``c̄ ∈ Q1(D)`` needs checking,
    which is sound even from an inexact (under-approximating) evaluation.
+4. **Structural** (``replay_mode="structural"``, the default): witnesses
+   stored under the *same predicate-signature pair* — the set of
+   (predicate, arity) pairs each side mentions, see
+   :func:`omq_signature` — but under *different* canonical hashes.
+   Nothing about the stored pair transfers to the candidate, so **both**
+   facts are re-established fresh with the kernel hom-search:
+
+   * ``c̄ ∈ Q1_cand(D)`` — the candidate LHS maps homomorphically into
+     the stored witness's certain answers.  Sound even from an inexact
+     evaluation (a truncated chase under-approximates the certain
+     answers, so membership in the approximation implies membership).
+   * ``c̄ ∉ Q2_cand(D)`` — the stored witness still refutes the
+     candidate RHS.  Only an *exact* negative evaluation counts.
+
+   Each check runs under ``min(job budget, replay_budget)``; a blown
+   budget makes the negative evaluation inexact, which degrades that
+   candidate to a miss — structural replay can stall, never lie.
 
 A cross-pair hit is re-recorded under the candidate pair, so the second
 time around it is an exact hit.  Any failure during a candidate check —
@@ -34,12 +52,15 @@ candidate to a miss; replay never raises.
 Persistence mirrors the catalog's robustness contract: sqlite WAL +
 busy timeout, ``meta`` stamps (schema version + canon version — a canon
 bump makes every stored hash a dead dialect, so the file is discarded and
-rebuilt), transient errors degrade to memory-only operation, genuine
-corruption discards and rebuilds, and undecodable rows are skipped, never
-fatal.  The in-memory index follows the kernel intern table's
-generation-stamped rebuild contract (PR 7): ``repro.clear_caches()`` and
-any :meth:`InternTable.clear` bump trigger a lazy :meth:`reload` from the
-serialized documents, so no deserialized object outlives an invalidation.
+rebuilt; the schema-v1 → v2 signature-column migration rides the same
+stamp, so a v1 store degrades to an empty rebuild, never to a replay
+attempt over unkeyed rows), transient errors degrade to memory-only
+operation, genuine corruption discards and rebuilds, and undecodable rows
+are skipped, never fatal.  The in-memory index follows the kernel intern
+table's generation-stamped rebuild contract (PR 7): ``repro.clear_caches()``
+and any :meth:`InternTable.clear` bump trigger a lazy :meth:`reload` from
+the serialized documents, so no deserialized object outlives an
+invalidation.
 """
 
 from __future__ import annotations
@@ -51,40 +72,82 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from threading import RLock
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..containment.result import ContainmentResult, Witness, not_contained
 from ..core.serialize import witness_from_json, witness_to_json
+from ..kernel.instance import instance_signature
 from ..kernel.intern import INTERN
 from .canon import CANON_VERSION
 from .metrics import MetricsRegistry
 from .registry import register_instance_cache, unregister_cache
 
-#: Bump when the witness store's sqlite layout changes.
-WITNESS_SCHEMA_VERSION = "1"
+#: Bump when the witness store's sqlite layout changes.  "2" added the
+#: per-side predicate-signature columns and the provenance column; a "1"
+#: store is discarded and rebuilt (the stamp contract), never replayed.
+WITNESS_SCHEMA_VERSION = "2"
+
+#: How a store answers :meth:`WitnessStore.replay`:
+#: ``exact`` — hash-equal rungs only (the PR 8 pair memo);
+#: ``structural`` — hash rungs plus signature-keyed subsumption replay;
+#: ``off`` — never replay (recording still works).
+REPLAY_MODES = ("exact", "structural", "off")
 
 #: How long a connection waits on a locked store before giving up.
 _BUSY_TIMEOUT_MS = 5_000
+
+
+def omq_signature(omq: Any) -> str:
+    """The predicate-signature key of one OMQ side.
+
+    The sorted ``pred/arity`` pairs of ``S ∪ sch(Σ)`` ∪ the query's
+    predicates, comma-joined — everything the OMQ can mention, in a
+    canonical spelling.  Atom reorderings, variable renamings, and
+    redundant atoms over existing predicates all preserve it; a predicate
+    rename does not.  Returns ``""`` (which never keys the structural
+    index) when the argument has no well-formed schema.
+    """
+    try:
+        relations = omq.full_schema().relations
+    except Exception:
+        return ""
+    return ",".join(f"{p}/{a}" for p, a in sorted(relations.items()))
+
+
+def instance_signature_key(database: Any) -> str:
+    """The witness database's own signature, via the interned kernel view."""
+    try:
+        pairs = instance_signature(database)
+    except Exception:
+        return ""
+    return ",".join(f"{p}/{a}" for p, a in sorted(pairs))
 
 
 @dataclass(frozen=True)
 class StoredWitness:
     """One persisted counterexample: the pair it refutes and its witness.
 
-    ``doc`` is the canonical JSON document the witness was stored as; it
-    is kept alongside the deserialized form so a generation-stamped
+    ``lhs_sig``/``rhs_sig`` are the predicate-signature keys of the two
+    sides (empty when the recording call site could not supply the OMQs);
+    ``origin`` records provenance — ``"decided"`` for a fresh verdict,
+    ``"hash-replay"``/``"structural-replay"`` for re-records of cross-pair
+    hits.  ``doc`` is the canonical JSON document the witness was stored
+    as; it is kept alongside the deserialized form so a generation-stamped
     :meth:`WitnessStore.reload` can rebuild every in-memory object from
     scratch without touching the disk file.
     """
 
     lhs: str
     rhs: str
+    lhs_sig: str
+    rhs_sig: str
+    origin: str
     doc: str
     witness: Witness
 
 
 class WitnessStore:
-    """Persistent, canonically-keyed store of NOT_CONTAINED witnesses.
+    """Persistent structural index of NOT_CONTAINED witnesses.
 
     ``path=None`` keeps the store in memory (still useful within one
     long-lived engine: witnesses survive result-cache eviction).  All
@@ -97,10 +160,16 @@ class WitnessStore:
         Cap on stored witnesses; the oldest entry is evicted first
         (``engine.witness.evictions``).
     scan_limit:
-        How many same-LHS/same-RHS candidates one :meth:`replay` may
-        hom-check after the exact-pair probe misses.  Bounds the inline
-        work a submission can spend before falling through to the full
-        decision procedure.
+        How many candidates each cross-pair rung (same-LHS/same-RHS, and
+        separately the structural rung) may hom-check after the
+        exact-pair probe misses.  Bounds the inline work a submission can
+        spend before falling through to the full decision procedure.
+    replay_mode:
+        One of :data:`REPLAY_MODES`; ``"structural"`` by default.
+    replay_budget:
+        Per-evaluation step cap for the structural rung's two fresh
+        checks (``min``-ed with the job's own budgets).  A check the
+        budget cannot settle degrades that candidate to a miss.
     metrics:
         The registry the ``engine.witness.*`` counters land in; the
         :class:`~repro.engine.engine.BatchEngine` shares its own registry
@@ -113,18 +182,30 @@ class WitnessStore:
         *,
         max_entries: int = 4096,
         scan_limit: int = 8,
+        replay_mode: str = "structural",
+        replay_budget: int = 20_000,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
+        if replay_mode not in REPLAY_MODES:
+            raise ValueError(
+                f"unknown replay_mode {replay_mode!r}; "
+                f"choose from {REPLAY_MODES}"
+            )
         self._lock = RLock()
         self.metrics = metrics
         self.max_entries = max(1, int(max_entries))
         self.scan_limit = max(0, int(scan_limit))
+        self.replay_mode = replay_mode
+        self.replay_budget = max(1, int(replay_budget))
         #: (lhs, rhs) -> StoredWitness, insertion-ordered for eviction.
         self._records: "OrderedDict[Tuple[str, str], StoredWitness]" = (
             OrderedDict()
         )
         self._by_lhs: Dict[str, List[Tuple[str, str]]] = {}
         self._by_rhs: Dict[str, List[Tuple[str, str]]] = {}
+        #: (lhs_sig, rhs_sig) -> keys; rows with an empty signature on
+        #: either side never enter (they cannot be structurally matched).
+        self._by_signature: Dict[Tuple[str, str], List[Tuple[str, str]]] = {}
         self.recoveries = 0
         self.transient_errors = 0
         self.skipped_rows = 0
@@ -163,7 +244,13 @@ class WitnessStore:
         )
         conn.execute(
             "CREATE TABLE IF NOT EXISTS witnesses "
-            "(lhs TEXT, rhs TEXT, doc TEXT, PRIMARY KEY (lhs, rhs))"
+            "(lhs TEXT, rhs TEXT, lhs_sig TEXT DEFAULT '', "
+            "rhs_sig TEXT DEFAULT '', origin TEXT DEFAULT 'decided', "
+            "doc TEXT, PRIMARY KEY (lhs, rhs))"
+        )
+        conn.execute(
+            "CREATE INDEX IF NOT EXISTS witnesses_by_signature "
+            "ON witnesses (lhs_sig, rhs_sig)"
         )
 
     def _expected_stamps(self) -> Dict[str, str]:
@@ -182,8 +269,10 @@ class WitnessStore:
             self._create_tables(conn)
             stamps = dict(conn.execute("SELECT key, value FROM meta"))
             if stamps and stamps != self._expected_stamps():
-                # A canon bump means every stored hash speaks a dead
-                # dialect: discard, don't migrate.
+                # A canon or schema bump means every stored row speaks a
+                # dead dialect: discard, don't migrate.  Replay over an
+                # empty rebuild is an honest miss — a mismatched store is
+                # never consulted, structurally or otherwise.
                 conn.close()
                 self._discard_file()
                 conn = self._connect()
@@ -195,10 +284,18 @@ class WitnessStore:
                     sorted(self._expected_stamps().items()),
                 )
                 conn.commit()
-            for lhs, rhs, doc in conn.execute(
-                "SELECT lhs, rhs, doc FROM witnesses ORDER BY rowid"
+            for lhs, rhs, lhs_sig, rhs_sig, origin, doc in conn.execute(
+                "SELECT lhs, rhs, lhs_sig, rhs_sig, origin, doc "
+                "FROM witnesses ORDER BY rowid"
             ):
-                record = self._decode(str(lhs), str(rhs), str(doc))
+                record = self._decode(
+                    str(lhs),
+                    str(rhs),
+                    str(lhs_sig or ""),
+                    str(rhs_sig or ""),
+                    str(origin or "decided"),
+                    str(doc),
+                )
                 if record is not None:
                     self._index_locked(record)
             self._conn = conn
@@ -208,14 +305,22 @@ class WitnessStore:
         except (sqlite3.Error, OSError):
             self._recover()
 
-    def _decode(self, lhs: str, rhs: str, doc: str) -> Optional[StoredWitness]:
+    def _decode(
+        self,
+        lhs: str,
+        rhs: str,
+        lhs_sig: str,
+        rhs_sig: str,
+        origin: str,
+        doc: str,
+    ) -> Optional[StoredWitness]:
         """Parse one stored row; a bad row is skipped, never fatal."""
         try:
             witness = witness_from_json(json.loads(doc))
         except Exception:
             self.skipped_rows += 1
             return None
-        return StoredWitness(lhs, rhs, doc, witness)
+        return StoredWitness(lhs, rhs, lhs_sig, rhs_sig, origin, doc, witness)
 
     def _discard_file(self) -> None:
         assert self._path is not None
@@ -277,23 +382,32 @@ class WitnessStore:
         self._records[key] = record
         self._by_lhs.setdefault(record.lhs, []).append(key)
         self._by_rhs.setdefault(record.rhs, []).append(key)
+        if record.lhs_sig and record.rhs_sig:
+            self._by_signature.setdefault(
+                (record.lhs_sig, record.rhs_sig), []
+            ).append(key)
 
     def _unindex_locked(self, key: Tuple[str, str]) -> None:
         record = self._records.pop(key, None)
         if record is None:
             return
-        for index, hash_ in (
+        indexes: List[Tuple[Dict, Any]] = [
             (self._by_lhs, record.lhs),
             (self._by_rhs, record.rhs),
-        ):
-            keys = index.get(hash_)
+        ]
+        if record.lhs_sig and record.rhs_sig:
+            indexes.append(
+                (self._by_signature, (record.lhs_sig, record.rhs_sig))
+            )
+        for index, index_key in indexes:
+            keys = index.get(index_key)
             if keys is not None:
                 try:
                     keys.remove(key)
                 except ValueError:
                     pass
                 if not keys:
-                    del index[hash_]
+                    del index[index_key]
 
     def _maybe_reload_locked(self) -> None:
         if INTERN.generation != self._generation:
@@ -313,8 +427,16 @@ class WitnessStore:
         self._records = OrderedDict()
         self._by_lhs = {}
         self._by_rhs = {}
+        self._by_signature = {}
         for stale in old:
-            record = self._decode(stale.lhs, stale.rhs, stale.doc)
+            record = self._decode(
+                stale.lhs,
+                stale.rhs,
+                stale.lhs_sig,
+                stale.rhs_sig,
+                stale.origin,
+                stale.doc,
+            )
             if record is not None:
                 self._index_locked(record)
         self._generation = INTERN.generation
@@ -329,14 +451,32 @@ class WitnessStore:
         with self._lock:
             return len(self._records)
 
-    def record(self, h1: str, h2: str, witness: Witness) -> bool:
+    def record(
+        self,
+        h1: str,
+        h2: str,
+        witness: Witness,
+        *,
+        q1: Any = None,
+        q2: Any = None,
+        lhs_sig: str = "",
+        rhs_sig: str = "",
+        origin: str = "decided",
+    ) -> bool:
         """Persist *witness* as a counterexample to ``hash h1 ⊆ hash h2``.
 
         Returns True iff the pair was new.  The first witness for a pair
         wins (any stored witness refutes the pair; churning rows buys
-        nothing).  Serialization failures drop the witness silently —
+        nothing).  When the call site can supply the OMQs (``q1``/``q2``)
+        or precomputed keys, the row is signature-keyed and joins the
+        structural index; without them it still replays on the hash
+        rungs.  Serialization failures drop the witness silently —
         durability is best-effort, correctness never depends on it.
         """
+        if not lhs_sig and q1 is not None:
+            lhs_sig = omq_signature(q1)
+        if not rhs_sig and q2 is not None:
+            rhs_sig = omq_signature(q2)
         with self._lock:
             self._maybe_reload_locked()
             key = (h1, h2)
@@ -350,11 +490,13 @@ class WitnessStore:
                 )
             except Exception:
                 return False
-            self._index_locked(StoredWitness(h1, h2, doc, witness))
+            self._index_locked(
+                StoredWitness(h1, h2, lhs_sig, rhs_sig, origin, doc, witness)
+            )
             self._count("engine.witness.stored")
             self._persist(
-                "INSERT OR REPLACE INTO witnesses VALUES (?, ?, ?)",
-                [(h1, h2, doc)],
+                "INSERT OR REPLACE INTO witnesses VALUES (?, ?, ?, ?, ?, ?)",
+                [(h1, h2, lhs_sig, rhs_sig, origin, doc)],
             )
             evicted: List[tuple] = []
             while len(self._records) > self.max_entries:
@@ -372,7 +514,7 @@ class WitnessStore:
     def _candidates_locked(
         self, h1: str, h2: str
     ) -> List[StoredWitness]:
-        """The bounded scan list: same-LHS first, then same-RHS."""
+        """The bounded hash-rung scan list: same-LHS first, then same-RHS."""
         out: List[StoredWitness] = []
         seen = set()
         for key in self._by_lhs.get(h1, ()):
@@ -387,23 +529,52 @@ class WitnessStore:
                 out.append(self._records[key])
         return out
 
+    def _structural_candidates_locked(
+        self,
+        h1: str,
+        h2: str,
+        lhs_sig: str,
+        rhs_sig: str,
+        skip: set,
+    ) -> List[StoredWitness]:
+        """Signature-compatible candidates the hash rungs did not cover."""
+        if not lhs_sig or not rhs_sig:
+            return []
+        out: List[StoredWitness] = []
+        for key in self._by_signature.get((lhs_sig, rhs_sig), ()):
+            if len(out) >= self.scan_limit:
+                break
+            if key == (h1, h2) or key in skip:
+                continue
+            out.append(self._records[key])
+        return out
+
     def replay(self, job: Any) -> Optional[ContainmentResult]:
         """Try to refute *job* (a ContainmentJob) from stored witnesses.
 
         Returns a NOT_CONTAINED result with the replayed witness attached,
         or ``None`` (a miss — including every anomaly: schema mismatch,
-        evaluation failure, inexact negative evidence).
+        evaluation failure, inexact negative evidence, blown replay
+        budget).  ``replay_mode="off"`` misses unconditionally.
         """
+        if self.replay_mode == "off":
+            return None
         if getattr(job, "kind", None) != "containment":
             return None
         if not hasattr(job, "content_hashes"):
             return None
         h1, h2 = job.content_hashes()
+        structural = self.replay_mode == "structural"
+        lhs_sig = rhs_sig = ""
+        if structural:
+            lhs_sig = omq_signature(getattr(job, "q1", None))
+            rhs_sig = omq_signature(getattr(job, "q2", None))
         with self._lock:
             self._maybe_reload_locked()
             exact = self._records.get((h1, h2))
             if exact is not None:
                 self._count("engine.witness.hits")
+                self._count("engine.witness.exact_hits")
                 return not_contained(
                     "witness-replay",
                     exact.witness.database,
@@ -411,6 +582,13 @@ class WitnessStore:
                     "stored witness for this exact canonical pair",
                 )
             candidates = self._candidates_locked(h1, h2)
+            structural_candidates = self._structural_candidates_locked(
+                h1,
+                h2,
+                lhs_sig,
+                rhs_sig,
+                {(c.lhs, c.rhs) for c in candidates},
+            )
         # Evaluations run outside the lock: a hom-check is cheap but not
         # free, and replay must never serialize concurrent submitters.
         for candidate in candidates:
@@ -419,11 +597,50 @@ class WitnessStore:
             if result is not None:
                 # Re-record under the candidate pair: next time it is an
                 # exact (zero-evaluation) hit.
-                self.record(h1, h2, result.witness)
+                self.record(
+                    h1,
+                    h2,
+                    result.witness,
+                    lhs_sig=lhs_sig,
+                    rhs_sig=rhs_sig,
+                    origin="hash-replay",
+                )
                 self._count("engine.witness.hits")
+                return result
+        for candidate in structural_candidates:
+            self._count("engine.witness.replays")
+            self._count("engine.witness.structural.attempts")
+            result = self._check_structural(job, candidate)
+            if result is not None:
+                self.record(
+                    h1,
+                    h2,
+                    result.witness,
+                    lhs_sig=lhs_sig,
+                    rhs_sig=rhs_sig,
+                    origin="structural-replay",
+                )
+                self._count("engine.witness.hits")
+                self._count("engine.witness.structural.hits")
                 return result
         self._count("engine.witness.misses")
         return None
+
+    def _job_budgets(self, job: Any, cap: Optional[int]) -> Dict[str, Any]:
+        """Evaluation kwargs from the job's budgets, optionally capped."""
+        steps = getattr(job, "chase_max_steps", 200_000)
+        kwargs: Dict[str, Any] = {
+            "chase_max_steps": min(steps, cap) if cap else steps,
+            "chase_max_depth": getattr(job, "chase_max_depth", None),
+        }
+        budget = getattr(job, "rewriting_budget", None)
+        if cap:
+            kwargs["rewriting_budget"] = (
+                min(budget, cap) if budget is not None else cap
+            )
+        elif budget is not None:
+            kwargs["rewriting_budget"] = budget
+        return kwargs
 
     def _check_candidate(
         self, job: Any, h1: str, h2: str, candidate: StoredWitness
@@ -439,13 +656,7 @@ class WitnessStore:
         from ..evaluation import evaluate_omq
 
         witness = candidate.witness
-        kwargs: Dict[str, Any] = {
-            "chase_max_steps": getattr(job, "chase_max_steps", 200_000),
-            "chase_max_depth": getattr(job, "chase_max_depth", None),
-        }
-        budget = getattr(job, "rewriting_budget", None)
-        if budget is not None:
-            kwargs["rewriting_budget"] = budget
+        kwargs = self._job_budgets(job, None)
         try:
             if candidate.lhs == h1:
                 # c̄ ∈ Q1(D) is stored fact; need c̄ ∉ Q2(D), exactly.
@@ -480,20 +691,171 @@ class WitnessStore:
             self.replay_errors += 1
         return None
 
+    def _check_structural(
+        self, job: Any, candidate: StoredWitness
+    ) -> Optional[ContainmentResult]:
+        """Subsumption replay: two fresh kernel hom-checks, both required.
+
+        Neither side of the candidate pair hash-matches the stored pair,
+        so nothing transfers — the stored (D, c̄) is just a *suggested*
+        counterexample.  It refutes the candidate iff
+
+        1. ``c̄ ∈ Q1_cand(D)`` — membership, sound even when the capped
+           evaluation is inexact;
+        2. ``c̄ ∉ Q2_cand(D)`` — and the evaluation is *exact*; an
+           inexact (truncated) evaluation under-approximates Q2's
+           answers, so its silence proves nothing.
+
+        A disconfirmed candidate counts as a refuted replay
+        (``engine.witness.structural.refuted_replays``); an exception or
+        blown ``replay_budget`` degrades to a miss via the error path.
+        """
+        from ..evaluation import evaluate_omq
+
+        witness = candidate.witness
+        kwargs = self._job_budgets(job, self.replay_budget)
+        try:
+            lhs_eval = evaluate_omq(job.q1, witness.database, **kwargs)
+            if witness.answer in lhs_eval.answers:
+                rhs_eval = evaluate_omq(job.q2, witness.database, **kwargs)
+                if (
+                    witness.answer not in rhs_eval.answers
+                    and rhs_eval.exact
+                ):
+                    return not_contained(
+                        "witness-replay",
+                        witness.database,
+                        witness.answer,
+                        "structural replay: signature-compatible witness "
+                        f"for {candidate.lhs[:12]} ⊄ {candidate.rhs[:12]} "
+                        "re-confirmed against both candidate sides",
+                    )
+        except Exception:
+            self.replay_errors += 1
+            return None
+        self._count("engine.witness.structural.refuted_replays")
+        return None
+
+    @staticmethod
+    def _entry_dict(record: StoredWitness) -> Dict[str, Any]:
+        return {
+            "lhs": record.lhs,
+            "rhs": record.rhs,
+            "lhs_sig": record.lhs_sig,
+            "rhs_sig": record.rhs_sig,
+            "origin": record.origin,
+            "db_sig": instance_signature_key(record.witness.database),
+            "atoms": len(record.witness.database.atoms),
+            "answer": [str(t) for t in record.witness.answer],
+        }
+
     def entries(self) -> List[Dict[str, Any]]:
-        """A listing for inspection (``repro witnesses``): one dict per
-        stored pair, insertion order preserved."""
+        """A listing for inspection: one dict per stored pair, insertion
+        order preserved.  Prefer :meth:`iter_entries` (or the read-only
+        classmethod :meth:`scan`) for large stores."""
+        return list(self.iter_entries())
+
+    def iter_entries(
+        self, limit: Optional[int] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream up to *limit* entry dicts without materializing them all.
+
+        The record list is snapshotted under the lock (references only);
+        rendering happens outside it.
+        """
         with self._lock:
             self._maybe_reload_locked()
-            return [
-                {
-                    "lhs": record.lhs,
-                    "rhs": record.rhs,
-                    "atoms": len(record.witness.database.atoms),
-                    "answer": [str(t) for t in record.witness.answer],
-                }
-                for record in self._records.values()
-            ]
+            records = list(self._records.values())
+        if limit is not None:
+            records = records[: max(0, limit)]
+        for record in records:
+            yield self._entry_dict(record)
+
+    @classmethod
+    def scan(
+        cls, path: str, *, limit: Optional[int] = None
+    ) -> Tuple[Dict[str, Any], Iterator[Dict[str, Any]]]:
+        """Read-only streaming view of a store *file*: ``(stats, rows)``.
+
+        Unlike constructing a :class:`WitnessStore` (which loads every
+        row into the in-memory index, and — per the stamp contract —
+        *discards* a version-mismatched file), ``scan`` opens the sqlite
+        file read-only, computes the stats with SQL aggregates, and
+        yields at most *limit* decoded rows lazily.  Inspection of an
+        arbitrarily large or foreign-versioned store is O(limit) memory
+        and never mutates the file.  Raises :class:`ValueError` when the
+        file is not a readable witness store.
+        """
+        try:
+            conn = sqlite3.connect(
+                f"file:{path}?mode=ro", uri=True, check_same_thread=False
+            )
+        except sqlite3.Error as exc:
+            raise ValueError(str(exc)) from None
+        try:
+            try:
+                stamps = dict(conn.execute("SELECT key, value FROM meta"))
+                entries, lhs_keys, rhs_keys = conn.execute(
+                    "SELECT COUNT(*), COUNT(DISTINCT lhs), "
+                    "COUNT(DISTINCT rhs) FROM witnesses"
+                ).fetchone()
+            except sqlite3.Error as exc:
+                raise ValueError(f"not a witness store: {exc}") from None
+        except ValueError:
+            conn.close()
+            raise
+        expected = {
+            "schema_version": WITNESS_SCHEMA_VERSION,
+            "canon_version": CANON_VERSION,
+        }
+        stats = {
+            "entries": int(entries),
+            "lhs_keys": int(lhs_keys),
+            "rhs_keys": int(rhs_keys),
+            "schema_version": stamps.get("schema_version", ""),
+            "canon_version": stamps.get("canon_version", ""),
+            "current": stamps == expected,
+        }
+
+        def _rows() -> Iterator[Dict[str, Any]]:
+            try:
+                try:
+                    cursor = conn.execute(
+                        "SELECT lhs, rhs, lhs_sig, rhs_sig, origin, doc "
+                        "FROM witnesses ORDER BY rowid"
+                    )
+                except sqlite3.Error:
+                    # A schema-v1 file has no signature columns; it still
+                    # deserves a listing (replay would discard it, but
+                    # inspection must not).
+                    cursor = conn.execute(
+                        "SELECT lhs, rhs, '', '', 'decided', doc "
+                        "FROM witnesses ORDER BY rowid"
+                    )
+                yielded = 0
+                for lhs, rhs, lhs_sig, rhs_sig, origin, doc in cursor:
+                    if limit is not None and yielded >= limit:
+                        break
+                    try:
+                        witness = witness_from_json(json.loads(str(doc)))
+                    except Exception:
+                        continue  # a bad row is skipped, never fatal
+                    yielded += 1
+                    yield cls._entry_dict(
+                        StoredWitness(
+                            str(lhs),
+                            str(rhs),
+                            str(lhs_sig or ""),
+                            str(rhs_sig or ""),
+                            str(origin or "decided"),
+                            str(doc),
+                            witness,
+                        )
+                    )
+            finally:
+                conn.close()
+
+        return stats, _rows()
 
     def reload(self) -> None:
         """Drop and rebuild the in-memory index from serialized docs."""
@@ -506,8 +868,11 @@ class WitnessStore:
                 "entries": len(self._records),
                 "lhs_keys": len(self._by_lhs),
                 "rhs_keys": len(self._by_rhs),
+                "signature_keys": len(self._by_signature),
                 "max_entries": self.max_entries,
                 "scan_limit": self.scan_limit,
+                "replay_mode": self.replay_mode,
+                "replay_budget": self.replay_budget,
                 "persistent": self.persistent,
                 "generation": self._generation,
                 "recoveries": self.recoveries,
@@ -522,6 +887,7 @@ class WitnessStore:
             self._records = OrderedDict()
             self._by_lhs = {}
             self._by_rhs = {}
+            self._by_signature = {}
             if self._conn is not None:
                 try:
                     self._conn.execute("DELETE FROM witnesses")

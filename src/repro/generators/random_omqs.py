@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import itertools
 import random
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.atoms import Atom
@@ -51,7 +52,15 @@ FRAGMENTS = (
 )
 
 #: Pair modes for :func:`random_omq_pair`.
-PAIR_MODES = ("independent", "specialized", "alpha")
+PAIR_MODES = ("independent", "specialized", "alpha", "perturbed_pair")
+
+#: Structural perturbations :func:`perturb_pair` can apply to a pair.
+PERTURBATIONS = (
+    "atom_reorder",
+    "variable_rename",
+    "redundant_atom",
+    "predicate_rename",
+)
 
 _CHECKERS = {
     "linear": is_linear,
@@ -405,6 +414,177 @@ def alpha_rename(omq: OMQ, rng: random.Random) -> OMQ:
     return OMQ(omq.data_schema, tuple(rules), query, name=omq.name)
 
 
+# -- structural perturbations ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PerturbedVariant:
+    """One perturbed copy of a base pair, with what is known about it.
+
+    ``verdict_preserved`` is a by-construction guarantee: the variant's
+    containment verdict equals the base pair's.  A ``False`` value means
+    *no guarantee* (the perturbation may or may not flip the verdict),
+    not "guaranteed different".  ``hash_preserved`` and
+    ``signature_preserved`` are *measured* per side against the base pair
+    (canonical hash via :func:`repro.engine.canon.hash_omq`, predicate
+    signature via :func:`repro.engine.witness_store.omq_signature`), so
+    tests can select exactly the variants they need — e.g. the
+    structural-replay benchmark wants verdict-preserving variants with
+    both hashes changed and both signatures kept.
+    """
+
+    kind: str
+    pair: Tuple[OMQ, OMQ]
+    verdict_preserved: bool
+    hash_preserved: Tuple[bool, bool]
+    signature_preserved: Tuple[bool, bool]
+
+
+def _reorder(omq: OMQ, rng: random.Random) -> OMQ:
+    """Shuffle rule order and query-body atom order; names untouched."""
+    rules = list(omq.sigma)
+    rng.shuffle(rules)
+    q = omq.query
+    body = list(q.body)
+    rng.shuffle(body)
+    return OMQ(
+        omq.data_schema,
+        tuple(rules),
+        CQ(q.head, tuple(body), q.name),
+        name=omq.name,
+    )
+
+
+def _add_redundant_atom(omq: OMQ, rng: random.Random) -> OMQ:
+    """Add a homomorphically redundant copy of one query-body atom.
+
+    The copy's arguments are fresh variables, so it folds onto the
+    original (fresh → original argument, everything else fixed) and the
+    query is semantically unchanged — but the canonical form gains an
+    atom, so the hash changes.  0-ary atoms are duplicated verbatim
+    (still redundant; the canonical form may dedup them, so the hash is
+    not guaranteed to move — callers read the measured flags).  The
+    ontology is untouched, so fragment membership is preserved.
+    """
+    q = omq.query
+    template = rng.choice(list(q.body))
+    salt = rng.randrange(1000)
+    copy = Atom(
+        template.predicate,
+        tuple(
+            Variable(f"r{salt}_{i}") for i in range(template.arity)
+        ),
+    )
+    return OMQ(
+        omq.data_schema,
+        omq.sigma,
+        CQ(q.head, tuple(q.body) + (copy,), q.name),
+        name=omq.name,
+    )
+
+
+def _rename_predicates(omq: OMQ, mapping: Dict[str, str]) -> OMQ:
+    """Consistently rename predicates across schema, rules, and query."""
+
+    def _atom(a: Atom) -> Atom:
+        return Atom(mapping.get(a.predicate, a.predicate), a.args)
+
+    schema = Schema(
+        {
+            mapping.get(p, p): arity
+            for p, arity in omq.data_schema.relations.items()
+        }
+    )
+    rules = tuple(
+        TGD(
+            tuple(_atom(a) for a in rule.body),
+            tuple(_atom(a) for a in rule.head),
+            rule.name,
+        )
+        for rule in omq.sigma
+    )
+    q = omq.query
+    query = CQ(q.head, tuple(_atom(a) for a in q.body), q.name)
+    return OMQ(schema, rules, query, name=omq.name)
+
+
+def perturb_pair(
+    q1: OMQ, q2: OMQ, rng: random.Random, kind: str
+) -> PerturbedVariant:
+    """One perturbed variant of the pair ``(q1, q2)``.
+
+    * ``atom_reorder`` — shuffle rule/atom order on both sides
+      (verdict-preserving; canonical hashes unchanged);
+    * ``variable_rename`` — α-rename both sides (verdict-preserving;
+      hashes unchanged — hashing is isomorphism-invariant);
+    * ``redundant_atom`` — add a homomorphically redundant query atom to
+      *both* sides (verdict-preserving; hashes move, signatures stay —
+      the labeled input the structural replay rung exists for);
+    * ``predicate_rename`` — rename one predicate on *one* side only
+      (verdict-breaking in general: the sides no longer speak the same
+      vocabulary, and the signature key moves with the rename).
+    """
+    if kind not in PERTURBATIONS:
+        raise ValueError(
+            f"unknown perturbation {kind!r}; choose from {PERTURBATIONS}"
+        )
+    from ..engine.canon import hash_omq
+    from ..engine.witness_store import omq_signature
+
+    verdict_preserved = True
+    if kind == "atom_reorder":
+        p1, p2 = _reorder(q1, rng), _reorder(q2, rng)
+    elif kind == "variable_rename":
+        p1, p2 = alpha_rename(q1, rng), alpha_rename(q2, rng)
+    elif kind == "redundant_atom":
+        p1, p2 = _add_redundant_atom(q1, rng), _add_redundant_atom(q2, rng)
+    else:  # predicate_rename
+        side = rng.choice((0, 1))
+        target = (q1, q2)[side]
+        pool = sorted(
+            {a.predicate for a in target.query.body}
+            | {
+                a.predicate
+                for rule in target.sigma
+                for a in rule.body + rule.head
+            }
+        )
+        old = rng.choice(pool)
+        renamed = _rename_predicates(target, {old: f"{old}_rn"})
+        p1, p2 = (renamed, q2) if side == 0 else (q1, renamed)
+        verdict_preserved = False
+    return PerturbedVariant(
+        kind=kind,
+        pair=(p1, p2),
+        verdict_preserved=verdict_preserved,
+        hash_preserved=(
+            hash_omq(p1) == hash_omq(q1),
+            hash_omq(p2) == hash_omq(q2),
+        ),
+        signature_preserved=(
+            omq_signature(p1) == omq_signature(q1),
+            omq_signature(p2) == omq_signature(q2),
+        ),
+    )
+
+
+def perturbed_pair_family(
+    fragment: str,
+    rng: random.Random,
+    kinds: Sequence[str] = PERTURBATIONS,
+    **kwargs,
+) -> Tuple[Tuple[OMQ, OMQ], List[PerturbedVariant]]:
+    """A base pair plus one perturbed variant per requested kind.
+
+    The base pair is an ``independent`` draw over a shared signature (so
+    refutations are common); every variant perturbs the *base*, giving
+    the structural-replay harness labeled non-hash-equal inputs whose
+    relation to the base is known by construction.
+    """
+    q1, q2, _ = random_omq_pair(fragment, rng, mode="independent", **kwargs)
+    return (q1, q2), [perturb_pair(q1, q2, rng, kind) for kind in kinds]
+
+
 # -- pairs -------------------------------------------------------------------
 
 
@@ -423,10 +603,26 @@ def random_omq_pair(
       ontology.  Then ``Q1 ⊆ Q2`` holds semantically (``expected =
       "contained"``) while ``Σ1 ⊆ Σ2`` fails syntactically, so the
       full procedures — not the subsumption shortcut — must prove it;
-    * ``alpha`` — Q2 is an α-variant of Q1 (``expected = "equivalent"``).
+    * ``alpha`` — Q2 is an α-variant of Q1 (``expected = "equivalent"``);
+    * ``perturbed_pair`` — an independent base pair run through one
+      random *verdict-preserving* structural perturbation (atom reorder,
+      variable renaming, or a redundant atom on both sides; see
+      :func:`perturb_pair`), so the pair is a structurally different
+      spelling of a base draw (``expected = None``).  Use
+      :func:`perturbed_pair_family` when the base pair and the
+      verdict-breaking variants are needed too.
     """
     if mode not in PAIR_MODES:
         raise ValueError(f"unknown mode {mode!r}; choose from {PAIR_MODES}")
+    if mode == "perturbed_pair":
+        q1, q2, _ = random_omq_pair(
+            fragment, rng, mode="independent", **kwargs
+        )
+        kind = rng.choice(
+            ("atom_reorder", "variable_rename", "redundant_atom")
+        )
+        variant = perturb_pair(q1, q2, rng, kind)
+        return variant.pair[0], variant.pair[1], None
     max_arity = kwargs.get("max_arity", 2)
     sig = _random_signature(
         rng,

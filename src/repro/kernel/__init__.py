@@ -24,7 +24,12 @@ this package.
 """
 
 from .delta import delta_triggers
-from .instance import WorkingInstance, trusted_instance, view_of
+from .instance import (
+    WorkingInstance,
+    instance_signature,
+    trusted_instance,
+    view_of,
+)
 from .intern import INTERN, InternTable
 from .metrics import KERNEL_METRICS, flush_cardinality, kernel_snapshot
 from .plan import (
@@ -48,6 +53,7 @@ from .search import (
 
 __all__ = [
     "WorkingInstance",
+    "instance_signature",
     "trusted_instance",
     "view_of",
     "INTERN",

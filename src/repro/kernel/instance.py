@@ -29,7 +29,16 @@ which facts are enumerated or in what order, only how they are stored.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.atoms import Atom
 from ..core.instance import Instance, _atom_sort_key
@@ -210,6 +219,23 @@ class WorkingInstance:
         """Distinct term count at (predicate id, position) — live stats."""
         return self._distinct.get((pid, position), 0)
 
+    def signature(self) -> FrozenSet[Tuple[str, int]]:
+        """The set of (predicate, arity) pairs present in the instance.
+
+        Read straight off the interned per-predicate index — no pass over
+        the atoms.  This is the keying primitive of the structural
+        counterexample index (:mod:`repro.engine.witness_store`): two
+        instances can only be related by a schema-respecting
+        homomorphism when the source's signature is a subset of the
+        target's.
+        """
+        self._ensure_current()
+        return frozenset(
+            (INTERN.pred(pid), len(entry.facts[0]))
+            for pid, entry in self._by_predicate.items()
+            if entry.facts
+        )
+
     def cardinality_stats(self) -> Dict[str, Dict[str, object]]:
         """Per-predicate-name cardinality statistics (count + distincts).
 
@@ -341,6 +367,26 @@ class _FrozenView:
 
     def distinct_count(self, pid: int, position: int) -> int:
         return self._distinct.get((pid, position), 0)
+
+    def signature(self) -> FrozenSet[Tuple[str, int]]:
+        """The set of (predicate, arity) pairs present (see
+        :meth:`WorkingInstance.signature`)."""
+        return frozenset(
+            (INTERN.pred(pid), len(facts[0]))
+            for pid, facts in self._by_predicate.items()
+            if facts
+        )
+
+
+def instance_signature(target) -> FrozenSet[Tuple[str, int]]:
+    """The (predicate, arity) signature of *target*, via its interned view.
+
+    Accepts anything :func:`view_of` does — a :class:`WorkingInstance` or
+    a frozen :class:`~repro.core.instance.Instance` — and shares the
+    memoized view, so asking for the signature of an instance that has
+    already been searched is free.
+    """
+    return view_of(target).signature()
 
 
 def view_of(target) -> object:

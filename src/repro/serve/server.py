@@ -56,6 +56,8 @@ class ServeConfig:
     cache_backend: str = "sqlite"
     catalog: Optional[str] = None
     witness_store: Optional[str] = None
+    #: Witness replay mode for the store: "exact", "structural", or "off".
+    witness_replay: str = "structural"
     tenants_file: Optional[str] = None
     deadline_floor_s: float = 0.25
     drain_grace_s: float = 5.0
@@ -78,6 +80,9 @@ class ServeConfig:
             cache_backend=self.cache_backend,
             catalog=self.catalog,
             witness_store=self.witness_store,
+            witness_replay=(
+                self.witness_replay if self.witness_store else None
+            ),
             deadline_policy=DeadlinePolicy(floor_s=self.deadline_floor_s),
             trace=(
                 None
